@@ -1,0 +1,108 @@
+"""Ablation — cache-aware column operations (Sections 4.6-4.7).
+
+Quantifies what the coarse+fine sub-row decomposition buys:
+
+* transaction counts: a naive per-element column rotation touches one
+  cache line per element; the sub-row formulation touches one line per
+  *sub-row* (16 elements for float64 on 128-byte lines);
+* the fine-pass skip: for the C2R pre-rotation the residual rotation is
+  zero for most groups whenever ``b`` exceeds the line width, eliminating
+  an entire pass (the paper: "often the case for the C2R prerotation");
+* the Section 4.7 cycle-descriptor bound (storage <= m/2 slots).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheModel, c2r_cache_aware, cache_aware_rotate
+from repro.core import c2r_transpose
+from repro.core.indexing import Decomposition
+from repro.gpusim import TransactionAnalyzer
+
+from conftest import write_report
+
+M, N = 512, 768
+
+
+@pytest.mark.benchmark(group="ablation-cache")
+def test_cache_aware_c2r(benchmark):
+    benchmark.pedantic(
+        lambda: c2r_cache_aware(np.arange(M * N, dtype=np.float64), M, N),
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="ablation-cache")
+def test_blocked_c2r(benchmark):
+    benchmark.pedantic(
+        lambda: c2r_transpose(np.arange(M * N, dtype=np.float64), M, N),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def _rotation_transactions(m: int, n: int, itemsize: int, subrows: bool) -> int:
+    """Exact lines touched by one full column-rotation pass."""
+    analyzer = TransactionAnalyzer(128)
+    w = 128 // itemsize if subrows else 1
+    tx = 0
+    for i in range(m):
+        row_base = i * n * itemsize
+        for g0 in range(0, n, w):
+            width = min(w, n - g0)
+            addrs = row_base + (g0 + np.arange(width)) * itemsize
+            if subrows:
+                tx += analyzer.count_warp(addrs[:1], width * itemsize)
+            else:
+                tx += sum(analyzer.count_warp(addrs[k : k + 1], itemsize) for k in range(width))
+    return tx
+
+
+def test_report_ablation_cache(benchmark, results_dir):
+    def build():
+        naive_tx = _rotation_transactions(64, 768, 8, subrows=False)
+        aware_tx = _rotation_transactions(64, 768, 8, subrows=True)
+
+        # fine-pass skip statistics for the two rotation kinds
+        dec = Decomposition.of(512, 25600)  # b = 50 >> w = 16 -> mostly skip
+        amounts_prerot = np.arange(dec.n, dtype=np.int64) // dec.b
+        stats_pre = cache_aware_rotate(
+            np.zeros((64, dec.n)), amounts_prerot % 64, CacheModel(itemsize=8)
+        )
+        amounts_shuffle = np.arange(dec.n, dtype=np.int64) % 64
+        stats_shuf = cache_aware_rotate(
+            np.zeros((64, dec.n)), amounts_shuffle, CacheModel(itemsize=8)
+        )
+        full = c2r_cache_aware(np.arange(M * N, dtype=np.float64), M, N)
+        return naive_tx, aware_tx, stats_pre, stats_shuf, full
+
+    naive_tx, aware_tx, stats_pre, stats_shuf, full = benchmark.pedantic(
+        build, rounds=1, iterations=1
+    )
+
+    lines = [
+        "Ablation: cache-aware column operations (Sections 4.6-4.7)",
+        "",
+        "column-rotation pass over a 64 x 768 float64 array:",
+        f"  per-element accesses:  {naive_tx:7d} line transactions",
+        f"  sub-row accesses:      {aware_tx:7d} line transactions "
+        f"({naive_tx/aware_tx:.1f}x fewer)",
+        "",
+        "fine-pass skip fraction (512 x 25600, 128B lines):",
+        f"  pre-rotation (j // b): {stats_pre.fine_skip_fraction*100:6.1f}% of groups skipped",
+        f"  shuffle rotation (j):  {stats_shuf.fine_skip_fraction*100:6.1f}% of groups skipped",
+        "",
+        f"full cache-aware C2R of {M}x{N}:",
+        f"  pre-rotation performed: {full.pre_rotation_performed}",
+        f"  row-permute cycle descriptors: {full.row_permute.cycle_descriptor_slots} "
+        f"slots (bound: m = {M})",
+    ]
+    write_report(results_dir, "ablation_cache", "\n".join(lines))
+
+    assert aware_tx * 8 < naive_tx  # ~16x for float64
+    assert stats_pre.fine_skip_fraction > 0.5
+    assert stats_shuf.fine_skip_fraction == 0.0
+    assert full.row_permute.cycle_descriptor_slots <= M

@@ -1,0 +1,109 @@
+"""Ablation — the §4.5 on-chip row shuffle.
+
+"each streaming multiprocessor on the NVIDIA Tesla K20c processor contains
+256 kB of register file — in practice we found we could use this storage to
+process rows with up to 29440 64-bit elements in a single pass."
+
+Executes both row-shuffle kernels through simulated memory and prices their
+traffic: the single-pass (on-chip) version touches each element twice at
+full coalescing; the two-pass fallback touches it four times, half of them
+scattered.  The crossover is what the capacity model
+(`repro.cache.onchip.OnChipModel`) encodes for the cost model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.onchip import OnChipModel
+from repro.core.indexing import Decomposition
+from repro.gpusim import TESLA_K20C, TransactionAnalyzer
+from repro.simd.block import ThreadBlock, onchip_row_shuffle, twopass_row_shuffle
+from repro.simd.memory import SimulatedMemory
+
+from conftest import write_report
+
+# Coprime-ish shapes whose d'^{-1} gather genuinely scatters (for m = 8 and
+# power-of-two rows the gather happens to be sector-perfect — also real, and
+# shown as the last row).
+CASES = [(9, 255), (9, 1024), (7, 4097), (13, 16381), (8, 1024)]
+
+
+def _traffic(m: int, n: int, onchip: bool) -> tuple[float, float]:
+    """(DRAM bytes, useful bytes) for one row shuffle of length n."""
+    mem = SimulatedMemory(m * n, itemsize=8)
+    mem.data[:] = np.arange(m * n)
+    dec = Decomposition.of(m, n)
+    mem.clear_trace()
+    traces = [mem.trace]
+    if onchip:
+        onchip_row_shuffle(mem, 2, dec, ThreadBlock(capacity_words=n))
+    else:
+        scratch = SimulatedMemory(n, itemsize=8)
+        scratch.clear_trace()
+        traces.append(scratch.trace)
+        twopass_row_shuffle(mem, scratch, 2, dec, ThreadBlock(capacity_words=n))
+    sector = TransactionAnalyzer(TESLA_K20C.sector_bytes)
+    line = TransactionAnalyzer(TESLA_K20C.line_bytes)
+    dram = 0.0
+    for trace in traces:
+        for rec in trace:
+            if rec.kind == "load":
+                dram += sector.count_warp(rec.byte_addresses, rec.access_bytes) * 32
+            else:
+                dram += line.count_warp(rec.byte_addresses, rec.access_bytes) * 128
+    return dram, 2.0 * n * 8
+
+
+@pytest.mark.benchmark(group="ablation-onchip")
+def test_onchip_kernel(benchmark):
+    mem = SimulatedMemory(9 * 1024, itemsize=8)
+    dec = Decomposition.of(9, 1024)
+    benchmark.pedantic(
+        lambda: onchip_row_shuffle(mem, 1, dec, ThreadBlock(capacity_words=1024)),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_report_ablation_onchip(benchmark, results_dir):
+    def build():
+        rows = []
+        for m, n in CASES:
+            d1, useful = _traffic(m, n, onchip=True)
+            d2, _ = _traffic(m, n, onchip=False)
+            rows.append((m, n, useful, d1, d2))
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    oc = OnChipModel()
+    lines = [
+        "Ablation: single-pass (on-chip) vs two-pass row shuffle (Section 4.5)",
+        f"(one row of n float64 elements; useful traffic = 2n*8 bytes)",
+        "",
+        f"{'m':>4} {'n':>7} {'useful kB':>10} {'1-pass kB':>10} "
+        f"{'2-pass kB':>10} {'ratio':>6}",
+    ]
+    for m, n, useful, d1, d2 in rows:
+        lines.append(
+            f"{m:>4} {n:>7} {useful/1e3:>10.1f} {d1/1e3:>10.1f} "
+            f"{d2/1e3:>10.1f} {d2/d1:>6.2f}"
+        )
+    lines.append("")
+    lines.append(
+        f"K20c capacity model: single-pass up to {oc.max_row_elements(8)} "
+        "float64 elements (the paper's measured 29440)"
+    )
+    write_report(results_dir, "ablation_onchip", "\n".join(lines))
+
+    for m, n, useful, d1, d2 in rows:
+        # single pass: ~2 accesses/element (plus line-alignment padding on
+        # rows whose pitch is not a multiple of the 128-byte line)
+        assert d1 <= 1.5 * useful
+        # two passes cost at least ~2x, more when the gather scatters
+        assert d2 > 1.8 * d1
+    # the scattered cases pay MORE than 2x (the gather term)
+    scattered = [r for r in rows if (r[0], r[1]) != (8, 1024)]
+    assert max(d2 / d1 for _, _, _, d1, d2 in scattered) > 2.2

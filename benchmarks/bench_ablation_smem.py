@@ -1,0 +1,110 @@
+"""Ablation — in-register transpose vs the traditional smem-staged path.
+
+The paper's motivating contrast (Sections 1 and 6): routing AoS data
+through shared memory works, but costs a per-warp shared allocation
+(occupancy pressure) and bank conflicts, while the in-register C2R path
+"does not require allocating on-chip memory".  Both paths issue identical
+global traffic; this bench quantifies the on-chip side across struct sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import TESLA_K20C
+from repro.gpusim.occupancy import staged_access_bandwidth
+from repro.simd import CoalescedArray, SimdMachine, SimulatedMemory
+from repro.simd.sharedmem import SmemStagedAccessor
+
+from conftest import write_report
+
+STRUCT_WORDS = [2, 3, 4, 7, 8, 12, 16]
+
+
+def _run_pair(m: int):
+    mem = SimulatedMemory(128 * m, itemsize=4)
+    mem.data[:] = np.arange(128 * m)
+    reg_mach = SimdMachine(32)
+    register = CoalescedArray(mem, m, reg_mach)
+    regs = register.warp_load(0)
+
+    mem2 = SimulatedMemory(128 * m, itemsize=4)
+    mem2.data[:] = np.arange(128 * m)
+    smem_mach = SimdMachine(32)
+    staged = SmemStagedAccessor(mem2, m, smem_mach)
+    regs2 = staged.warp_load(0)
+
+    for k in range(m):
+        np.testing.assert_array_equal(regs[k], regs2[k])
+    return {
+        "shfl": reg_mach.counts.shfl,
+        "select": reg_mach.counts.select,
+        "smem_words": staged.smem_words,
+        "smem_cycles": staged.smem.stats.cycles,
+        "conflict": staged.smem.stats.conflict_factor,
+        "smem_bw": staged_access_bandwidth(m, itemsize=4) / 1e9,
+    }
+
+
+@pytest.mark.benchmark(group="ablation-smem")
+def test_register_path(benchmark):
+    mem = SimulatedMemory(128 * 8, itemsize=4)
+    arr = CoalescedArray(mem, 8, SimdMachine(32))
+    benchmark.pedantic(lambda: arr.warp_load(0), rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="ablation-smem")
+def test_smem_path(benchmark):
+    mem = SimulatedMemory(128 * 8, itemsize=4)
+    arr = SmemStagedAccessor(mem, 8, SimdMachine(32))
+    benchmark.pedantic(lambda: arr.warp_load(0), rounds=3, iterations=1)
+
+
+def test_report_ablation_smem(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: {m: _run_pair(m) for m in STRUCT_WORDS}, rounds=1, iterations=1
+    )
+
+    lines = [
+        "Ablation: in-register C2R access vs smem-staged access",
+        "(one warp loading 32 structures; global traffic identical)",
+        "",
+        f"{'bytes':>6} {'reg shfl':>9} {'reg sel':>8} "
+        f"{'smem words':>11} {'smem cyc':>9} {'conflict':>9} {'smem GB/s':>10}",
+    ]
+    full = TESLA_K20C.achievable_bandwidth / 1e9
+    for m, r in rows.items():
+        lines.append(
+            f"{m*4:>6} {r['shfl']:>9} {r['select']:>8} "
+            f"{r['smem_words']:>11} {r['smem_cycles']:>9} {r['conflict']:>9.2f} "
+            f"{r['smem_bw']:>10.1f}"
+        )
+    lines.append("")
+    lines.append(
+        f"(register path keeps the full {full:.0f} GB/s at every struct size:"
+    )
+    lines.append(
+        " no shared allocation -> no occupancy loss; smem staging of large")
+    lines.append(
+        " structs cuts resident warps below the DRAM saturation point.)")
+    lines.append("")
+    lines.append(
+        "register path: zero shared memory, m shuffles + barrel-rotation"
+    )
+    lines.append(
+        "selects; smem path: m*32 words/warp of scarce shared memory and"
+    )
+    lines.append(
+        "bank-conflict serialization on power-of-two struct sizes."
+    )
+    write_report(results_dir, "ablation_smem", "\n".join(lines))
+
+    for m, r in rows.items():
+        assert r["smem_words"] == m * 32  # occupancy cost always paid
+        assert r["shfl"] == m  # one shuffle per register row
+    # power-of-two structs conflict heavily; the register path cannot
+    assert rows[8]["conflict"] > 2.0
+    assert rows[7]["conflict"] < rows[8]["conflict"]
+    # occupancy loss appears as struct size grows
+    assert rows[16]["smem_bw"] <= rows[2]["smem_bw"]

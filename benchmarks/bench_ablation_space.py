@@ -1,0 +1,104 @@
+"""Ablation — auxiliary space, measured (the paper's headline claim).
+
+"With O(max(m, n)) auxiliary storage, our algorithm requires O(mn) work."
+
+tracemalloc measures the peak *extra* Python-heap allocation of each
+execution mode while transposing the same matrix:
+
+* ``aux="strict"`` — the honest Algorithm 1: scratch vector + per-row/column
+  index vectors, all Θ(max(m, n));
+* ``aux="blocked"`` — the vectorized fast path: whole-array gather maps,
+  Θ(mn) by design (the documented space/time trade);
+* out-of-place — the full second copy every in-place algorithm exists to
+  avoid.
+
+The strict mode's footprint must scale with max(m, n), not with mn: the
+bench checks it stays hundreds of times below the matrix size and barely
+moves when the matrix quadruples.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.baselines import outofplace_transpose
+from repro.core import c2r_transpose
+
+from conftest import write_report
+
+
+def _peak_extra_bytes(fn) -> int:
+    """Peak tracemalloc allocation during fn() (the buffer itself excluded
+    because it is allocated before tracing starts)."""
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    fn()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak
+
+
+CASES = [(600, 800), (1200, 1600)]  # the second is 4x the elements
+
+
+@pytest.mark.benchmark(group="ablation-space")
+def test_strict_kernel_timing(benchmark):
+    buf = np.arange(600 * 800, dtype=np.float64)
+    benchmark.pedantic(
+        lambda: c2r_transpose(buf, 600, 800, aux="strict"), rounds=1, iterations=1
+    )
+
+
+def test_report_ablation_space(benchmark, results_dir):
+    def build():
+        rows = []
+        for m, n in CASES:
+            matrix_bytes = m * n * 8
+            buf = np.arange(m * n, dtype=np.float64)
+            strict = _peak_extra_bytes(
+                lambda: c2r_transpose(buf, m, n, aux="strict")
+            )
+            buf2 = np.arange(m * n, dtype=np.float64)
+            blocked = _peak_extra_bytes(
+                lambda: c2r_transpose(buf2, m, n, aux="blocked")
+            )
+            buf3 = np.arange(m * n, dtype=np.float64)
+            oop = _peak_extra_bytes(lambda: outofplace_transpose(buf3, m, n))
+            rows.append((m, n, matrix_bytes, strict, blocked, oop))
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    lines = [
+        "Ablation: measured peak auxiliary allocation (tracemalloc)",
+        "",
+        f"{'shape':>12} {'matrix MB':>10} {'strict kB':>10} "
+        f"{'blocked MB':>11} {'out-of-place MB':>16}",
+    ]
+    for m, n, mb, s, b, o in rows:
+        lines.append(
+            f"{f'{m}x{n}':>12} {mb/1e6:>10.1f} {s/1e3:>10.1f} "
+            f"{b/1e6:>11.1f} {o/1e6:>16.1f}"
+        )
+    (m1, n1, mb1, s1, *_), (m2, n2, mb2, s2, *_) = rows
+    lines.append("")
+    lines.append(
+        f"matrix grew {mb2/mb1:.0f}x; strict scratch grew {s2/s1:.1f}x "
+        f"(tracks max(m, n) = {max(m2, n2)}/{max(m1, n1)} "
+        f"= {max(m2, n2)/max(m1, n1):.0f}x, not mn)"
+    )
+    write_report(results_dir, "ablation_space", "\n".join(lines))
+
+    for m, n, matrix_bytes, strict, blocked, oop in rows:
+        # strict: a small multiple of max(m,n) elements (scratch + index
+        # vectors + interpreter noise), far below the matrix itself
+        assert strict < 20 * max(m, n) * 8
+        assert strict < matrix_bytes / 50
+        # blocked trades Theta(mn) scratch for speed; out-of-place >= 1 copy
+        assert blocked > matrix_bytes / 2
+        assert oop >= matrix_bytes * 0.9
+    # strict scratch scales with max(m, n): doubling dims ~doubles it
+    assert s2 < 4 * s1

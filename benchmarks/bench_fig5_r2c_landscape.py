@@ -1,0 +1,59 @@
+"""Figure 5 — R2C performance landscape on the (modeled) Tesla K20c.
+
+The mirror of Figure 4: the high-performing band sits at *small m* (the
+R2C pass sequence runs on the dimension-swapped view, so the on-chip /
+cache-residency advantage follows the row count of that view).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim.cost import r2c_cost
+
+from conftest import ascii_heatmap, write_csv, write_report
+
+GRID = [1000, 3000, 5000, 7000, 9000, 12000, 15000, 18000, 21000, 25000]
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_r2c_model_single_cell(benchmark):
+    benchmark.pedantic(lambda: r2c_cost(12000, 9000, 8), rounds=3, iterations=1)
+
+
+def test_report_fig5(benchmark, results_dir):
+    def build():
+        grid = np.zeros((len(GRID), len(GRID)))
+        for i, m in enumerate(GRID):
+            for j, n in enumerate(GRID):
+                mm, nn = m + (j % 3), n + 1
+                grid[i, j] = r2c_cost(mm, nn, 8).throughput_gbps
+        return grid
+
+    grid = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    lines = [
+        "Figure 5: modeled R2C throughput landscape (float64), Tesla K20c model",
+        "rows = m, cols = n; paper colorbar: 10.0-26.2 GB/s",
+        "",
+        ascii_heatmap(grid, GRID, GRID),
+        "",
+        "rows (GB/s):",
+    ]
+    for m, row in zip(GRID, grid):
+        lines.append(f"  m={m:>6}: " + " ".join(f"{v:5.1f}" for v in row))
+    band = float(np.median(grid[0, :]))
+    bulk = float(np.median(grid[4:, :]))
+    lines.append("")
+    lines.append(f"small-m band median: {band:.1f} GB/s   bulk median: {bulk:.1f} GB/s")
+    write_report(results_dir, "fig5_r2c_landscape", "\n".join(lines))
+    write_csv(
+        results_dir,
+        "fig5_r2c_landscape",
+        ["m\\n"] + GRID,
+        [[m] + [f"{v:.2f}" for v in row] for m, row in zip(GRID, grid)],
+    )
+
+    assert band > bulk
+    assert 5 < bulk < 40

@@ -1,0 +1,87 @@
+"""Figure 9 — random Array-of-Structures access bandwidth.
+
+Paper (K20c, 32-bit words): (a) scatter, (b) gather, random per-lane struct
+indices (indices routed between lanes with shuffles).
+
+Shapes to reproduce: C2R throughput *rises* as the struct size approaches
+the cache-line width (each cooperatively-read struct covers more of its
+sectors); Direct stays flat and low (every word is its own transaction);
+Vector improves on Direct by the vector width.  "Our transpose mechanism
+enables higher throughput on all regimes."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim.aos_model import aos_access_throughput
+
+from conftest import write_csv, write_report
+
+STRUCT_WORDS = [1, 2, 4, 8, 16]  # powers of two: the warp-divisible sizes
+PATTERNS = ["c2r", "direct", "vector"]
+
+
+@pytest.mark.benchmark(group="fig9")
+@pytest.mark.parametrize("pattern", PATTERNS)
+def test_gather_model_point(benchmark, pattern):
+    benchmark.pedantic(
+        lambda: aos_access_throughput(8, pattern, "gather"), rounds=3, iterations=1
+    )
+
+
+def _series(op):
+    return {
+        pat: [
+            aos_access_throughput(m, pat, op).throughput_gbps
+            for m in STRUCT_WORDS
+        ]
+        for pat in PATTERNS
+    }
+
+
+def test_report_fig9(benchmark, results_dir):
+    scatter, gather = benchmark.pedantic(
+        lambda: (_series("scatter"), _series("gather")), rounds=1, iterations=1
+    )
+
+    def fmt(table, title):
+        lines = [f"-- {title} --", f"{'bytes':>6} " + "".join(f"{p:>10}" for p in PATTERNS)]
+        for i, m in enumerate(STRUCT_WORDS):
+            lines.append(
+                f"{m*4:>6} " + "".join(f"{table[p][i]:>10.1f}" for p in PATTERNS)
+            )
+        return "\n".join(lines)
+
+    lines = [
+        "Figure 9: random AoS access bandwidth (GB/s), K20c model, 32-bit words",
+        "(paper: C2R rises toward the line width; Direct flat and low)",
+        "",
+        fmt(scatter, "(a) scatter bandwidth"),
+        "",
+        fmt(gather, "(b) gather bandwidth"),
+    ]
+    write_report(results_dir, "fig9_random_access", "\n".join(lines))
+    for op_name, table in (("scatter", scatter), ("gather", gather)):
+        write_csv(
+            results_dir,
+            f"fig9_{op_name}",
+            ["struct_bytes"] + PATTERNS,
+            [
+                [m * 4] + [f"{table[p][i]:.2f}" for p in PATTERNS]
+                for i, m in enumerate(STRUCT_WORDS)
+            ],
+        )
+
+    # C2R gather rises with struct size (toward cache-line width)
+    assert gather["c2r"][-1] > 2 * gather["c2r"][0]
+    # C2R >= the others at every size; strictly better once structs > 1 word
+    for i, m in enumerate(STRUCT_WORDS):
+        assert gather["c2r"][i] >= gather["direct"][i] - 1e-9
+        assert scatter["c2r"][i] >= scatter["direct"][i] - 1e-9
+        if m >= 4:
+            assert gather["c2r"][i] > gather["direct"][i]
+    # direct gather is flat: its best and worst sizes stay within 3x
+    dvals = gather["direct"]
+    assert max(dvals) < 3 * min(dvals)

@@ -1,0 +1,127 @@
+"""Section 7 — related-work comparison: full SoA vs ASTA vs Tretyakov.
+
+The paper positions the decomposition against:
+
+* **Sung et al. [7] (ASTA / DL)**: "Because the cost of the full
+  transposition using traditional algorithms is too high, the paper
+  recommends ... a hybrid Array of Structure of Tiled Array format ...  In
+  contrast, with our approach, we can afford to do the full transposition."
+  Measured here: conversion cost of AoS->ASTA vs AoS->SoA (both built on
+  this repo's kernels), and the coalescing each layout delivers.
+* **Tretyakov & Tyrtyshnikov [9]**: optimal work and O(min(m,n)) space but
+  up to 48 element accesses vs the decomposition's 6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aos import aos_to_soa_flat
+from repro.aos.asta import aos_to_asta, asta_index
+from repro.baselines import tretyakov_access_bound
+from repro.gpusim import TransactionAnalyzer
+
+from conftest import time_call, write_report
+
+N_STRUCTS, S, TILE = 2**17, 12, 32
+
+
+@pytest.mark.benchmark(group="related-work")
+def test_aos_to_asta(benchmark):
+    benchmark.pedantic(
+        lambda: aos_to_asta(
+            np.arange(N_STRUCTS * S, dtype=np.float64), N_STRUCTS, S, TILE
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="related-work")
+def test_aos_to_soa(benchmark):
+    benchmark.pedantic(
+        lambda: aos_to_soa_flat(
+            np.arange(N_STRUCTS * S, dtype=np.float64), N_STRUCTS, S
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_report_related_work(benchmark, results_dir):
+    def build():
+        t_asta = min(
+            time_call(
+                lambda: aos_to_asta(
+                    np.arange(N_STRUCTS * S, dtype=np.float64), N_STRUCTS, S, TILE
+                )
+            )
+            for _ in range(3)
+        )
+        t_soa = min(
+            time_call(
+                lambda: aos_to_soa_flat(
+                    np.arange(N_STRUCTS * S, dtype=np.float64), N_STRUCTS, S
+                )
+            )
+            for _ in range(3)
+        )
+        # coalescing of "warp reads field f of 32 consecutive structs"
+        an = TransactionAnalyzer(128)
+        structs = np.arange(32)
+        f = S // 2
+        tx_aos = an.count_warp((structs * S + f) * 8, 8)
+        tx_asta = an.count_warp(asta_index(structs, f, S, TILE) * 8, 8)
+        tx_soa = an.count_warp((f * N_STRUCTS + structs) * 8, 8)
+        # data-movement locality: how far elements travel during conversion
+        probe = np.arange(N_STRUCTS * S, dtype=np.int64)
+        aos_to_asta(probe, N_STRUCTS, S, TILE)
+        asta_disp = int(np.abs(probe - np.arange(probe.size)).max())
+        probe = np.arange(N_STRUCTS * S, dtype=np.int64)
+        aos_to_soa_flat(probe, N_STRUCTS, S)
+        soa_disp = int(np.abs(probe - np.arange(probe.size)).max())
+        return t_asta, t_soa, tx_aos, tx_asta, tx_soa, asta_disp, soa_disp
+
+    (t_asta, t_soa, tx_aos, tx_asta, tx_soa, asta_disp, soa_disp) = (
+        benchmark.pedantic(build, rounds=1, iterations=1)
+    )
+
+    mn = N_STRUCTS * S
+    lines = [
+        "Section 7 related-work comparison",
+        f"({N_STRUCTS} structs x {S} float64 fields, tile = {TILE})",
+        "",
+        "conversion cost (in place, measured wall-clock; in numpy both are",
+        "vectorized passes — on a GPU the locality gap below is the cost gap):",
+        f"  AoS -> ASTA (tile-local):  {t_asta*1e3:8.1f} ms",
+        f"  AoS -> SoA  (full):        {t_soa*1e3:8.1f} ms",
+        "",
+        "data-movement locality (max element displacement):",
+        f"  AoS -> ASTA: {asta_disp:>10} elements (< tile block = {TILE*S})",
+        f"  AoS -> SoA:  {soa_disp:>10} elements (global)",
+        "",
+        "warp coalescing — 128B transactions to read one field of 32",
+        "consecutive structs (1 = perfect):",
+        f"  AoS:  {tx_aos:3d}     ASTA: {tx_asta:3d}     SoA: {tx_soa:3d}",
+        "",
+        "element-access budgets (per element, worst case):",
+        f"  decomposition (Thm 6):      6",
+        f"  Tretyakov & Tyrtyshnikov:  {tretyakov_access_bound(1, 1)}",
+        "",
+        "Reading: ASTA fixes coalescing at lower conversion cost but leaves",
+        "two-level addressing; the decomposition makes the *full* SoA",
+        "conversion affordable, keeping addressing trivial — the paper's",
+        "Section 7 position.",
+    ]
+    write_report(results_dir, "related_work", "\n".join(lines))
+
+    # both converted layouts coalesce perfectly (ceil(32*8/128) = 2 lines);
+    # plain AoS does not
+    perfect = -(-32 * 8 // 128)
+    assert tx_asta == perfect and tx_soa == perfect and tx_aos > 4 * perfect
+    # ASTA's movement is tile-local; the full conversion moves data globally
+    assert asta_disp < TILE * S
+    assert soa_disp > 100 * asta_disp
+    # Tretyakov's access bound is 8x the decomposition's
+    assert tretyakov_access_bound(1, 1) == 8 * 6

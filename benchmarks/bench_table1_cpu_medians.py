@@ -1,0 +1,158 @@
+"""Table 1 — median in-place transposition throughputs on the CPU.
+
+Paper (Intel Core i7 950, 64-bit elements, 1000 matrices with
+m, n ~ U[1000, 10000)):
+
+    Intel MKL                0.067 GB/s
+    C2R, 1 Thread            0.336 GB/s
+    C2R, 8 Threads           1.26  GB/s
+    Gustavson et al.         1.27  GB/s
+
+Here: the same four algorithm classes on a scaled population (dims
+U[100, 400), fewer samples — the MKL-class baseline is a pure-Python
+cycle follower).  The orderings to reproduce: sequential C2R well above the
+limited-aux cycle follower; threads add speedup; Gustavson-class tiling in
+the same league as parallel C2R.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.baselines import gustavson_transpose, mkl_like_transpose, outofplace_transpose
+from repro.core import transpose_inplace
+from repro.parallel import ParallelTranspose
+
+from conftest import random_dims, throughput_gbps, time_call, write_report
+
+SEED = 1401
+N_SAMPLES = 20
+DIM_LO, DIM_HI = 100, 400
+N_THREADS = 8
+
+
+def _population():
+    return random_dims(np.random.default_rng(SEED), N_SAMPLES, DIM_LO, DIM_HI)
+
+
+def _median_throughput(run, dims) -> float:
+    vals = []
+    for m, n in dims:
+        buf = np.arange(m * n, dtype=np.float64)
+        secs = time_call(run, buf, m, n)
+        vals.append(throughput_gbps(m, n, 8, secs))
+    return float(np.median(vals))
+
+
+# -- micro-benchmarks on one representative matrix ---------------------------
+
+REP_M, REP_N = 311, 357  # coprime-ish, mid-population
+
+
+def _rep_buffer():
+    return np.arange(REP_M * REP_N, dtype=np.float64)
+
+
+@pytest.mark.benchmark(group="table1-cpu")
+def test_mkl_like_representative(benchmark):
+    benchmark.pedantic(
+        lambda: mkl_like_transpose(_rep_buffer(), REP_M, REP_N),
+        rounds=2,
+        iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="table1-cpu")
+def test_c2r_1thread_representative(benchmark):
+    with ParallelTranspose(1) as pt:
+        benchmark.pedantic(
+            lambda: pt.transpose_inplace(_rep_buffer(), REP_M, REP_N),
+            rounds=5,
+            iterations=1,
+        )
+
+
+@pytest.mark.benchmark(group="table1-cpu")
+def test_c2r_8threads_representative(benchmark):
+    with ParallelTranspose(N_THREADS) as pt:
+        benchmark.pedantic(
+            lambda: pt.transpose_inplace(_rep_buffer(), REP_M, REP_N),
+            rounds=5,
+            iterations=1,
+        )
+
+
+@pytest.mark.benchmark(group="table1-cpu")
+def test_gustavson_representative(benchmark):
+    benchmark.pedantic(
+        lambda: gustavson_transpose(_rep_buffer(), REP_M, REP_N),
+        rounds=5,
+        iterations=1,
+    )
+
+
+# -- the full Table 1 reproduction -------------------------------------------
+
+def test_report_table1(benchmark, results_dir):
+    dims = _population()
+
+    def build():
+        pt1 = ParallelTranspose(1)
+        pt8 = ParallelTranspose(N_THREADS)
+        rows = {
+            "MKL-class (seq. cycle following)": _median_throughput(
+                mkl_like_transpose, dims
+            ),
+            "C2R, 1 thread": _median_throughput(pt1.transpose_inplace, dims),
+            f"C2R, {N_THREADS} threads": _median_throughput(
+                pt8.transpose_inplace, dims
+            ),
+            "Gustavson-class (tiled)": _median_throughput(
+                gustavson_transpose, dims
+            ),
+            "out-of-place ideal (ceiling)": _median_throughput(
+                lambda b, m, n: outofplace_transpose(b, m, n), dims
+            ),
+        }
+        pt1.close()
+        pt8.close()
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    paper = {
+        "MKL-class (seq. cycle following)": 0.067,
+        "C2R, 1 thread": 0.336,
+        f"C2R, {N_THREADS} threads": 1.26,
+        "Gustavson-class (tiled)": 1.27,
+        "out-of-place ideal (ceiling)": float("nan"),
+    }
+    lines = [
+        f"Table 1: median in-place transposition throughput, float64,",
+        f"{N_SAMPLES} matrices with m,n ~ U[{DIM_LO},{DIM_HI})  (paper: U[1000,10000))",
+        "",
+        f"{'implementation':<36} {'measured GB/s':>14} {'paper GB/s':>12}",
+    ]
+    for name, val in rows.items():
+        lines.append(f"{name:<36} {val:>14.3f} {paper[name]:>12}")
+    lines.append("")
+    c2r1 = rows["C2R, 1 thread"]
+    mkl = rows["MKL-class (seq. cycle following)"]
+    c2r8 = rows[f"C2R, {N_THREADS} threads"]
+    lines.append(f"C2R-1T / MKL-class speedup: {c2r1 / mkl:8.1f}x   (paper: 5.0x)")
+    lines.append(f"{N_THREADS}T / 1T parallel speedup:  {c2r8 / c2r1:8.2f}x   (paper: 3.75x)")
+    lines.append(
+        f"NOTE: this host exposes {os.cpu_count()} CPU(s); the paper's 3.75x "
+        "thread scaling needs 4 real cores.  The decomposition's perfect "
+        "load balance is property-tested in tests/parallel."
+    )
+    write_report(results_dir, "table1_cpu_medians", "\n".join(lines))
+
+    # The robust ordering: decomposed C2R far above the limited-aux cycle
+    # follower.  Thread scaling cannot be asserted on a host without real
+    # cores (see NOTE above); only guard against pathological collapse.
+    assert c2r1 > mkl
+    assert c2r8 > 0.25 * c2r1

@@ -1,0 +1,80 @@
+"""Table 2 — median in-place transposition throughputs on the Tesla K20c.
+
+Paper (arrays with m, n ~ U[1000, 20000)):
+
+    Sung [6] (float)   5.33 GB/s
+    C2R (float)       14.23 GB/s
+    C2R (double)      19.53 GB/s
+
+Here: the gpusim cost model over the same population scheme, with Sung's
+runs filtered to non-degenerate tile plans (the paper reports 2155/2500
+completing).  The ordering and rough factors are the reproduction target.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim.cost import c2r_cost, sung_cost
+
+from conftest import random_dims, write_report
+
+SEED = 99
+N_SAMPLES = 120
+
+
+@pytest.mark.benchmark(group="table2")
+def test_c2r_double_model_cell(benchmark):
+    benchmark.pedantic(lambda: c2r_cost(7200, 1800, 8), rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="table2")
+def test_sung_model_cell(benchmark):
+    benchmark.pedantic(lambda: sung_cost(7200, 1800, 4), rounds=3, iterations=1)
+
+
+def test_report_table2(benchmark, results_dir):
+    dims = random_dims(np.random.default_rng(SEED), N_SAMPLES, 1000, 20000)
+
+    def build():
+        sung, sung_deg = [], 0
+        c2r_f, c2r_d = [], []
+        for m, n in dims:
+            cost, plan = sung_cost(m, n, 4)
+            if plan.degenerate:
+                sung_deg += 1
+            else:
+                sung.append(cost.throughput_gbps)
+            c2r_f.append(c2r_cost(m, n, 4).throughput_gbps)
+            c2r_d.append(c2r_cost(m, n, 8).throughput_gbps)
+        return sung, sung_deg, c2r_f, c2r_d
+
+    sung, sung_deg, c2r_f, c2r_d = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    med = lambda v: float(np.median(v))
+    rows = [
+        ("Sung-class (float)", med(sung), 5.33),
+        ("C2R (float)", med(c2r_f), 14.23),
+        ("C2R (double)", med(c2r_d), 19.53),
+    ]
+    lines = [
+        f"Table 2: median modeled in-place transposition throughput on Tesla K20c,",
+        f"{N_SAMPLES} arrays, m,n ~ U[1000,20000)",
+        "",
+        f"{'implementation':<22} {'modeled GB/s':>13} {'paper GB/s':>11}",
+    ]
+    for name, got, paper in rows:
+        lines.append(f"{name:<22} {got:>13.2f} {paper:>11}")
+    lines.append("")
+    lines.append(
+        f"Sung degenerate-tile arrays excluded: {sung_deg}/{N_SAMPLES} "
+        f"(paper: 345/2500 did not complete)"
+    )
+    lines.append(
+        f"C2R(double)/C2R(float) = {med(c2r_d)/med(c2r_f):.2f}x (paper 1.37x);  "
+        f"C2R(float)/Sung = {med(c2r_f)/med(sung):.2f}x (paper 2.67x)"
+    )
+    write_report(results_dir, "table2_gpu_medians", "\n".join(lines))
+
+    assert med(c2r_d) > med(c2r_f) > med(sung)

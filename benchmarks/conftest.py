@@ -1,0 +1,70 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every ``bench_*`` file regenerates one table or figure from the paper's
+evaluation.  Conventions:
+
+* micro-benchmarks (the ``benchmark`` fixture on representative shapes)
+  feed pytest-benchmark's own statistics table;
+* each file's ``test_report_*`` computes the full population/series the
+  paper reports — inside ``benchmark.pedantic(rounds=1)`` so it runs under
+  ``--benchmark-only`` — and writes the paper-style rows to
+  ``benchmarks/results/<name>.txt`` (also echoed to stdout).
+
+Populations are scaled down from the paper's (which used seconds-per-GB
+GPU/CPU kernels on 1000+ matrices); the scaling is recorded in
+EXPERIMENTS.md next to each result.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.reporting import ascii_heatmap, ascii_hist  # re-exported for benches
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_report(results_dir: Path, name: str, text: str) -> None:
+    """Print a report and persist it under benchmarks/results/."""
+    print(f"\n===== {name} =====\n{text}")
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def write_csv(results_dir: Path, name: str, header: list, rows) -> None:
+    """Persist a machine-readable series next to the text report."""
+    lines = [",".join(str(h) for h in header)]
+    for row in rows:
+        lines.append(",".join(f"{v}" for v in row))
+    (results_dir / f"{name}.csv").write_text("\n".join(lines) + "\n")
+
+
+def random_dims(
+    rng: np.random.Generator, k: int, lo: int, hi: int
+) -> list[tuple[int, int]]:
+    """``k`` random (m, n) pairs, dims uniform in [lo, hi) — the paper's
+    population scheme."""
+    return [
+        (int(rng.integers(lo, hi)), int(rng.integers(lo, hi))) for _ in range(k)
+    ]
+
+
+def time_call(fn, *args) -> float:
+    """Wall-clock one call (seconds)."""
+    t0 = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - t0
+
+
+def throughput_gbps(m: int, n: int, itemsize: int, seconds: float) -> float:
+    """Eq. 37 in GB/s."""
+    return 2.0 * m * n * itemsize / seconds / 1e9

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Six-step FFT on top of in-place transposition.
+
+The classic consumer of large transposes: a 1-D DFT of size N = n1·n2
+computed as small FFTs over a 2-D view — with *three matrix transpositions*
+in between (Bailey's six-step algorithm).  Out-of-place transposes double
+the working set; the decomposition's in-place transpose keeps the footprint
+at one signal plus O(max(n1, n2)) scratch.
+
+With j = j1 + n1·j2 and k = k2 + n2·k1:
+
+    X[k2 + n2·k1] = Σ_{j1} e^{-2πi·j1·k1/n1}
+                    · ( e^{-2πi·j1·k2/N} · FFT_{n2}(x[j1 + n1·:])[k2] )
+
+which becomes: (1) transpose the (n2, n1) view to (n1, n2); (2) FFT each
+length-n2 row; (3) multiply twiddles; (4) transpose to (n2, n1); (5) FFT
+each length-n1 row; (6) transpose to (n1, n2) — the buffer then holds X in
+natural order.  Verified against numpy.fft.fft.
+
+Run:  python examples/fft_six_step.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import TransposePlan
+
+
+def six_step_fft(x: np.ndarray, n1: int, n2: int, plans=None) -> np.ndarray:
+    """In-place-transposing six-step FFT of a length n1*n2 complex signal.
+
+    Returns the transformed buffer (same memory as ``x``).
+    """
+    N = n1 * n2
+    if x.shape != (N,):
+        raise ValueError("signal length must be n1 * n2")
+    if plans is None:
+        plans = (
+            TransposePlan(n2, n1),  # steps 1 and 6 view the buffer as (n2, n1)
+            TransposePlan(n1, n2),  # step 4 views it as (n1, n2)
+        )
+    t_21, t_12 = plans
+
+    # step 1: (n2, n1) -> (n1, n2), in place
+    t_21.execute(x)
+    V = x.reshape(n1, n2)
+    # step 2: FFT along rows (length n2)
+    V[:] = np.fft.fft(V, axis=1)
+    # step 3: twiddle factors e^{-2pi i j1 k2 / N}
+    j1 = np.arange(n1)[:, None]
+    k2 = np.arange(n2)[None, :]
+    V *= np.exp(-2j * np.pi * j1 * k2 / N)
+    # step 4: (n1, n2) -> (n2, n1), in place
+    t_12.execute(x)
+    U = x.reshape(n2, n1)
+    # step 5: FFT along rows (length n1)
+    U[:] = np.fft.fft(U, axis=1)
+    # step 6: (n2, n1) -> (n1, n2): buffer index k1*n2 + k2 == k
+    t_21.execute(x)
+    return x
+
+
+def main() -> None:
+    # correctness on a moderate size
+    n1, n2 = 384, 512
+    N = n1 * n2
+    rng = np.random.default_rng(0)
+    signal = rng.standard_normal(N) + 1j * rng.standard_normal(N)
+    expected = np.fft.fft(signal)
+    got = six_step_fft(signal.copy(), n1, n2)
+    np.testing.assert_allclose(got, expected, rtol=1e-9, atol=1e-6)
+    print(f"six-step FFT of N = {n1}*{n2} = {N} verified against numpy.fft")
+
+    # amortized plans on a batch of signals
+    plans = (TransposePlan(n2, n1), TransposePlan(n1, n2))
+    t0 = time.perf_counter()
+    for _ in range(4):
+        buf = rng.standard_normal(N) + 1j * rng.standard_normal(N)
+        six_step_fft(buf, n1, n2, plans)
+    dt = time.perf_counter() - t0
+    print(f"4 transforms with shared transpose plans: {dt*1e3:.0f} ms total")
+
+    bytes_signal = N * 16
+    print(f"working set: one {bytes_signal/1e6:.1f} MB signal "
+          f"(+ {max(n1, n2)*16/1e3:.0f} kB transpose scratch in strict mode) —")
+    print("an out-of-place transpose would need a second full copy at each of")
+    print("the three transpose steps.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+Present only so `pip install -e .` works in offline environments whose pip
+lacks the `wheel` package (editable installs then fall back to the legacy
+`setup.py develop` path).  All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

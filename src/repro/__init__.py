@@ -1,0 +1,59 @@
+"""repro — reproduction of "A Decomposition for In-place Matrix Transposition".
+
+Catanzaro, Keller, Garland; PPoPP 2014.  See README.md for the tour and
+DESIGN.md for the full system inventory.
+
+Quick start::
+
+    import numpy as np
+    from repro import transpose
+
+    A = np.arange(12.0).reshape(3, 4)
+    B = transpose(A)          # in place: B is a view of A's buffer, shape (4, 3)
+
+Subpackages
+-----------
+``repro.core``
+    The C2R/R2C decomposition (the paper's contribution).
+``repro.strength``
+    Fixed-point-reciprocal strength reduction for the index math (§4.4).
+``repro.cache``
+    Cache-aware rotation and row-permute kernels (§4.5-4.7).
+``repro.parallel``
+    Thread-parallel CPU transposition (§5.1).
+``repro.baselines``
+    Cycle-following, Gustavson-style, Sung-style and out-of-place baselines.
+``repro.simd``
+    Executable SIMD-machine substrate and the in-register transpose (§6.2).
+``repro.gpusim``
+    GPU memory-system simulator used by the evaluation benchmarks.
+``repro.aos``
+    Array-of-Structures <-> Structure-of-Arrays conversion (§6.1).
+"""
+
+from .core import (
+    Decomposition,
+    Permutation,
+    TransposePlan,
+    WorkCounter,
+    c2r_transpose,
+    choose_algorithm,
+    r2c_transpose,
+    transpose,
+    transpose_inplace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Decomposition",
+    "Permutation",
+    "TransposePlan",
+    "WorkCounter",
+    "c2r_transpose",
+    "r2c_transpose",
+    "transpose",
+    "transpose_inplace",
+    "choose_algorithm",
+    "__version__",
+]

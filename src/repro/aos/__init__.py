@@ -1,0 +1,37 @@
+"""Array-of-Structures <-> Structure-of-Arrays conversion (Section 6.1).
+
+An AoS of ``N`` structs with ``S`` same-typed fields is a row-major
+``N x S`` matrix; the SoA layout is its transpose.  The conversions here are
+*in place* — the property that makes them practical for large datasets —
+using the skinny-matrix specialization: the transpose view is chosen so the
+tiny dimension is the row count, letting every column operation run as a
+handful of whole-array vector moves (the numpy analogue of the paper's
+"all column operations in on-chip memory").
+
+* :mod:`~repro.aos.layout` — layout descriptors and structured-dtype
+  plumbing.
+* :mod:`~repro.aos.skinny` — the specialized skinny transposes with
+  ``O(max(N, S))`` auxiliary space.
+* :mod:`~repro.aos.convert` — user-facing ``aos_to_soa`` / ``soa_to_aos``.
+"""
+
+from .asta import aos_to_asta, asta_index, asta_to_aos, asta_to_soa, soa_to_asta
+from .convert import aos_to_soa, aos_to_soa_flat, soa_to_aos, soa_to_aos_flat
+from .layout import AosLayout, field_matrix, struct_view
+from .skinny import skinny_transpose
+
+__all__ = [
+    "AosLayout",
+    "aos_to_asta",
+    "asta_to_aos",
+    "asta_to_soa",
+    "soa_to_asta",
+    "asta_index",
+    "aos_to_soa",
+    "aos_to_soa_flat",
+    "soa_to_aos",
+    "soa_to_aos_flat",
+    "skinny_transpose",
+    "field_matrix",
+    "struct_view",
+]

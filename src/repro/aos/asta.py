@@ -1,0 +1,127 @@
+"""ASTA — "Array of Structure of Tiled Array" (Sung et al. [7], Section 7).
+
+The related-work alternative the paper contrasts with: instead of the full
+AoS -> SoA transpose, Sung's DL system converts to a *hybrid* layout where
+each tile of ``T`` structs is transposed locally (fields contiguous within
+the tile).  Conversion is cheap — a batch of tiny ``T x S`` transposes —
+but element addressing becomes two-level, which is the complexity their
+compiler/runtime exists to hide ("As this introduces non-trivial complexity
+to the task of addressing elements of the array...").
+
+This module implements the layout honestly on top of the decomposition:
+
+* AoS -> ASTA is exactly a batched in-place transpose
+  (:class:`~repro.core.batched.BatchedTransposePlan` with ``k = N/T``);
+* ASTA -> SoA is a transpose of the ``(N/T, S)`` *tile grid* with
+  ``T``-element super-elements — performed in place by the ordinary kernel
+  over a void-dtype view (the decomposition is dtype-agnostic);
+* :func:`asta_index` exposes the two-level addressing the paper calls
+  burdensome.
+
+Together with the transaction analyzer this reproduces the Section 7
+comparison: ASTA already fixes warp-level coalescing (tile-contiguous
+fields) at a fraction of the full conversion's cost, while full SoA keeps
+addressing trivial.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.batched import BatchedTransposePlan
+from ..core.transpose import transpose_inplace
+
+__all__ = [
+    "aos_to_asta",
+    "asta_to_aos",
+    "asta_to_soa",
+    "soa_to_asta",
+    "asta_index",
+]
+
+
+def _check(buf: np.ndarray, n_structs: int, struct_size: int, tile: int) -> None:
+    if tile <= 0:
+        raise ValueError("tile height must be positive")
+    if n_structs % tile:
+        raise ValueError(
+            f"ASTA requires the tile height ({tile}) to divide the struct "
+            f"count ({n_structs})"
+        )
+    if buf.ndim != 1 or buf.shape[0] != n_structs * struct_size:
+        raise ValueError(
+            f"buffer must be flat with {n_structs * struct_size} elements"
+        )
+
+
+def aos_to_asta(
+    buf: np.ndarray, n_structs: int, struct_size: int, tile: int = 32
+) -> np.ndarray:
+    """Convert AoS to ASTA in place: transpose every ``tile x S`` block.
+
+    Afterwards, field ``f`` of the ``tile`` structs in block ``t`` is the
+    contiguous run ``buf[(t*S + f)*tile : (t*S + f + 1)*tile]`` — exactly
+    the warp-contiguous layout Sung's DL targets.
+    """
+    _check(buf, n_structs, struct_size, tile)
+    BatchedTransposePlan(tile, struct_size).execute(
+        buf.reshape(n_structs // tile, tile * struct_size)
+    )
+    return buf
+
+
+def asta_to_aos(
+    buf: np.ndarray, n_structs: int, struct_size: int, tile: int = 32
+) -> np.ndarray:
+    """Inverse of :func:`aos_to_asta` (transpose every ``S x tile`` block)."""
+    _check(buf, n_structs, struct_size, tile)
+    BatchedTransposePlan(struct_size, tile).execute(
+        buf.reshape(n_structs // tile, tile * struct_size)
+    )
+    return buf
+
+
+def _super_view(buf: np.ndarray, tile: int) -> np.ndarray:
+    """View the buffer as ``tile``-element super-elements (void dtype)."""
+    super_dtype = np.dtype((np.void, tile * buf.dtype.itemsize))
+    return buf.view(super_dtype)
+
+
+def asta_to_soa(
+    buf: np.ndarray, n_structs: int, struct_size: int, tile: int = 32
+) -> np.ndarray:
+    """Complete the conversion: ASTA -> full SoA, in place.
+
+    ASTA is an ``(N/T, S)`` row-major grid of ``T``-element runs; SoA is
+    the ``(S, N/T)`` grid of the same runs — an ordinary in-place transpose
+    over super-elements, which the decomposition handles because it never
+    looks inside elements.
+    """
+    _check(buf, n_structs, struct_size, tile)
+    sup = _super_view(buf, tile)
+    transpose_inplace(sup, n_structs // tile, struct_size)
+    return buf
+
+
+def soa_to_asta(
+    buf: np.ndarray, n_structs: int, struct_size: int, tile: int = 32
+) -> np.ndarray:
+    """Inverse of :func:`asta_to_soa`."""
+    _check(buf, n_structs, struct_size, tile)
+    sup = _super_view(buf, tile)
+    transpose_inplace(sup, struct_size, n_structs // tile)
+    return buf
+
+
+def asta_index(
+    s: int | np.ndarray, f: int | np.ndarray, struct_size: int, tile: int = 32
+):
+    """Linear index of field ``f`` of struct ``s`` in the ASTA layout.
+
+    The two-level addressing (``tile`` block, then field-major within) that
+    the paper's Section 7 calls out as the complexity cost of the hybrid
+    format: ``(s // T) * S * T + f * T + s % T``.
+    """
+    s = np.asarray(s, dtype=np.int64)
+    f = np.asarray(f, dtype=np.int64)
+    return (s // tile) * (struct_size * tile) + f * tile + s % tile

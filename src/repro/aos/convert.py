@@ -1,0 +1,75 @@
+"""User-facing in-place AoS <-> SoA conversion.
+
+An AoS buffer of ``N`` structs x ``S`` fields is the row-major ``N x S``
+matrix; SoA is the transposed ``S x N`` matrix in the same bytes.  The
+conversions transpose in place via the skinny specialization and return a
+reshaped *view* of the same memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layout import field_matrix
+from .skinny import skinny_transpose
+
+__all__ = ["aos_to_soa", "soa_to_aos", "aos_to_soa_flat", "soa_to_aos_flat"]
+
+
+def aos_to_soa_flat(buf: np.ndarray, n_structs: int, struct_size: int) -> np.ndarray:
+    """Convert a flat AoS buffer to SoA in place.
+
+    Returns the same memory viewed as the ``(struct_size, n_structs)``
+    field-major matrix (row ``k`` = field ``k`` of every struct).
+    """
+    if buf.ndim != 1 or buf.shape[0] != n_structs * struct_size:
+        raise ValueError(
+            f"buffer must be flat with {n_structs * struct_size} elements"
+        )
+    skinny_transpose(buf, n_structs, struct_size)
+    return buf.reshape(struct_size, n_structs)
+
+
+def soa_to_aos_flat(buf: np.ndarray, n_structs: int, struct_size: int) -> np.ndarray:
+    """Convert a flat SoA buffer back to AoS in place.
+
+    Returns the same memory viewed as ``(n_structs, struct_size)``.
+    """
+    if buf.ndim != 1 or buf.shape[0] != n_structs * struct_size:
+        raise ValueError(
+            f"buffer must be flat with {n_structs * struct_size} elements"
+        )
+    skinny_transpose(buf, struct_size, n_structs)
+    return buf.reshape(n_structs, struct_size)
+
+
+def aos_to_soa(aos: np.ndarray) -> np.ndarray:
+    """Convert an AoS array to SoA in place.
+
+    Accepts either a 2-D ``(N, S)`` element matrix or a 1-D structured
+    array with ``S`` homogeneous fields; returns the ``(S, N)`` field-major
+    matrix viewing the *same* memory (row ``k`` = all values of field
+    ``k``).  The input array's contents are permuted — use the returned
+    view afterwards.
+    """
+    if aos.dtype.names is not None:
+        matrix = field_matrix(aos)
+    else:
+        matrix = aos
+    if matrix.ndim != 2:
+        raise ValueError("expected (n_structs, struct_size) data")
+    if not matrix.flags["C_CONTIGUOUS"]:
+        raise ValueError("AoS data must be C-contiguous")
+    n, s = matrix.shape
+    return aos_to_soa_flat(matrix.reshape(-1), n, s)
+
+
+def soa_to_aos(soa: np.ndarray) -> np.ndarray:
+    """Convert an ``(S, N)`` field-major matrix back to ``(N, S)`` AoS in
+    place (inverse of :func:`aos_to_soa`)."""
+    if soa.ndim != 2:
+        raise ValueError("expected (struct_size, n_structs) data")
+    if not soa.flags["C_CONTIGUOUS"]:
+        raise ValueError("SoA data must be C-contiguous")
+    s, n = soa.shape
+    return soa_to_aos_flat(soa.reshape(-1), n, s)

@@ -1,0 +1,98 @@
+"""Layout descriptors and structured-dtype plumbing for AoS data.
+
+numpy structured arrays with homogeneous field types are the natural Python
+expression of the paper's Arrays of Structures; :func:`field_matrix` exposes
+such an array as the underlying ``N x S`` element matrix (zero-copy), and
+:func:`struct_view` goes the other way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AosLayout", "field_matrix", "struct_view"]
+
+
+@dataclass(frozen=True)
+class AosLayout:
+    """Shape/type description of an Array of Structures.
+
+    ``n_structs`` structures of ``struct_size`` fields, each field one
+    ``base_dtype`` element.
+    """
+
+    n_structs: int
+    struct_size: int
+    base_dtype: np.dtype
+
+    def __post_init__(self):
+        if self.n_structs <= 0 or self.struct_size <= 0:
+            raise ValueError("layout dimensions must be positive")
+
+    @property
+    def n_elements(self) -> int:
+        return self.n_structs * self.struct_size
+
+    @property
+    def nbytes(self) -> int:
+        return self.n_elements * self.base_dtype.itemsize
+
+    @classmethod
+    def of_matrix(cls, arr: np.ndarray) -> "AosLayout":
+        """Layout of a 2-D ``(N, S)`` element matrix."""
+        if arr.ndim != 2:
+            raise ValueError("expected a 2-D (n_structs, struct_size) array")
+        return cls(arr.shape[0], arr.shape[1], arr.dtype)
+
+    @classmethod
+    def of_struct_array(cls, arr: np.ndarray) -> "AosLayout":
+        """Layout of a 1-D structured array with homogeneous fields."""
+        base = _homogeneous_base(arr.dtype)
+        return cls(arr.shape[0], len(arr.dtype.names), base)
+
+
+def _homogeneous_base(dtype: np.dtype) -> np.dtype:
+    """The common field dtype of a structured dtype; raises if fields mix
+    types (the paper's SIMD transposes assume same-width words)."""
+    if dtype.names is None:
+        raise ValueError("expected a structured dtype")
+    bases = {dtype.fields[name][0] for name in dtype.names}
+    if len(bases) != 1:
+        raise ValueError(f"fields must share one dtype, got {sorted(map(str, bases))}")
+    base = bases.pop()
+    if base.shape:
+        raise ValueError("sub-array fields are not supported")
+    return base
+
+
+def field_matrix(struct_arr: np.ndarray) -> np.ndarray:
+    """View a 1-D homogeneous structured array as its ``(N, S)`` matrix.
+
+    Zero-copy: mutating the matrix mutates the structured array.
+    """
+    if struct_arr.ndim != 1:
+        raise ValueError("expected a 1-D structured array")
+    base = _homogeneous_base(struct_arr.dtype)
+    n = struct_arr.shape[0]
+    s = len(struct_arr.dtype.names)
+    if struct_arr.dtype.itemsize != base.itemsize * s:
+        raise ValueError("padded structs cannot be viewed as a matrix")
+    flat = struct_arr.view(base)
+    return flat.reshape(n, s)
+
+
+def struct_view(matrix: np.ndarray, names: list[str]) -> np.ndarray:
+    """View an ``(N, S)`` element matrix as a structured array.
+
+    Inverse of :func:`field_matrix` (zero-copy; requires C-contiguity).
+    """
+    if matrix.ndim != 2:
+        raise ValueError("expected a 2-D matrix")
+    if len(names) != matrix.shape[1]:
+        raise ValueError("one field name per column required")
+    if not matrix.flags["C_CONTIGUOUS"]:
+        raise ValueError("matrix must be C-contiguous")
+    dt = np.dtype([(nm, matrix.dtype) for nm in names])
+    return matrix.reshape(-1).view(dt)

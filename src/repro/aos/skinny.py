@@ -1,0 +1,104 @@
+"""Skinny-matrix specialized in-place transposes (Section 6.1).
+
+The general kernels parallelize expecting both dimensions to be large; for
+data-layout conversion one dimension (the struct size ``S``) is tiny.  The
+specialization chooses the transpose direction so the *view* has only ``S``
+rows, then exploits that:
+
+* the row shuffle loops over just ``S`` rows, each a fully vectorized
+  length-``N`` gather through an ``O(N)`` scratch vector;
+* the column-shuffle rotation groups columns by residue class
+  (``j mod S``) — all columns in a class rotate identically, so the whole
+  pass is ``S`` vectorized cyclic shifts;
+* the pre/post-rotation groups columns by ``j // b`` — at most ``c <= S``
+  groups, again one vectorized shift each;
+* the static row permutation cycle-follows over ``S`` rows with a single
+  row buffer.
+
+Auxiliary space is ``O(N)`` — one row — honoring the ``O(max(m, n))``
+bound, and every numpy operation touches ``Theta(N)`` elements, which is
+what "all column operations in on-chip memory" buys the CUDA kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import equations as eq
+from ..core import steps
+from ..core.indexing import Decomposition
+
+__all__ = ["skinny_transpose", "skinny_r2c", "skinny_c2r"]
+
+
+def _rotate_residue_classes(V: np.ndarray, dec: Decomposition, *, inverse: bool) -> None:
+    """The column-shuffle rotation (Eq. 32/35) as ``m`` vectorized shifts.
+
+    Columns with equal ``j mod m`` share a rotation amount; the slice
+    ``V[:, k::m]`` is one cyclic shift along axis 0.
+    """
+    m = dec.m
+    for k in range(1, m):
+        shift = k if inverse else -k
+        V[:, k::m] = np.roll(V[:, k::m], shift, axis=0)
+
+
+def skinny_r2c(buf: np.ndarray, m: int, n: int) -> np.ndarray:
+    """R2C transpose of the ``(m, n)`` view, specialized for small ``m``.
+
+    Identical result to ``r2c_transpose(buf, m, n)``; all passes are
+    ``O(m)`` vectorized operations over length-``n`` slices.
+    """
+    if buf.ndim != 1 or buf.shape[0] != m * n:
+        raise ValueError(f"buffer must be flat with {m * n} elements")
+    dec = Decomposition.of(m, n)
+    V = buf.reshape(m, n)
+    scratch = steps.Scratch.for_shape(m, n, buf.dtype)
+
+    # 1. static row permutation q^{-1} (cycle following, one row buffer)
+    rows = np.arange(m, dtype=np.int64)
+    steps.permute_rows_strict(V, eq.permute_q_inverse_v(dec, rows), scratch=scratch)
+    # 2. inverse column rotation p^{-1}, grouped by residue class
+    _rotate_residue_classes(V, dec, inverse=True)
+    # 3. row shuffle (gather d'), one vectorized row at a time
+    steps.shuffle_rows_strict(V, dec, gather=True, use_dprime=True, scratch=scratch)
+    # 4. post-rotation r^{-1}: c groups of b consecutive columns
+    if dec.c > 1:
+        steps.rotate_columns_blocked(V, dec, inverse=True)
+    return buf
+
+
+def skinny_c2r(buf: np.ndarray, m: int, n: int) -> np.ndarray:
+    """C2R transpose of the ``(m, n)`` view, specialized for small ``m``.
+
+    The inverse sequence of :func:`skinny_r2c`.
+    """
+    if buf.ndim != 1 or buf.shape[0] != m * n:
+        raise ValueError(f"buffer must be flat with {m * n} elements")
+    dec = Decomposition.of(m, n)
+    V = buf.reshape(m, n)
+    scratch = steps.Scratch.for_shape(m, n, buf.dtype)
+
+    if dec.c > 1:
+        steps.rotate_columns_blocked(V, dec)
+    steps.shuffle_rows_strict(V, dec, gather=True, use_dprime=False, scratch=scratch)
+    _rotate_residue_classes(V, dec, inverse=False)
+    rows = np.arange(m, dtype=np.int64)
+    steps.permute_rows_strict(V, eq.permute_q_v(dec, rows), scratch=scratch)
+    return buf
+
+
+def skinny_transpose(buf: np.ndarray, m: int, n: int) -> np.ndarray:
+    """In-place row-major transpose of an ``m x n`` matrix, one dimension
+    assumed small.
+
+    Chooses the view so the small dimension is the row count (the paper:
+    "we can guarantee that the number of rows is very small by choosing the
+    C2R or R2C algorithm appropriately"): C2R on the ``(m, n)`` view when
+    ``m`` is small, R2C on the swapped view when ``n`` is small.
+    """
+    if m <= n:
+        # view (m, n): m rows (small); C2R transposes row-major directly
+        return skinny_c2r(buf, m, n)
+    # view (n, m): n rows (small); R2C with swapped dims (Theorem 2)
+    return skinny_r2c(buf, n, m)

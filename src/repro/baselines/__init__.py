@@ -1,0 +1,46 @@
+"""Baseline in-place transposition algorithms the paper compares against.
+
+======================  =======================================================
+module                  role in the evaluation
+======================  =======================================================
+``cycle_following``     The traditional algorithm class (Knuth [3]; Windley
+                        [11]): follow cycles of the transposition permutation.
+                        ``aux="bitset"`` uses O(mn) visited bits;
+                        ``aux="recompute"`` uses O(1) and pays the
+                        O(mn log mn) work bound by re-walking cycles.
+``mkl_like``            The ``mkl_dimatcopy`` stand-in (Table 1's "Intel
+                        MKL" row): sequential, limited-aux cycle following.
+``tiling``              The shared tiled in-place engine: pack to block-major,
+                        cycle-follow whole tiles, transpose tiles, unpack.
+``gustavson``           Gustavson et al. [1]: cache-efficient tiled transpose
+                        including pack/unpack overhead, O(t * max(m, n)) aux.
+``sung``                Sung [6]: tiled GPU transpose with the paper's
+                        sorted-factor tile-size heuristic (threshold 72) and
+                        its failure mode on inconvenient dimensions.
+``outofplace``          The 2-pass out-of-place ideal (throughput ceiling).
+``tretyakov``           Tretyakov & Tyrtyshnikov [9] cost model (<= 24 swaps
+                        per element) for the related-work comparison.
+======================  =======================================================
+"""
+
+from .cycle_following import CycleStats, transpose_cycle_following
+from .gustavson import gustavson_transpose
+from .mkl_like import mkl_like_transpose
+from .outofplace import outofplace_transpose
+from .sung import SungPlan, sung_tile_heuristic, sung_transpose
+from .tiling import TiledLayout, tiled_transpose_inplace
+from .tretyakov import tretyakov_access_bound
+
+__all__ = [
+    "CycleStats",
+    "transpose_cycle_following",
+    "mkl_like_transpose",
+    "gustavson_transpose",
+    "sung_transpose",
+    "sung_tile_heuristic",
+    "SungPlan",
+    "TiledLayout",
+    "tiled_transpose_inplace",
+    "outofplace_transpose",
+    "tretyakov_access_bound",
+]

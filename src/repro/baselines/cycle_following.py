@@ -1,0 +1,151 @@
+"""Traditional cycle-following in-place transposition (Windley 1959; Knuth).
+
+Transposing an ``m x n`` row-major array moves the element at linear index
+``l`` to index ``P(l) = (l * m) mod (mn - 1)`` (with 0 and ``mn - 1`` fixed).
+Cycle following walks each cycle of ``P``, shifting elements with a single
+held value.
+
+The catch the paper leans on: knowing *where cycles start* requires either
+
+* ``aux="bitset"`` — one visited bit per element, i.e. ``O(mn)`` auxiliary
+  bits; total work ``O(mn)``; or
+* ``aux="recompute"`` — ``O(1)`` auxiliary space, verifying each candidate
+  leader by walking its cycle first and skipping it unless it is the cycle
+  minimum.  The verification walks re-traverse cycles repeatedly, giving the
+  ``O(mn log mn)`` work profile the paper cites [3].
+
+:class:`CycleStats` counts element moves and successor-map evaluations so the
+work profiles are observable (see ``tests/baselines`` and the work-complexity
+ablation bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CycleStats", "transpose_cycle_following", "successor"]
+
+
+@dataclass
+class CycleStats:
+    """Work counters for a cycle-following run."""
+
+    element_moves: int = 0
+    successor_evals: int = 0
+    cycles: int = 0
+
+    @property
+    def total_work(self) -> int:
+        """Dominant work term: successor evaluations + element moves."""
+        return self.element_moves + self.successor_evals
+
+
+def successor(l: int, m: int, n: int) -> int:
+    """Destination of linear index ``l`` under row-major transposition.
+
+    ``P(l) = (l * m) mod (mn - 1)`` for ``0 < l < mn - 1``; the first and
+    last elements are fixed points.
+    """
+    mn = m * n
+    if l == mn - 1:
+        return l
+    return (l * m) % (mn - 1)
+
+
+def _predecessor(l: int, m: int, n: int) -> int:
+    """Inverse successor: ``(l * n) mod (mn - 1)``."""
+    mn = m * n
+    if l == mn - 1:
+        return l
+    return (l * n) % (mn - 1)
+
+
+def transpose_cycle_following(
+    buf: np.ndarray,
+    m: int,
+    n: int,
+    *,
+    aux: str = "bitset",
+    stats: CycleStats | None = None,
+) -> np.ndarray:
+    """In-place row-major transposition by cycle following.
+
+    After the call, ``buf.reshape(n, m)`` holds the transpose of the
+    original ``buf.reshape(m, n)``.
+
+    Parameters
+    ----------
+    aux:
+        ``"bitset"`` (O(mn)-bit auxiliary, O(mn) work) or ``"recompute"``
+        (O(1) auxiliary, O(mn log mn)-class work).
+    stats:
+        Optional counters; pass a fresh :class:`CycleStats` to observe the
+        work profile.
+    """
+    if aux not in ("bitset", "recompute"):
+        raise ValueError(f"unknown aux mode {aux!r}")
+    if buf.ndim != 1 or buf.shape[0] != m * n:
+        raise ValueError(f"buffer must be flat with {m * n} elements")
+    mn = m * n
+    if mn <= 1 or m == 1 or n == 1:
+        return buf  # transpose of a vector is the identity on the buffer
+
+    if aux == "bitset":
+        visited = np.zeros(mn, dtype=bool)
+        visited[0] = visited[mn - 1] = True
+        for leader in range(1, mn - 1):
+            if visited[leader]:
+                continue
+            _rotate_cycle(buf, leader, m, n, stats)
+            # mark the cycle
+            visited[leader] = True
+            l = successor(leader, m, n)
+            if stats is not None:
+                stats.successor_evals += 1
+            while l != leader:
+                visited[l] = True
+                l = successor(l, m, n)
+                if stats is not None:
+                    stats.successor_evals += 1
+    else:
+        for leader in range(1, mn - 1):
+            # Verify leader is its cycle's minimum by walking the cycle.
+            l = successor(leader, m, n)
+            if stats is not None:
+                stats.successor_evals += 1
+            is_leader = True
+            while l != leader:
+                if l < leader:
+                    is_leader = False
+                    break
+                l = successor(l, m, n)
+                if stats is not None:
+                    stats.successor_evals += 1
+            if is_leader:
+                _rotate_cycle(buf, leader, m, n, stats)
+    return buf
+
+
+def _rotate_cycle(
+    buf: np.ndarray, leader: int, m: int, n: int, stats: CycleStats | None
+) -> None:
+    """Shift the cycle through ``leader``: each element moves to its
+    destination, walking predecessors so one held value suffices."""
+    held = buf[leader]
+    dst = leader
+    src = _predecessor(leader, m, n)
+    if stats is not None:
+        stats.cycles += 1
+        stats.successor_evals += 1
+    while src != leader:
+        buf[dst] = buf[src]
+        dst = src
+        src = _predecessor(src, m, n)
+        if stats is not None:
+            stats.element_moves += 1
+            stats.successor_evals += 1
+    buf[dst] = held
+    if stats is not None:
+        stats.element_moves += 1

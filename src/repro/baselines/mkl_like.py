@@ -1,0 +1,24 @@
+"""The ``mkl_dimatcopy`` stand-in for Table 1.
+
+Intel MKL's in-place ``mkl_dimatcopy`` belongs to the sequential,
+limited-auxiliary-space cycle-following class (and, as the paper observes,
+is not parallelized — "likely due to the complexity of parallelizing
+traditional cycle-following algorithms").  This wrapper fixes those
+algorithmic properties: sequential execution, O(1) auxiliary space,
+cycle recomputation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cycle_following import CycleStats, transpose_cycle_following
+
+__all__ = ["mkl_like_transpose"]
+
+
+def mkl_like_transpose(
+    buf: np.ndarray, m: int, n: int, *, stats: CycleStats | None = None
+) -> np.ndarray:
+    """Sequential limited-aux in-place transpose (the Table 1 "MKL" row)."""
+    return transpose_cycle_following(buf, m, n, aux="recompute", stats=stats)

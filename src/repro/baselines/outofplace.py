@@ -1,0 +1,24 @@
+"""The out-of-place ideal: one read and one write per element.
+
+Eq. 37's throughput definition normalizes against exactly this pattern —
+an ideal transpose reads the array once and writes it once.  Measuring the
+out-of-place copy gives the machine's practical ceiling for any in-place
+algorithm's throughput.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["outofplace_transpose"]
+
+
+def outofplace_transpose(buf: np.ndarray, m: int, n: int) -> np.ndarray:
+    """Return a new buffer holding the row-major transpose of ``buf``.
+
+    Allocates ``O(mn)`` — the cost in auxiliary space that every in-place
+    algorithm in this repository exists to avoid.
+    """
+    if buf.ndim != 1 or buf.shape[0] != m * n:
+        raise ValueError(f"buffer must be flat with {m * n} elements")
+    return np.ascontiguousarray(buf.reshape(m, n).T).ravel()

@@ -1,0 +1,105 @@
+"""Sung [6]-style tiled in-place transpose with the paper's tile heuristic.
+
+Sung's GPU algorithm requires tile dimensions that evenly divide the array
+dimensions and leaves tile choice to the user.  The paper benchmarks it with
+this heuristic (Section 5.2):
+
+    "sort the factors of the array dimension, then starting with the
+    smallest factors, multiply them until the tile dimension equals or
+    exceeds some threshold t" (t = 72, max tile 72 x 72)
+
+which reproduces the paper's own examples: 7200 -> 32, 1800 -> 72,
+7223 -> 31, 10368 -> 64.  Arrays whose dimensions yield degenerate
+(1-wide) tiles are the ones where the method collapses — the reason its
+median throughput trails C2R in Fig. 6 / Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .tiling import TileStats, tiled_transpose_inplace
+
+__all__ = ["SungPlan", "sung_tile_heuristic", "sung_transpose"]
+
+#: The threshold used for all experiments in the paper.
+SUNG_THRESHOLD = 72
+
+
+def _prime_factors(x: int) -> list[int]:
+    """Prime factorization with multiplicity, ascending."""
+    out: list[int] = []
+    d = 2
+    while d * d <= x:
+        while x % d == 0:
+            out.append(d)
+            x //= d
+        d += 1
+    if x > 1:
+        out.append(x)
+    return out
+
+
+def sung_tile_heuristic(dim: int, threshold: int = SUNG_THRESHOLD) -> int:
+    """Greedy product of ascending prime factors, capped at ``threshold``.
+
+    Returns the largest product of the smallest prime factors of ``dim``
+    that does not exceed ``threshold`` (always a divisor of ``dim``).
+    """
+    if dim <= 0:
+        raise ValueError("dimension must be positive")
+    tile = 1
+    for p in _prime_factors(dim):
+        if tile * p > threshold:
+            break
+        tile *= p
+    return tile
+
+
+@dataclass(frozen=True)
+class SungPlan:
+    """The tile decision for one array.
+
+    ``degenerate`` marks arrays where the heuristic returned a 1-wide tile
+    in either dimension — the shapes on which the published implementation
+    performs poorly or fails (the paper reports 2155 of 2500 arrays
+    completing).
+    """
+
+    m: int
+    n: int
+    tile_rows: int
+    tile_cols: int
+
+    @property
+    def degenerate(self) -> bool:
+        return self.tile_rows == 1 or self.tile_cols == 1
+
+    @classmethod
+    def plan(cls, m: int, n: int, threshold: int = SUNG_THRESHOLD) -> "SungPlan":
+        return cls(
+            m=m,
+            n=n,
+            tile_rows=sung_tile_heuristic(m, threshold),
+            tile_cols=sung_tile_heuristic(n, threshold),
+        )
+
+
+def sung_transpose(
+    buf: np.ndarray,
+    m: int,
+    n: int,
+    *,
+    threshold: int = SUNG_THRESHOLD,
+    stats: TileStats | None = None,
+) -> SungPlan:
+    """In-place transpose using Sung's tiling with the paper's heuristic.
+
+    Returns the :class:`SungPlan` used (callers inspect ``degenerate`` the
+    way the paper reports incomplete runs).
+    """
+    plan = SungPlan.plan(m, n, threshold)
+    tiled_transpose_inplace(buf, m, n, plan.tile_rows, plan.tile_cols, stats=stats)
+    return plan

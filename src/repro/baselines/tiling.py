@@ -1,0 +1,170 @@
+"""Shared tiled in-place transpose engine (Gustavson / Sung baseline core).
+
+Tiled algorithms transpose in three stages:
+
+1. **pack** — convert the row-major array to *block-major* layout, where each
+   ``tr x tc`` tile is contiguous and tiles are ordered row-major by grid
+   position.  Packing is done panel-by-panel (a row panel of ``tr`` rows is
+   a contiguous buffer segment), so auxiliary space is one panel:
+   ``O(tr * n)`` elements.
+2. **tile transpose** — in the packed layout, transposition moves whole
+   tiles: tile ``(I, J)`` travels to grid slot ``(J, I)`` and is transposed
+   internally.  Whole contiguous tiles move by cycle following over grid
+   slots (visited bits: one per tile, ``O(mn / (tr*tc))`` bits; one tile
+   temp).
+3. **unpack** — convert the now ``N x M``-grid block-major layout (tiles
+   ``tc x tr``) back to row-major ``n x m``.
+
+Tile dimensions must divide the array dimensions — the restriction the paper
+highlights for Sung [6] ("the dimensions of the tile must evenly divide the
+dimensions of the array"), and the reason tiled methods degrade on
+inconveniently-factored arrays: awkward dimensions force thin tiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TiledLayout", "TileStats", "tiled_transpose_inplace"]
+
+
+@dataclass(frozen=True)
+class TiledLayout:
+    """Block-major layout descriptor: ``(m x n)`` array in ``tr x tc`` tiles."""
+
+    m: int
+    n: int
+    tr: int
+    tc: int
+
+    def __post_init__(self):
+        if self.m <= 0 or self.n <= 0 or self.tr <= 0 or self.tc <= 0:
+            raise ValueError("all dimensions must be positive")
+        if self.m % self.tr or self.n % self.tc:
+            raise ValueError(
+                f"tile {self.tr}x{self.tc} does not divide array "
+                f"{self.m}x{self.n}"
+            )
+
+    @property
+    def grid_rows(self) -> int:
+        return self.m // self.tr
+
+    @property
+    def grid_cols(self) -> int:
+        return self.n // self.tc
+
+    @property
+    def tile_elems(self) -> int:
+        return self.tr * self.tc
+
+    @property
+    def n_tiles(self) -> int:
+        return self.grid_rows * self.grid_cols
+
+
+@dataclass
+class TileStats:
+    """Work counters for a tiled transpose."""
+
+    tiles_moved: int = 0
+    tile_cycles: int = 0
+    panels_packed: int = 0
+
+
+def pack(buf: np.ndarray, layout: TiledLayout) -> None:
+    """Row-major -> block-major, panel at a time (aux = one row panel)."""
+    tr, tc, n = layout.tr, layout.tc, layout.n
+    N = layout.grid_cols
+    for I in range(layout.grid_rows):
+        panel = buf[I * tr * n : (I + 1) * tr * n]
+        # (tr, n) row-major -> (N, tr, tc) tile-major
+        reshaped = panel.reshape(tr, N, tc).transpose(1, 0, 2)
+        panel[:] = np.ascontiguousarray(reshaped).ravel()
+
+
+def unpack(buf: np.ndarray, layout: TiledLayout) -> None:
+    """Block-major -> row-major; inverse of :func:`pack`."""
+    tr, tc, n = layout.tr, layout.tc, layout.n
+    N = layout.grid_cols
+    for I in range(layout.grid_rows):
+        panel = buf[I * tr * n : (I + 1) * tr * n]
+        reshaped = panel.reshape(N, tr, tc).transpose(1, 0, 2)
+        panel[:] = np.ascontiguousarray(reshaped).ravel()
+
+
+def _transpose_tiles(
+    buf: np.ndarray, layout: TiledLayout, stats: TileStats | None
+) -> None:
+    """Move + internally transpose tiles by cycle following over grid slots."""
+    M, N = layout.grid_rows, layout.grid_cols
+    te = layout.tile_elems
+    tr, tc = layout.tr, layout.tc
+
+    def tile(seg: int) -> np.ndarray:
+        return buf[seg * te : (seg + 1) * te]
+
+    def t_of(seg_data: np.ndarray) -> np.ndarray:
+        return seg_data.reshape(tr, tc).T.copy().ravel()
+
+    # Grid-slot permutation: segment s = I*N + J moves to J*M + I.
+    def pred(s: int) -> int:
+        # inverse map: the tile that must land in slot s
+        return (s % M) * N + s // M
+
+    visited = np.zeros(M * N, dtype=bool)
+    for leader in range(M * N):
+        if visited[leader]:
+            continue
+        visited[leader] = True
+        if pred(leader) == leader:
+            # fixed slot: still needs its internal transpose
+            tile(leader)[:] = t_of(tile(leader))
+            if stats is not None:
+                stats.tiles_moved += 1
+            continue
+        held = t_of(tile(leader))
+        cur = leader
+        src = pred(cur)
+        if stats is not None:
+            stats.tile_cycles += 1
+        while src != leader:
+            tile(cur)[:] = t_of(tile(src))
+            visited[src] = True
+            cur = src
+            src = pred(cur)
+            if stats is not None:
+                stats.tiles_moved += 1
+        tile(cur)[:] = held
+        if stats is not None:
+            stats.tiles_moved += 1
+
+
+def tiled_transpose_inplace(
+    buf: np.ndarray,
+    m: int,
+    n: int,
+    tr: int,
+    tc: int,
+    *,
+    stats: TileStats | None = None,
+) -> np.ndarray:
+    """In-place row-major transpose via pack / tile-cycle-follow / unpack.
+
+    ``tr`` must divide ``m`` and ``tc`` must divide ``n``.  After the call,
+    ``buf.reshape(n, m)`` is the transpose of the original ``buf.reshape(m, n)``.
+    """
+    if buf.ndim != 1 or buf.shape[0] != m * n:
+        raise ValueError(f"buffer must be flat with {m * n} elements")
+    layout = TiledLayout(m, n, tr, tc)
+    pack(buf, layout)
+    if stats is not None:
+        stats.panels_packed += layout.grid_rows
+    _transpose_tiles(buf, layout, stats)
+    out_layout = TiledLayout(n, m, tc, tr)
+    unpack(buf, out_layout)
+    if stats is not None:
+        stats.panels_packed += out_layout.grid_rows
+    return buf

@@ -1,0 +1,31 @@
+"""Cost model for Tretyakov & Tyrtyshnikov [9] (Section 7 comparison).
+
+Their algorithm achieves optimal ``O(mn)`` work with only ``O(min(m, n))``
+auxiliary space, but — as the paper notes — at the price of up to 24 swaps
+per element.  A swap is 2 reads + 2 writes, so each element is read and
+written up to 48 times, versus 6 for the decomposed transpose.  No
+experimental results were published, so (like the paper) we compare through
+this access-count model rather than an implementation.
+"""
+
+from __future__ import annotations
+
+__all__ = ["tretyakov_access_bound", "SWAPS_PER_ELEMENT", "ACCESSES_PER_ELEMENT"]
+
+#: Worst-case swaps per element reported in Section 7.
+SWAPS_PER_ELEMENT = 24
+#: Each swap reads and writes the element once: 24 swaps -> 48 accesses.
+ACCESSES_PER_ELEMENT = 2 * SWAPS_PER_ELEMENT
+
+
+def tretyakov_access_bound(m: int, n: int) -> int:
+    """Worst-case element accesses (reads + writes) for an ``m x n`` array.
+
+    The paper: "it requires up to 24 swaps per element, which corresponds to
+    reading and writing each element 48 times".  Over the whole array that is
+    ``48 * m * n``, versus ``6 * m * n`` for the decomposed algorithm
+    (Theorem 6) — the 8x practical gap the paper claims.
+    """
+    if m <= 0 or n <= 0:
+        raise ValueError("dimensions must be positive")
+    return ACCESSES_PER_ELEMENT * m * n

@@ -1,0 +1,38 @@
+"""Cache-aware permutation kernels (Sections 4.5-4.7).
+
+The paper improves memory behaviour of the column operations by operating on
+*sub-rows*: groups of ``w`` adjacent columns whose row segments are exactly
+one cache line wide.  Three pieces implement this:
+
+* :mod:`~repro.cache.model` — cache-line geometry (sub-row width, grouping,
+  alignment analysis).
+* :mod:`~repro.cache.cycles` — analytic cycles for rotations
+  (``gcd(m, r)`` cycles with a closed-form walk, Section 4.6) and dynamic
+  cycle computation for row permutations (Section 4.7).
+* :mod:`~repro.cache.rotate` / :mod:`~repro.cache.rowpermute` — the
+  coarse-plus-fine rotation and the cycle-following row permute, both
+  moving whole sub-rows.
+* :mod:`~repro.cache.onchip` — the Section 4.5 on-chip capacity model for
+  single-pass row shuffles.
+* :mod:`~repro.cache.transpose` — a full C2R/R2C built from the
+  cache-aware primitives, reporting traffic statistics for the ablation
+  benchmarks.
+"""
+
+from .cycles import RotationCycles, permutation_cycles
+from .model import CacheModel
+from .onchip import OnChipModel
+from .rotate import cache_aware_rotate
+from .rowpermute import cache_aware_row_permute
+from .transpose import CacheStats, c2r_cache_aware
+
+__all__ = [
+    "CacheModel",
+    "OnChipModel",
+    "RotationCycles",
+    "permutation_cycles",
+    "cache_aware_rotate",
+    "cache_aware_row_permute",
+    "CacheStats",
+    "c2r_cache_aware",
+]

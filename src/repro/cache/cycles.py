@@ -1,0 +1,110 @@
+"""Cycle machinery for the cache-aware kernels.
+
+Two kinds of cycles appear in Sections 4.6-4.7:
+
+* **Rotation cycles** have a closed form: rotating ``m`` elements by ``r``
+  yields ``z = gcd(m, r)`` cycles of length ``m / z``, and the elements of
+  cycle ``y`` are ``l_y(x) = (y + x*(m - r)) mod m`` — no cycle descriptors
+  need precomputing (:class:`RotationCycles`).
+* **Row-permutation cycles** (for ``q`` / ``q^{-1}``) have no analytic form;
+  :func:`permutation_cycles` computes them dynamically.  The number of
+  cycles of length > 1 is at most ``m / 2``, which bounds the descriptor
+  storage by the scratch budget (the paper's Section 4.7 argument).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RotationCycles", "permutation_cycles", "CycleSet"]
+
+
+@dataclass(frozen=True)
+class RotationCycles:
+    """Analytic cycle structure of an upward rotation by ``r`` of ``m`` slots.
+
+    The rotation is the paper's convention ``x'[i] = x[(i + r) mod m]``.
+    """
+
+    m: int
+    r: int
+
+    def __post_init__(self):
+        if self.m <= 0:
+            raise ValueError("m must be positive")
+        if not (0 <= self.r < self.m):
+            raise ValueError("rotation amount must be normalized into [0, m)")
+
+    @property
+    def n_cycles(self) -> int:
+        """``z = gcd(m, r)`` cycles (``m`` fixed points when ``r == 0``)."""
+        return self.m if self.r == 0 else math.gcd(self.m, self.r)
+
+    @property
+    def cycle_length(self) -> int:
+        return self.m // self.n_cycles
+
+    def element(self, y: int, x: int) -> int:
+        """The paper's ``l_y(x) = (y + x*(m - r)) mod m``."""
+        return (y + x * (self.m - self.r)) % self.m
+
+    def cycle(self, y: int) -> np.ndarray:
+        """All elements of cycle ``y`` as an index vector."""
+        x = np.arange(self.cycle_length, dtype=np.int64)
+        return (y + x * (self.m - self.r)) % self.m
+
+    def all_cycles(self) -> list[np.ndarray]:
+        return [self.cycle(y) for y in range(self.n_cycles)]
+
+
+@dataclass
+class CycleSet:
+    """Dynamically computed cycles of an arbitrary permutation.
+
+    ``leaders[k]`` is the smallest element of cycle ``k`` and ``lengths[k]``
+    its length; only cycles of length > 1 are stored (fixed points move
+    nothing).  ``storage`` counts descriptor slots used, which Section 4.7
+    bounds by ``m / 2`` (each nontrivial cycle has >= 2 elements).
+    """
+
+    leaders: np.ndarray
+    lengths: np.ndarray
+
+    @property
+    def storage(self) -> int:
+        return int(self.leaders.shape[0] + self.lengths.shape[0])
+
+
+def permutation_cycles(gather: np.ndarray) -> CycleSet:
+    """Compute the nontrivial cycles of a gather permutation.
+
+    Walk order follows the gather map: ``leader -> g[leader] -> ...``.
+    """
+    g = np.asarray(gather, dtype=np.int64)
+    m = g.shape[0]
+    visited = np.zeros(m, dtype=bool)
+    leaders: list[int] = []
+    lengths: list[int] = []
+    for start in range(m):
+        if visited[start]:
+            continue
+        visited[start] = True
+        if int(g[start]) == start:
+            continue
+        length = 1
+        i = int(g[start])
+        while i != start:
+            visited[i] = True
+            i = int(g[i])
+            length += 1
+        leaders.append(start)
+        lengths.append(length)
+    cs = CycleSet(
+        leaders=np.asarray(leaders, dtype=np.int64),
+        lengths=np.asarray(lengths, dtype=np.int64),
+    )
+    assert len(leaders) <= m // 2 or m < 2, "cycle-descriptor bound violated"
+    return cs

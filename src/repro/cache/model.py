@@ -1,0 +1,97 @@
+"""Cache-line geometry: sub-rows, grouping and alignment (Section 4.6).
+
+A *sub-row* is the segment of one matrix row covered by a group of ``w``
+adjacent columns, where ``w = line_bytes / element_size``.  Reading or
+writing a sub-row touches one cache line when the segment is aligned, two
+when it straddles a boundary.  The paper's guarantee: if the row pitch
+``n * element_size`` is a multiple of the line size, every sub-row is
+aligned; otherwise a predictable fraction straddle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CacheModel"]
+
+
+@dataclass(frozen=True)
+class CacheModel:
+    """Cache-line geometry for a matrix of ``n`` columns of ``itemsize`` bytes.
+
+    Attributes
+    ----------
+    line_bytes:
+        Cache-line (or memory-transaction) width in bytes.  128 matches the
+        K20c's L1 line and DRAM transaction size; 64 matches typical CPUs.
+    itemsize:
+        Element size in bytes.
+    """
+
+    line_bytes: int = 128
+    itemsize: int = 8
+
+    def __post_init__(self):
+        if self.line_bytes <= 0 or self.itemsize <= 0:
+            raise ValueError("line_bytes and itemsize must be positive")
+        if self.itemsize > self.line_bytes:
+            raise ValueError("elements larger than a cache line are unsupported")
+
+    @property
+    def width(self) -> int:
+        """Sub-row width ``w``: elements per cache line (floor for odd sizes)."""
+        return max(1, self.line_bytes // self.itemsize)
+
+    def n_groups(self, n: int) -> int:
+        """Number of column groups covering ``n`` columns (last may be short)."""
+        w = self.width
+        return (n + w - 1) // w
+
+    def group_slice(self, g: int, n: int) -> slice:
+        """Columns covered by group ``g``."""
+        w = self.width
+        lo = g * w
+        if lo >= n:
+            raise IndexError(f"group {g} out of range for {n} columns")
+        return slice(lo, min(lo + w, n))
+
+    def row_pitch_aligned(self, n: int) -> bool:
+        """True when every sub-row of every row is line-aligned.
+
+        Holds iff the row pitch ``n * itemsize`` is a multiple of the line
+        size (the paper: "If the size of one row of the array is evenly
+        divisible by the cache-line size, we are guaranteed that all
+        sub-rows will be aligned").
+        """
+        return (n * self.itemsize) % self.line_bytes == 0
+
+    def subrow_lines(self, i: int, g: int, n: int) -> int:
+        """Cache lines touched by sub-row ``(row i, group g)``: 1 or 2."""
+        sl = self.group_slice(g, n)
+        start = (i * n + sl.start) * self.itemsize
+        stop = (i * n + sl.stop) * self.itemsize
+        first_line = start // self.line_bytes
+        last_line = (stop - 1) // self.line_bytes
+        return int(last_line - first_line + 1)
+
+    def straddle_fraction(self, m: int, n: int) -> float:
+        """Fraction of sub-rows spanning two cache lines.
+
+        Computed exactly from the periodic alignment pattern: row ``i``'s
+        group offsets repeat with period ``lcm(line, pitch)``, so only one
+        row period needs sampling.
+        """
+        if m == 0 or n == 0:
+            return 0.0
+        period = int(np.lcm(self.line_bytes, n * self.itemsize) // (n * self.itemsize))
+        period = min(period, m)
+        total = 0
+        straddling = 0
+        for i in range(period):
+            for g in range(self.n_groups(n)):
+                total += 1
+                if self.subrow_lines(i, g, n) > 1:
+                    straddling += 1
+        return straddling / total if total else 0.0

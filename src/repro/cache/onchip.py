@@ -1,0 +1,49 @@
+"""On-chip capacity model for single-pass row shuffles (Section 4.5).
+
+A row shuffle normally needs two passes over each row (gather into a scratch
+vector, copy back).  When a whole row fits in on-chip storage (register file
+or cache), the shuffle completes in a single pass: read the row once,
+permute on chip, write once.  The paper reports the Tesla K20c's 256 kB
+per-SM register file handles rows of up to 29440 64-bit elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["OnChipModel"]
+
+
+@dataclass(frozen=True)
+class OnChipModel:
+    """Per-processor on-chip storage available for single-pass shuffles.
+
+    ``capacity_bytes`` defaults to the K20c per-SM register file (256 kB),
+    derated by ``usable_fraction`` for the live values a real kernel keeps
+    (calibrated so that 29440 x 8-byte rows fit, matching Section 4.5).
+    """
+
+    capacity_bytes: int = 256 * 1024
+    usable_fraction: float = 0.8984375  # 29440 * 8 / (256 * 1024)
+
+    def __post_init__(self):
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        if not (0.0 < self.usable_fraction <= 1.0):
+            raise ValueError("usable_fraction must be in (0, 1]")
+
+    @property
+    def usable_bytes(self) -> int:
+        return int(self.capacity_bytes * self.usable_fraction)
+
+    def max_row_elements(self, itemsize: int) -> int:
+        """Longest row (in elements) processable in a single pass."""
+        return self.usable_bytes // itemsize
+
+    def single_pass(self, row_elements: int, itemsize: int) -> bool:
+        """True when a row shuffle of this row length is single-pass."""
+        return row_elements <= self.max_row_elements(itemsize)
+
+    def row_shuffle_passes(self, row_elements: int, itemsize: int) -> int:
+        """Memory passes over the array needed by the row shuffle: 1 or 2."""
+        return 1 if self.single_pass(row_elements, itemsize) else 2

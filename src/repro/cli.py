@@ -1,0 +1,268 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info M N``
+    Decomposition analysis of a shape: constants, algorithm choice, work
+    bound, cycle-following comparison and modeled K20c throughput.
+``transpose FILE M N``
+    Transpose a raw binary matrix file in place (out of core,
+    ``O(max(m, n))`` scratch).
+``convert FILE N S``
+    Convert a raw AoS binary file to SoA (or back, or to the ASTA hybrid)
+    in place.
+``bench M N``
+    Quick wall-clock of the in-place transpose on this machine.
+``landscape``
+    Print the modeled C2R/R2C throughput landscape (Figures 4-5).
+``selftest``
+    Run the validation harness over every transposer in the library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from .core.cyclestats import (
+        decomposition_task_profile,
+        transposition_cycle_profile,
+    )
+    from .core.indexing import Decomposition
+    from .core.transpose import choose_algorithm
+    from .gpusim.cost import auto_cost
+
+    m, n = args.m, args.n
+    dec = Decomposition.of(m, n)
+    print(f"shape: {m} x {n}  ({m * n} elements)")
+    print(f"decomposition: c = gcd = {dec.c}, a = m/c = {dec.a}, b = n/c = {dec.b}")
+    print(f"pre-rotation pass needed: {not dec.coprime}")
+    print(f"heuristic algorithm: {choose_algorithm(m, n).upper()}")
+    passes = 2 if dec.coprime else 3
+    print(f"work bound: {2 * passes} accesses/element "
+          f"({passes} passes); aux space: {max(m, n)} elements")
+    if m * n <= args.cycle_limit:
+        prof = transposition_cycle_profile(m, n)
+        task = decomposition_task_profile(m, n)
+        if prof.n_units:
+            print(f"cycle following: {prof.n_units} cycles, largest holds "
+                  f"{prof.largest_fraction * 100:.1f}% of all work "
+                  f"(8-way speedup bound {prof.speedup_bound(8):.2f}x)")
+        print(f"decomposition: {task.n_units} equal-cost units "
+              f"(8-way speedup bound {task.speedup_bound(8):.2f}x)")
+    cost = auto_cost(m, n, args.itemsize)
+    print(f"modeled Tesla K20c throughput ({args.itemsize}-byte elements): "
+          f"{cost.throughput_gbps:.1f} GB/s")
+    if args.breakdown:
+        print("pass breakdown:")
+        for p in cost.passes:
+            print(f"  {p.name:<24} {p.useful_bytes/1e9:7.3f} GB useful @ "
+                  f"{p.efficiency*100:5.1f}% -> {p.dram_bytes/1e9:7.3f} GB DRAM")
+        print(f"  total {cost.dram_bytes/1e9:.3f} GB DRAM, "
+              f"{cost.seconds*1e3:.2f} ms")
+    return 0
+
+
+def _cmd_transpose(args: argparse.Namespace) -> int:
+    from .core.outofcore import transpose_file_inplace
+
+    t0 = time.perf_counter()
+    try:
+        transpose_file_inplace(
+            args.file, args.m, args.n, args.dtype, args.order,
+            algorithm=args.algorithm,
+        )
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}")
+        return 1
+    dt = time.perf_counter() - t0
+    nbytes = args.m * args.n * np.dtype(args.dtype).itemsize
+    print(f"transposed {args.file} ({args.m} x {args.n} {args.dtype}, "
+          f"{nbytes / 1e6:.1f} MB) in {dt:.2f}s "
+          f"({2 * nbytes / dt / 1e9:.3f} GB/s)")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .aos import aos_to_asta, aos_to_soa_flat, asta_to_aos, soa_to_aos_flat
+
+    path = Path(args.file)
+    dtype = np.dtype(args.dtype)
+    expected = args.n * args.s * dtype.itemsize
+    actual = path.stat().st_size
+    if actual != expected:
+        print(f"error: {path} holds {actual} bytes; "
+              f"{args.n} x {args.s} {args.dtype} needs {expected}")
+        return 1
+    buf = np.memmap(path, dtype=dtype, mode="r+", shape=(args.n * args.s,))
+    t0 = time.perf_counter()
+    try:
+        if args.to == "soa":
+            aos_to_soa_flat(buf, args.n, args.s)
+        elif args.to == "aos":
+            soa_to_aos_flat(buf, args.n, args.s)
+        elif args.to == "asta":
+            aos_to_asta(buf, args.n, args.s, args.tile)
+        else:
+            asta_to_aos(buf, args.n, args.s, args.tile)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 1
+    buf.flush()
+    dt = time.perf_counter() - t0
+    print(f"converted {path} to {args.to} in {dt:.2f}s "
+          f"({2 * expected / dt / 1e9:.3f} GB/s)")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .parallel import ParallelTranspose
+
+    m, n = args.m, args.n
+    best = float("inf")
+    with ParallelTranspose(args.threads) as pt:
+        for _ in range(args.repeats):
+            buf = np.arange(m * n, dtype=np.float64)
+            t0 = time.perf_counter()
+            pt.transpose_inplace(buf, m, n)
+            best = min(best, time.perf_counter() - t0)
+    print(f"{m} x {n} float64, {args.threads} thread(s): best "
+          f"{best * 1e3:.2f} ms = {2 * m * n * 8 / best / 1e9:.3f} GB/s (Eq. 37)")
+    return 0
+
+
+def _cmd_landscape(args: argparse.Namespace) -> int:
+    from .gpusim.cost import c2r_cost, r2c_cost
+
+    cost_fn = c2r_cost if args.algorithm == "c2r" else r2c_cost
+    grid = np.linspace(args.lo, args.hi, args.cells, dtype=np.int64)
+    print(f"{args.algorithm.upper()} modeled throughput (GB/s), "
+          f"{args.itemsize}-byte elements")
+    print("        " + "".join(f"n={int(n):<8}" for n in grid))
+    for m in grid:
+        row = [
+            cost_fn(int(m) + 1, int(n) + 2, args.itemsize).throughput_gbps
+            for n in grid
+        ]
+        print(f"m={int(m):<7}" + "".join(f"{v:9.1f} " for v in row))
+    return 0
+
+
+def _cmd_selftest(args: argparse.Namespace) -> int:
+    from .aos.skinny import skinny_transpose
+    from .baselines import (
+        gustavson_transpose,
+        sung_transpose,
+        transpose_cycle_following,
+    )
+    from .cache import c2r_cache_aware
+    from .core import c2r_transpose, transpose_inplace
+    from .parallel import parallel_transpose_inplace
+    from .validation import validate_transposer
+
+    candidates = {
+        "transpose_inplace (auto)": lambda b, m, n: transpose_inplace(b, m, n),
+        "c2r strict": lambda b, m, n: c2r_transpose(b, m, n, aux="strict"),
+        "c2r restricted": lambda b, m, n: c2r_transpose(b, m, n, variant="restricted"),
+        "cache-aware c2r": lambda b, m, n: c2r_cache_aware(b, m, n),
+        "parallel (2 threads)": lambda b, m, n: parallel_transpose_inplace(
+            b, m, n, n_threads=2
+        ),
+        "skinny": skinny_transpose,
+        "cycle following": lambda b, m, n: transpose_cycle_following(b, m, n),
+        "gustavson": lambda b, m, n: gustavson_transpose(b, m, n),
+        "sung": lambda b, m, n: sung_transpose(b, m, n),
+    }
+    failed = False
+    for name, fn in candidates.items():
+        report = validate_transposer(fn, count=args.count, seed=args.seed)
+        print(f"{name:<24} {report}")
+        failed |= not report.ok
+    return 1 if failed else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="In-place matrix transposition (PPoPP 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="analyze a matrix shape")
+    p.add_argument("m", type=int)
+    p.add_argument("n", type=int)
+    p.add_argument("--itemsize", type=int, default=8)
+    p.add_argument(
+        "--cycle-limit",
+        type=int,
+        default=1_000_000,
+        help="max elements for exact cycle-profile computation",
+    )
+    p.add_argument(
+        "--breakdown", action="store_true", help="print the per-pass cost model"
+    )
+    p.set_defaults(fn=_cmd_info)
+
+    p = sub.add_parser("transpose", help="transpose a raw binary file in place")
+    p.add_argument("file")
+    p.add_argument("m", type=int)
+    p.add_argument("n", type=int)
+    p.add_argument("--dtype", default="float64")
+    p.add_argument("--order", choices=["C", "F"], default="C")
+    p.add_argument("--algorithm", choices=["auto", "c2r", "r2c"], default="auto")
+    p.set_defaults(fn=_cmd_transpose)
+
+    p = sub.add_parser(
+        "convert", help="convert an AoS binary file between layouts in place"
+    )
+    p.add_argument("file")
+    p.add_argument("n", type=int, help="number of structs")
+    p.add_argument("s", type=int, help="fields per struct")
+    p.add_argument(
+        "--to", choices=["soa", "aos", "asta", "unasta"], default="soa"
+    )
+    p.add_argument("--dtype", default="float64")
+    p.add_argument("--tile", type=int, default=32)
+    p.set_defaults(fn=_cmd_convert)
+
+    p = sub.add_parser("bench", help="quick wall-clock benchmark")
+    p.add_argument("m", type=int)
+    p.add_argument("n", type=int)
+    p.add_argument("--threads", type=int, default=1)
+    p.add_argument("--repeats", type=int, default=3)
+    p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser(
+        "landscape", help="print the modeled throughput landscape (Fig. 4-5)"
+    )
+    p.add_argument("--algorithm", choices=["c2r", "r2c"], default="c2r")
+    p.add_argument("--lo", type=int, default=1000)
+    p.add_argument("--hi", type=int, default=25000)
+    p.add_argument("--cells", type=int, default=6)
+    p.add_argument("--itemsize", type=int, default=8)
+    p.set_defaults(fn=_cmd_landscape)
+
+    p = sub.add_parser("selftest", help="validate every transposer")
+    p.add_argument("--count", type=int, default=30)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_selftest)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

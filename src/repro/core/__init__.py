@@ -1,0 +1,60 @@
+"""Core algorithm: the C2R/R2C decomposition for in-place transposition.
+
+Public surface of the paper's primary contribution:
+
+* :class:`~repro.core.indexing.Decomposition` — the ``(c, a, b)`` gcd
+  decomposition of a matrix shape.
+* :mod:`~repro.core.equations` — every index equation of Sections 3-4.
+* :func:`~repro.core.c2r.c2r_transpose` / :func:`~repro.core.r2c.r2c_transpose`
+  — Algorithm 1 and its inverse.
+* :func:`~repro.core.transpose.transpose_inplace` /
+  :func:`~repro.core.transpose.transpose` — user-facing entry points.
+* :class:`~repro.core.plan.TransposePlan` — amortized repeated transposes.
+* :class:`~repro.core.permutation.Permutation` — permutation algebra.
+"""
+
+from .batched import BatchedTransposePlan, batched_transpose_inplace
+from .c2r import c2r_transpose
+from .cyclestats import (
+    CycleProfile,
+    decomposition_task_profile,
+    transposition_cycle_profile,
+)
+from .indexing import Decomposition
+from .outofcore import transpose_file_inplace
+from .permutation import Permutation
+from .plan import TransposePlan
+from .r2c import r2c_transpose
+from .reference import (
+    c2r_oracle,
+    r2c_oracle,
+    transpose_colmajor_oracle,
+    transpose_rowmajor_oracle,
+)
+from .steps import WorkCounter
+from .tensor import swap_first_axes_inplace, swap_last_axes_inplace
+from .transpose import choose_algorithm, transpose, transpose_inplace
+
+__all__ = [
+    "BatchedTransposePlan",
+    "batched_transpose_inplace",
+    "CycleProfile",
+    "transposition_cycle_profile",
+    "decomposition_task_profile",
+    "transpose_file_inplace",
+    "swap_first_axes_inplace",
+    "swap_last_axes_inplace",
+    "Decomposition",
+    "Permutation",
+    "TransposePlan",
+    "WorkCounter",
+    "c2r_transpose",
+    "r2c_transpose",
+    "transpose",
+    "transpose_inplace",
+    "choose_algorithm",
+    "c2r_oracle",
+    "r2c_oracle",
+    "transpose_rowmajor_oracle",
+    "transpose_colmajor_oracle",
+]

@@ -1,0 +1,112 @@
+"""Batched in-place transposition.
+
+Data-layout pipelines rarely transpose one matrix: they transpose a batch
+of same-shaped matrices (attention heads, image tiles, per-timestep state).
+Because the decomposition's gather maps depend only on the shape, a batch
+shares one :class:`~repro.core.plan.TransposePlan`-style set of index maps,
+and the passes apply to all matrices at once as 3-D gathers — the batch
+dimension rides along for free.
+
+The buffer layout is the standard batched one: ``k`` matrices of ``m x n``
+stored consecutively (``buf[b * m * n : (b + 1) * m * n]`` is matrix ``b``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import equations as eq
+from .indexing import Decomposition
+from .transpose import choose_algorithm
+
+__all__ = ["BatchedTransposePlan", "batched_transpose_inplace"]
+
+
+class BatchedTransposePlan:
+    """Shape-specialized in-place transpose applied across a batch axis.
+
+    Parameters mirror :class:`~repro.core.plan.TransposePlan`; ``execute``
+    takes either a flat buffer of ``k * m * n`` elements or a ``(k, m*n)`` /
+    ``(k, m, n)`` array, and transposes every matrix in place.
+    """
+
+    def __init__(self, m: int, n: int, order: str = "C", algorithm: str = "auto"):
+        if order not in ("C", "F"):
+            raise ValueError(f"unknown order {order!r}")
+        if algorithm == "auto":
+            algorithm = choose_algorithm(m, n)
+        if algorithm not in ("c2r", "r2c"):
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+        self.m, self.n, self.order, self.algorithm = m, n, order, algorithm
+
+        vm, vn = (m, n) if order == "C" else (n, m)
+        if algorithm == "c2r":
+            dec = Decomposition.of(vm, vn)
+            self._steps = self._build_c2r(dec)
+        else:
+            dec = Decomposition.of(vn, vm)
+            self._steps = self._build_r2c(dec)
+        self.dec = dec
+
+    def _build_c2r(self, dec: Decomposition):
+        plan = []
+        if dec.c > 1:
+            plan.append(("rows3", eq.rotate_r_matrix(dec)[None, :, :]))
+        plan.append(("cols3", eq.dprime_inverse_matrix(dec)[None, :, :]))
+        plan.append(("rows3", eq.sprime_matrix(dec)[None, :, :]))
+        return plan
+
+    def _build_r2c(self, dec: Decomposition):
+        plan = [
+            ("rows3", eq.sprime_inverse_matrix(dec)[None, :, :]),
+            ("cols3", eq.dprime_matrix(dec)[None, :, :]),
+        ]
+        if dec.c > 1:
+            plan.append(("rows3", eq.rotate_r_inverse_matrix(dec)[None, :, :]))
+        return plan
+
+    def execute(self, buf: np.ndarray) -> np.ndarray:
+        """Transpose every matrix of the batch in place; returns ``buf``."""
+        dec = self.dec
+        mn = self.m * self.n
+        if buf.ndim == 1:
+            if buf.shape[0] % mn:
+                raise ValueError("flat batch length must be a multiple of m*n")
+            V = buf.reshape(-1, dec.m, dec.n)
+        elif buf.ndim == 2 and buf.shape[1] == mn:
+            V = buf.reshape(buf.shape[0], dec.m, dec.n)
+        elif buf.ndim == 3 and buf.shape[1] * buf.shape[2] == mn:
+            if not buf.flags["C_CONTIGUOUS"]:
+                raise ValueError("batched buffers must be C-contiguous")
+            V = buf.reshape(buf.shape[0], dec.m, dec.n)
+        else:
+            raise ValueError(
+                f"cannot interpret shape {buf.shape} as a batch of "
+                f"{self.m}x{self.n} matrices"
+            )
+        for kind, idx in self._steps:
+            axis = 1 if kind == "rows3" else 2
+            V[:] = np.take_along_axis(V, np.broadcast_to(idx, V.shape), axis=axis)
+        return buf
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchedTransposePlan(m={self.m}, n={self.n}, "
+            f"order={self.order!r}, algorithm={self.algorithm!r})"
+        )
+
+
+def batched_transpose_inplace(
+    buf: np.ndarray,
+    m: int,
+    n: int,
+    order: str = "C",
+    *,
+    algorithm: str = "auto",
+) -> np.ndarray:
+    """One-shot batched transpose (see :class:`BatchedTransposePlan`).
+
+    After the call, every ``m x n`` matrix in the batch holds its ``n x m``
+    transpose in the same storage order.
+    """
+    return BatchedTransposePlan(m, n, order, algorithm).execute(buf)

@@ -1,0 +1,160 @@
+"""The C2R ("Columns to Rows") in-place transposition — Algorithm 1.
+
+The C2R transpose rearranges the linear buffer of an ``m x n`` array so that,
+reinterpreted with transposed dimensions, it holds the matrix transpose
+(Theorem 1: row-major arrays; Theorem 2: column-major arrays after a
+dimension swap).  It runs in three passes, each permuting single rows or
+columns out-of-place through an ``O(max(m, n))`` scratch vector:
+
+1. **Pre-rotation** (only when ``gcd(m, n) > 1``): column ``j`` rotates
+   upward by ``j // b`` (Eq. 23), making the row-shuffle destination map
+   ``d'_i`` bijective (Theorem 3).
+2. **Row shuffle**: each row independently permuted — scatter by ``d'_i``
+   (Eq. 24) or equivalently gather by ``d'^{-1}_i`` (Eq. 31).
+3. **Column shuffle**: gather by ``s'_j`` (Eq. 26), or — in the *restricted*
+   formulation of Section 4.1/4.2 — a column rotation by ``j`` (Eq. 32)
+   followed by a static row permutation ``q`` (Eq. 33).
+
+Variants
+--------
+``variant="gather"``
+    Fully gather-based (the paper's optimized CPU/GPU formulation):
+    pre-rotate, gather rows with ``d'^{-1}``, gather columns with ``s'``.
+``variant="scatter"``
+    Algorithm 1 verbatim: pre-rotate, scatter rows with ``d'``, gather
+    columns with ``s'``.
+``variant="restricted"``
+    Restricted column operations: pre-rotate, gather rows with ``d'^{-1}``,
+    rotate columns by ``p_j``, row-permute by ``q``.  This is the form that
+    maps onto SIMD register files (Section 6) and cache-aware kernels
+    (Sections 4.6-4.7).
+
+Auxiliary-space modes
+---------------------
+``aux="strict"`` honours ``O(max(m, n))`` scratch exactly (and can count
+work for the Theorem 6 bound); ``aux="blocked"`` is the vectorized numpy
+fast path.  Both orderings produce identical buffers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import equations as eq
+from . import steps
+from .indexing import Decomposition
+from .steps import Scratch, WorkCounter
+
+__all__ = ["c2r_transpose", "VARIANTS", "AUX_MODES"]
+
+VARIANTS = ("gather", "scatter", "restricted")
+AUX_MODES = ("strict", "blocked")
+
+
+def _strict_column_shuffle(
+    V: np.ndarray,
+    dec: Decomposition,
+    scratch: Scratch,
+    counter: WorkCounter | None,
+) -> None:
+    """Step 3 of Algorithm 1: gather each column with ``s'_j`` (Eq. 26)."""
+    m, n = dec.m, dec.n
+    tmp = scratch.buf[:m]
+    rows = np.arange(m, dtype=np.int64)
+    for j in range(n):
+        idx = eq.sprime_v(dec, rows, j)
+        tmp[:] = V[idx, j]
+        V[:, j] = tmp
+        if counter is not None:
+            counter.add(m, m)
+
+
+def _blocked_column_shuffle(V: np.ndarray, dec: Decomposition) -> None:
+    V[:] = np.take_along_axis(V, eq.sprime_matrix(dec), axis=0)
+
+
+def c2r_transpose(
+    buf: np.ndarray,
+    m: int,
+    n: int,
+    *,
+    variant: str = "gather",
+    aux: str = "blocked",
+    counter: WorkCounter | None = None,
+) -> np.ndarray:
+    """Perform the C2R transposition in place on a linear buffer.
+
+    Parameters
+    ----------
+    buf:
+        Flat, contiguous array of ``m * n`` elements.  Modified in place and
+        also returned for convenience.
+    m, n:
+        Logical dimensions of the array being transposed.  The buffer is
+        interpreted as the row-major ``m x n`` view during the passes
+        (legal regardless of the data's native storage order — Theorem 7).
+    variant:
+        One of :data:`VARIANTS`; see the module docstring.
+    aux:
+        ``"strict"`` or ``"blocked"``; see the module docstring.
+    counter:
+        Optional :class:`WorkCounter` filled with main-array element
+        reads/writes (strict mode only — blocked mode raises if given one,
+        since numpy's internal traffic is not observable).
+
+    Returns
+    -------
+    The same ``buf``.  After the call, ``buf.reshape(n, m)`` is the transpose
+    of the original ``buf.reshape(m, n)``.
+    """
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
+    if aux not in AUX_MODES:
+        raise ValueError(f"unknown aux mode {aux!r}; expected one of {AUX_MODES}")
+    if counter is not None and aux != "strict":
+        raise ValueError("work counting is only meaningful in strict mode")
+    if not buf.flags["C_CONTIGUOUS"]:
+        raise ValueError(
+            "in-place transposition requires a contiguous buffer "
+            "(a non-contiguous view would be silently copied, not permuted)"
+        )
+    if buf.ndim != 1 or buf.shape[0] != m * n:
+        raise ValueError(f"buffer must be flat with {m * n} elements")
+
+    dec = Decomposition.of(m, n)
+    V = buf.reshape(m, n)
+
+    if aux == "strict":
+        scratch = Scratch.for_shape(m, n, buf.dtype)
+        if dec.c > 1:
+            steps.rotate_columns_strict(V, dec, scratch=scratch, counter=counter)
+        if variant == "scatter":
+            steps.shuffle_rows_strict(
+                V, dec, gather=False, use_dprime=True, scratch=scratch, counter=counter
+            )
+        else:
+            steps.shuffle_rows_strict(
+                V, dec, gather=True, use_dprime=False, scratch=scratch, counter=counter
+            )
+        if variant == "restricted":
+            steps.rotate_p_strict(V, dec, scratch=scratch, counter=counter)
+            qg = eq.permute_q_v(dec, np.arange(m, dtype=np.int64))
+            steps.permute_rows_strict(V, qg, scratch=scratch, counter=counter)
+        else:
+            _strict_column_shuffle(V, dec, scratch, counter)
+    else:
+        if dec.c > 1:
+            steps.rotate_columns_blocked(V, dec)
+        if variant == "scatter":
+            out = np.empty_like(V)
+            np.put_along_axis(out, eq.dprime_matrix(dec), V, axis=1)
+            V[:] = out
+        else:
+            steps.shuffle_rows_blocked(V, dec, use_dprime=False)
+        if variant == "restricted":
+            steps.rotate_p_blocked(V, dec)
+            qg = eq.permute_q_v(dec, np.arange(m, dtype=np.int64))
+            steps.permute_rows_blocked(V, qg)
+        else:
+            _blocked_column_shuffle(V, dec)
+    return buf

@@ -1,0 +1,117 @@
+"""Cycle statistics of transposition permutations — the parallelization
+argument of Section 1.
+
+Traditional in-place transposition follows the cycles of ``P(l) = l*m mod
+(mn-1)``, and those cycles are "poorly distributed": a few enormous cycles
+plus many tiny ones, so assigning cycles to processors load-balances badly.
+The decomposition replaces them with ``m + 2n`` independent permutations of
+identical cost.
+
+This module computes the exact cycle structure and the resulting
+parallel-imbalance metrics, feeding the cycle-balance benchmark and giving
+library users a diagnosis tool ("why is cycle-following slow on my shape?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.cycle_following import successor
+
+__all__ = ["CycleProfile", "transposition_cycle_profile", "decomposition_task_profile"]
+
+
+@dataclass(frozen=True)
+class CycleProfile:
+    """The cycle/task structure of a parallel work decomposition.
+
+    ``lengths[k]`` is the size (element moves) of independent work unit
+    ``k``.  For cycle following the units are permutation cycles; for the
+    decomposition they are row/column permutations.
+    """
+
+    lengths: np.ndarray
+
+    @property
+    def n_units(self) -> int:
+        return int(self.lengths.size)
+
+    @property
+    def total(self) -> int:
+        return int(self.lengths.sum())
+
+    @property
+    def largest_fraction(self) -> float:
+        """Fraction of all work inside the single largest unit.
+
+        This lower-bounds the serial fraction: with ``p`` processors the
+        makespan is at least ``max(total/p, largest)``, so a large value
+        caps speedup regardless of processor count.
+        """
+        if self.total == 0:
+            return 0.0
+        return float(self.lengths.max()) / self.total
+
+    def speedup_bound(self, p: int) -> float:
+        """Best achievable speedup on ``p`` processors (greedy bound)."""
+        if self.total == 0 or self.n_units == 0:
+            return 1.0
+        makespan = max(self.total / p, float(self.lengths.max()))
+        return self.total / makespan
+
+    def imbalance(self, p: int) -> float:
+        """Makespan of a greedy longest-first schedule over the ideal
+        ``total / p`` (1.0 = perfect balance)."""
+        if self.n_units == 0:
+            return 1.0
+        loads = np.zeros(p)
+        for length in sorted(self.lengths.tolist(), reverse=True):
+            loads[int(np.argmin(loads))] += length
+        ideal = self.total / p
+        return float(loads.max() / ideal) if ideal else 1.0
+
+
+def transposition_cycle_profile(m: int, n: int) -> CycleProfile:
+    """Exact cycle lengths of the row-major transposition permutation.
+
+    Fixed points (which move nothing) are excluded — they are not work.
+    """
+    mn = m * n
+    if mn <= 1 or m == 1 or n == 1:
+        return CycleProfile(lengths=np.zeros(0, dtype=np.int64))
+    visited = np.zeros(mn, dtype=bool)
+    visited[0] = visited[mn - 1] = True
+    lengths = []
+    for start in range(1, mn - 1):
+        if visited[start]:
+            continue
+        visited[start] = True
+        length = 1
+        l = successor(start, m, n)
+        while l != start:
+            visited[l] = True
+            l = successor(l, m, n)
+            length += 1
+        if length > 1:
+            lengths.append(length)
+    return CycleProfile(lengths=np.asarray(lengths, dtype=np.int64))
+
+
+def decomposition_task_profile(m: int, n: int) -> CycleProfile:
+    """The decomposition's work units: independent row/column permutations.
+
+    One unit of ``m`` moves per column for each column pass (pre-rotation
+    when ``gcd > 1``, column shuffle) and one unit of ``n`` moves per row
+    for the row shuffle — all units within a pass identical, which is the
+    "perfect load balancing" the paper claims.
+    """
+    from math import gcd
+
+    units = []
+    if gcd(m, n) > 1:
+        units.extend([m] * n)  # pre-rotation columns
+    units.extend([n] * m)  # row shuffle rows
+    units.extend([m] * n)  # column shuffle columns
+    return CycleProfile(lengths=np.asarray(units, dtype=np.int64))

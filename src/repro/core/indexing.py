@@ -1,0 +1,204 @@
+"""Linearization and index maps from Section 2 of the paper.
+
+The paper (Catanzaro, Keller, Garland; PPoPP 2014) defines transposition in
+terms of four index functions over a logical ``m x n`` array:
+
+* row-major linearization ``lrm`` and its inverse pair ``irm``/``jrm``
+  (Eq. 1-3),
+* column-major linearization ``lcm`` and its inverse pair ``icm``/``jcm``
+  (Eq. 4-6),
+* the C2R gather source ``s``/``c`` (Eq. 7-8), and
+* the R2C gather source ``t``/``d`` (Eq. 9-10).
+
+Every function exists in two forms: a scalar form that mirrors the paper's
+equations one-to-one (used in tests and documentation), and a vectorized form
+operating on numpy integer arrays (used by the production kernels).  The
+vectorized forms accept and return ``numpy.int64`` arrays and are safe for the
+matrix sizes benchmarked in the paper (``m, n < 2**31``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Decomposition",
+    "lrm",
+    "irm",
+    "jrm",
+    "lcm",
+    "icm",
+    "jcm",
+    "s_index",
+    "c_index",
+    "t_index",
+    "d_index",
+    "lrm_v",
+    "irm_v",
+    "jrm_v",
+    "lcm_v",
+    "icm_v",
+    "jcm_v",
+    "s_index_v",
+    "c_index_v",
+    "t_index_v",
+    "d_index_v",
+]
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """The gcd decomposition of a matrix shape (Section 3).
+
+    For an ``m x n`` matrix the paper defines ``c = gcd(m, n)``, ``a = m / c``
+    and ``b = n / c``.  These constants control the entire algorithm:
+
+    * ``c == 1`` (coprime dimensions) means the row shuffle is naturally
+      bijective and the pre-rotation step can be skipped entirely;
+    * otherwise columns are pre-rotated in groups of ``b`` (Lemma 1 shows the
+      destination-column map ``d_i`` is periodic with period ``b``).
+
+    Attributes mirror the paper's notation exactly.
+    """
+
+    m: int
+    n: int
+    c: int
+    a: int
+    b: int
+
+    @classmethod
+    def of(cls, m: int, n: int) -> "Decomposition":
+        """Build the decomposition for an ``m x n`` matrix.
+
+        Raises :class:`ValueError` for non-positive dimensions.
+        """
+        if m <= 0 or n <= 0:
+            raise ValueError(f"matrix dimensions must be positive, got {m} x {n}")
+        c = math.gcd(m, n)
+        return cls(m=m, n=n, c=c, a=m // c, b=n // c)
+
+    @property
+    def coprime(self) -> bool:
+        """True when ``gcd(m, n) == 1`` and the pre-rotation is unnecessary."""
+        return self.c == 1
+
+    @property
+    def size(self) -> int:
+        """Total number of elements ``m * n``."""
+        return self.m * self.n
+
+
+# ---------------------------------------------------------------------------
+# Scalar forms (Eq. 1-10)
+# ---------------------------------------------------------------------------
+
+def lrm(i: int, j: int, n: int) -> int:
+    """Row-major linear index (Eq. 1): ``l = j + i * n``."""
+    return j + i * n
+
+
+def irm(l: int, n: int) -> int:
+    """Row index of row-major linear index ``l`` (Eq. 2)."""
+    return l // n
+
+
+def jrm(l: int, n: int) -> int:
+    """Column index of row-major linear index ``l`` (Eq. 3)."""
+    return l % n
+
+
+def lcm(i: int, j: int, m: int) -> int:
+    """Column-major linear index (Eq. 4): ``l = i + j * m``."""
+    return i + j * m
+
+
+def icm(l: int, m: int) -> int:
+    """Row index of column-major linear index ``l`` (Eq. 5)."""
+    return l % m
+
+
+def jcm(l: int, m: int) -> int:
+    """Column index of column-major linear index ``l`` (Eq. 6)."""
+    return l // m
+
+
+def s_index(i: int, j: int, m: int, n: int) -> int:
+    """C2R gather source row (Eq. 7): ``s(i, j) = lrm(i, j) mod m``."""
+    return lrm(i, j, n) % m
+
+
+def c_index(i: int, j: int, m: int, n: int) -> int:
+    """C2R gather source column (Eq. 8): ``c(i, j) = floor(lrm(i, j) / m)``."""
+    return lrm(i, j, n) // m
+
+
+def t_index(i: int, j: int, m: int, n: int) -> int:
+    """R2C gather source row (Eq. 9): ``t(i, j) = floor(lcm(i, j) / n)``."""
+    return lcm(i, j, m) // n
+
+
+def d_index(i: int, j: int, m: int, n: int) -> int:
+    """R2C gather source column (Eq. 10): ``d(i, j) = lcm(i, j) mod n``."""
+    return lcm(i, j, m) % n
+
+
+# ---------------------------------------------------------------------------
+# Vectorized forms
+# ---------------------------------------------------------------------------
+
+def _as_i64(x) -> np.ndarray:
+    return np.asarray(x, dtype=np.int64)
+
+
+def lrm_v(i, j, n: int) -> np.ndarray:
+    """Vectorized Eq. 1."""
+    return _as_i64(j) + _as_i64(i) * np.int64(n)
+
+
+def irm_v(l, n: int) -> np.ndarray:
+    """Vectorized Eq. 2."""
+    return _as_i64(l) // np.int64(n)
+
+
+def jrm_v(l, n: int) -> np.ndarray:
+    """Vectorized Eq. 3."""
+    return _as_i64(l) % np.int64(n)
+
+
+def lcm_v(i, j, m: int) -> np.ndarray:
+    """Vectorized Eq. 4."""
+    return _as_i64(i) + _as_i64(j) * np.int64(m)
+
+
+def icm_v(l, m: int) -> np.ndarray:
+    """Vectorized Eq. 5."""
+    return _as_i64(l) % np.int64(m)
+
+
+def jcm_v(l, m: int) -> np.ndarray:
+    """Vectorized Eq. 6."""
+    return _as_i64(l) // np.int64(m)
+
+
+def s_index_v(i, j, m: int, n: int) -> np.ndarray:
+    """Vectorized Eq. 7."""
+    return lrm_v(i, j, n) % np.int64(m)
+
+
+def c_index_v(i, j, m: int, n: int) -> np.ndarray:
+    """Vectorized Eq. 8."""
+    return lrm_v(i, j, n) // np.int64(m)
+
+
+def t_index_v(i, j, m: int, n: int) -> np.ndarray:
+    """Vectorized Eq. 9."""
+    return lcm_v(i, j, m) // np.int64(n)
+
+
+def d_index_v(i, j, m: int, n: int) -> np.ndarray:
+    """Vectorized Eq. 10."""
+    return lcm_v(i, j, m) % np.int64(n)

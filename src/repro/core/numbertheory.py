@@ -1,0 +1,58 @@
+"""Number-theoretic helpers used by the gather-form index equations.
+
+The gather formulations of the row shuffle (Eq. 31) and row permutation
+(Eq. 34) require modular multiplicative inverses of the decomposition
+constants ``a`` and ``b`` (which are coprime by construction).  This module
+provides the extended Euclidean algorithm and ``mmi`` exactly as the paper
+uses it:
+
+    ``(x * mmi(x, y)) mod y == 1``  for coprime ``x`` and ``y``.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["extended_gcd", "mmi", "are_coprime"]
+
+
+def extended_gcd(x: int, y: int) -> tuple[int, int, int]:
+    """Return ``(g, u, v)`` such that ``u*x + v*y == g == gcd(x, y)``.
+
+    Iterative extended Euclid; works for non-negative inputs (the paper only
+    needs it for positive matrix-dimension factors).
+    """
+    if x < 0 or y < 0:
+        raise ValueError("extended_gcd expects non-negative integers")
+    old_r, r = x, y
+    old_u, u = 1, 0
+    old_v, v = 0, 1
+    while r != 0:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_u, u = u, old_u - q * u
+        old_v, v = v, old_v - q * v
+    return old_r, old_u, old_v
+
+
+def are_coprime(x: int, y: int) -> bool:
+    """True when ``gcd(x, y) == 1``."""
+    return math.gcd(x, y) == 1
+
+
+def mmi(x: int, y: int) -> int:
+    """Modular multiplicative inverse of ``x`` modulo ``y``.
+
+    Defined (as in the paper) only for coprime ``x`` and ``y``.  The result is
+    normalized into ``[0, y)``.  ``y == 1`` is the degenerate modulus: every
+    integer is congruent to 0, and the inverse is 0 (this arises for matrices
+    whose decomposition yields ``b == 1``, i.e. ``n`` divides ``m``).
+    """
+    if y <= 0:
+        raise ValueError(f"modulus must be positive, got {y}")
+    if y == 1:
+        return 0
+    g, u, _ = extended_gcd(x % y, y)
+    if g != 1:
+        raise ValueError(f"mmi({x}, {y}) undefined: gcd is {g}, not 1")
+    return u % y

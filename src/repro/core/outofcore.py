@@ -1,0 +1,75 @@
+"""Out-of-core in-place transposition of file-backed matrices.
+
+The ``O(max(m, n))`` auxiliary bound is exactly what makes the
+decomposition usable when the matrix itself does not fit in RAM: the strict
+kernels permute one row or column at a time through a single scratch
+vector, so a memory-mapped buffer works unmodified.  This module packages
+that: transpose a raw binary file of ``m x n`` elements in place, touching
+only ``O(max(m, n))`` bytes of process memory beyond the page cache.
+
+Column passes over a row-major file are seek-heavy (one element per row) —
+that is inherent to the storage order, and the paper's cache-aware sub-row
+grouping (``repro.cache``) is the mitigation; the blocked pre-rotation used
+here already moves ``b``-column groups per operation.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from .c2r import c2r_transpose
+from .r2c import r2c_transpose
+from .transpose import choose_algorithm
+
+__all__ = ["transpose_file_inplace"]
+
+
+def transpose_file_inplace(
+    path: str | os.PathLike,
+    m: int,
+    n: int,
+    dtype,
+    order: str = "C",
+    *,
+    algorithm: str = "auto",
+) -> None:
+    """Transpose the ``m x n`` matrix stored in a raw binary file, in place.
+
+    Parameters
+    ----------
+    path:
+        File holding exactly ``m * n`` elements of ``dtype`` in ``order``
+        storage.  Rewritten in place; afterwards it holds the ``n x m``
+        transpose in the same order.
+    algorithm:
+        ``"auto"`` (paper heuristic), ``"c2r"`` or ``"r2c"``.
+
+    Raises :class:`ValueError` when the file size does not match the shape.
+    """
+    path = Path(path)
+    dtype = np.dtype(dtype)
+    expected = m * n * dtype.itemsize
+    actual = path.stat().st_size
+    if actual != expected:
+        raise ValueError(
+            f"{path} holds {actual} bytes; {m}x{n} {dtype} needs {expected}"
+        )
+    if order not in ("C", "F"):
+        raise ValueError(f"unknown order {order!r}")
+    if algorithm == "auto":
+        algorithm = choose_algorithm(m, n)
+
+    buf = np.memmap(path, dtype=dtype, mode="r+", shape=(m * n,))
+    try:
+        vm, vn = (m, n) if order == "C" else (n, m)
+        # strict mode: one row/column at a time through O(max(m, n)) scratch
+        if algorithm == "c2r":
+            c2r_transpose(buf, vm, vn, aux="strict")
+        else:
+            r2c_transpose(buf, vn, vm, aux="strict")
+        buf.flush()
+    finally:
+        del buf

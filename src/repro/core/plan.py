@@ -1,0 +1,137 @@
+"""Precomputed transpose plans.
+
+Index-matrix construction (the ``d'^{-1}``/``s'`` gather maps) costs as much
+as a pass over the data; applications that repeatedly transpose same-shaped
+buffers (e.g. the AoS/SoA conversions of Section 6.1, or batched FFT-style
+pipelines) amortize it by building a :class:`TransposePlan` once and calling
+:meth:`TransposePlan.execute` per buffer.
+
+The plan captures the direction decision (C2R vs R2C, honoring the paper's
+``m > n`` heuristic), the dimension/order folding of Theorems 1-2-7, and the
+fully materialized gather maps of the blocked fast path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import equations as eq
+from .indexing import Decomposition
+from .transpose import choose_algorithm
+
+__all__ = ["TransposePlan"]
+
+
+class TransposePlan:
+    """A reusable, shape-specialized in-place transpose.
+
+    Parameters
+    ----------
+    m, n:
+        Logical matrix dimensions before the transpose.
+    order:
+        ``"C"`` or ``"F"`` storage order of the buffers this plan will see.
+    algorithm:
+        ``"auto"``, ``"c2r"`` or ``"r2c"``.
+
+    Notes
+    -----
+    The plan stores ``O(mn)`` int32 gather maps — a deliberate space/time
+    trade (the strict kernels exist for the ``O(max(m, n))`` regime).
+    ``plan.scratch_bytes`` reports the footprint.
+    """
+
+    def __init__(self, m: int, n: int, order: str = "C", algorithm: str = "auto"):
+        if order not in ("C", "F"):
+            raise ValueError(f"unknown order {order!r}")
+        if algorithm == "auto":
+            algorithm = choose_algorithm(m, n)
+        if algorithm not in ("c2r", "r2c"):
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+        self.m, self.n, self.order, self.algorithm = m, n, order, algorithm
+
+        vm, vn = (m, n) if order == "C" else (n, m)
+        if algorithm == "c2r":
+            dec = Decomposition.of(vm, vn)
+            self._steps = self._build_c2r(dec)
+        else:
+            dec = Decomposition.of(vn, vm)
+            self._steps = self._build_r2c(dec)
+        self.dec = dec
+
+    # -- plan construction ---------------------------------------------------
+
+    @staticmethod
+    def _shrink(idx: np.ndarray) -> np.ndarray:
+        """Gather indices are bounded by max(m, n) < 2**31: int32 halves the
+        plan's memory footprint (and cache traffic) at no loss."""
+        return idx.astype(np.int32, copy=False)
+
+    def _build_c2r(self, dec: Decomposition):
+        plan = []
+        if dec.c > 1:
+            plan.append(("rotate_groups", self._rotation_shifts(dec, inverse=False)))
+        plan.append(("gather_cols", self._shrink(eq.dprime_inverse_matrix(dec))))
+        plan.append(("gather_rows", self._shrink(eq.sprime_matrix(dec))))
+        return plan
+
+    def _build_r2c(self, dec: Decomposition):
+        plan = [
+            ("gather_rows", self._shrink(eq.sprime_inverse_matrix(dec))),
+            ("gather_cols", self._shrink(eq.dprime_matrix(dec))),
+        ]
+        if dec.c > 1:
+            plan.append(("rotate_groups", self._rotation_shifts(dec, inverse=True)))
+        return plan
+
+    @staticmethod
+    def _rotation_shifts(dec: Decomposition, *, inverse: bool) -> list[tuple[slice, int]]:
+        """Per-group ``np.roll`` shifts for the (inverse) pre-rotation."""
+        out = []
+        for g in range(dec.c):
+            k = g % dec.m
+            if k == 0:
+                continue
+            shift = k if inverse else -k
+            out.append((slice(g * dec.b, (g + 1) * dec.b), shift))
+        return out
+
+    # -- execution -------------------------------------------------------------
+
+    @property
+    def scratch_bytes(self) -> int:
+        """Bytes held by the precomputed gather maps."""
+        total = 0
+        for kind, payload in self._steps:
+            if kind == "rotate_groups":
+                continue
+            total += payload.nbytes
+        return total
+
+    def execute(self, buf: np.ndarray) -> np.ndarray:
+        """Transpose ``buf`` in place using the precomputed maps.
+
+        ``buf`` must be flat and contiguous with ``m * n`` elements; after the
+        call it holds the ``n x m`` transpose in the plan's storage order.
+        """
+        if buf.ndim != 1 or buf.shape[0] != self.m * self.n:
+            raise ValueError(f"buffer must be flat with {self.m * self.n} elements")
+        dec = self.dec
+        V = buf.reshape(dec.m, dec.n)
+        for kind, payload in self._steps:
+            if kind == "rotate_groups":
+                for cols, shift in payload:
+                    V[:, cols] = np.roll(V[:, cols], shift, axis=0)
+            elif kind == "gather_cols":
+                V[:] = np.take_along_axis(V, payload, axis=1)
+            elif kind == "gather_rows":
+                V[:] = np.take_along_axis(V, payload, axis=0)
+            elif kind == "permute_rows":
+                V[:] = V[payload, :]
+        return buf
+
+    def __repr__(self) -> str:
+        return (
+            f"TransposePlan(m={self.m}, n={self.n}, order={self.order!r}, "
+            f"algorithm={self.algorithm!r})"
+        )

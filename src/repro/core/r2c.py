@@ -1,0 +1,138 @@
+"""The R2C ("Rows to Columns") in-place transposition — inverse of C2R.
+
+R2C is derived by reversing the order of the C2R passes and inverting each
+permutation (Section 4.3).  In the three-pass (gather) formulation:
+
+1. **Column shuffle** gathering with the fused inverse
+   ``s'^{-1}_j(i) = q^{-1}((i - j) mod m)`` (the gather composition of
+   Eq. 34 and Eq. 35).
+2. **Row shuffle** gathering with ``d'_i`` directly (Eq. 24 — no inversion
+   needed in this direction, as Section 4.3 notes).
+3. **Post-rotation** (only when ``gcd(m, n) > 1``) gathering with
+   ``r^{-1}_j(i) = (i - j // b) mod m`` (Eq. 36).
+
+The *restricted* formulation splits pass 1 into its two primitives — a
+row permutation by ``q^{-1}`` (Eq. 34) followed by a column rotation by
+``p^{-1}_j`` (Eq. 35) — the form used by the SIMD in-register transpose.
+
+``R2C(C2R(x)) == x`` and ``C2R(R2C(x)) == x`` for every buffer (tested).
+R2C implements transposition for column-major arrays (Theorem 1) and — after
+swapping the dimensions — for row-major arrays (Theorem 2).
+
+``variant``/``aux`` mirror :func:`repro.core.c2r.c2r_transpose`:
+``variant="scatter"`` scatters the row shuffle with ``d'^{-1}`` instead of
+gathering with ``d'`` (the two are dual).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import equations as eq
+from . import steps
+from .indexing import Decomposition
+from .steps import Scratch, WorkCounter
+
+__all__ = ["r2c_transpose"]
+
+VARIANTS = ("gather", "scatter", "restricted")
+AUX_MODES = ("strict", "blocked")
+
+
+def _strict_inverse_column_shuffle(
+    V: np.ndarray,
+    dec: Decomposition,
+    scratch: Scratch,
+    counter: WorkCounter | None,
+) -> None:
+    """Pass 1: gather each column with the fused ``s'^{-1}_j``."""
+    m = dec.m
+    tmp = scratch.buf[:m]
+    rows = np.arange(m, dtype=np.int64)
+    for j in range(dec.n):
+        idx = eq.sprime_inverse_v(dec, rows, j)
+        tmp[:] = V[idx, j]
+        V[:, j] = tmp
+        if counter is not None:
+            counter.add(m, m)
+
+
+def r2c_transpose(
+    buf: np.ndarray,
+    m: int,
+    n: int,
+    *,
+    variant: str = "gather",
+    aux: str = "blocked",
+    counter: WorkCounter | None = None,
+) -> np.ndarray:
+    """Perform the R2C transposition in place on a linear buffer.
+
+    Parameters mirror :func:`repro.core.c2r.c2r_transpose`.  The dimensions
+    ``(m, n)`` describe the same logical view the matching C2R call would
+    use; the buffer is interpreted as the row-major ``m x n`` view during the
+    passes.
+
+    Returns the same ``buf``; ``R2C`` inverts ``C2R`` exactly.
+    """
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
+    if aux not in AUX_MODES:
+        raise ValueError(f"unknown aux mode {aux!r}; expected one of {AUX_MODES}")
+    if counter is not None and aux != "strict":
+        raise ValueError("work counting is only meaningful in strict mode")
+    if not buf.flags["C_CONTIGUOUS"]:
+        raise ValueError(
+            "in-place transposition requires a contiguous buffer "
+            "(a non-contiguous view would be silently copied, not permuted)"
+        )
+    if buf.ndim != 1 or buf.shape[0] != m * n:
+        raise ValueError(f"buffer must be flat with {m * n} elements")
+
+    dec = Decomposition.of(m, n)
+    V = buf.reshape(m, n)
+
+    if aux == "strict":
+        scratch = Scratch.for_shape(m, n, buf.dtype)
+        if variant == "restricted":
+            rows = np.arange(m, dtype=np.int64)
+            q_inv = eq.permute_q_inverse_v(dec, rows)
+            steps.permute_rows_strict(V, q_inv, scratch=scratch, counter=counter)
+            steps.rotate_p_strict(
+                V, dec, inverse=True, scratch=scratch, counter=counter
+            )
+        else:
+            _strict_inverse_column_shuffle(V, dec, scratch, counter)
+        if variant == "scatter":
+            steps.shuffle_rows_strict(
+                V,
+                dec,
+                gather=False,
+                use_dprime=False,
+                scratch=scratch,
+                counter=counter,
+            )
+        else:
+            steps.shuffle_rows_strict(
+                V, dec, gather=True, use_dprime=True, scratch=scratch, counter=counter
+            )
+        if dec.c > 1:
+            steps.rotate_columns_strict(
+                V, dec, inverse=True, scratch=scratch, counter=counter
+            )
+    else:
+        if variant == "restricted":
+            rows = np.arange(m, dtype=np.int64)
+            steps.permute_rows_blocked(V, eq.permute_q_inverse_v(dec, rows))
+            steps.rotate_p_blocked(V, dec, inverse=True)
+        else:
+            V[:] = np.take_along_axis(V, eq.sprime_inverse_matrix(dec), axis=0)
+        if variant == "scatter":
+            out = np.empty_like(V)
+            np.put_along_axis(out, eq.dprime_inverse_matrix(dec), V, axis=1)
+            V[:] = out
+        else:
+            steps.shuffle_rows_blocked(V, dec, use_dprime=True)
+        if dec.c > 1:
+            steps.rotate_columns_blocked(V, dec, inverse=True)
+    return buf

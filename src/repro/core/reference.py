@@ -1,0 +1,60 @@
+"""Out-of-place reference transposes — the oracle for every test and bench.
+
+These are deliberately simple: numpy's own transpose plus explicit
+linearization bookkeeping.  Every in-place kernel in the repository is tested
+against these functions, and the "ideal" throughput ceiling used in the
+evaluation (one read + one write per element, Eq. 37) is measured on them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "transpose_rowmajor_oracle",
+    "transpose_colmajor_oracle",
+    "c2r_oracle",
+    "r2c_oracle",
+]
+
+
+def transpose_rowmajor_oracle(buf: np.ndarray, m: int, n: int) -> np.ndarray:
+    """Transpose a row-major linearized ``m x n`` array, out of place.
+
+    Returns a new linear buffer holding the row-major linearization of the
+    ``n x m`` transpose.
+    """
+    if buf.shape != (m * n,):
+        raise ValueError(f"buffer must be flat with {m * n} elements")
+    return buf.reshape(m, n).T.copy().ravel()
+
+
+def transpose_colmajor_oracle(buf: np.ndarray, m: int, n: int) -> np.ndarray:
+    """Transpose a column-major linearized ``m x n`` array, out of place."""
+    if buf.shape != (m * n,):
+        raise ValueError(f"buffer must be flat with {m * n} elements")
+    A = buf.reshape(m, n, order="F")
+    return A.T.copy(order="F").ravel(order="F")
+
+
+def c2r_oracle(A: np.ndarray) -> np.ndarray:
+    """The C2R permutation as a 2-D gather (Eq. 11): ``B[i,j] = A[s, c]``.
+
+    Returns the ``m x n`` array ``A_C2R`` (same shape as ``A``); Theorem 1
+    says its row-major linearization equals the row-major linearization of
+    ``A^T``.
+    """
+    m, n = A.shape
+    i = np.arange(m, dtype=np.int64)[:, None]
+    j = np.arange(n, dtype=np.int64)[None, :]
+    lin = j + i * n
+    return A[lin % m, lin // m]
+
+
+def r2c_oracle(A: np.ndarray) -> np.ndarray:
+    """The R2C permutation as a 2-D gather (Eq. 12): ``B[i,j] = A[t, d]``."""
+    m, n = A.shape
+    i = np.arange(m, dtype=np.int64)[:, None]
+    j = np.arange(n, dtype=np.int64)[None, :]
+    lin = i + j * m
+    return A[lin // n, lin % n]

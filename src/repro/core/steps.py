@@ -1,0 +1,287 @@
+"""The three pass primitives of Algorithm 1, in strict and blocked variants.
+
+Algorithm 1 (C2R) is built from exactly three kinds of data movement, each of
+which this module implements as a standalone primitive operating on the
+row-major ``(m, n)`` view ``V`` of the linear buffer:
+
+* **column rotation** — every column ``j`` rotated upward by some amount
+  (``j // b`` for the pre-rotation, ``j`` for the column-shuffle rotation);
+* **row shuffle** — every row independently permuted (scatter ``d'_i``,
+  gather ``d'^{-1}_i``);
+* **row permutation** — all rows moved identically (``q`` / ``q^{-1}``),
+  i.e. the "static" column operation of Section 4.1.
+
+Each primitive comes in two variants:
+
+``strict``
+    Honors the paper's ``O(max(m, n))`` auxiliary-space bound literally: one
+    scratch vector of ``max(m, n)`` elements, processing a single row or
+    column at a time (row permutations use cycle following with a single row
+    buffer, as in Section 4.7).  The strict variants optionally maintain a
+    :class:`WorkCounter` so the Theorem 6 work bound (each element read and
+    written at most 6 times over the full transpose) is checkable.
+
+``blocked``
+    The production fast path: whole-array numpy gathers
+    (``np.take_along_axis``) trading scratch space for vectorization.  Both
+    variants compute identical results (pinned to each other by the tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from . import equations as eq
+from .indexing import Decomposition
+
+__all__ = [
+    "WorkCounter",
+    "Scratch",
+    "rotate_columns_strict",
+    "rotate_columns_blocked",
+    "shuffle_rows_strict",
+    "shuffle_rows_blocked",
+    "rotate_p_strict",
+    "rotate_p_blocked",
+    "permute_rows_strict",
+    "permute_rows_blocked",
+]
+
+
+@dataclass
+class WorkCounter:
+    """Counts element reads/writes against the *main* array.
+
+    Scratch-buffer traffic is excluded, matching the accounting in the proof
+    of Theorem 6 ("the algorithm reads and writes each element 6 times,
+    performing row and column permutations out-of-place").
+    """
+
+    reads: int = 0
+    writes: int = 0
+
+    def add(self, reads: int, writes: int) -> None:
+        self.reads += int(reads)
+        self.writes += int(writes)
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+
+@dataclass
+class Scratch:
+    """A reusable ``O(max(m, n))`` scratch allocation for the strict path."""
+
+    buf: np.ndarray
+    visited: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    @classmethod
+    def for_shape(cls, m: int, n: int, dtype) -> "Scratch":
+        return cls(
+            buf=np.empty(max(m, n), dtype=dtype),
+            visited=np.zeros(m, dtype=bool),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Column rotation (Eq. 23 / 36 amounts: j // b; Eq. 32 / 35 amounts: j)
+# ---------------------------------------------------------------------------
+
+def _rotate_one_column(
+    V: np.ndarray, j: int, k: int, scratch: np.ndarray, counter: WorkCounter | None
+) -> None:
+    """Rotate column ``j`` upward by ``k`` using the scratch vector.
+
+    ``new[i] = old[(i + k) mod m]``; implemented as two contiguous slice
+    copies through the scratch (one read + one write per element).
+    """
+    m = V.shape[0]
+    k %= m
+    if k == 0:
+        return
+    scratch[: m - k] = V[k:, j]
+    scratch[m - k : m] = V[:k, j]
+    V[:, j] = scratch[:m]
+    if counter is not None:
+        counter.add(m, m)
+
+
+def rotate_columns_strict(
+    V: np.ndarray,
+    dec: Decomposition,
+    *,
+    inverse: bool = False,
+    scratch: Scratch | None = None,
+    counter: WorkCounter | None = None,
+) -> None:
+    """Pre-rotation pass (Eq. 23), or its inverse (Eq. 36), column at a time.
+
+    Column ``j`` rotates upward by ``j // b`` (downward when ``inverse``).
+    """
+    m, n = dec.m, dec.n
+    sc = scratch or Scratch.for_shape(m, n, V.dtype)
+    for j in range(n):
+        k = j // dec.b
+        _rotate_one_column(V, j, -k % m if inverse else k, sc.buf, counter)
+
+
+def rotate_columns_blocked(
+    V: np.ndarray, dec: Decomposition, *, inverse: bool = False
+) -> None:
+    """Blocked pre-rotation: groups of ``b`` columns share a rotation amount.
+
+    Lemma 1's periodicity means columns ``[g*b, (g+1)*b)`` all rotate by the
+    same ``g``, so each group is one vectorized ``np.roll``.
+    """
+    m = dec.m
+    for g in range(dec.c):
+        k = g % m
+        if k == 0:
+            continue
+        shift = k if inverse else -k
+        cols = slice(g * dec.b, (g + 1) * dec.b)
+        V[:, cols] = np.roll(V[:, cols], shift, axis=0)
+
+
+def rotate_p_strict(
+    V: np.ndarray,
+    dec: Decomposition,
+    *,
+    inverse: bool = False,
+    scratch: Scratch | None = None,
+    counter: WorkCounter | None = None,
+) -> None:
+    """Column-shuffle rotation (Eq. 32), or its inverse (Eq. 35).
+
+    Column ``j`` rotates upward by ``j`` (downward when ``inverse``).
+    """
+    m, n = dec.m, dec.n
+    sc = scratch or Scratch.for_shape(m, n, V.dtype)
+    for j in range(n):
+        _rotate_one_column(V, j, (-j) % m if inverse else j % m, sc.buf, counter)
+
+
+def rotate_p_blocked(
+    V: np.ndarray, dec: Decomposition, *, inverse: bool = False
+) -> None:
+    """Blocked column-shuffle rotation via a whole-array gather."""
+    idx = (
+        eq.rotate_p_inverse_matrix(dec) if inverse else eq.rotate_p_matrix(dec)
+    )
+    V[:] = np.take_along_axis(V, idx, axis=0)
+
+
+# ---------------------------------------------------------------------------
+# Row shuffle (Eq. 24 scatter / Eq. 31 gather)
+# ---------------------------------------------------------------------------
+
+def shuffle_rows_strict(
+    V: np.ndarray,
+    dec: Decomposition,
+    *,
+    gather: bool = True,
+    use_dprime: bool = False,
+    scratch: Scratch | None = None,
+    counter: WorkCounter | None = None,
+) -> None:
+    """Row shuffle, one row at a time through the scratch vector.
+
+    Parameters
+    ----------
+    gather:
+        When True the row is gathered (``tmp[j] = row[idx[j]]``), when False
+        scattered (``tmp[idx[j]] = row[j]``).
+    use_dprime:
+        Selects the index function: ``d'_i`` (Eq. 24, R2C gather form /
+        C2R scatter form) when True, ``d'^{-1}_i`` (Eq. 31, C2R gather form /
+        R2C scatter form) when False.
+
+    The C2R forward pass is either ``gather=True, use_dprime=False`` (the
+    optimized gather formulation of Section 4.2) or
+    ``gather=False, use_dprime=True`` (the scatter formulation of
+    Algorithm 1); both produce the same row contents.
+    """
+    m, n = dec.m, dec.n
+    sc = scratch or Scratch.for_shape(m, n, V.dtype)
+    tmp = sc.buf[:n]
+    cols = np.arange(n, dtype=np.int64)
+    for i in range(m):
+        idx = (
+            eq.dprime_v(dec, i, cols)
+            if use_dprime
+            else eq.dprime_inverse_v(dec, i, cols)
+        )
+        if gather:
+            tmp[:] = V[i, idx]
+        else:
+            tmp[idx] = V[i, :]
+        V[i, :] = tmp
+        if counter is not None:
+            counter.add(n, n)
+
+
+def shuffle_rows_blocked(
+    V: np.ndarray, dec: Decomposition, *, use_dprime: bool = False
+) -> None:
+    """Blocked row shuffle as a single whole-array gather.
+
+    Always gather-based; ``use_dprime`` selects ``d'`` (R2C direction) versus
+    ``d'^{-1}`` (C2R direction).
+    """
+    idx = eq.dprime_matrix(dec) if use_dprime else eq.dprime_inverse_matrix(dec)
+    V[:] = np.take_along_axis(V, idx, axis=1)
+
+
+# ---------------------------------------------------------------------------
+# Row permutation (Eq. 33 / 34): all rows move identically
+# ---------------------------------------------------------------------------
+
+def permute_rows_strict(
+    V: np.ndarray,
+    gather_rows: np.ndarray,
+    *,
+    scratch: Scratch | None = None,
+    counter: WorkCounter | None = None,
+) -> None:
+    """Row permutation via cycle following with a single row buffer.
+
+    Implements ``V[i, :] = V_old[gather_rows[i], :]`` touching each row once:
+    for every cycle of the gather map, one row is parked in the scratch row
+    buffer and the remaining rows shift along the cycle (the single-set-of-
+    cycles structure exploited by Section 4.7).  Auxiliary space is one row
+    (``n`` elements) plus ``m`` visited bits.
+    """
+    m, n = V.shape
+    g = np.asarray(gather_rows, dtype=np.int64)
+    if g.shape != (m,):
+        raise ValueError("gather_rows must have one entry per row")
+    sc = scratch or Scratch.for_shape(m, n, V.dtype)
+    visited = sc.visited
+    visited[:] = False
+    tmp = sc.buf[:n]
+    for leader in range(m):
+        if visited[leader] or g[leader] == leader:
+            visited[leader] = True
+            continue
+        tmp[:] = V[leader, :]
+        if counter is not None:
+            counter.add(n, 0)
+        i = leader
+        while int(g[i]) != leader:
+            V[i, :] = V[int(g[i]), :]
+            if counter is not None:
+                counter.add(n, n)
+            visited[i] = True
+            i = int(g[i])
+        V[i, :] = tmp
+        if counter is not None:
+            counter.add(0, n)
+        visited[i] = True
+
+
+def permute_rows_blocked(V: np.ndarray, gather_rows: np.ndarray) -> None:
+    """Row permutation as one fancy-indexed gather (copies the array once)."""
+    V[:] = V[np.asarray(gather_rows, dtype=np.int64), :]

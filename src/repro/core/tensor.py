@@ -1,0 +1,71 @@
+"""In-place axis permutations of 3-D tensors.
+
+Two ubiquitous tensor reorderings reduce to the paper's algorithm:
+
+* ``(k, m, n) -> (k, n, m)`` — transpose every matrix of a batch: exactly
+  the batched plan (the batch axis rides along).
+* ``(m, n, k) -> (n, m, k)`` — swap the two leading axes: a transpose of
+  the ``m x n`` grid of ``k``-element *super-elements*.  The decomposition
+  never looks inside elements, so a void-dtype view of width ``k *
+  itemsize`` turns this into an ordinary in-place matrix transpose with the
+  same `O(max(m, n))`-super-element scratch bound.
+
+Both return reshaped views of the same memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .batched import BatchedTransposePlan
+from .transpose import transpose_inplace
+
+__all__ = ["swap_last_axes_inplace", "swap_first_axes_inplace"]
+
+
+def _require_c_contiguous(t: np.ndarray) -> None:
+    if t.ndim != 3:
+        raise ValueError("expected a 3-D tensor")
+    if not t.flags["C_CONTIGUOUS"]:
+        raise ValueError("in-place axis swaps require a C-contiguous tensor")
+
+
+def swap_last_axes_inplace(t: np.ndarray) -> np.ndarray:
+    """Permute ``(k, m, n) -> (k, n, m)`` in place.
+
+    Returns a view of the same memory with the new shape.
+
+    >>> import numpy as np
+    >>> from repro.core.tensor import swap_last_axes_inplace
+    >>> t = np.arange(24.0).reshape(2, 3, 4)
+    >>> expected = t.transpose(0, 2, 1).copy()
+    >>> out = swap_last_axes_inplace(t)
+    >>> bool((out == expected).all()) and np.shares_memory(out, t)
+    True
+    """
+    _require_c_contiguous(t)
+    k, m, n = t.shape
+    BatchedTransposePlan(m, n).execute(t)
+    return t.reshape(k * m * n).reshape(k, n, m)
+
+
+def swap_first_axes_inplace(t: np.ndarray) -> np.ndarray:
+    """Permute ``(m, n, k) -> (n, m, k)`` in place.
+
+    The trailing axis is carried as an opaque super-element.  Returns a
+    view of the same memory with the new shape.
+
+    >>> import numpy as np
+    >>> from repro.core.tensor import swap_first_axes_inplace
+    >>> t = np.arange(24.0).reshape(3, 4, 2)
+    >>> expected = t.transpose(1, 0, 2).copy()
+    >>> out = swap_first_axes_inplace(t)
+    >>> bool((out == expected).all()) and np.shares_memory(out, t)
+    True
+    """
+    _require_c_contiguous(t)
+    m, n, k = t.shape
+    flat = t.reshape(-1)
+    super_dtype = np.dtype((np.void, k * t.dtype.itemsize))
+    transpose_inplace(flat.view(super_dtype), m, n)
+    return flat.reshape(n, m, k)

@@ -1,0 +1,191 @@
+"""Throughput model for AoS vector memory accesses (Figures 8 and 9).
+
+Each data point executes the *real* access method on the simulated warp
+(:class:`~repro.simd.coalesced.CoalescedArray`), then prices the recorded
+address trace and instruction counts with the device model:
+
+Loads
+    The L2 serves repeated 32-byte sectors within a batch once (sector
+    dedup), so DRAM traffic is the number of *unique* sectors touched; but
+    every issued sector request still occupies the memory pipeline, so the
+    effective time is the max of the traffic term and the issue term.
+Stores
+    Writes allocate at full line granularity and are not merged across
+    store instructions (Kepler stores bypass L1); each warp store pays its
+    distinct 128-byte lines.
+Compute
+    Shuffles retire at one warp-op per SM-cycle, selects/ALU at six; the
+    access is compute-bound when that exceeds the memory time (visible as
+    the C2R lines' mild droop at large structs).
+
+throughput = useful bytes / max(memory time, instruction time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..simd.coalesced import CoalescedArray
+from ..simd.machine import SimdMachine
+from ..simd.memory import SimulatedMemory
+from .device import TESLA_K20C, Device
+from .memory import TransactionAnalyzer
+
+__all__ = ["AccessResult", "aos_access_throughput", "PATTERNS", "OPS"]
+
+PATTERNS = ("c2r", "direct", "vector")
+OPS = ("load", "store", "copy", "gather", "scatter")
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """One modeled data point."""
+
+    pattern: str
+    op: str
+    struct_bytes: int
+    useful_bytes: int
+    load_traffic_bytes: float
+    store_traffic_bytes: float
+    instr_seconds: float
+    mem_seconds: float
+
+    @property
+    def seconds(self) -> float:
+        return max(self.mem_seconds, self.instr_seconds)
+
+    @property
+    def throughput(self) -> float:
+        return self.useful_bytes / self.seconds
+
+    @property
+    def throughput_gbps(self) -> float:
+        return self.throughput / 1e9
+
+
+def _run_op(
+    arr: CoalescedArray,
+    pattern: str,
+    op: str,
+    idx: np.ndarray,
+    base: int,
+) -> None:
+    m = arr.m
+    mach = arr.machine
+    regs = [np.zeros(mach.n_lanes, dtype=arr.memory.data.dtype) for _ in range(m)]
+    if op in ("load", "copy", "gather"):
+        if pattern == "c2r":
+            regs = arr.warp_gather(idx) if op == "gather" else arr.warp_load(base)
+        elif pattern == "direct":
+            regs = arr.direct_load(idx if op == "gather" else base + np.arange(32))
+        else:
+            regs = arr.vector_load(idx if op == "gather" else base + np.arange(32))
+    if op in ("store", "copy", "scatter"):
+        if pattern == "c2r":
+            if op == "scatter":
+                arr.warp_scatter(idx, regs)
+            else:
+                arr.warp_store(base, regs)
+        elif pattern == "direct":
+            arr.direct_store(idx if op == "scatter" else base + np.arange(32), regs)
+        else:
+            arr.vector_store(idx if op == "scatter" else base + np.arange(32), regs)
+
+
+def aos_access_throughput(
+    struct_words: int,
+    pattern: str,
+    op: str,
+    device: Device = TESLA_K20C,
+    *,
+    itemsize: int = 4,
+    n_warps: int = 8,
+    seed: int = 0,
+) -> AccessResult:
+    """Model one Fig. 8/9 data point.
+
+    Parameters
+    ----------
+    struct_words:
+        Structure size in AoS words (``struct_bytes = struct_words *
+        itemsize``).
+    pattern:
+        ``"c2r"`` (this paper's transpose-in-registers), ``"direct"``
+        (compiler element-wise) or ``"vector"`` (native 128-bit accesses).
+    op:
+        ``"load"``/``"store"``/``"copy"`` for unit-stride (Fig. 8),
+        ``"gather"``/``"scatter"`` for random (Fig. 9).
+    """
+    if pattern not in PATTERNS:
+        raise ValueError(f"unknown pattern {pattern!r}")
+    if op not in OPS:
+        raise ValueError(f"unknown op {op!r}")
+    rng = np.random.default_rng(seed)
+    m = struct_words
+    n_structs = max(4096, 64 * m)
+    mem = SimulatedMemory(n_structs * m, itemsize=itemsize)
+    mem.data[:] = np.arange(n_structs * m)
+    mach = SimdMachine(device.warp_size)
+    arr = CoalescedArray(mem, m, mach)
+
+    for w in range(n_warps):
+        if op in ("gather", "scatter"):
+            idx = rng.choice(n_structs, size=device.warp_size, replace=False)
+            base = 0
+        else:
+            idx = np.arange(device.warp_size) + w * device.warp_size
+            base = w * device.warp_size
+        _run_op(arr, pattern, op, idx.astype(np.int64), base)
+
+    # ---- price the trace -------------------------------------------------
+    sector = TransactionAnalyzer(device.sector_bytes)
+    line = TransactionAnalyzer(device.line_bytes)
+
+    load_issued_sectors = 0
+    load_sector_ids: set[int] = set()
+    store_line_count = 0
+    for rec in mem.trace:
+        if rec.kind == "load":
+            load_issued_sectors += sector.count_warp(
+                rec.byte_addresses, rec.access_bytes
+            )
+            a = np.asarray(rec.byte_addresses, dtype=np.int64)
+            first = a // device.sector_bytes
+            last = (a + rec.access_bytes - 1) // device.sector_bytes
+            for f, l in zip(first.tolist(), last.tolist()):
+                load_sector_ids.update(range(f, l + 1))
+        else:
+            lines = line.count_warp(rec.byte_addresses, rec.access_bytes)
+            covered = np.asarray(rec.byte_addresses).size * rec.access_bytes
+            if covered < lines * device.line_bytes:
+                # partially covered lines: ECC read-modify-write doubles the
+                # DRAM cost (the reason compiler-generated AoS stores fall up
+                # to 45x below peak in Fig. 8a)
+                store_line_count += 2 * lines
+            else:
+                store_line_count += lines
+
+    load_traffic = len(load_sector_ids) * device.sector_bytes
+    load_issue = load_issued_sectors * device.sector_bytes
+    store_traffic = store_line_count * device.line_bytes
+    bw = device.achievable_bandwidth
+    mem_seconds = max(load_traffic, load_issue) / bw + store_traffic / bw
+
+    c = mach.counts
+    instr_seconds = c.shfl / device.shfl_rate + (c.select + c.alu) / device.alu_rate
+
+    struct_bytes = m * itemsize
+    sides = 2 if op == "copy" else 1
+    useful = n_warps * device.warp_size * struct_bytes * sides
+    return AccessResult(
+        pattern=pattern,
+        op=op,
+        struct_bytes=struct_bytes,
+        useful_bytes=useful,
+        load_traffic_bytes=float(load_traffic),
+        store_traffic_bytes=float(store_traffic),
+        instr_seconds=instr_seconds,
+        mem_seconds=mem_seconds,
+    )

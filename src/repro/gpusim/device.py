@@ -1,0 +1,115 @@
+"""Device descriptions.
+
+Only published hardware constants appear here (K20c datasheet / CUDA
+programming guide values); the cost models combine them with trace-measured
+transaction efficiencies.  ``achievable_fraction`` is the standard
+STREAM-style derate of theoretical DRAM bandwidth — 0.87 x 208 GB/s
+reproduces the ~180 GB/s the paper itself measures for perfectly coalesced
+copies (Fig. 8b's plateau), so it is a hardware property, not a fit to the
+transpose results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cache.onchip import OnChipModel
+
+__all__ = ["Device", "TESLA_K20C", "CORE_I7_950", "A100_SXM4"]
+
+
+@dataclass(frozen=True)
+class Device:
+    """A bandwidth/coalescing device model."""
+
+    name: str
+    n_sm: int
+    clock_hz: float
+    peak_bandwidth: float  # bytes/s
+    achievable_fraction: float  # STREAM-style derate
+    line_bytes: int  # DRAM transaction / L1 line size
+    sector_bytes: int  # L2 sector granularity for scattered access
+    l1_bytes: int  # per-SM data cache available for row reuse
+    l2_bytes: int  # chip-wide L2
+    warp_size: int
+    regfile_bytes_per_sm: int
+    alu_warps_per_clock_per_sm: float  # warp-wide int-ALU issue rate
+    shfl_warps_per_clock_per_sm: float  # warp-wide shuffle issue rate
+    onchip: OnChipModel = field(default_factory=OnChipModel)
+
+    @property
+    def achievable_bandwidth(self) -> float:
+        """Practically attainable streaming bandwidth (bytes/s)."""
+        return self.peak_bandwidth * self.achievable_fraction
+
+    @property
+    def alu_rate(self) -> float:
+        """Aggregate warp-ALU instructions per second."""
+        return self.n_sm * self.clock_hz * self.alu_warps_per_clock_per_sm
+
+    @property
+    def shfl_rate(self) -> float:
+        """Aggregate warp-shuffle instructions per second."""
+        return self.n_sm * self.clock_hz * self.shfl_warps_per_clock_per_sm
+
+
+#: NVIDIA Tesla K20c (GK110): 13 SMX @ 706 MHz, 320-bit GDDR5 @ 5.2 GT/s
+#: (208 GB/s), 128-byte L1 lines, 32-byte L2 sectors, 1.25 MB L2,
+#: 256 kB register file per SMX, 192 CUDA cores + 32 shuffle units per SMX.
+TESLA_K20C = Device(
+    name="Tesla K20c",
+    n_sm=13,
+    clock_hz=706e6,
+    peak_bandwidth=208e9,
+    achievable_fraction=0.87,
+    line_bytes=128,
+    sector_bytes=32,
+    l1_bytes=48 * 1024,
+    l2_bytes=1280 * 1024,
+    warp_size=32,
+    regfile_bytes_per_sm=256 * 1024,
+    alu_warps_per_clock_per_sm=6.0,  # 192 cores / 32 lanes
+    shfl_warps_per_clock_per_sm=1.0,  # 32 shuffle units / 32 lanes
+)
+
+#: Intel Core i7 950 (the paper's CPU testbed): 4 cores / 8 threads,
+#: 3.06 GHz, triple-channel DDR3-1066 (25.6 GB/s), 64-byte lines.
+#: Used only for documentation/ceiling numbers in the CPU benches (which
+#: otherwise measure real wall-clock on this machine).
+CORE_I7_950 = Device(
+    name="Core i7 950",
+    n_sm=4,
+    clock_hz=3.06e9,
+    peak_bandwidth=25.6e9,
+    achievable_fraction=0.6,
+    line_bytes=64,
+    sector_bytes=64,
+    l1_bytes=32 * 1024,
+    l2_bytes=8 * 1024 * 1024,
+    warp_size=1,
+    regfile_bytes_per_sm=16 * 64,
+    alu_warps_per_clock_per_sm=4.0,
+    shfl_warps_per_clock_per_sm=1.0,
+)
+
+
+#: NVIDIA A100-SXM4-40GB (GA100), for model-generality checks: 108 SMs @
+#: ~1.41 GHz, HBM2 @ 1555 GB/s, 128-byte L1 lines / 32-byte sectors, 40 MB
+#: L2, 256 kB register file per SM.  The decomposition's qualitative
+#: behaviour (bands, orderings, crossovers) should persist on any
+#: bandwidth-bound device; tests pin that.
+A100_SXM4 = Device(
+    name="A100-SXM4-40GB",
+    n_sm=108,
+    clock_hz=1.41e9,
+    peak_bandwidth=1555e9,
+    achievable_fraction=0.87,
+    line_bytes=128,
+    sector_bytes=32,
+    l1_bytes=192 * 1024,
+    l2_bytes=40 * 1024 * 1024,
+    warp_size=32,
+    regfile_bytes_per_sm=256 * 1024,
+    alu_warps_per_clock_per_sm=2.0,  # 64 INT32 cores / 32 lanes
+    shfl_warps_per_clock_per_sm=1.0,
+)

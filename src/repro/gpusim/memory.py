@@ -1,0 +1,98 @@
+"""Exact transaction counting over warp address traces.
+
+The GPU memory system services a warp access by fetching every distinct
+memory segment the warp's lanes touch: 128-byte transactions for cached
+loads/stores, 32-byte sectors for scattered (L2) traffic.  Coalescing
+efficiency is simply ``useful bytes / fetched bytes``.
+
+:class:`TransactionAnalyzer` implements this literally: expand each lane
+access into the segments covering ``[addr, addr + access_bytes)``, count the
+distinct segments, and accumulate.  It consumes the ``AccessRecord`` traces
+produced by :class:`repro.simd.memory.SimulatedMemory` as well as raw
+address arrays from the cost models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TransactionAnalyzer", "TrafficSummary"]
+
+
+@dataclass
+class TrafficSummary:
+    """Aggregate result of analyzing a trace."""
+
+    transactions: int = 0
+    useful_bytes: int = 0
+    segment_bytes: int = 128
+    load_transactions: int = 0
+    store_transactions: int = 0
+
+    @property
+    def fetched_bytes(self) -> int:
+        return self.transactions * self.segment_bytes
+
+    @property
+    def efficiency(self) -> float:
+        """Useful fraction of fetched bytes (1.0 = perfectly coalesced)."""
+        if self.transactions == 0:
+            return 1.0
+        return self.useful_bytes / self.fetched_bytes
+
+
+class TransactionAnalyzer:
+    """Counts distinct memory segments touched by warp-wide accesses."""
+
+    def __init__(self, segment_bytes: int = 128):
+        if segment_bytes <= 0:
+            raise ValueError("segment size must be positive")
+        self.segment_bytes = segment_bytes
+
+    def count_warp(self, byte_addrs: np.ndarray, access_bytes: int = 4) -> int:
+        """Distinct segments covering one warp access.
+
+        ``byte_addrs`` holds each active lane's starting byte address;
+        ``access_bytes`` is the contiguous footprint per lane.
+        """
+        a = np.asarray(byte_addrs, dtype=np.int64)
+        if a.size == 0:
+            return 0
+        if access_bytes <= 0:
+            raise ValueError("access_bytes must be positive")
+        first = a // self.segment_bytes
+        last = (a + access_bytes - 1) // self.segment_bytes
+        if (last == first).all():
+            return int(np.unique(first).size)
+        segs = np.concatenate(
+            [np.arange(f, l + 1) for f, l in zip(first.tolist(), last.tolist())]
+        )
+        return int(np.unique(segs).size)
+
+    def analyze(self, trace) -> TrafficSummary:
+        """Analyze a list of ``AccessRecord``-like objects (``kind``,
+        ``byte_addresses``, ``access_bytes``)."""
+        out = TrafficSummary(segment_bytes=self.segment_bytes)
+        for rec in trace:
+            tx = self.count_warp(rec.byte_addresses, rec.access_bytes)
+            out.transactions += tx
+            out.useful_bytes += int(
+                np.asarray(rec.byte_addresses).size * rec.access_bytes
+            )
+            if rec.kind == "load":
+                out.load_transactions += tx
+            else:
+                out.store_transactions += tx
+        return out
+
+    def warp_efficiency(
+        self, byte_addrs: np.ndarray, access_bytes: int = 4
+    ) -> float:
+        """Coalescing efficiency of a single warp access."""
+        tx = self.count_warp(byte_addrs, access_bytes)
+        if tx == 0:
+            return 1.0
+        useful = np.asarray(byte_addrs).size * access_bytes
+        return useful / (tx * self.segment_bytes)

@@ -1,0 +1,101 @@
+"""SM occupancy model — what shared-memory staging really costs.
+
+The paper's argument for the in-register transpose is not only bank
+conflicts: staging through shared memory consumes a scarce per-SM resource,
+reducing the number of warps in flight, and memory latency hiding (hence
+achieved bandwidth) degrades with occupancy.  This model computes the
+classic occupancy calculation for a kernel's per-block resources and maps
+occupancy to an achievable-bandwidth fraction.
+
+Constants are Kepler (GK110) limits from the CUDA occupancy calculator; the
+bandwidth-vs-occupancy curve is the standard Little's-law saturation shape
+(latency x bandwidth product ≈ 100 kB in flight on Kepler ⇒ roughly half
+the maximum resident warps are needed to saturate DRAM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import TESLA_K20C, Device
+
+__all__ = ["OccupancyLimits", "KEPLER_LIMITS", "occupancy", "bandwidth_fraction"]
+
+
+@dataclass(frozen=True)
+class OccupancyLimits:
+    """Per-SM scheduling limits."""
+
+    max_threads: int = 2048
+    max_warps: int = 64
+    max_blocks: int = 16
+    smem_bytes: int = 48 * 1024
+    max_registers: int = 65536
+    #: fraction of max warps needed to saturate DRAM bandwidth
+    saturation_warps_fraction: float = 0.5
+
+
+KEPLER_LIMITS = OccupancyLimits()
+
+
+def occupancy(
+    threads_per_block: int,
+    smem_per_block: int = 0,
+    regs_per_thread: int = 32,
+    limits: OccupancyLimits = KEPLER_LIMITS,
+) -> float:
+    """Achieved occupancy (resident warps / max warps) for a kernel config.
+
+    The binding constraint is the minimum over the thread, block, register
+    and shared-memory limits — exactly the CUDA occupancy calculation.
+    """
+    if threads_per_block <= 0:
+        raise ValueError("threads_per_block must be positive")
+    if threads_per_block > limits.max_threads:
+        return 0.0
+    if smem_per_block > limits.smem_bytes:
+        return 0.0
+    if regs_per_thread * threads_per_block > limits.max_registers:
+        return 0.0
+    by_threads = limits.max_threads // threads_per_block
+    by_blocks = limits.max_blocks
+    by_smem = (
+        limits.smem_bytes // smem_per_block if smem_per_block > 0 else by_blocks
+    )
+    by_regs = limits.max_registers // (regs_per_thread * threads_per_block)
+    blocks = min(by_threads, by_blocks, by_smem, by_regs)
+    warps = blocks * (threads_per_block // 32 + (threads_per_block % 32 > 0))
+    return min(1.0, warps / limits.max_warps)
+
+
+def bandwidth_fraction(
+    occ: float, limits: OccupancyLimits = KEPLER_LIMITS
+) -> float:
+    """Fraction of achievable DRAM bandwidth at a given occupancy.
+
+    Little's law saturation: bandwidth rises linearly with in-flight warps
+    until the latency-bandwidth product is covered, then flattens.
+    """
+    if not (0.0 <= occ <= 1.0):
+        raise ValueError("occupancy must be in [0, 1]")
+    sat = limits.saturation_warps_fraction
+    return min(1.0, occ / sat) if sat > 0 else 1.0
+
+
+def staged_access_bandwidth(
+    struct_words: int,
+    itemsize: int = 4,
+    threads_per_block: int = 256,
+    device: Device = TESLA_K20C,
+    limits: OccupancyLimits = KEPLER_LIMITS,
+) -> float:
+    """Achievable bandwidth (bytes/s) of the smem-staged AoS access.
+
+    Each warp stages ``struct_words * 32`` elements, so a block of
+    ``threads_per_block`` threads allocates
+    ``struct_words * threads_per_block * itemsize`` bytes of shared memory —
+    the occupancy cost the register path does not pay.
+    """
+    smem = struct_words * threads_per_block * itemsize
+    occ = occupancy(threads_per_block, smem, limits=limits)
+    return device.achievable_bandwidth * bandwidth_fraction(occ, limits)

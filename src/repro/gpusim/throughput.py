@@ -1,0 +1,24 @@
+"""Throughput accounting (Eq. 37).
+
+    throughput(m, n, s, t) = 2 * m * n * s / t
+
+— an ideal transpose reads and writes each of the ``m*n`` elements of size
+``s`` exactly once, so ``2mns`` bytes over the elapsed time is the paper's
+figure of merit everywhere.
+"""
+
+from __future__ import annotations
+
+__all__ = ["eq37_throughput", "gbps"]
+
+
+def eq37_throughput(m: int, n: int, itemsize: int, seconds: float) -> float:
+    """Eq. 37 in bytes/second."""
+    if seconds <= 0:
+        raise ValueError("elapsed time must be positive")
+    return 2.0 * m * n * itemsize / seconds
+
+
+def gbps(bytes_per_second: float) -> float:
+    """Bytes/s -> GB/s (decimal, as the paper reports)."""
+    return bytes_per_second / 1e9

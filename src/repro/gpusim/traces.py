@@ -1,0 +1,127 @@
+"""Trace-measured pass efficiencies for the full-matrix cost models.
+
+Each function answers one question about a pass's memory behaviour by
+generating the pass's *actual* addresses (from the real index equations)
+and running them through the transaction analyzer:
+
+* :func:`row_gather_efficiency` — the row shuffle's gathered reads
+  (``d'^{-1}`` within a row): sampled warps, 32-byte sector granularity.
+* :func:`cached_row_gather_efficiency` — the same, with cache residency: a
+  row short enough to stay resident during its own shuffle is re-read from
+  cache, pushing DRAM efficiency toward compulsory traffic (this is the
+  mechanism behind the fast bands of Figures 4 and 5).
+* :func:`subrow_efficiency` — sub-row (cache-line-granular) column
+  operations: alignment is the only loss.
+* :func:`fine_rotate_fraction` — fraction of column groups whose residual
+  rotation is nonzero, i.e. the share of the array needing the fine pass
+  (Section 4.6's skip optimization).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cache.model import CacheModel
+from ..core import equations as eq
+from ..core.indexing import Decomposition
+from .device import Device
+from .memory import TransactionAnalyzer
+
+__all__ = [
+    "row_gather_efficiency",
+    "cached_row_gather_efficiency",
+    "subrow_efficiency",
+    "fine_rotate_fraction",
+]
+
+#: Cache-resident rows still pay some overhead (tag traffic, conflict and
+#: capacity misses); 0.85 models "nearly compulsory-only" DRAM traffic.
+L2_RESIDENT_EFFICIENCY = 0.85
+#: Rows processed concurrently per SM (blocks in flight); divides the L2
+#: into the per-row share that decides residency.  On Kepler, global loads
+#: are cached in L2 only, so L2 — not L1 — is the reuse mechanism.
+CONCURRENT_ROWS_PER_SM = 4
+
+
+def row_gather_efficiency(
+    dec: Decomposition,
+    itemsize: int,
+    device: Device,
+    rng: np.random.Generator,
+    n_warps: int = 48,
+) -> float:
+    """Sector-level coalescing of the ``d'^{-1}`` row gather, sampled.
+
+    Each sampled warp reads 32 consecutive output positions of one row; the
+    source addresses are ``d'^{-1}_i(j) * itemsize`` within the row.  No
+    cache reuse is assumed here (see :func:`cached_row_gather_efficiency`).
+    """
+    analyzer = TransactionAnalyzer(device.sector_bytes)
+    w = device.warp_size
+    total_tx = 0
+    total_useful = 0
+    for _ in range(n_warps):
+        i = int(rng.integers(0, dec.m))
+        j0 = int(rng.integers(0, max(1, dec.n - w + 1)))
+        j = np.arange(j0, min(j0 + w, dec.n), dtype=np.int64)
+        src = eq.dprime_inverse_v(dec, np.int64(i), j)
+        addrs = src * itemsize  # offsets within the row: alignment within a
+        # row dominates; the row base is line-aligned in the kernels
+        total_tx += analyzer.count_warp(addrs, itemsize)
+        total_useful += j.size * itemsize
+    if total_tx == 0:
+        return 1.0
+    return min(1.0, total_useful / (total_tx * device.sector_bytes))
+
+
+def cached_row_gather_efficiency(
+    dec: Decomposition,
+    itemsize: int,
+    device: Device,
+    rng: np.random.Generator,
+    n_warps: int = 48,
+) -> float:
+    """Row-gather efficiency including cache residency of the row.
+
+    A row short enough that each concurrently-processed row fits its share
+    of the L2 is read from DRAM once (compulsory traffic) no matter how
+    scattered the gather — the mechanism behind the fast band at small
+    ``n`` in Fig. 4 (and, mirrored, small ``m`` in Fig. 5).  Longer rows
+    see raw sector-level coalescing.
+    """
+    row_bytes = dec.n * itemsize
+    share = device.l2_bytes // max(1, device.n_sm * CONCURRENT_ROWS_PER_SM)
+    if row_bytes <= share:
+        return L2_RESIDENT_EFFICIENCY
+    return row_gather_efficiency(dec, itemsize, device, rng, n_warps)
+
+
+def subrow_efficiency(m: int, n: int, itemsize: int, device: Device) -> float:
+    """Efficiency of cache-line-granular sub-row movement.
+
+    A sub-row is one line wide; the only loss is boundary straddling, which
+    the cache geometry computes exactly.
+    """
+    model = CacheModel(line_bytes=device.line_bytes, itemsize=itemsize)
+    straddle = model.straddle_fraction(min(m, 64), n)
+    # A straddling sub-row touches 2 lines instead of 1.
+    return 1.0 / (1.0 + straddle)
+
+
+def fine_rotate_fraction(dec: Decomposition, itemsize: int, device: Device) -> float:
+    """Fraction of column groups whose fine rotation pass actually runs.
+
+    For the pre-rotation (amounts ``j // b``) a group of ``w`` columns has
+    zero residual iff ``j // b`` is constant across the group; the exact
+    count follows from how many groups straddle a multiple of ``b``.
+    """
+    w = max(1, device.line_bytes // itemsize)
+    n = dec.n
+    n_groups = (n + w - 1) // w
+    processed = 0
+    for g in range(n_groups):
+        lo = g * w
+        hi = min(lo + w, n) - 1
+        if lo // dec.b != hi // dec.b:
+            processed += 1
+    return processed / n_groups if n_groups else 0.0

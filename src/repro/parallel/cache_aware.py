@@ -1,0 +1,150 @@
+"""Cache-aware parallel CPU transpose — the paper's stated future work.
+
+Section 5.1: "We leave cache-aware optimizations for this implementation to
+future work."  This module is that work: the thread-parallel C2R with the
+Section 4.6-4.7 column kernels substituted for the naive ones.
+
+Parallel structure per pass:
+
+* **pre-rotation / column-shuffle rotation** — column *groups* (one cache
+  line wide) are independent: parallel-for over groups, each thread running
+  the coarse + fine sub-row rotation on its groups;
+* **row shuffle** — unchanged (rows are contiguous; the gather-based numpy
+  pass is already line-friendly), parallel over row chunks;
+* **static row permutation** — cycles are sequential chains, but the
+  *column groups* are independent: parallel-for over groups, each thread
+  cycle-following all cycles within its sub-columns.
+
+Every thread touches disjoint cache lines, so there is no false sharing —
+the property that makes this the natural CPU parallelization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cache.cycles import permutation_cycles
+from ..cache.model import CacheModel
+from ..cache.rotate import _coarse_rotate_group
+from ..core import equations as eq
+from ..core.indexing import Decomposition
+from .executor import ParallelExecutor
+
+__all__ = ["CacheAwareParallelTranspose"]
+
+
+class CacheAwareParallelTranspose:
+    """Thread-parallel in-place transpose built on the cache-aware kernels.
+
+    Parameters
+    ----------
+    n_threads:
+        Worker count.
+    line_bytes:
+        Cache-line width used for sub-row grouping (64 for typical CPUs).
+    """
+
+    def __init__(self, n_threads: int = 1, line_bytes: int = 64):
+        self.executor = ParallelExecutor(n_threads)
+        self.line_bytes = line_bytes
+
+    def _model(self, dtype) -> CacheModel:
+        return CacheModel(line_bytes=self.line_bytes, itemsize=dtype.itemsize)
+
+    def _parallel_rotate(
+        self, V: np.ndarray, amounts: np.ndarray, model: CacheModel
+    ) -> None:
+        m, n = V.shape
+        n_groups = model.n_groups(n)
+
+        def body(groups: slice) -> None:
+            rows = np.arange(m, dtype=np.int64)[:, None]
+            for g in range(groups.start, groups.stop):
+                sl = model.group_slice(g, n)
+                block = V[:, sl]
+                base = int(amounts[sl.start])
+                _coarse_rotate_group(block, base, None)
+                residual = (amounts[sl] - base) % m
+                if residual.any():
+                    idx = (rows + residual[None, :]) % m
+                    block[:] = np.take_along_axis(block, idx, axis=0)
+
+        self.executor.parallel_for(n_groups, body)
+
+    def _parallel_row_shuffle(self, V: np.ndarray, dec: Decomposition) -> None:
+        cols = np.arange(dec.n, dtype=np.int64)[None, :]
+
+        def body(rows: slice) -> None:
+            i = np.arange(rows.start, rows.stop, dtype=np.int64)[:, None]
+            V[rows] = np.take_along_axis(
+                V[rows], eq.dprime_inverse_v(dec, i, cols), axis=1
+            )
+
+        self.executor.parallel_for(dec.m, body)
+
+    def _parallel_row_permute(
+        self, V: np.ndarray, gather: np.ndarray, model: CacheModel
+    ) -> None:
+        m, n = V.shape
+        cycles = permutation_cycles(gather)
+        n_groups = model.n_groups(n)
+
+        def body(groups: slice) -> None:
+            for g in range(groups.start, groups.stop):
+                sl = model.group_slice(g, n)
+                block = V[:, sl]
+                for leader, length in zip(cycles.leaders, cycles.lengths):
+                    tmp = block[int(leader)].copy()
+                    i = int(leader)
+                    for _ in range(int(length) - 1):
+                        src = int(gather[i])
+                        block[i] = block[src]
+                        i = src
+                    block[i] = tmp
+
+        self.executor.parallel_for(n_groups, body)
+
+    def c2r(self, buf: np.ndarray, m: int, n: int) -> np.ndarray:
+        """Cache-aware parallel C2R on the row-major ``(m, n)`` view."""
+        if not buf.flags["C_CONTIGUOUS"]:
+            raise ValueError(
+                "in-place transposition requires a contiguous buffer "
+                "(a non-contiguous view would be silently copied, not permuted)"
+            )
+        if buf.ndim != 1 or buf.shape[0] != m * n:
+            raise ValueError(f"buffer must be flat with {m * n} elements")
+        dec = Decomposition.of(m, n)
+        model = self._model(buf.dtype)
+        V = buf.reshape(m, n)
+        cols = np.arange(n, dtype=np.int64)
+        if dec.c > 1:
+            self._parallel_rotate(V, (cols // dec.b) % m, model)
+        self._parallel_row_shuffle(V, dec)
+        if m > 1:
+            self._parallel_rotate(V, cols % m, model)
+            q = eq.permute_q_v(dec, np.arange(m, dtype=np.int64))
+            self._parallel_row_permute(V, q, model)
+        return buf
+
+    def transpose_inplace(
+        self, buf: np.ndarray, m: int, n: int, order: str = "C"
+    ) -> np.ndarray:
+        """Order-aware entry point.
+
+        Only the C2R pass skeleton is implemented cache-aware; it is
+        correct for every shape (the R2C-side skeleton would merely shift
+        which dimension enjoys the short-row benefits).
+        """
+        if order not in ("C", "F"):
+            raise ValueError(f"unknown order {order!r}")
+        vm, vn = (m, n) if order == "C" else (n, m)
+        return self.c2r(buf, vm, vn)
+
+    def close(self) -> None:
+        self.executor.shutdown()
+
+    def __enter__(self) -> "CacheAwareParallelTranspose":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

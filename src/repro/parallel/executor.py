@@ -1,0 +1,57 @@
+"""A thread-pool parallel-for — the OpenMP analogue for the CPU kernels.
+
+Workers receive contiguous chunks (static schedule); a pass completes when
+every chunk has (a barrier, like OpenMP's implicit barrier at the end of a
+``parallel for``).  Exceptions raised in workers propagate to the caller.
+
+numpy's copy/gather kernels release the GIL for non-trivially-sized
+operations, so chunked passes overlap on real cores.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable
+
+from .partition import balanced_chunks
+
+__all__ = ["ParallelExecutor"]
+
+
+class ParallelExecutor:
+    """A reusable pool executing chunked parallel-for loops.
+
+    Use as a context manager (the pool shuts down on exit) or standalone;
+    ``n_threads=1`` short-circuits to sequential execution with zero
+    threading overhead, making single-thread baselines honest.
+    """
+
+    def __init__(self, n_threads: int):
+        if n_threads <= 0:
+            raise ValueError("n_threads must be positive")
+        self.n_threads = n_threads
+        self._pool = (
+            ThreadPoolExecutor(max_workers=n_threads) if n_threads > 1 else None
+        )
+
+    def parallel_for(self, total: int, body: Callable[[slice], None]) -> None:
+        """Run ``body(chunk)`` over a balanced static partition of
+        ``range(total)`` and wait for all chunks (barrier semantics)."""
+        chunks = balanced_chunks(total, self.n_threads)
+        if self._pool is None or len(chunks) <= 1:
+            for ch in chunks:
+                body(ch)
+            return
+        futures = [self._pool.submit(body, ch) for ch in chunks]
+        for fut in futures:
+            fut.result()  # re-raises worker exceptions
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

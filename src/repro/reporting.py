@@ -1,0 +1,88 @@
+"""Terminal-friendly reporting: histograms, heatmaps, and tables.
+
+The evaluation figures are distributions (Figs. 3, 6, 7) and landscapes
+(Figs. 4, 5); these renderers produce their terminal equivalents, shared by
+the benchmark harness, the CLI, and library users inspecting their own
+populations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_hist", "ascii_heatmap", "format_table"]
+
+
+def ascii_hist(
+    values: Iterable[float],
+    bins: int = 10,
+    width: int = 40,
+    unit: str = "GB/s",
+) -> str:
+    """A terminal histogram with the median marked (the paper's dashed
+    median lines in Figs. 3/6/7).
+
+    >>> print(ascii_hist([1, 1, 2, 5], bins=2, width=4, unit="x"))
+         1.000-   3.000 x | #### 3 <-- median
+         3.000-   5.000 x | #    1
+      median = 1.500 x   n = 4
+    """
+    values = np.asarray(list(values), dtype=float)
+    if values.size == 0:
+        return "(no samples)"
+    lo, hi = float(values.min()), float(values.max())
+    if math.isclose(lo, hi):
+        hi = lo + 1e-9
+    counts, edges = np.histogram(values, bins=bins, range=(lo, hi))
+    peak = max(1, counts.max())
+    med = float(np.median(values))
+    lines = []
+    for c, e0, e1 in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * c / peak))
+        marker = " <-- median" if e0 <= med <= e1 else ""
+        lines.append(f"  {e0:8.3f}-{e1:8.3f} {unit} | {bar:<{width}} {c}{marker}")
+    lines.append(f"  median = {med:.3f} {unit}   n = {values.size}")
+    return "\n".join(lines)
+
+
+def ascii_heatmap(
+    grid: np.ndarray,
+    row_labels: Sequence[int],
+    col_labels: Sequence[int],
+    unit: str = "GB/s",
+) -> str:
+    """A coarse character heatmap (the Figs. 4/5 landscapes)."""
+    grid = np.asarray(grid, dtype=float)
+    shades = " .:-=+*#%@"
+    lo, hi = float(np.nanmin(grid)), float(np.nanmax(grid))
+    span = max(hi - lo, 1e-9)
+    lines = [f"  value range: {lo:.2f} .. {hi:.2f} {unit} (darker = faster)"]
+    lines.append("        " + " ".join(f"{c//1000:>3}k" for c in col_labels))
+    for r, row in zip(row_labels, grid):
+        cells = " ".join(
+            f"  {shades[min(9, int(9 * (v - lo) / span))]} " for v in row
+        )
+        lines.append(f"  m={r//1000:>3}k {cells}")
+    return "\n".join(lines)
+
+
+def format_table(
+    header: Sequence[str], rows: Iterable[Sequence], widths: Sequence[int] | None = None
+) -> str:
+    """Right-aligned fixed-width table (the Tables 1/2 style)."""
+    rows = [list(map(str, r)) for r in rows]
+    header = list(map(str, header))
+    if widths is None:
+        widths = [
+            max(len(header[c]), *(len(r[c]) for r in rows)) if rows else len(header[c])
+            for c in range(len(header))
+        ]
+    def fmt(cells):
+        return "  ".join(f"{c:>{w}}" for c, w in zip(cells, widths))
+
+    out = [fmt(header), fmt(["-" * w for w in widths])]
+    out.extend(fmt(r) for r in rows)
+    return "\n".join(out)

@@ -1,0 +1,54 @@
+"""Executable SIMD-machine substrate for the in-register transpose (Section 6).
+
+The paper's final contribution maps the decomposition onto a SIMD register
+file: a warp of ``n`` lanes, each holding ``m`` registers, forms an ``m x n``
+array on which
+
+* row shuffles are lane ``shfl`` instructions (Section 6.2.1),
+* dynamic per-lane column rotations are branch-free barrel rotations of
+  statically-indexed registers (``ceil(log2 m)`` stages of conditional
+  moves, Section 6.2.2), and
+* the static row permutation is free — compiler register renaming
+  (Section 6.2.3).
+
+Since no GPU is available here, :class:`~repro.simd.machine.SimdMachine`
+*executes* these primitives (with instruction counting) over numpy arrays,
+and :mod:`~repro.simd.transpose` builds the full in-register C2R/R2C on it.
+:mod:`~repro.simd.coalesced` implements the ``coalesced_ptr<T>`` interface
+of Fig. 10 against a simulated memory, producing the address traces the
+Fig. 8/9 benchmarks analyze.
+"""
+
+from .machine import InstructionCounts, SimdMachine
+from .sharedmem import SharedMemory, SmemStagedAccessor
+from .smem import SmemSimdMachine
+from .memory import SimulatedMemory
+from .rotate import dynamic_column_rotate
+from .rowperm import static_row_permute
+from .transpose import register_c2r, register_r2c
+from .coalesced import CoalescedArray
+from .block import BlockStats, ThreadBlock, onchip_row_shuffle, twopass_row_shuffle
+from .compiled import CompiledRegisterTranspose
+from .cpu import WideSimdMachine, deinterleave, interleave
+
+__all__ = [
+    "SimdMachine",
+    "SmemSimdMachine",
+    "SharedMemory",
+    "SmemStagedAccessor",
+    "InstructionCounts",
+    "SimulatedMemory",
+    "dynamic_column_rotate",
+    "static_row_permute",
+    "register_c2r",
+    "register_r2c",
+    "CoalescedArray",
+    "WideSimdMachine",
+    "CompiledRegisterTranspose",
+    "ThreadBlock",
+    "BlockStats",
+    "onchip_row_shuffle",
+    "twopass_row_shuffle",
+    "deinterleave",
+    "interleave",
+]

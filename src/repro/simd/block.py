@@ -1,0 +1,165 @@
+"""A multi-warp thread block and the on-chip row shuffle (Section 4.5).
+
+"Implementing arbitrary row shuffle operations requires two passes over
+each row along with the use of temporary storage ...  If on-chip storage is
+sufficient, whether in caches or in register files, we can perform row
+shuffle operations in a single pass, without writing the intermediate
+result to temporary storage in memory."
+
+:class:`ThreadBlock` groups several :class:`~repro.simd.machine.SimdMachine`
+warps around a banked :class:`~repro.simd.sharedmem.SharedMemory` with
+barrier accounting.  Two executable row-shuffle kernels are built on it:
+
+* :func:`onchip_row_shuffle` — the single-pass §4.5 kernel: coalesced loads
+  of the whole row on chip, the ``d'^{-1}`` gather resolved against shared
+  memory, coalesced stores.  Global traffic: one read + one write per
+  element.
+* :func:`twopass_row_shuffle` — the fallback when the row does not fit:
+  gather-read → global scratch → copy back.  Global traffic: two reads +
+  two writes per element, with the gather read scattered.
+
+The ablation benchmark prices both against the memory model, reproducing
+why the paper spends register file on rows of up to 29440 doubles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import equations as eq
+from ..core.indexing import Decomposition
+from .machine import SimdMachine
+from .memory import SimulatedMemory
+from .sharedmem import SharedMemory
+
+__all__ = ["ThreadBlock", "BlockStats", "onchip_row_shuffle", "twopass_row_shuffle"]
+
+
+@dataclass
+class BlockStats:
+    """Accounting for one block-level kernel execution."""
+
+    barriers: int = 0
+    global_loads: int = 0
+    global_stores: int = 0
+    smem_cycles: int = 0
+
+
+class ThreadBlock:
+    """``n_warps`` warps sharing one on-chip scratchpad.
+
+    ``capacity_words`` is the shared allocation (the §4.5 on-chip budget —
+    register file in the paper's kernel, shared memory here; the traffic
+    consequences are identical).
+    """
+
+    def __init__(
+        self,
+        n_warps: int = 8,
+        warp_size: int = 32,
+        capacity_words: int = 29440,
+        dtype=np.float64,
+    ):
+        if n_warps <= 0:
+            raise ValueError("n_warps must be positive")
+        self.warps = [SimdMachine(warp_size) for _ in range(n_warps)]
+        self.warp_size = warp_size
+        self.smem = SharedMemory(capacity_words, dtype=dtype)
+        self.stats = BlockStats()
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.warps) * self.warp_size
+
+    @property
+    def capacity_words(self) -> int:
+        return self.smem.n_words
+
+    def barrier(self) -> None:
+        """__syncthreads(): all warps rendezvous."""
+        self.stats.barriers += 1
+
+
+def _for_each_warp_chunk(block: ThreadBlock, n: int):
+    """Yield (warp, chunk-of-columns) assignments striding the row across
+    the block's warps, warp_size columns at a time."""
+    w = block.warp_size
+    chunk = 0
+    while chunk * w < n:
+        warp = block.warps[chunk % len(block.warps)]
+        lo = chunk * w
+        yield warp, np.arange(lo, min(lo + w, n), dtype=np.int64)
+        chunk += 1
+
+
+def onchip_row_shuffle(
+    memory: SimulatedMemory,
+    row: int,
+    dec: Decomposition,
+    block: ThreadBlock,
+) -> BlockStats:
+    """Shuffle row ``row`` by ``d'^{-1}`` in a single global pass (§4.5).
+
+    Raises :class:`ValueError` when the row exceeds the block's on-chip
+    capacity — the condition that forces :func:`twopass_row_shuffle`.
+    """
+    n = dec.n
+    if n > block.capacity_words:
+        raise ValueError(
+            f"row of {n} elements exceeds on-chip capacity "
+            f"({block.capacity_words}); use the two-pass shuffle"
+        )
+    base = row * n
+    # phase 1: coalesced global loads, linear smem fill
+    for warp, cols in _for_each_warp_chunk(block, n):
+        vals = memory.load(base + cols)
+        warp.counts.load += 1
+        block.stats.global_loads += 1
+        block.smem.store(cols, vals)
+    block.barrier()
+    # phase 2: on-chip gather by d'^{-1}, coalesced global stores
+    for warp, cols in _for_each_warp_chunk(block, n):
+        src = eq.dprime_inverse_v(dec, np.int64(row), cols)
+        vals = block.smem.load(src)
+        memory.store(base + cols, vals)
+        warp.counts.store += 1
+        block.stats.global_stores += 1
+    block.barrier()
+    block.stats.smem_cycles = block.smem.stats.cycles
+    return block.stats
+
+
+def twopass_row_shuffle(
+    memory: SimulatedMemory,
+    scratch: SimulatedMemory,
+    row: int,
+    dec: Decomposition,
+    block: ThreadBlock,
+) -> BlockStats:
+    """The fallback: gather-read to a *global* scratch row, copy back.
+
+    Global traffic per element: one scattered read + one scratch write +
+    one scratch read + one write — double the single-pass kernel's.
+    """
+    n = dec.n
+    if scratch.n_words < n:
+        raise ValueError("scratch must hold one full row")
+    base = row * n
+    for warp, cols in _for_each_warp_chunk(block, n):
+        src = eq.dprime_inverse_v(dec, np.int64(row), cols)
+        vals = memory.load(base + src)  # scattered gather
+        warp.counts.load += 1
+        block.stats.global_loads += 1
+        scratch.store(cols, vals)
+        block.stats.global_stores += 1
+    block.barrier()
+    for warp, cols in _for_each_warp_chunk(block, n):
+        vals = scratch.load(cols)
+        block.stats.global_loads += 1
+        memory.store(base + cols, vals)
+        warp.counts.store += 1
+        block.stats.global_stores += 1
+    block.barrier()
+    return block.stats

@@ -1,0 +1,328 @@
+"""``coalesced_ptr<T>`` (Fig. 10): AoS access through in-register transposes.
+
+An Array of Structures of ``S`` structs x ``m`` words is a row-major
+``S x m`` array in memory.  When each lane of a warp wants one whole struct,
+the naive ("direct") access pattern issues ``m`` strided loads — the
+bandwidth disaster of Section 6.  The coalesced path instead:
+
+* **load**: the warp reads 32 consecutive structs with ``m`` perfectly
+  coalesced passes (register row ``r``, lane ``l`` gets word ``r*32 + l`` of
+  the batch — a row-major ``m x 32`` register array), then performs an
+  in-register **R2C** transpose, leaving lane ``l`` holding struct ``l``.
+* **store**: the exact inverse — **C2R** transpose, then ``m`` coalesced
+  writes.
+
+Random (gather/scatter) access works the same way per 32-struct batch,
+except addresses come from a per-lane index vector: lanes are partitioned
+into groups of ``m``, each group cooperatively reading one struct's
+contiguous words per round, with a ``shfl`` broadcasting the owning lane's
+index.  When ``m`` divides the warp width the loaded rounds again form the
+row-major register array and the same R2C finishes the job; otherwise a
+generic select-based redistribution runs (costlier in instructions, same
+memory behaviour).
+
+Every method also exists in "direct" and "vector" (128-bit) flavours so the
+Fig. 8/9 benchmarks can compare all three on identical traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .compiled import CompiledRegisterTranspose
+from .machine import SimdMachine
+from .memory import AccessRecord, SimulatedMemory
+from .transpose import register_c2r, register_r2c
+
+__all__ = ["CoalescedArray"]
+
+
+class CoalescedArray:
+    """Warp-level accessor for an Array of Structures in simulated memory.
+
+    Parameters
+    ----------
+    memory:
+        The backing :class:`SimulatedMemory` (element width = one AoS word).
+    struct_words:
+        Words per structure (``m``).
+    machine:
+        The executing warp; its width is the batch size of every operation.
+    """
+
+    def __init__(
+        self,
+        memory: SimulatedMemory,
+        struct_words: int,
+        machine: SimdMachine | None = None,
+        *,
+        compiled: bool = True,
+    ):
+        if struct_words <= 0:
+            raise ValueError("struct_words must be positive")
+        self.memory = memory
+        self.m = struct_words
+        self.machine = machine or SimdMachine(32)
+        if memory.n_words % struct_words:
+            raise ValueError("memory capacity must be a whole number of structs")
+        self.n_structs = memory.n_words // struct_words
+        # Section 6.2.4: n is fixed by the architecture and m by the struct
+        # type, so production kernels precompute every index table.  The
+        # dynamic path remains available for comparison (compiled=False).
+        self._compiled = (
+            CompiledRegisterTranspose(self.m, self.machine.n_lanes)
+            if compiled
+            else None
+        )
+
+    def _r2c(self, rows):
+        if self._compiled is not None:
+            return self._compiled.r2c(self.machine, rows)
+        return register_r2c(self.machine, rows)
+
+    def _c2r(self, regs):
+        if self._compiled is not None:
+            return self._compiled.c2r(self.machine, regs)
+        return register_c2r(self.machine, regs)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def n_lanes(self) -> int:
+        return self.machine.n_lanes
+
+    def _check_base(self, base_struct: int) -> None:
+        if base_struct < 0 or base_struct + self.n_lanes > self.n_structs:
+            raise IndexError("warp batch out of range")
+
+    def _check_idx(self, idx: np.ndarray) -> np.ndarray:
+        idx = np.asarray(idx, dtype=np.int64)
+        if idx.shape != (self.n_lanes,):
+            raise ValueError("one struct index per lane required")
+        if (idx < 0).any() or (idx >= self.n_structs).any():
+            raise IndexError("struct index out of range")
+        return idx
+
+    # ------------------------------------------------------------------
+    # Coalesced (C2R/R2C) unit-stride access
+    # ------------------------------------------------------------------
+
+    def warp_load(self, base_struct: int) -> list[np.ndarray]:
+        """Load structs ``base .. base+n_lanes`` cooperatively.
+
+        Returns ``m`` register rows with ``regs[k][l]`` = field ``k`` of
+        struct ``base + l`` — i.e. lane ``l`` owns its struct, at full
+        coalescing: every pass reads ``n_lanes`` consecutive words.
+        """
+        self._check_base(base_struct)
+        mach = self.machine
+        base_word = base_struct * self.m
+        lane = mach.lane_id()
+        rows = []
+        for r in range(self.m):
+            addr = mach.alu(base_word + r * self.n_lanes + lane)
+            rows.append(self.memory.load(addr))
+            mach.counts.load += 1
+        return self._r2c(rows)
+
+    def warp_store(self, base_struct: int, regs: list[np.ndarray]) -> None:
+        """Store lane-owned structs cooperatively (C2R, then coalesced
+        passes)."""
+        self._check_base(base_struct)
+        if len(regs) != self.m:
+            raise ValueError("register rows must match struct size")
+        mach = self.machine
+        rows = self._c2r(regs)
+        base_word = base_struct * self.m
+        lane = mach.lane_id()
+        for r in range(self.m):
+            addr = mach.alu(base_word + r * self.n_lanes + lane)
+            self.memory.store(addr, rows[r])
+            mach.counts.store += 1
+
+    # ------------------------------------------------------------------
+    # Coalesced random access (gather / scatter)
+    # ------------------------------------------------------------------
+
+    def _group_geometry(self) -> tuple[int, int]:
+        if self.m > self.n_lanes:
+            raise ValueError(
+                "random access supports structs up to one warp-width of words"
+            )
+        groups = self.n_lanes // self.m
+        rounds = -(-self.n_lanes // groups)
+        return groups, rounds
+
+    def _cooperative_rounds_load(self, idx: np.ndarray) -> list[np.ndarray]:
+        """Load one struct per lane-group per round; returns per-round rows."""
+        mach = self.machine
+        lane = mach.lane_id()
+        groups, rounds = self._group_geometry()
+        field = lane % self.m
+        group = lane // self.m
+        active = lane < groups * self.m
+        held = []
+        for t in range(rounds):
+            owner = np.minimum(t * groups + group, self.n_lanes - 1)
+            valid = active & (t * groups + group < self.n_lanes)
+            owner_idx = mach.shfl(idx, mach.alu(owner))
+            addr = mach.alu(owner_idx * self.m + field, ops=2)
+            vals = np.zeros(self.n_lanes, dtype=self.memory.data.dtype)
+            vals[valid] = self.memory.load(addr[valid])
+            mach.counts.load += 1
+            held.append(vals)
+        return held
+
+    def warp_gather(self, idx: np.ndarray) -> list[np.ndarray]:
+        """Random AoS gather: lane ``l`` receives struct ``idx[l]``.
+
+        Per round, each group of ``m`` lanes reads the ``m`` contiguous
+        words of one struct — the coalescing win over the direct pattern,
+        whose every word is its own scattered access.
+        """
+        idx = self._check_idx(idx)
+        mach = self.machine
+        held = self._cooperative_rounds_load(idx)
+        groups, rounds = self._group_geometry()
+
+        if self.n_lanes % self.m == 0:
+            # held rows are exactly the row-major m x n_lanes register array
+            # (round t, lane l holds batch word t*n_lanes + l): finish with
+            # the same in-register R2C as the unit-stride path.
+            return self._r2c(held)
+
+        # Generic redistribution: destination register k of lane s comes from
+        # round s // groups, provider lane (s mod groups) * m + k.
+        lane = mach.lane_id()
+        src_lane = mach.alu((lane % groups) * self.m, ops=2)
+        regs = []
+        for k in range(self.m):
+            acc = None
+            provider = np.minimum(src_lane + k, self.n_lanes - 1)
+            for t in range(rounds):
+                data = mach.shfl(held[t], provider)
+                if acc is None:
+                    acc = data
+                else:
+                    cond = mach.alu(lane // groups == t)
+                    acc = mach.select(cond, data, acc)
+            regs.append(acc)
+        return regs
+
+    def warp_scatter(self, idx: np.ndarray, regs: list[np.ndarray]) -> None:
+        """Random AoS scatter: struct in lane ``l`` is written to slot
+        ``idx[l]`` — the inverse of :meth:`warp_gather`."""
+        idx = self._check_idx(idx)
+        if len(regs) != self.m:
+            raise ValueError("register rows must match struct size")
+        mach = self.machine
+        lane = mach.lane_id()
+        groups, rounds = self._group_geometry()
+        field = lane % self.m
+        group = lane // self.m
+        active = lane < groups * self.m
+
+        if self.n_lanes % self.m == 0:
+            held = self._c2r(regs)
+        else:
+            # Generic redistribution into round-major rows: round t, provider
+            # lane g*m + k must hold field k of struct t*groups + g.
+            held = []
+            for t in range(rounds):
+                owner = np.minimum(t * groups + group, self.n_lanes - 1)
+                row = None
+                for k in range(self.m):
+                    data = mach.shfl(regs[k], mach.alu(owner))
+                    if row is None:
+                        row = data
+                    else:
+                        row = mach.select(mach.alu(field == k), data, row)
+                held.append(row)
+
+        for t in range(rounds):
+            owner = np.minimum(t * groups + group, self.n_lanes - 1)
+            valid = active & (t * groups + group < self.n_lanes)
+            owner_idx = mach.shfl(idx, mach.alu(owner))
+            addr = mach.alu(owner_idx * self.m + field, ops=2)
+            self.memory.store(addr[valid], held[t][valid])
+            mach.counts.store += 1
+
+    # ------------------------------------------------------------------
+    # Baseline access methods (Fig. 8/9 comparison lines)
+    # ------------------------------------------------------------------
+
+    def direct_load(self, idx: np.ndarray) -> list[np.ndarray]:
+        """Compiler-generated element-wise AoS load: ``m`` strided passes."""
+        idx = self._check_idx(idx)
+        mach = self.machine
+        regs = []
+        for k in range(self.m):
+            addr = mach.alu(idx * self.m + k, ops=2)
+            regs.append(self.memory.load(addr))
+            mach.counts.load += 1
+        return regs
+
+    def direct_store(self, idx: np.ndarray, regs: list[np.ndarray]) -> None:
+        """Compiler-generated element-wise AoS store."""
+        idx = self._check_idx(idx)
+        if len(regs) != self.m:
+            raise ValueError("register rows must match struct size")
+        mach = self.machine
+        for k in range(self.m):
+            addr = mach.alu(idx * self.m + k, ops=2)
+            self.memory.store(addr, regs[k])
+            mach.counts.store += 1
+
+    def vector_load(
+        self, idx: np.ndarray, vector_bytes: int = 16
+    ) -> list[np.ndarray]:
+        """Native fixed-width vector loads (the K20c's 128-bit accesses).
+
+        Each lane issues ``ceil(struct_bytes / vector_bytes)`` vector loads;
+        the trace records the full vector footprint per lane, which is what
+        the memory system sees.
+        """
+        idx = self._check_idx(idx)
+        mach = self.machine
+        words_per_vec = max(1, vector_bytes // self.memory.itemsize)
+        regs: list[np.ndarray] = [None] * self.m  # type: ignore[list-item]
+        for v in range(0, self.m, words_per_vec):
+            hi = min(v + words_per_vec, self.m)
+            addr0 = mach.alu(idx * self.m + v, ops=2)
+            # one vector access per lane: record the vector footprint
+            self.memory.trace.append(
+                AccessRecord(
+                    "load",
+                    np.asarray(addr0) * self.memory.itemsize,
+                    (hi - v) * self.memory.itemsize,
+                )
+            )
+            mach.counts.load += 1
+            for k in range(v, hi):
+                regs[k] = self.memory.load(idx * self.m + k, record=False)
+        return regs
+
+    def vector_store(
+        self, idx: np.ndarray, regs: list[np.ndarray], vector_bytes: int = 16
+    ) -> None:
+        """Native fixed-width vector stores."""
+        idx = self._check_idx(idx)
+        if len(regs) != self.m:
+            raise ValueError("register rows must match struct size")
+        mach = self.machine
+        words_per_vec = max(1, vector_bytes // self.memory.itemsize)
+        for v in range(0, self.m, words_per_vec):
+            hi = min(v + words_per_vec, self.m)
+            addr0 = mach.alu(idx * self.m + v, ops=2)
+            self.memory.trace.append(
+                AccessRecord(
+                    "store",
+                    np.asarray(addr0) * self.memory.itemsize,
+                    (hi - v) * self.memory.itemsize,
+                )
+            )
+            mach.counts.store += 1
+            for k in range(v, hi):
+                self.memory.store(idx * self.m + k, regs[k], record=False)

@@ -1,0 +1,102 @@
+"""Statically compiled in-register transposes (Section 6.2.4).
+
+"Since n is constant for a given architecture, and m, the size of the
+structure in registers, is static, the task of computing indices can be
+simplified through careful strength reduction and static precomputation."
+
+:class:`CompiledRegisterTranspose` does exactly that: for a fixed
+``(m, n_lanes)`` it precomputes, once,
+
+* the per-row shuffle source-lane vectors (``d'^{-1}_i`` / ``d'_i``),
+* the per-lane rotation amounts and their bit decompositions, and
+* the static renaming permutations (``q`` / ``q^{-1}``),
+
+so executing a transpose issues *only* data-movement instructions: the ALU
+counter stays at zero, matching a fully unrolled CUDA kernel whose index
+math was folded at compile time.  Results are bit-identical to the dynamic
+:func:`~repro.simd.transpose.register_c2r` path (tested).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import equations as eq
+from ..core.indexing import Decomposition
+from .machine import SimdMachine
+
+__all__ = ["CompiledRegisterTranspose"]
+
+
+class CompiledRegisterTranspose:
+    """Precompiled C2R/R2C for one ``(m, n_lanes)`` register geometry."""
+
+    def __init__(self, m: int, n_lanes: int):
+        if m <= 0:
+            raise ValueError("m must be positive")
+        if n_lanes <= 0:
+            raise ValueError("n_lanes must be positive")
+        self.m = m
+        self.n_lanes = n_lanes
+        dec = Decomposition.of(m, n_lanes)
+        self.dec = dec
+        lane = np.arange(n_lanes, dtype=np.int64)
+        rows = np.arange(m, dtype=np.int64)
+
+        # --- static tables (the "compile time" work) ----------------------
+        self._shfl_c2r = [
+            eq.dprime_inverse_v(dec, np.int64(i), lane) for i in range(m)
+        ]
+        self._shfl_r2c = [eq.dprime_v(dec, np.int64(i), lane) for i in range(m)]
+        self._q = eq.permute_q_v(dec, rows)
+        self._q_inv = eq.permute_q_inverse_v(dec, rows)
+        self._n_stages = int(np.ceil(np.log2(m))) if m > 1 else 0
+        self._rot_bits = {
+            name: [((amounts % m) >> k) & 1 for k in range(self._n_stages)]
+            for name, amounts in {
+                "pre": lane // dec.b,
+                "pre_inv": (-(lane // dec.b)) % m,
+                "p": lane % m,
+                "p_inv": (-lane) % m,
+            }.items()
+        }
+
+    # --- execution: pure data movement, zero runtime index math ----------
+
+    def _rotate(self, machine: SimdMachine, regs, which: str):
+        m = self.m
+        if m == 1:
+            return list(regs)
+        regs = list(regs)
+        for k in range(self._n_stages):
+            d = 1 << k
+            bit = self._rot_bits[which][k]
+            rotated = [regs[(i + d) % m] for i in range(m)]
+            regs = [machine.select(bit, rotated[i], regs[i]) for i in range(m)]
+        return regs
+
+    def _check(self, machine: SimdMachine, regs) -> None:
+        if machine.n_lanes != self.n_lanes:
+            raise ValueError("machine width does not match the compiled geometry")
+        if len(regs) != self.m:
+            raise ValueError("register count does not match the compiled geometry")
+
+    def c2r(self, machine: SimdMachine, regs) -> list[np.ndarray]:
+        """Compiled C2R: identical result to ``register_c2r`` with zero ALU
+        instructions issued."""
+        self._check(machine, regs)
+        if self.dec.c > 1:
+            regs = self._rotate(machine, regs, "pre")
+        regs = [machine.shfl(regs[i], self._shfl_c2r[i]) for i in range(self.m)]
+        regs = self._rotate(machine, regs, "p")
+        return [regs[int(g)] for g in self._q]
+
+    def r2c(self, machine: SimdMachine, regs) -> list[np.ndarray]:
+        """Compiled R2C (the AoS load direction of Fig. 10)."""
+        self._check(machine, regs)
+        regs = [regs[int(g)] for g in self._q_inv]
+        regs = self._rotate(machine, regs, "p_inv")
+        regs = [machine.shfl(regs[i], self._shfl_r2c[i]) for i in range(self.m)]
+        if self.dec.c > 1:
+            regs = self._rotate(machine, regs, "pre_inv")
+        return regs

@@ -1,0 +1,101 @@
+"""CPU-SIMD instantiation: the in-register transpose at vector width.
+
+The paper (abstract, Section 1) claims the algorithm "can be instantiated
+efficiently for solving various transpose problems on both CPUs and GPUs".
+A CPU SIMD unit is a very narrow warp — 8 float32 lanes for AVX, 4 float64
+lanes for AVX/NEON — whose ``shfl`` is a permute/shuffle instruction and
+whose conditional moves are blends.
+
+:class:`WideSimdMachine` executes the identical algorithm *simultaneously
+for many independent lane-groups*: every register row is a ``(groups,
+n_lanes)`` matrix and each warp-instruction becomes one numpy operation
+over all groups — the software analogue of running the unrolled SIMD
+kernel over a long array.  On top of it, :func:`deinterleave` /
+:func:`interleave` convert an AoS of small structs to/from SoA entirely
+through the register algorithm (rotations + shuffles + renaming), which is
+how the CPU kernels in the authors' ``trove``-style libraries operate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .machine import SimdMachine
+from .transpose import register_c2r, register_r2c
+
+__all__ = ["WideSimdMachine", "deinterleave", "interleave"]
+
+
+class WideSimdMachine(SimdMachine):
+    """A batch of ``groups`` independent SIMD groups of ``n_lanes`` lanes.
+
+    All warp-wide primitives act on ``(groups, n_lanes)`` value matrices;
+    instruction counts tally *vector* instructions (one per row operation,
+    covering every group), matching how an unrolled CPU loop issues one
+    shuffle/blend per iteration.
+    """
+
+    def __init__(self, groups: int, n_lanes: int = 8):
+        super().__init__(n_lanes)
+        if groups <= 0:
+            raise ValueError("groups must be positive")
+        self.groups = groups
+
+    @property
+    def value_shape(self) -> tuple[int, ...]:
+        return (self.groups, self.n_lanes)
+
+
+def deinterleave(buf: np.ndarray, struct_size: int, n_lanes: int = 8) -> np.ndarray:
+    """AoS -> SoA through the in-register algorithm (out-of-place view).
+
+    ``buf`` holds ``k * n_lanes`` structs of ``struct_size`` elements; the
+    result is the ``(struct_size, k * n_lanes)`` SoA matrix.  Each group of
+    ``n_lanes`` structs is processed exactly like a SIMD register block:
+    ``struct_size`` vector loads, an in-register R2C, ``struct_size``
+    stores.  The group dimension is fully vectorized.
+    """
+    buf = np.ascontiguousarray(buf)
+    m = struct_size
+    if m <= 0:
+        raise ValueError("struct_size must be positive")
+    if buf.ndim != 1 or buf.shape[0] % (m * n_lanes):
+        raise ValueError(
+            f"buffer length must be a multiple of struct_size*n_lanes "
+            f"= {m * n_lanes}"
+        )
+    groups = buf.shape[0] // (m * n_lanes)
+    mach = WideSimdMachine(groups, n_lanes)
+    # vector loads: register row r of group g = words [g*m*n + r*n, +n)
+    tile = buf.reshape(groups, m, n_lanes)
+    regs = [tile[:, r, :] for r in range(m)]
+    out_rows = register_r2c(mach, regs)
+    # row k now holds field k of each group's n_lanes structs
+    out = np.empty((m, groups * n_lanes), dtype=buf.dtype)
+    for k in range(m):
+        out[k] = out_rows[k].reshape(-1)
+    return out
+
+
+def interleave(soa: np.ndarray, n_lanes: int = 8) -> np.ndarray:
+    """SoA -> AoS through the in-register algorithm; inverse of
+    :func:`deinterleave`.
+
+    ``soa`` is the ``(struct_size, count)`` field-major matrix with
+    ``count`` a multiple of ``n_lanes``; returns the flat AoS buffer.
+    """
+    soa = np.ascontiguousarray(soa)
+    if soa.ndim != 2:
+        raise ValueError("expected a (struct_size, count) matrix")
+    m, count = soa.shape
+    if count % n_lanes:
+        raise ValueError(f"count must be a multiple of n_lanes = {n_lanes}")
+    groups = count // n_lanes
+    mach = WideSimdMachine(groups, n_lanes)
+    regs = [soa[k].reshape(groups, n_lanes) for k in range(m)]
+    rows = register_c2r(mach, regs)
+    out = np.empty(m * count, dtype=soa.dtype)
+    tile = out.reshape(groups, m, n_lanes)
+    for r in range(m):
+        tile[:, r, :] = rows[r]
+    return out

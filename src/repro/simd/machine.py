@@ -1,0 +1,108 @@
+"""The simulated SIMD machine: lanes, registers, and warp-wide primitives.
+
+The machine executes the exact primitive set the paper's in-register
+transpose needs, nothing more:
+
+``shfl``
+    Warp shuffle: every lane reads a register value from another lane
+    (CUDA's ``__shfl``).  One instruction per register row moved.
+``select``
+    Predicated move (conditional select) — the building block of the
+    branch-free barrel rotation.  SIMD divergence never occurs because both
+    sides of every select are executed unconditionally.
+``alu``
+    Lane-local integer arithmetic for index computation.
+
+All operations are warp-wide: operands are ``(n_lanes,)`` vectors.  The
+instruction counters feed the compute-time side of the Fig. 8/9 model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["InstructionCounts", "SimdMachine"]
+
+
+@dataclass
+class InstructionCounts:
+    """Warp-wide instruction tally (one unit = one warp instruction)."""
+
+    shfl: int = 0
+    select: int = 0
+    alu: int = 0
+    load: int = 0
+    store: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.shfl + self.select + self.alu + self.load + self.store
+
+    def reset(self) -> None:
+        self.shfl = self.select = self.alu = self.load = self.store = 0
+
+
+class SimdMachine:
+    """A warp of ``n_lanes`` SIMD lanes executing warp-wide operations.
+
+    Register state lives in caller-held ``(n_lanes,)`` numpy vectors (one
+    per register row); the machine provides the cross-lane and predicated
+    primitives and counts instructions.
+    """
+
+    def __init__(self, n_lanes: int = 32):
+        if n_lanes <= 0:
+            raise ValueError("n_lanes must be positive")
+        self.n_lanes = n_lanes
+        self.counts = InstructionCounts()
+
+    @property
+    def value_shape(self) -> tuple[int, ...]:
+        """Shape of one register row's value vector (one value per lane).
+
+        Wide machines (many groups in flight) override this; the transpose
+        algorithms validate operands against it rather than hard-coding
+        ``(n_lanes,)``.
+        """
+        return (self.n_lanes,)
+
+    # -- lane-local ----------------------------------------------------------
+
+    def lane_id(self) -> np.ndarray:
+        """The lane index vector (free — hardware register)."""
+        return np.arange(self.n_lanes, dtype=np.int64)
+
+    def alu(self, values: np.ndarray, ops: int = 1) -> np.ndarray:
+        """Tag a lane-local computed vector with its ALU instruction cost."""
+        self.counts.alu += ops
+        return values
+
+    # -- warp-wide ------------------------------------------------------------
+
+    def shfl(self, values: np.ndarray, src_lane: np.ndarray) -> np.ndarray:
+        """Warp shuffle: lane ``l`` receives ``values`` from lane
+        ``src_lane[l]``.  Out-of-range sources are undefined in hardware;
+        here they raise."""
+        values = np.asarray(values)
+        src = np.asarray(src_lane, dtype=np.int64)
+        if values.shape != self.value_shape or src.shape != (self.n_lanes,):
+            raise ValueError("shfl operands must be one value per lane")
+        if (src < 0).any() or (src >= self.n_lanes).any():
+            raise ValueError("shfl source lane out of range")
+        self.counts.shfl += 1
+        return values[..., src]
+
+    def select(
+        self, cond: np.ndarray, if_true: np.ndarray, if_false: np.ndarray
+    ) -> np.ndarray:
+        """Predicated move: per-lane ``cond ? if_true : if_false``."""
+        cond = np.asarray(cond)
+        if cond.shape != (self.n_lanes,):
+            raise ValueError("select condition must be one value per lane")
+        self.counts.select += 1
+        return np.where(cond.astype(bool), if_true, if_false)
+
+    def reset_counts(self) -> None:
+        self.counts.reset()

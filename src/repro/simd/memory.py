@@ -1,0 +1,83 @@
+"""Simulated global memory with warp-access tracing.
+
+Every warp-wide load/store records the byte addresses it touched; the
+:mod:`repro.gpusim.memory` transaction analyzer later converts traces into
+128-byte-transaction counts.  Data movement is real (loads return the stored
+values), so correctness of the coalesced access path is testable end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SimulatedMemory", "AccessRecord"]
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One warp-wide memory operation: kind + byte addresses touched."""
+
+    kind: str  # "load" | "store"
+    byte_addresses: np.ndarray  # per-lane starting byte address
+    access_bytes: int  # bytes touched per lane
+
+
+class SimulatedMemory:
+    """A flat word-addressed memory of fixed element width.
+
+    Parameters
+    ----------
+    n_words:
+        Capacity in elements.
+    itemsize:
+        Element width in bytes (4 for the paper's Fig. 8/9 "32-bit words").
+    dtype:
+        Storage dtype (must match ``itemsize``).
+    """
+
+    def __init__(self, n_words: int, itemsize: int = 4, dtype=np.int64):
+        if n_words <= 0:
+            raise ValueError("memory must have positive capacity")
+        if itemsize <= 0:
+            raise ValueError("itemsize must be positive")
+        self.itemsize = itemsize
+        self.data = np.zeros(n_words, dtype=dtype)
+        self.trace: list[AccessRecord] = []
+
+    @property
+    def n_words(self) -> int:
+        return int(self.data.shape[0])
+
+    def _check(self, word_addrs: np.ndarray) -> np.ndarray:
+        a = np.asarray(word_addrs, dtype=np.int64)
+        if (a < 0).any() or (a >= self.n_words).any():
+            raise IndexError("memory access out of bounds")
+        return a
+
+    def load(self, word_addrs: np.ndarray, *, record: bool = True) -> np.ndarray:
+        """Warp load: one word per lane address.  Returns the values."""
+        a = self._check(word_addrs)
+        if record:
+            self.trace.append(
+                AccessRecord("load", a * self.itemsize, self.itemsize)
+            )
+        return self.data[a].copy()
+
+    def store(
+        self, word_addrs: np.ndarray, values: np.ndarray, *, record: bool = True
+    ) -> None:
+        """Warp store: one word per lane address."""
+        a = self._check(word_addrs)
+        values = np.asarray(values)
+        if values.shape != a.shape:
+            raise ValueError("store values must match addresses")
+        if record:
+            self.trace.append(
+                AccessRecord("store", a * self.itemsize, self.itemsize)
+            )
+        self.data[a] = values
+
+    def clear_trace(self) -> None:
+        self.trace.clear()

@@ -1,0 +1,65 @@
+"""Dynamic column rotation as a branch-free barrel rotation (Section 6.2.2).
+
+Every lane must rotate its private register column by a *lane-dependent*
+amount.  Branching on the amount would serialize the warp; instead the
+rotation is performed like a VLSI barrel shifter: ``ceil(log2 m)`` stages,
+where stage ``k`` conditionally rotates by ``2**k`` using per-lane selects.
+Register indexing stays fully static — stage ``k``'s candidate value for
+register ``i`` is register ``(i + 2**k) mod m``, a compile-time constant
+offset — so the loop unrolls into straight-line conditional moves.
+
+Cost: exactly ``m * ceil(log2 m)`` select instructions per rotated array
+("we must do ceil(log2 m) select instructions per element").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .machine import SimdMachine
+
+__all__ = ["dynamic_column_rotate"]
+
+
+def dynamic_column_rotate(
+    machine: SimdMachine, regs: list[np.ndarray], amounts: np.ndarray
+) -> list[np.ndarray]:
+    """Rotate each lane's register column upward by a per-lane amount.
+
+    Parameters
+    ----------
+    machine:
+        The warp executing the rotation.
+    regs:
+        ``m`` register rows, each a ``(n_lanes,)`` vector; ``regs[i][j]`` is
+        register ``i`` of lane ``j``.  Not modified; the rotated rows are
+        returned.
+    amounts:
+        Per-lane rotation amounts (normalized mod ``m`` internally; one ALU
+        op models the normalization).
+
+    Returns the rotated register rows: lane ``j``'s new register ``i`` holds
+    its old register ``(i + amounts[j]) mod m``.
+    """
+    m = len(regs)
+    if m == 0:
+        raise ValueError("register array must be non-empty")
+    amounts = np.asarray(amounts, dtype=np.int64)
+    if amounts.shape != (machine.n_lanes,):
+        raise ValueError("one rotation amount per lane required")
+    amounts = machine.alu(amounts % m)
+    regs = list(regs)
+    if m == 1:
+        return regs
+
+    n_stages = int(np.ceil(np.log2(m)))
+    for k in range(n_stages):
+        d = 1 << k
+        bit = machine.alu((amounts >> k) & 1)
+        # Static indexing: candidate for register i is register (i + d) mod m
+        # of the *current* stage input.
+        rotated = [regs[(i + d) % m] for i in range(m)]
+        regs = [
+            machine.select(bit, rotated[i], regs[i]) for i in range(m)
+        ]
+    return regs

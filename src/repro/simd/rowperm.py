@@ -1,0 +1,32 @@
+"""Static row permutation by register renaming (Section 6.2.3).
+
+The column-shuffle factor ``q`` permutes all lanes' registers *identically*
+and the permutation is known once the struct size is known — so a real
+implementation performs it in the compiler by renaming registers, at zero
+runtime cost.  The simulator mirrors that: it reorders the register-row
+list without issuing any instructions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["static_row_permute"]
+
+
+def static_row_permute(
+    regs: list[np.ndarray], gather: np.ndarray
+) -> list[np.ndarray]:
+    """Rename registers: new register ``i`` is old register ``gather[i]``.
+
+    Zero instructions — this is the compile-time renaming the paper relies
+    on ("in many cases this permutation can be implemented statically
+    without any hardware instructions").
+    """
+    gather = np.asarray(gather, dtype=np.int64)
+    m = len(regs)
+    if gather.shape != (m,):
+        raise ValueError("gather must name one source per register row")
+    if sorted(gather.tolist()) != list(range(m)):
+        raise ValueError("gather must be a permutation of the register rows")
+    return [regs[int(g)] for g in gather]

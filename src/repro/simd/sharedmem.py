@@ -1,0 +1,169 @@
+"""Shared memory with bank-conflict accounting — the traditional on-chip
+transpose the paper's approach replaces.
+
+Section 1: "programmers access the data in transposed order ... performing
+transpositions in on-chip memory to route the data to each SIMD lane.  This
+technique is effective, but allocating on-chip memory in order to perform
+this transpose out-of-place can be difficult, especially when scarce
+on-chip memory resources are occupied with other tasks."
+
+:class:`SharedMemory` models a banked scratchpad (32 banks x 4 bytes on
+Kepler): a warp access that maps several lanes to one bank serializes, so
+the cost of an access is its maximum bank multiplicity.
+:class:`SmemStagedAccessor` then implements the *traditional* AoS access —
+stage a tile through shared memory, read it back transposed — so the
+benchmarks can weigh it against the in-register path on three axes the
+paper argues: shared-memory footprint, bank conflicts, and instruction
+count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .machine import SimdMachine
+from .memory import SimulatedMemory
+
+__all__ = ["SharedMemory", "SmemStagedAccessor"]
+
+
+@dataclass
+class SmemStats:
+    """Traffic/conflict accounting for a shared-memory region."""
+
+    accesses: int = 0
+    cycles: int = 0  # bank-serialized cycles consumed
+
+    @property
+    def conflict_factor(self) -> float:
+        """Average serialization (1.0 = conflict-free)."""
+        return self.cycles / self.accesses if self.accesses else 1.0
+
+
+class SharedMemory:
+    """A banked on-chip scratchpad.
+
+    Parameters
+    ----------
+    n_words:
+        Capacity in 4-byte-equivalent words (the allocation the kernel
+        requests — the scarce resource).
+    n_banks:
+        Bank count (32 on Kepler); successive words live in successive
+        banks.
+    """
+
+    def __init__(self, n_words: int, n_banks: int = 32, dtype=np.int64):
+        if n_words <= 0:
+            raise ValueError("shared memory must have positive capacity")
+        if n_banks <= 0:
+            raise ValueError("bank count must be positive")
+        self.data = np.zeros(n_words, dtype=dtype)
+        self.n_banks = n_banks
+        self.stats = SmemStats()
+
+    @property
+    def n_words(self) -> int:
+        return int(self.data.shape[0])
+
+    def _account(self, addrs: np.ndarray) -> None:
+        banks = np.asarray(addrs, dtype=np.int64) % self.n_banks
+        _, counts = np.unique(banks, return_counts=True)
+        self.stats.accesses += 1
+        self.stats.cycles += int(counts.max()) if counts.size else 1
+
+    def _check(self, addrs: np.ndarray) -> np.ndarray:
+        a = np.asarray(addrs, dtype=np.int64)
+        if (a < 0).any() or (a >= self.n_words).any():
+            raise IndexError("shared-memory access out of bounds")
+        return a
+
+    def store(self, addrs: np.ndarray, values: np.ndarray) -> None:
+        a = self._check(addrs)
+        self._account(a)
+        self.data[a] = values
+
+    def load(self, addrs: np.ndarray) -> np.ndarray:
+        a = self._check(addrs)
+        self._account(a)
+        return self.data[a].copy()
+
+
+class SmemStagedAccessor:
+    """The traditional AoS vector load/store: stage a warp's structures
+    through shared memory instead of transposing in registers.
+
+    Load path: the warp reads ``m`` coalesced rows from global memory and
+    *scatters* them into shared memory in struct-major order; each lane
+    then reads its own structure back contiguously.  Store is the mirror.
+    Costs relative to the register path (Fig. 10's ``coalesced_ptr``):
+
+    * a shared allocation of ``m * n_lanes`` words per warp in flight —
+      the occupancy pressure the paper's technique avoids entirely;
+    * bank conflicts on the struct-major phase (stride-``m`` bank patterns
+      serialize up to ``gcd(m, banks)``-way).
+    """
+
+    def __init__(
+        self,
+        memory: SimulatedMemory,
+        struct_words: int,
+        machine: SimdMachine | None = None,
+    ):
+        if struct_words <= 0:
+            raise ValueError("struct_words must be positive")
+        self.memory = memory
+        self.m = struct_words
+        self.machine = machine or SimdMachine(32)
+        if memory.n_words % struct_words:
+            raise ValueError("memory capacity must be a whole number of structs")
+        self.n_structs = memory.n_words // struct_words
+        self.smem = SharedMemory(
+            self.m * self.machine.n_lanes, dtype=memory.data.dtype
+        )
+
+    @property
+    def smem_words(self) -> int:
+        """Shared-memory footprint per warp (the scarce resource)."""
+        return self.smem.n_words
+
+    def warp_load(self, base_struct: int) -> list[np.ndarray]:
+        """Load structs ``base .. base+n_lanes`` via the smem staging path."""
+        mach = self.machine
+        n = mach.n_lanes
+        if base_struct < 0 or base_struct + n > self.n_structs:
+            raise IndexError("warp batch out of range")
+        lane = mach.lane_id()
+        base_word = base_struct * self.m
+        # phase 1: coalesced global reads, struct-major smem writes
+        for r in range(self.m):
+            vals = self.memory.load(base_word + r * n + lane)
+            mach.counts.load += 1
+            word = r * n + lane  # batch word index
+            self.smem.store((word % self.m) * n + word // self.m, vals)
+        # phase 2: each lane reads its own struct contiguously (row f of
+        # the smem tile, lane-indexed -> conflict-free broadcast rows)
+        regs = []
+        for f in range(self.m):
+            regs.append(self.smem.load(f * n + lane))
+        return regs
+
+    def warp_store(self, base_struct: int, regs: list[np.ndarray]) -> None:
+        """Store lane-owned structs via the smem staging path."""
+        mach = self.machine
+        n = mach.n_lanes
+        if base_struct < 0 or base_struct + n > self.n_structs:
+            raise IndexError("warp batch out of range")
+        if len(regs) != self.m:
+            raise ValueError("register rows must match struct size")
+        lane = mach.lane_id()
+        base_word = base_struct * self.m
+        for f in range(self.m):
+            self.smem.store(f * n + lane, regs[f])
+        for r in range(self.m):
+            word = r * n + lane
+            vals = self.smem.load((word % self.m) * n + word // self.m)
+            self.memory.store(base_word + r * n + lane, vals)
+            mach.counts.store += 1

@@ -1,0 +1,72 @@
+"""Shared-memory shuffle fallback (Section 6.2.1).
+
+"For SIMD processors that do not provide a shuffle instruction, the shuffle
+can be simulated using a very small amount of on-chip memory that can hold
+one register for each SIMD lane."
+
+:class:`SmemSimdMachine` overrides ``shfl`` with exactly that: every lane
+stores its value into a lane-indexed scratchpad slot, synchronizes, and
+loads from the source lane's slot.  Everything built on the machine — the
+in-register transposes, the coalesced accessor — runs unchanged, with the
+cost model reflecting the extra traffic (one store + one load + a barrier
+per emulated shuffle instead of one ``shfl``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .machine import InstructionCounts, SimdMachine
+
+__all__ = ["SmemCounts", "SmemSimdMachine"]
+
+
+@dataclass
+class SmemCounts(InstructionCounts):
+    """Instruction tally extended with scratchpad traffic."""
+
+    smem_store: int = 0
+    smem_load: int = 0
+    barrier: int = 0
+
+    @property
+    def total(self) -> int:  # type: ignore[override]
+        return (
+            super().total + self.smem_store + self.smem_load + self.barrier
+        )
+
+    def reset(self) -> None:  # type: ignore[override]
+        super().reset()
+        self.smem_store = self.smem_load = self.barrier = 0
+
+
+class SmemSimdMachine(SimdMachine):
+    """A SIMD machine without a shuffle unit: shuffles go through a
+    lane-wide on-chip scratchpad.
+
+    The scratchpad holds exactly ``n_lanes`` values — "a very small amount
+    of on-chip memory that can hold one register for each SIMD lane".
+    """
+
+    def __init__(self, n_lanes: int = 32):
+        super().__init__(n_lanes)
+        self.counts = SmemCounts()
+        self._scratch = np.zeros(n_lanes)
+
+    def shfl(self, values: np.ndarray, src_lane: np.ndarray) -> np.ndarray:
+        values = np.asarray(values)
+        src = np.asarray(src_lane, dtype=np.int64)
+        if values.shape != (self.n_lanes,) or src.shape != (self.n_lanes,):
+            raise ValueError("shfl operands must be one value per lane")
+        if (src < 0).any() or (src >= self.n_lanes).any():
+            raise ValueError("shfl source lane out of range")
+        # store phase: every lane writes its slot
+        scratch = values.copy()
+        self.counts.smem_store += 1
+        # synchronize so loads observe all stores
+        self.counts.barrier += 1
+        # load phase: every lane reads its source's slot
+        self.counts.smem_load += 1
+        return scratch[src]

@@ -1,0 +1,104 @@
+"""The in-register C2R/R2C transpose on the simulated warp (Section 6.2).
+
+A warp of ``n`` lanes holding ``m`` registers each forms an ``m x n`` array
+(register row ``i`` x lane ``j``).  The restricted-column-operation form of
+the decomposition maps directly onto the machine primitives:
+
+=====================  ============================================  ========
+pass                   primitive                                     cost
+=====================  ============================================  ========
+pre-rotation (c > 1)   dynamic rotate, amounts ``j // b``            m·log m sel
+row shuffle            one ``shfl`` per register row (``d'^{-1}``)   m shfl
+column rotation        dynamic rotate, amounts ``j``                 m·log m sel
+row permutation ``q``  register renaming                             free
+=====================  ============================================  ========
+
+R2C is the exact inverse sequence.  Loading an Array of Structures with
+coalesced passes leaves the data row-major in the register file; an R2C
+transpose then hands each lane its own structure (and C2R undoes it before
+a store) — this is why Fig. 10's ``coalesced_ptr`` reads via R2C and writes
+via C2R.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import equations as eq
+from ..core.indexing import Decomposition
+from .machine import SimdMachine
+from .rotate import dynamic_column_rotate
+from .rowperm import static_row_permute
+
+__all__ = ["register_c2r", "register_r2c"]
+
+
+def _check(machine: SimdMachine, regs: list[np.ndarray]) -> Decomposition:
+    if not regs:
+        raise ValueError("register array must be non-empty")
+    for r in regs:
+        if np.asarray(r).shape != machine.value_shape:
+            raise ValueError("each register row must hold one value per lane")
+    return Decomposition.of(len(regs), machine.n_lanes)
+
+
+def register_c2r(
+    machine: SimdMachine, regs: list[np.ndarray]
+) -> list[np.ndarray]:
+    """C2R-transpose the ``m x n_lanes`` register array in registers.
+
+    Returns new register rows; afterwards the register array holds the same
+    permutation ``c2r_transpose`` produces on the equivalent row-major
+    buffer.  Index vectors are charged to the ALU counter; in a production
+    kernel they are strength-reduced and largely precomputed (Section
+    6.2.4), so the dominant costs are the shuffles and selects.
+    """
+    dec = _check(machine, regs)
+    m = dec.m
+    lane = machine.lane_id()
+
+    if dec.c > 1:
+        amounts = machine.alu(lane // dec.b)
+        regs = dynamic_column_rotate(machine, regs, amounts)
+
+    # Row shuffle: register row i gathers across lanes with d'^{-1}_i.
+    shuffled = []
+    for i in range(m):
+        src = machine.alu(eq.dprime_inverse_v(dec, np.int64(i), lane), ops=2)
+        shuffled.append(machine.shfl(regs[i], src))
+    regs = shuffled
+
+    # Column rotation p_j: lane j rotates by j.
+    regs = dynamic_column_rotate(machine, regs, lane)
+
+    # Static row permutation q: free renaming.
+    q = eq.permute_q_v(dec, np.arange(m, dtype=np.int64))
+    return static_row_permute(regs, q)
+
+
+def register_r2c(
+    machine: SimdMachine, regs: list[np.ndarray]
+) -> list[np.ndarray]:
+    """R2C-transpose the register array: the exact inverse of
+    :func:`register_c2r` (renaming by ``q^{-1}``, inverse rotation, row
+    shuffle by ``d'``, inverse pre-rotation)."""
+    dec = _check(machine, regs)
+    m = dec.m
+    lane = machine.lane_id()
+
+    q_inv = eq.permute_q_inverse_v(dec, np.arange(m, dtype=np.int64))
+    regs = static_row_permute(regs, q_inv)
+
+    amounts = machine.alu((-lane) % m)
+    regs = dynamic_column_rotate(machine, regs, amounts)
+
+    shuffled = []
+    for i in range(m):
+        src = machine.alu(eq.dprime_v(dec, np.int64(i), lane), ops=2)
+        shuffled.append(machine.shfl(regs[i], src))
+    regs = shuffled
+
+    if dec.c > 1:
+        amounts = machine.alu((-(lane // dec.b)) % m)
+        regs = dynamic_column_rotate(machine, regs, amounts)
+    return regs

@@ -1,0 +1,21 @@
+"""Arithmetic strength reduction (Section 4.4).
+
+The index equations divide and mod by runtime constants (``m``, ``n``, ``a``,
+``b``, ``c``).  Following the paper (and Hacker's Delight, ch. 10), integer
+division by a fixed divisor is replaced by a multiplication by a fixed-point
+reciprocal followed by a shift; the modulus then costs one more multiply and
+subtract.  The reciprocal is computed once per divisor and amortized across
+every index evaluation.
+
+* :func:`~repro.strength.magic.compute_magic` — the (multiplier, shift) pair
+  with a proven exactness bound.
+* :class:`~repro.strength.fastdiv.FastDivider` — vectorized drop-in div/mod.
+* :mod:`~repro.strength.reduced` — strength-reduced re-implementations of the
+  hot index equations, pinned to the reference forms by tests.
+"""
+
+from .fastdiv import FastDivider
+from .magic import MagicNumber, compute_magic
+from .reduced import ReducedEquations
+
+__all__ = ["FastDivider", "MagicNumber", "compute_magic", "ReducedEquations"]

@@ -1,0 +1,102 @@
+"""Fixed-point reciprocal ("magic number") computation.
+
+Division of an unsigned integer ``x < 2**nbits`` by a constant ``d`` is
+replaced by ``(x * M) >> L`` where ``(M, L)`` is chosen by the round-up
+method (Warren, *Hacker's Delight*, 2nd ed., ch. 10; Granlund & Montgomery,
+PLDI '94):
+
+    take ``M = ceil(2**L / d)`` and increase ``L`` until the rounding error
+    ``e = M*d - 2**L`` (which satisfies ``0 <= e < d``) is small enough that
+    ``e * x < 2**L`` for every representable ``x``, i.e. ``e * (2**nbits - 1)
+    < 2**L``.  Then for all ``0 <= x < 2**nbits``::
+
+        (x * M) >> L == x // d        (exactly)
+
+The proof is the standard sandwich: ``x*M = x*(2**L + e)/d`` so
+``x*M / 2**L = x/d + x*e/(d*2**L)`` and the error term is < ``1/d``,
+too small to cross an integer boundary from ``floor(x/d)``.
+
+This module computes and *verifies* the pair; the vectorized runtime lives in
+:mod:`repro.strength.fastdiv`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MagicNumber", "compute_magic"]
+
+
+@dataclass(frozen=True)
+class MagicNumber:
+    """A verified (multiplier, shift) pair for exact division by ``divisor``.
+
+    Guarantees ``(x * multiplier) >> shift == x // divisor`` for all
+    ``0 <= x < 2**nbits``.
+    """
+
+    divisor: int
+    multiplier: int
+    shift: int
+    nbits: int
+
+    def divide(self, x: int) -> int:
+        """Scalar strength-reduced division (for tests and documentation)."""
+        return (x * self.multiplier) >> self.shift
+
+    def modulus(self, x: int) -> int:
+        """Scalar strength-reduced modulus: one extra multiply + subtract."""
+        return x - self.divide(x) * self.divisor
+
+
+def compute_magic(divisor: int, nbits: int = 31) -> MagicNumber:
+    """Compute the fixed-point reciprocal of ``divisor`` for ``nbits`` inputs.
+
+    Parameters
+    ----------
+    divisor:
+        The constant divisor (positive).
+    nbits:
+        Inputs are guaranteed exact for ``0 <= x < 2**nbits``.  The default
+        31 covers every index that fits a signed 32-bit integer — the regime
+        the paper's GPU kernels operate in — while keeping the product
+        ``x * M`` within 64 bits (``M < 2**(nbits + 1)`` always holds, so
+        ``x * M < 2**(2*nbits + 1) <= 2**63``).
+
+    Raises
+    ------
+    ValueError
+        For non-positive divisors or ``nbits`` outside ``[1, 31]``.
+    """
+    if divisor <= 0:
+        raise ValueError(f"divisor must be positive, got {divisor}")
+    if not (1 <= nbits <= 31):
+        raise ValueError(f"nbits must be in [1, 31], got {nbits}")
+
+    if divisor == 1:
+        # x // 1 == x: multiplier 1, shift 0.
+        return MagicNumber(divisor=1, multiplier=1, shift=0, nbits=nbits)
+
+    xmax = (1 << nbits) - 1
+    # Powers of two reduce to a plain shift (multiplier 1).
+    if divisor & (divisor - 1) == 0:
+        return MagicNumber(
+            divisor=divisor,
+            multiplier=1,
+            shift=divisor.bit_length() - 1,
+            nbits=nbits,
+        )
+
+    L = divisor.bit_length()
+    while True:
+        M = -(-(1 << L) // divisor)  # ceil(2**L / d)
+        e = M * divisor - (1 << L)
+        assert 0 <= e < divisor
+        if e * xmax < (1 << L):
+            break
+        L += 1
+    # The loop always terminates: once 2**L > e_max * xmax, i.e.
+    # L >= nbits + bit_length(d), the condition holds.
+    assert L <= nbits + divisor.bit_length()
+    assert M < (1 << (nbits + 1)), "multiplier exceeds the 64-bit-product bound"
+    return MagicNumber(divisor=divisor, multiplier=M, shift=L, nbits=nbits)

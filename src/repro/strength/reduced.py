@@ -1,0 +1,100 @@
+"""Strength-reduced evaluation of the hot index equations.
+
+This is the Section 4.4 optimization applied end-to-end: every ``//`` and
+``%`` by the decomposition constants in the gather-map construction is
+replaced by a :class:`~repro.strength.fastdiv.FastDivider`.  The reduced
+forms are pinned to :mod:`repro.core.equations` by the test suite — the
+point of this module in the reproduction is (a) to demonstrate the
+technique is exact, and (b) to feed the strength-reduction ablation bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.indexing import Decomposition
+from ..core.numbertheory import mmi
+from .fastdiv import FastDivider
+
+__all__ = ["ReducedEquations"]
+
+
+class ReducedEquations:
+    """Index-equation evaluator with precomputed fixed-point reciprocals.
+
+    One instance per matrix shape; the reciprocals for ``m``, ``n``, ``a``,
+    ``b`` and ``c`` are computed once (the amortization the paper describes)
+    and reused across every row/column evaluation.
+    """
+
+    #: Largest supported ``b = n / gcd(m, n)``: guarantees the reduced
+    #: product ``a^{-1} * (f//c mod b) < b**2`` stays below ``2**31``, the
+    #: exactness bound of the 31-bit reciprocals.
+    MAX_B = 46_340
+
+    def __init__(self, dec: Decomposition):
+        if dec.m * dec.n + dec.m >= 2**31:
+            raise ValueError(
+                "strength-reduced equations support shapes with m*n < 2**31"
+            )
+        if dec.b > self.MAX_B:
+            raise ValueError(
+                f"strength-reduced equations support b <= {self.MAX_B}, "
+                f"got b = {dec.b}"
+            )
+        self.dec = dec
+        self._dm = FastDivider(dec.m)
+        self._dn = FastDivider(dec.n)
+        self._da = FastDivider(dec.a)
+        self._db = FastDivider(dec.b)
+        self._dc = FastDivider(dec.c)
+        self._a_inv = mmi(dec.a, dec.b)
+
+    # Each method mirrors its repro.core.equations counterpart, with all
+    # div/mod by shape constants strength-reduced.
+
+    def rotate_r(self, i, j) -> np.ndarray:
+        """Eq. 23 via reciprocal multiply: ``(i + j // b) mod m``."""
+        i = np.asarray(i, dtype=np.int64)
+        return self._dm.mod(i + self._db.div(j))
+
+    def dprime(self, i, j) -> np.ndarray:
+        """Eq. 24: ``((i + j//b) mod m + j*m) mod n``."""
+        i = np.asarray(i, dtype=np.int64)
+        j = np.asarray(j, dtype=np.int64)
+        return self._dn.mod(self._dm.mod(i + self._db.div(j)) + j * self.dec.m)
+
+    def dprime_inverse(self, i, j) -> np.ndarray:
+        """Eq. 31 with reciprocals for the ``c`` and ``b`` div/mods."""
+        i = np.asarray(i, dtype=np.int64)
+        j = np.asarray(j, dtype=np.int64)
+        dec = self.dec
+        base = j + i * (dec.n - 1)
+        f = np.where(i - self._dc.mod(j) + dec.c <= dec.m, base, base + dec.m)
+        fq, fr = self._dc.divmod(f)
+        # Reduce fq modulo b before multiplying so the product stays within
+        # the 31-bit exactness bound of the reciprocals (see MAX_B).
+        return self._db.mod(self._a_inv * self._db.mod(fq)) + fr * dec.b
+
+    def sprime(self, i, j) -> np.ndarray:
+        """Eq. 26: ``(j + i*n - i//a) mod m``."""
+        i = np.asarray(i, dtype=np.int64)
+        j = np.asarray(j, dtype=np.int64)
+        return self._dm.mod(j + i * self.dec.n - self._da.div(i))
+
+    def permute_q(self, i) -> np.ndarray:
+        """Eq. 33: ``(i*n - i//a) mod m``."""
+        i = np.asarray(i, dtype=np.int64)
+        return self._dm.mod(i * self.dec.n - self._da.div(i))
+
+    # Whole-matrix builders for the ablation bench -------------------------
+
+    def dprime_inverse_matrix(self) -> np.ndarray:
+        i = np.arange(self.dec.m, dtype=np.int64)[:, None]
+        j = np.arange(self.dec.n, dtype=np.int64)[None, :]
+        return self.dprime_inverse(i, j)
+
+    def sprime_matrix(self) -> np.ndarray:
+        i = np.arange(self.dec.m, dtype=np.int64)[:, None]
+        j = np.arange(self.dec.n, dtype=np.int64)[None, :]
+        return self.sprime(i, j)

@@ -1,0 +1,105 @@
+"""Validation harness: check any in-place transposer against the oracles.
+
+Used by the test suite, the CLI's ``selftest`` command, and downstream
+users integrating a new kernel (the paper ecosystem's equivalent is the
+test driver shipped with the authors' ``inplace`` library).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["ValidationReport", "validate_transposer", "checked"]
+
+#: A transposer: (flat_buffer, m, n) -> permutes buffer in place.
+Transposer = Callable[[np.ndarray, int, int], object]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating a transposer over a shape population."""
+
+    checked: int = 0
+    failures: list[tuple[int, int, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def __str__(self) -> str:
+        if self.ok:
+            return f"OK: {self.checked} shapes verified"
+        head = ", ".join(f"{m}x{n} ({why})" for m, n, why in self.failures[:5])
+        return f"FAILED {len(self.failures)}/{self.checked}: {head}"
+
+
+def _default_shapes(rng: np.random.Generator, count: int) -> list[tuple[int, int]]:
+    shapes: list[tuple[int, int]] = [
+        (1, 1), (1, 7), (7, 1), (2, 2), (5, 5),  # degenerate / square
+        (4, 8), (8, 4), (3, 8),                   # the paper's figures
+        (16, 16), (13, 27), (27, 13),             # coprime pairs
+        (12, 18), (18, 12),                       # shared factor
+    ]
+    while len(shapes) < count:
+        shapes.append(
+            (int(rng.integers(1, 64)), int(rng.integers(1, 64)))
+        )
+    return shapes[:count]
+
+
+def validate_transposer(
+    fn: Transposer,
+    *,
+    shapes: Sequence[tuple[int, int]] | None = None,
+    count: int = 40,
+    dtype=np.int64,
+    seed: int = 0,
+) -> ValidationReport:
+    """Run ``fn`` over a shape population and compare with the oracle.
+
+    ``fn`` must transpose a row-major flat buffer in place.  Checks both
+    the permutation (against ``A.T``) and that the buffer object itself was
+    mutated (catching accidentally-out-of-place implementations).
+    """
+    rng = np.random.default_rng(seed)
+    report = ValidationReport()
+    for m, n in shapes if shapes is not None else _default_shapes(rng, count):
+        A = np.arange(m * n, dtype=dtype).reshape(m, n)
+        buf = A.ravel().copy()
+        try:
+            fn(buf, m, n)
+        except Exception as exc:  # noqa: BLE001 - reported, not hidden
+            report.failures.append((m, n, f"raised {type(exc).__name__}: {exc}"))
+            report.checked += 1
+            continue
+        if not np.array_equal(buf.reshape(n, m), A.T):
+            report.failures.append((m, n, "wrong permutation"))
+        report.checked += 1
+    return report
+
+
+def checked(fn: Transposer) -> Transposer:
+    """Wrap a transposer so every call verifies its own result.
+
+    Costs one out-of-place reference transpose per call — a debugging tool,
+    not a production mode.
+
+    >>> from repro.core import c2r_transpose
+    >>> import numpy as np
+    >>> safe = checked(c2r_transpose)
+    >>> _ = safe(np.arange(12), 3, 4)   # raises if the kernel misbehaves
+    """
+
+    def wrapper(buf: np.ndarray, m: int, n: int, **kwargs):
+        expected = buf.reshape(m, n).T.copy().ravel()
+        out = fn(buf, m, n, **kwargs)
+        if not np.array_equal(buf, expected):
+            raise AssertionError(
+                f"in-place transpose of {m}x{n} produced a wrong permutation"
+            )
+        return out
+
+    return wrapper

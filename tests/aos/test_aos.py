@@ -1,0 +1,171 @@
+"""Tests for AoS/SoA conversion and the skinny transposes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aos import (
+    AosLayout,
+    aos_to_soa,
+    aos_to_soa_flat,
+    field_matrix,
+    skinny_transpose,
+    soa_to_aos,
+    soa_to_aos_flat,
+    struct_view,
+)
+from repro.aos.skinny import skinny_c2r, skinny_r2c
+from repro.core import c2r_transpose, r2c_transpose
+
+skinny_shapes = st.tuples(st.integers(1, 31), st.integers(1, 600))
+
+
+class TestSkinnyKernels:
+    @given(skinny_shapes)
+    @settings(max_examples=80, deadline=None)
+    def test_skinny_c2r_matches_general(self, shape):
+        m, n = shape
+        A = np.arange(m * n, dtype=np.int64)
+        a, b = A.copy(), A.copy()
+        skinny_c2r(a, m, n)
+        c2r_transpose(b, m, n)
+        np.testing.assert_array_equal(a, b)
+
+    @given(skinny_shapes)
+    @settings(max_examples=80, deadline=None)
+    def test_skinny_r2c_matches_general(self, shape):
+        m, n = shape
+        A = np.arange(m * n, dtype=np.int64)
+        a, b = A.copy(), A.copy()
+        skinny_r2c(a, m, n)
+        r2c_transpose(b, m, n)
+        np.testing.assert_array_equal(a, b)
+
+    @given(skinny_shapes)
+    @settings(max_examples=60, deadline=None)
+    def test_skinny_transpose_both_orientations(self, shape):
+        s, big = shape
+        for m, n in [(s, big), (big, s)]:
+            A = np.arange(m * n, dtype=np.float64).reshape(m, n)
+            buf = A.ravel().copy()
+            skinny_transpose(buf, m, n)
+            np.testing.assert_array_equal(buf.reshape(n, m), A.T)
+
+    def test_validates_buffer(self):
+        with pytest.raises(ValueError):
+            skinny_c2r(np.zeros(5), 2, 3)
+        with pytest.raises(ValueError):
+            skinny_r2c(np.zeros(5), 2, 3)
+
+
+class TestFlatConversion:
+    @given(st.integers(1, 24), st.integers(1, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_aos_to_soa_semantics(self, s, n):
+        # struct i holds values [i*s .. i*s + s)
+        buf = np.arange(n * s, dtype=np.float64)
+        soa = aos_to_soa_flat(buf, n, s)
+        assert soa.shape == (s, n)
+        for k in range(s):
+            np.testing.assert_array_equal(soa[k], np.arange(n) * s + k)
+
+    @given(st.integers(1, 24), st.integers(1, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, s, n):
+        orig = np.arange(n * s, dtype=np.int64)
+        buf = orig.copy()
+        aos_to_soa_flat(buf, n, s)
+        aos2 = soa_to_aos_flat(buf, n, s)
+        np.testing.assert_array_equal(buf, orig)
+        assert aos2.shape == (n, s)
+
+    def test_in_place_no_copy(self):
+        buf = np.arange(12.0)
+        soa = aos_to_soa_flat(buf, 4, 3)
+        assert np.shares_memory(soa, buf)
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            aos_to_soa_flat(np.zeros(7), 2, 3)
+        with pytest.raises(ValueError):
+            soa_to_aos_flat(np.zeros(7), 2, 3)
+
+
+class TestMatrixConversion:
+    @given(st.integers(1, 16), st.integers(1, 300))
+    @settings(max_examples=40, deadline=None)
+    def test_2d_matrix_api(self, s, n):
+        A = np.arange(n * s, dtype=np.float32).reshape(n, s)
+        expected = A.copy().T
+        soa = aos_to_soa(A)
+        np.testing.assert_array_equal(soa, expected)
+        assert np.shares_memory(soa, A)
+        back = soa_to_aos(soa)
+        np.testing.assert_array_equal(back, expected.T)
+
+    def test_rejects_noncontiguous(self):
+        A = np.zeros((8, 8))[:, ::2]
+        with pytest.raises(ValueError):
+            aos_to_soa(A)
+        F = np.asfortranarray(np.zeros((4, 4)))[:, :3]
+        with pytest.raises(ValueError):
+            soa_to_aos(F)
+
+    def test_rejects_1d_plain(self):
+        with pytest.raises(ValueError):
+            aos_to_soa(np.zeros(8))
+
+
+class TestStructuredArrays:
+    def _particles(self, n=200):
+        dt = np.dtype([("x", "f8"), ("y", "f8"), ("z", "f8")])
+        arr = np.zeros(n, dtype=dt)
+        arr["x"] = np.arange(n)
+        arr["y"] = np.arange(n) + 0.5
+        arr["z"] = -np.arange(n, dtype=np.float64)
+        return arr
+
+    def test_field_matrix_is_view(self):
+        p = self._particles()
+        mat = field_matrix(p)
+        assert mat.shape == (200, 3)
+        assert np.shares_memory(mat, p)
+        np.testing.assert_array_equal(mat[:, 0], np.arange(200))
+
+    def test_struct_roundtrip(self):
+        p = self._particles()
+        mat = field_matrix(p).copy()
+        back = struct_view(mat, ["x", "y", "z"])
+        np.testing.assert_array_equal(back["y"], p["y"])
+
+    def test_aos_to_soa_on_struct_array(self):
+        p = self._particles(64)
+        xs, ys = p["x"].copy(), p["y"].copy()
+        soa = aos_to_soa(p)
+        np.testing.assert_array_equal(soa[0], xs)
+        np.testing.assert_array_equal(soa[1], ys)
+        assert np.shares_memory(soa, p)
+
+    def test_heterogeneous_fields_rejected(self):
+        dt = np.dtype([("a", "f8"), ("b", "i4")])
+        with pytest.raises(ValueError):
+            field_matrix(np.zeros(4, dtype=dt))
+
+    def test_layout_descriptors(self):
+        p = self._particles(10)
+        lay = AosLayout.of_struct_array(p)
+        assert (lay.n_structs, lay.struct_size) == (10, 3)
+        assert lay.nbytes == 10 * 3 * 8
+        lay2 = AosLayout.of_matrix(np.zeros((5, 4)))
+        assert lay2.n_elements == 20
+        with pytest.raises(ValueError):
+            AosLayout(0, 3, np.dtype("f8"))
+
+    def test_struct_view_validations(self):
+        with pytest.raises(ValueError):
+            struct_view(np.zeros((4, 3)), ["a", "b"])
+        with pytest.raises(ValueError):
+            struct_view(np.zeros(4), ["a"])

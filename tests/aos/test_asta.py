@@ -1,0 +1,119 @@
+"""Tests for the ASTA hybrid layout (Sung et al. [7] comparison)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aos import aos_to_soa_flat
+from repro.aos.asta import (
+    aos_to_asta,
+    asta_index,
+    asta_to_aos,
+    asta_to_soa,
+    soa_to_asta,
+)
+from repro.gpusim import TransactionAnalyzer
+
+params = st.tuples(
+    st.integers(1, 8),    # tiles
+    st.integers(1, 24),   # struct size
+    st.sampled_from([4, 8, 16, 32]),  # tile height
+).map(lambda t: (t[0] * t[2], t[1], t[2]))  # (n_structs, S, T)
+
+
+class TestAstaLayout:
+    @given(params)
+    @settings(max_examples=60, deadline=None)
+    def test_asta_index_matches_conversion(self, p):
+        n, s, t = p
+        buf = np.arange(n * s, dtype=np.int64)  # AoS: struct i = [i*s, ...)
+        aos_to_asta(buf, n, s, t)
+        for struct in range(0, n, max(1, n // 5)):
+            for f in range(s):
+                assert buf[asta_index(struct, f, s, t)] == struct * s + f
+
+    @given(params)
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, p):
+        n, s, t = p
+        orig = np.arange(n * s, dtype=np.int64)
+        buf = orig.copy()
+        aos_to_asta(buf, n, s, t)
+        asta_to_aos(buf, n, s, t)
+        np.testing.assert_array_equal(buf, orig)
+
+    @given(params)
+    @settings(max_examples=60, deadline=None)
+    def test_field_runs_are_tile_contiguous(self, p):
+        """ASTA's point: a warp-sized tile's field values are contiguous."""
+        n, s, t = p
+        buf = np.arange(n * s, dtype=np.int64)
+        aos_to_asta(buf, n, s, t)
+        for block in range(n // t):
+            for f in range(s):
+                run = buf[(block * s + f) * t : (block * s + f + 1) * t]
+                expected = (block * t + np.arange(t)) * s + f
+                np.testing.assert_array_equal(run, expected)
+
+    @given(params)
+    @settings(max_examples=40, deadline=None)
+    def test_asta_to_soa_completes_the_transpose(self, p):
+        """AoS -> ASTA -> SoA equals the direct AoS -> SoA conversion."""
+        n, s, t = p
+        direct = np.arange(n * s, dtype=np.int64)
+        aos_to_soa_flat(direct, n, s)
+        staged = np.arange(n * s, dtype=np.int64)
+        aos_to_asta(staged, n, s, t)
+        asta_to_soa(staged, n, s, t)
+        np.testing.assert_array_equal(staged, direct)
+
+    @given(params)
+    @settings(max_examples=40, deadline=None)
+    def test_soa_to_asta_roundtrip(self, p):
+        n, s, t = p
+        orig = np.arange(n * s, dtype=np.float64)
+        buf = orig.copy()
+        aos_to_asta(buf, n, s, t)
+        snapshot = buf.copy()
+        asta_to_soa(buf, n, s, t)
+        soa_to_asta(buf, n, s, t)
+        np.testing.assert_array_equal(buf, snapshot)
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            aos_to_asta(np.zeros(10), 5, 2, tile=4)  # 4 does not divide 5
+        with pytest.raises(ValueError):
+            aos_to_asta(np.zeros(10), 4, 2, tile=0)
+        with pytest.raises(ValueError):
+            aos_to_asta(np.zeros(9), 4, 2, tile=4)
+
+
+class TestAstaCoalescing:
+    def test_warp_field_access_is_one_transaction(self):
+        """Reading field f of 32 consecutive structs: 32 scattered words in
+        AoS, one contiguous line in ASTA (tile = warp size) — the layout's
+        whole purpose."""
+        n, s, t = 128, 8, 32
+        an = TransactionAnalyzer(128)
+        f = 3
+        structs = np.arange(32)
+        aos_addrs = (structs * s + f) * 4
+        asta_addrs = asta_index(structs, f, s, t) * 4
+        assert an.count_warp(aos_addrs, 4) == 8
+        assert an.count_warp(asta_addrs, 4) == 1
+
+    def test_conversion_cost_is_local(self):
+        """AoS -> ASTA only permutes within tiles: every element stays
+        inside its t*s-element block (the cheapness Sung et al. trade
+        addressing simplicity for)."""
+        n, s, t = 96, 6, 32
+        buf = np.arange(n * s, dtype=np.int64)
+        aos_to_asta(buf, n, s, t)
+        block = t * s
+        for b in range(n // t):
+            segment = buf[b * block : (b + 1) * block]
+            assert segment.min() >= b * block
+            assert segment.max() < (b + 1) * block

@@ -1,0 +1,123 @@
+"""Tests for the classical cycle-following baseline and its work profile."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import CycleStats, mkl_like_transpose, transpose_cycle_following
+from repro.baselines.cycle_following import successor
+
+from ..conftest import dim_pairs
+
+
+class TestSuccessorMap:
+    @given(dim_pairs)
+    def test_successor_is_transpose_destination(self, mn):
+        """P(l) is where element l of the row-major buffer lands in the
+        transposed row-major buffer."""
+        m, n = mn
+        A = np.arange(m * n).reshape(m, n)
+        T = A.T.copy().ravel()
+        flat = A.ravel()
+        for l in range(m * n):
+            assert T[successor(l, m, n)] == flat[l]
+
+    @given(dim_pairs)
+    def test_endpoints_fixed(self, mn):
+        m, n = mn
+        assert successor(0, m, n) == 0
+        assert successor(m * n - 1, m, n) == m * n - 1
+
+
+class TestCycleFollowing:
+    @given(dim_pairs, st.sampled_from(["bitset", "recompute"]))
+    @settings(max_examples=60, deadline=None)
+    def test_transposes(self, mn, aux):
+        m, n = mn
+        A = np.arange(m * n, dtype=np.int64).reshape(m, n)
+        buf = A.ravel().copy()
+        transpose_cycle_following(buf, m, n, aux=aux)
+        np.testing.assert_array_equal(buf.reshape(n, m), A.T)
+
+    @given(dim_pairs)
+    @settings(max_examples=40, deadline=None)
+    def test_variants_agree(self, mn):
+        m, n = mn
+        A = np.arange(m * n, dtype=np.int64)
+        b1, b2 = A.copy(), A.copy()
+        transpose_cycle_following(b1, m, n, aux="bitset")
+        transpose_cycle_following(b2, m, n, aux="recompute")
+        np.testing.assert_array_equal(b1, b2)
+
+    def test_vector_shapes_are_noops(self):
+        buf = np.arange(7.0)
+        out = transpose_cycle_following(buf.copy(), 1, 7)
+        np.testing.assert_array_equal(out, buf)
+        out = transpose_cycle_following(buf.copy(), 7, 1)
+        np.testing.assert_array_equal(out, buf)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            transpose_cycle_following(np.zeros(6), 2, 3, aux="psychic")
+        with pytest.raises(ValueError):
+            transpose_cycle_following(np.zeros(5), 2, 3)
+
+    @given(dim_pairs)
+    @settings(max_examples=30, deadline=None)
+    def test_bitset_work_is_linear(self, mn):
+        """With O(mn) aux bits, total work is O(mn): each element is moved
+        once and its successor evaluated a constant number of times."""
+        m, n = mn
+        stats = CycleStats()
+        transpose_cycle_following(
+            np.arange(m * n, dtype=np.int64), m, n, aux="bitset", stats=stats
+        )
+        assert stats.element_moves <= m * n
+        assert stats.successor_evals <= 3 * m * n + 2
+
+    @given(dim_pairs)
+    @settings(max_examples=30, deadline=None)
+    def test_recompute_work_exceeds_bitset(self, mn):
+        """The limited-aux variant performs strictly more successor walks
+        whenever a nontrivial cycle structure exists."""
+        m, n = mn
+        s_bit, s_rec = CycleStats(), CycleStats()
+        A = np.arange(m * n, dtype=np.int64)
+        transpose_cycle_following(A.copy(), m, n, aux="bitset", stats=s_bit)
+        transpose_cycle_following(A.copy(), m, n, aux="recompute", stats=s_rec)
+        assert s_rec.successor_evals >= s_bit.element_moves
+        assert s_rec.element_moves == s_bit.element_moves  # same data movement
+
+    def test_superlinear_growth_of_recompute(self):
+        """Doubling the array size grows recompute work superlinearly on
+        shapes with long cycles (the O(mn log mn) profile)."""
+        def work(m, n):
+            s = CycleStats()
+            transpose_cycle_following(
+                np.arange(m * n, dtype=np.int64), m, n, aux="recompute", stats=s
+            )
+            return s.successor_evals
+
+        w1 = work(31, 37)
+        w2 = work(62, 37)
+        # superlinear: more than 2x the work for 2x the elements
+        assert w2 > 2 * w1
+
+
+class TestMklLike:
+    @given(dim_pairs)
+    @settings(max_examples=40, deadline=None)
+    def test_transposes(self, mn):
+        m, n = mn
+        A = np.arange(m * n, dtype=np.float64).reshape(m, n)
+        buf = A.ravel().copy()
+        mkl_like_transpose(buf, m, n)
+        np.testing.assert_array_equal(buf.reshape(n, m), A.T)
+
+    def test_stats_passthrough(self):
+        stats = CycleStats()
+        mkl_like_transpose(np.arange(12.0), 3, 4, stats=stats)
+        assert stats.total_work > 0

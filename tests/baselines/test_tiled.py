@@ -1,0 +1,182 @@
+"""Tests for the tiled engine, Gustavson and Sung baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    SungPlan,
+    TiledLayout,
+    gustavson_transpose,
+    outofplace_transpose,
+    sung_tile_heuristic,
+    sung_transpose,
+    tiled_transpose_inplace,
+    tretyakov_access_bound,
+)
+from repro.baselines.gustavson import best_tile
+from repro.baselines.tiling import TileStats, pack, unpack
+
+
+def tiled_shapes():
+    """Shapes with a random valid tile choice."""
+    return st.tuples(
+        st.integers(1, 12), st.integers(1, 6), st.integers(1, 12), st.integers(1, 6)
+    ).map(lambda t: (t[0] * t[1], t[2] * t[3], t[1], t[3]))
+
+
+class TestTiledLayout:
+    def test_validates_divisibility(self):
+        with pytest.raises(ValueError):
+            TiledLayout(10, 10, 3, 2)
+        with pytest.raises(ValueError):
+            TiledLayout(10, 10, 2, 3)
+        with pytest.raises(ValueError):
+            TiledLayout(0, 10, 1, 1)
+
+    def test_grid_arithmetic(self):
+        lay = TiledLayout(12, 8, 3, 4)
+        assert lay.grid_rows == 4
+        assert lay.grid_cols == 2
+        assert lay.n_tiles == 8
+        assert lay.tile_elems == 12
+
+
+class TestPackUnpack:
+    @given(tiled_shapes())
+    @settings(max_examples=60)
+    def test_roundtrip(self, shape):
+        m, tr, n, tc = shape[0], shape[2], shape[1], shape[3]
+        lay = TiledLayout(m, n, tr, tc)
+        buf = np.arange(m * n, dtype=np.int64)
+        orig = buf.copy()
+        pack(buf, lay)
+        unpack(buf, lay)
+        np.testing.assert_array_equal(buf, orig)
+
+    def test_pack_makes_tiles_contiguous(self):
+        m, n, tr, tc = 4, 6, 2, 3
+        lay = TiledLayout(m, n, tr, tc)
+        buf = np.arange(m * n, dtype=np.int64)
+        A = buf.reshape(m, n).copy()
+        pack(buf, lay)
+        # tile (I, J) occupies segment I*gridcols + J
+        for I in range(lay.grid_rows):
+            for J in range(lay.grid_cols):
+                seg = (I * lay.grid_cols + J) * lay.tile_elems
+                tile = buf[seg : seg + lay.tile_elems].reshape(tr, tc)
+                np.testing.assert_array_equal(
+                    tile, A[I * tr : (I + 1) * tr, J * tc : (J + 1) * tc]
+                )
+
+
+class TestTiledTranspose:
+    @given(tiled_shapes())
+    @settings(max_examples=80, deadline=None)
+    def test_transposes(self, shape):
+        m, n, tr, tc = shape
+        A = np.arange(m * n, dtype=np.int64).reshape(m, n)
+        buf = A.ravel().copy()
+        tiled_transpose_inplace(buf, m, n, tr, tc)
+        np.testing.assert_array_equal(buf.reshape(n, m), A.T)
+
+    def test_single_tile(self):
+        A = np.arange(12, dtype=np.int64).reshape(3, 4)
+        buf = A.ravel().copy()
+        tiled_transpose_inplace(buf, 3, 4, 3, 4)
+        np.testing.assert_array_equal(buf.reshape(4, 3), A.T)
+
+    def test_unit_tiles(self):
+        A = np.arange(12, dtype=np.int64).reshape(3, 4)
+        buf = A.ravel().copy()
+        tiled_transpose_inplace(buf, 3, 4, 1, 1)
+        np.testing.assert_array_equal(buf.reshape(4, 3), A.T)
+
+    def test_stats_count_every_tile(self):
+        stats = TileStats()
+        m, n, tr, tc = 12, 8, 3, 4
+        tiled_transpose_inplace(
+            np.arange(m * n, dtype=np.int64), m, n, tr, tc, stats=stats
+        )
+        assert stats.tiles_moved == (m // tr) * (n // tc)
+        assert stats.panels_packed == m // tr + n // tc
+
+    def test_buffer_validated(self):
+        with pytest.raises(ValueError):
+            tiled_transpose_inplace(np.zeros(10), 3, 4, 1, 1)
+
+
+class TestGustavson:
+    @given(st.integers(1, 40), st.integers(1, 40))
+    @settings(max_examples=60, deadline=None)
+    def test_transposes_any_shape(self, m, n):
+        A = np.arange(m * n, dtype=np.float64).reshape(m, n)
+        buf = A.ravel().copy()
+        gustavson_transpose(buf, m, n)
+        np.testing.assert_array_equal(buf.reshape(n, m), A.T)
+
+    def test_best_tile_properties(self):
+        assert best_tile(64) == 64
+        assert best_tile(128) == 64
+        assert best_tile(97) == 1          # prime beyond bound
+        assert best_tile(60, bound=7) == 6
+        with pytest.raises(ValueError):
+            best_tile(0)
+
+    @given(st.integers(1, 3000))
+    def test_best_tile_divides(self, dim):
+        t = best_tile(dim)
+        assert dim % t == 0 and 1 <= t <= 64
+
+
+class TestSung:
+    @pytest.mark.parametrize(
+        "dim,tile",
+        [(7200, 32), (1800, 72), (7223, 31), (10368, 64)],
+    )
+    def test_heuristic_reproduces_paper_examples(self, dim, tile):
+        """Section 5.2 reports these exact tile choices."""
+        assert sung_tile_heuristic(dim) == tile
+
+    @given(st.integers(1, 10**6))
+    def test_heuristic_returns_divisor_within_threshold(self, dim):
+        t = sung_tile_heuristic(dim)
+        assert dim % t == 0
+        assert t <= 72 or dim == t  # only exceeds when dim itself is 1
+
+    @given(st.integers(1, 40), st.integers(1, 40))
+    @settings(max_examples=50, deadline=None)
+    def test_transposes(self, m, n):
+        A = np.arange(m * n, dtype=np.float64).reshape(m, n)
+        buf = A.ravel().copy()
+        plan = sung_transpose(buf, m, n)
+        np.testing.assert_array_equal(buf.reshape(n, m), A.T)
+        assert isinstance(plan, SungPlan)
+
+    def test_degenerate_detection(self):
+        assert SungPlan.plan(10007, 4096).degenerate       # prime m
+        assert not SungPlan.plan(7200, 1800).degenerate
+
+
+class TestOutOfPlaceAndTretyakov:
+    @given(st.integers(1, 30), st.integers(1, 30))
+    def test_outofplace(self, m, n):
+        A = np.arange(m * n, dtype=np.float64).reshape(m, n)
+        out = outofplace_transpose(A.ravel().copy(), m, n)
+        np.testing.assert_array_equal(out.reshape(n, m), A.T)
+
+    def test_outofplace_validates(self):
+        with pytest.raises(ValueError):
+            outofplace_transpose(np.zeros(5), 2, 3)
+
+    def test_tretyakov_bound_is_8x_decomposition(self):
+        """48 accesses/element vs the decomposition's 6 (Theorem 6)."""
+        assert tretyakov_access_bound(10, 20) == 48 * 200
+        assert tretyakov_access_bound(10, 20) == 8 * (6 * 200)
+
+    def test_tretyakov_validates(self):
+        with pytest.raises(ValueError):
+            tretyakov_access_bound(0, 5)

@@ -1,0 +1,103 @@
+"""Tests for analytic rotation cycles and dynamic permutation cycles."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.cycles import CycleSet, RotationCycles, permutation_cycles
+from repro.core.permutation import Permutation
+
+
+class TestRotationCycles:
+    @given(st.integers(1, 200), st.integers(0, 199))
+    def test_counts_match_gcd(self, m, r):
+        r %= m
+        rc = RotationCycles(m, r)
+        if r == 0:
+            assert rc.n_cycles == m
+            assert rc.cycle_length == 1
+        else:
+            assert rc.n_cycles == math.gcd(m, r)
+            assert rc.cycle_length == m // math.gcd(m, r)
+
+    @given(st.integers(1, 120), st.integers(0, 119))
+    def test_cycles_partition_domain(self, m, r):
+        r %= m
+        rc = RotationCycles(m, r)
+        elements = np.concatenate(rc.all_cycles())
+        assert sorted(elements.tolist()) == list(range(m))
+
+    @given(st.integers(2, 100), st.integers(1, 99))
+    def test_cycles_match_permutation_object(self, m, r):
+        """The analytic cycles are exactly the cycles of the rotation
+        permutation x'[i] = x[(i + r) mod m]."""
+        r %= m
+        if r == 0:
+            return
+        perm = Permutation.rotation(m, r)
+        analytic = {frozenset(c.tolist()) for c in RotationCycles(m, r).all_cycles()}
+        actual = {frozenset(c) for c in perm.cycles()}
+        assert analytic == actual
+
+    @given(st.integers(1, 100), st.integers(0, 99))
+    def test_walk_follows_scatter_chain(self, m, r):
+        """l_y(x+1) is where l_y(x)'s value moves to under the rotation."""
+        r %= m
+        rc = RotationCycles(m, r)
+        for y in range(min(rc.n_cycles, 4)):
+            cyc = rc.cycle(y)
+            for x in range(len(cyc) - 1):
+                assert (cyc[x] + (m - r)) % m == cyc[x + 1]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            RotationCycles(0, 0)
+        with pytest.raises(ValueError):
+            RotationCycles(5, 5)
+        with pytest.raises(ValueError):
+            RotationCycles(5, -1)
+
+
+class TestPermutationCycles:
+    @given(st.integers(0, 200), st.integers(0, 2**32 - 1))
+    def test_storage_bound(self, m, seed):
+        """Section 4.7: at most m/2 nontrivial cycles."""
+        g = np.random.default_rng(seed).permutation(m)
+        cs = permutation_cycles(g)
+        assert cs.leaders.shape[0] <= max(m // 2, 0) or m < 2
+
+    @given(st.integers(1, 150), st.integers(0, 2**32 - 1))
+    def test_lengths_sum_to_moved_elements(self, m, seed):
+        g = np.random.default_rng(seed).permutation(m)
+        cs = permutation_cycles(g)
+        fixed = int((g == np.arange(m)).sum())
+        assert int(cs.lengths.sum()) == m - fixed
+        assert (cs.lengths >= 2).all()
+
+    def test_identity_has_no_cycles(self):
+        cs = permutation_cycles(np.arange(10))
+        assert cs.leaders.size == 0
+        assert cs.storage == 0
+
+    def test_single_swap(self):
+        cs = permutation_cycles(np.array([1, 0, 2]))
+        assert cs.leaders.tolist() == [0]
+        assert cs.lengths.tolist() == [2]
+
+    @given(st.integers(1, 100), st.integers(0, 2**32 - 1))
+    def test_leaders_are_cycle_minima(self, m, seed):
+        g = np.random.default_rng(seed).permutation(m)
+        cs = permutation_cycles(g)
+        for leader, length in zip(cs.leaders, cs.lengths):
+            members = [int(leader)]
+            i = int(g[leader])
+            while i != leader:
+                members.append(i)
+                i = int(g[i])
+            assert min(members) == leader
+            assert len(members) == length

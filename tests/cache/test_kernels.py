@@ -1,0 +1,163 @@
+"""Cache-aware kernels must equal their strict counterparts exactly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import (
+    CacheModel,
+    c2r_cache_aware,
+    cache_aware_rotate,
+    cache_aware_row_permute,
+)
+from repro.core import c2r_transpose
+from repro.core import equations as eq
+from repro.core import steps
+from repro.core.indexing import Decomposition
+
+from ..conftest import dim_pairs
+
+models = st.sampled_from(
+    [
+        CacheModel(line_bytes=128, itemsize=8),
+        CacheModel(line_bytes=64, itemsize=8),
+        CacheModel(line_bytes=32, itemsize=4),
+        CacheModel(line_bytes=8, itemsize=8),  # degenerate: 1-wide sub-rows
+    ]
+)
+
+
+class TestCacheAwareRotate:
+    @given(dim_pairs, models, st.integers(0, 2**32 - 1))
+    @settings(max_examples=60)
+    def test_arbitrary_amounts_match_reference(self, mn, model, seed):
+        m, n = mn
+        amounts = np.random.default_rng(seed).integers(0, m, size=n)
+        A = np.arange(m * n, dtype=np.int64).reshape(m, n)
+        got = A.copy()
+        cache_aware_rotate(got, amounts, model)
+        rows = np.arange(m, dtype=np.int64)[:, None]
+        expect = np.take_along_axis(A, (rows + amounts[None, :]) % m, axis=0)
+        np.testing.assert_array_equal(got, expect)
+
+    @given(dim_pairs, models)
+    @settings(max_examples=60)
+    def test_prerotation_amounts(self, mn, model):
+        """The C2R pre-rotation (amount j // b) through the cache-aware path
+        equals the strict per-column rotation."""
+        m, n = mn
+        dec = Decomposition.of(m, n)
+        A = np.arange(m * n, dtype=np.int64).reshape(m, n)
+        got = A.copy()
+        amounts = np.arange(n, dtype=np.int64) // dec.b
+        cache_aware_rotate(got, amounts, model)
+        ref = A.copy()
+        steps.rotate_columns_strict(ref, dec)
+        np.testing.assert_array_equal(got, ref)
+
+    def test_fine_pass_skipped_when_rotation_slow(self):
+        """r(j) = j // b is constant across a line-wide group when b >= w,
+        so every group's fine pass is skipped (the Section 4.6 claim)."""
+        m, n = 32, 64
+        dec = Decomposition.of(m, n)  # c = 32, b = 2 -> NOT slow
+        model = CacheModel(line_bytes=16, itemsize=8)  # w = 2 == b
+        amounts = np.arange(n) // dec.b
+        stats = cache_aware_rotate(
+            np.zeros((m, n)), amounts, model
+        )
+        assert stats.fine_groups_skipped == model.n_groups(n)
+        assert stats.fine_groups_processed == 0
+
+    def test_fine_pass_needed_for_fast_rotation(self):
+        m, n = 16, 32
+        model = CacheModel(line_bytes=128, itemsize=8)  # w = 16
+        amounts = np.arange(n) % m  # changes every column
+        stats = cache_aware_rotate(np.zeros((m, n)), amounts, model)
+        assert stats.fine_groups_processed > 0
+
+    def test_amount_vector_validated(self):
+        with pytest.raises(ValueError):
+            cache_aware_rotate(np.zeros((4, 6)), np.zeros(5, dtype=np.int64))
+
+    @given(dim_pairs)
+    @settings(max_examples=40)
+    def test_coarse_moves_each_subrow_at_most_once(self, mn):
+        m, n = mn
+        model = CacheModel(line_bytes=64, itemsize=8)
+        amounts = np.full(n, 1 % m, dtype=np.int64)
+        stats = cache_aware_rotate(
+            np.arange(m * n, dtype=np.int64).reshape(m, n), amounts, model
+        )
+        # one move per sub-row when rotation is nontrivial
+        if m > 1:
+            assert stats.coarse_subrow_moves == m * model.n_groups(n)
+
+
+class TestCacheAwareRowPermute:
+    @given(dim_pairs, models, st.integers(0, 2**32 - 1))
+    @settings(max_examples=60)
+    def test_matches_fancy_indexing(self, mn, model, seed):
+        m, n = mn
+        g = np.random.default_rng(seed).permutation(m)
+        A = np.arange(m * n, dtype=np.int64).reshape(m, n)
+        got = A.copy()
+        cache_aware_row_permute(got, g, model)
+        np.testing.assert_array_equal(got, A[g, :])
+
+    @given(dim_pairs)
+    @settings(max_examples=40)
+    def test_q_permutation_matches_strict(self, mn):
+        m, n = mn
+        dec = Decomposition.of(m, n)
+        qg = eq.permute_q_v(dec, np.arange(m, dtype=np.int64))
+        A = np.arange(m * n, dtype=np.int64).reshape(m, n)
+        got = A.copy()
+        cache_aware_row_permute(got, qg)
+        ref = A.copy()
+        steps.permute_rows_strict(ref, qg)
+        np.testing.assert_array_equal(got, ref)
+
+    def test_descriptor_storage_reported(self):
+        g = np.array([1, 0, 3, 2, 4])
+        stats = cache_aware_row_permute(np.zeros((5, 3)), g)
+        assert stats.n_cycles == 2
+        assert stats.cycle_descriptor_slots == 4
+
+    def test_gather_validated(self):
+        with pytest.raises(ValueError):
+            cache_aware_row_permute(np.zeros((4, 3)), np.arange(3))
+
+
+class TestCacheAwareC2R:
+    @given(dim_pairs, models)
+    @settings(max_examples=60, deadline=None)
+    def test_equals_reference_c2r(self, mn, model):
+        m, n = mn
+        A = np.arange(m * n, dtype=np.int64)
+        got = A.copy()
+        c2r_cache_aware(got, m, n, model)
+        ref = A.copy()
+        c2r_transpose(ref, m, n)
+        np.testing.assert_array_equal(got, ref)
+
+    @given(dim_pairs)
+    @settings(max_examples=40, deadline=None)
+    def test_transposes(self, mn):
+        m, n = mn
+        A = np.arange(m * n, dtype=np.float64).reshape(m, n)
+        buf = A.ravel().copy()
+        c2r_cache_aware(buf, m, n)
+        np.testing.assert_array_equal(buf.reshape(n, m), A.T)
+
+    def test_stats_reflect_gcd(self):
+        stats = c2r_cache_aware(np.arange(35.0), 5, 7)  # coprime
+        assert not stats.pre_rotation_performed
+        stats = c2r_cache_aware(np.arange(36.0), 6, 6)
+        assert stats.pre_rotation_performed
+
+    def test_buffer_validated(self):
+        with pytest.raises(ValueError):
+            c2r_cache_aware(np.zeros(7), 2, 3)

@@ -1,0 +1,98 @@
+"""Tests for cache-line geometry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache import CacheModel
+from repro.cache.onchip import OnChipModel
+
+
+class TestCacheModel:
+    def test_defaults_match_k20c(self):
+        model = CacheModel()
+        assert model.line_bytes == 128
+        assert model.itemsize == 8
+        assert model.width == 16
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            CacheModel(line_bytes=0)
+        with pytest.raises(ValueError):
+            CacheModel(itemsize=0)
+        with pytest.raises(ValueError):
+            CacheModel(line_bytes=8, itemsize=16)
+
+    @given(st.integers(1, 500), st.sampled_from([4, 8, 16]))
+    def test_groups_cover_all_columns(self, n, itemsize):
+        model = CacheModel(itemsize=itemsize)
+        cols = []
+        for g in range(model.n_groups(n)):
+            sl = model.group_slice(g, n)
+            cols.extend(range(sl.start, sl.stop))
+        assert cols == list(range(n))
+
+    def test_group_out_of_range(self):
+        model = CacheModel()
+        with pytest.raises(IndexError):
+            model.group_slice(10, 16)
+
+    @given(st.integers(1, 400))
+    def test_alignment_criterion(self, n):
+        model = CacheModel(line_bytes=128, itemsize=8)
+        aligned = model.row_pitch_aligned(n)
+        assert aligned == (n % 16 == 0)
+        if aligned:
+            # every sub-row touches exactly one line
+            for i in range(4):
+                for g in range(model.n_groups(n)):
+                    sl = model.group_slice(g, n)
+                    if sl.stop - sl.start == model.width:
+                        assert model.subrow_lines(i, g, n) == 1
+
+    @given(st.integers(1, 200), st.integers(1, 64))
+    def test_subrow_lines_is_1_or_2(self, n, m):
+        model = CacheModel(line_bytes=128, itemsize=8)
+        for g in range(model.n_groups(n)):
+            assert model.subrow_lines(m - 1, g, n) in (1, 2)
+
+    @given(st.integers(1, 128), st.integers(1, 64))
+    def test_straddle_fraction_bounds(self, n, m):
+        model = CacheModel(line_bytes=64, itemsize=8)
+        f = model.straddle_fraction(m, n)
+        assert 0.0 <= f <= 1.0
+        if model.row_pitch_aligned(n):
+            assert f == 0.0
+
+    def test_small_elements_wide_subrows(self):
+        model = CacheModel(line_bytes=128, itemsize=4)
+        assert model.width == 32
+
+
+class TestOnChipModel:
+    def test_k20c_row_capacity_from_paper(self):
+        """Section 4.5: rows of up to 29440 64-bit elements in one pass."""
+        oc = OnChipModel()
+        assert oc.max_row_elements(8) == 29440
+        assert oc.single_pass(29440, 8)
+        assert not oc.single_pass(29441, 8)
+
+    def test_passes(self):
+        oc = OnChipModel()
+        assert oc.row_shuffle_passes(100, 8) == 1
+        assert oc.row_shuffle_passes(10**6, 8) == 2
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            OnChipModel(capacity_bytes=0)
+        with pytest.raises(ValueError):
+            OnChipModel(usable_fraction=0.0)
+        with pytest.raises(ValueError):
+            OnChipModel(usable_fraction=1.5)
+
+    def test_float_rows_fit_twice_as_many(self):
+        oc = OnChipModel()
+        assert oc.max_row_elements(4) == 2 * oc.max_row_elements(8)

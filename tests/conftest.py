@@ -1,0 +1,46 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+
+# One shared profile: generous deadlines (the strict kernels loop in Python
+# by design) and a moderate example budget; override per-test where a case
+# needs more.  HYPOTHESIS_PROFILE=soak quadruples the example budget for
+# deeper shake-out runs (used by CI-style soak passes).
+settings.register_profile("repro", deadline=None, max_examples=50)
+settings.register_profile("soak", deadline=None, max_examples=200)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
+
+# Matrix dimensions used by property tests.  Small enough for exhaustive
+# per-element checks, large enough to hit every gcd regime (coprime, square,
+# one-divides-the-other, shared nontrivial factor).
+dims = st.integers(min_value=1, max_value=48)
+
+dim_pairs = st.tuples(dims, dims)
+
+# Pairs guaranteed to have gcd > 1 (the pre-rotation path).
+noncoprime_pairs = st.tuples(
+    st.integers(2, 8), st.integers(1, 8), st.integers(1, 8)
+).map(lambda t: (t[0] * t[1], t[0] * t[2]))
+
+element_dtypes = st.sampled_from([np.float64, np.float32, np.int64, np.int32])
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic per-test RNG."""
+    return np.random.default_rng(0xC2A)
+
+
+def sequential_matrix(m: int, n: int, dtype=np.int64) -> np.ndarray:
+    """The canonical test matrix: values 0..mn-1 in row-major order.
+
+    Using distinct values makes any permutation error visible.
+    """
+    return np.arange(m * n, dtype=dtype).reshape(m, n)

@@ -1,0 +1,84 @@
+"""Tests for batched in-place transposition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BatchedTransposePlan, batched_transpose_inplace
+
+from ..conftest import dim_pairs
+
+batch_sizes = st.integers(1, 6)
+orders = st.sampled_from(["C", "F"])
+algorithms = st.sampled_from(["auto", "c2r", "r2c"])
+
+
+class TestBatched:
+    @given(dim_pairs, batch_sizes, orders, algorithms)
+    @settings(max_examples=60, deadline=None)
+    def test_every_matrix_transposed(self, mn, k, order, algorithm):
+        m, n = mn
+        rng = np.random.default_rng(k)
+        mats = [rng.standard_normal((m, n)) for _ in range(k)]
+        buf = np.concatenate([A.ravel(order=order) for A in mats])
+        batched_transpose_inplace(buf, m, n, order, algorithm=algorithm)
+        for b, A in enumerate(mats):
+            got = buf[b * m * n : (b + 1) * m * n]
+            np.testing.assert_array_equal(got, A.T.ravel(order=order))
+
+    @given(dim_pairs, batch_sizes)
+    @settings(max_examples=30, deadline=None)
+    def test_matches_unbatched(self, mn, k):
+        from repro.core import transpose_inplace
+
+        m, n = mn
+        base = np.arange(k * m * n, dtype=np.float64)
+        batched = base.copy()
+        batched_transpose_inplace(batched, m, n)
+        loop = base.copy()
+        for b in range(k):
+            transpose_inplace(loop[b * m * n : (b + 1) * m * n], m, n)
+        np.testing.assert_array_equal(batched, loop)
+
+    def test_accepts_2d_and_3d_views(self):
+        m, n, k = 6, 4, 3
+        base = np.arange(k * m * n, dtype=np.int64)
+        flat = base.copy()
+        two = base.copy().reshape(k, m * n)
+        three = base.copy().reshape(k, m, n)
+        plan = BatchedTransposePlan(m, n)
+        plan.execute(flat)
+        plan.execute(two)
+        plan.execute(three)
+        np.testing.assert_array_equal(flat, two.ravel())
+        np.testing.assert_array_equal(flat, three.ravel())
+
+    def test_plan_reusable_across_batches(self):
+        plan = BatchedTransposePlan(5, 7)
+        for k in (1, 4):
+            buf = np.arange(k * 35, dtype=np.int64)
+            plan.execute(buf)
+            for b in range(k):
+                np.testing.assert_array_equal(
+                    buf[b * 35 : (b + 1) * 35].reshape(7, 5),
+                    (np.arange(b * 35, (b + 1) * 35).reshape(5, 7)).T,
+                )
+
+    def test_validates_inputs(self):
+        plan = BatchedTransposePlan(3, 4)
+        with pytest.raises(ValueError):
+            plan.execute(np.zeros(13))  # not a multiple of 12
+        with pytest.raises(ValueError):
+            plan.execute(np.zeros((2, 11)))
+        with pytest.raises(ValueError):
+            plan.execute(np.zeros((2, 3, 5)))
+        with pytest.raises(ValueError):
+            BatchedTransposePlan(3, 4, order="Z")
+        with pytest.raises(ValueError):
+            BatchedTransposePlan(3, 4, algorithm="psychic")
+
+    def test_repr(self):
+        assert "BatchedTransposePlan" in repr(BatchedTransposePlan(3, 4))

@@ -1,0 +1,132 @@
+"""Composition tests: the passes, as permutation objects, compose to the
+transposition permutation.
+
+These tests rebuild each pass of Algorithm 1 as an explicit
+:class:`~repro.core.permutation.Permutation` of buffer slots and verify
+algebraically that their composition equals the row-major transposition
+permutation — the whole paper in one identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core import equations as eq
+from repro.core.indexing import Decomposition
+from repro.core.permutation import Permutation
+
+from ..conftest import dim_pairs
+
+
+def _buffer_perm_from_pass(m: int, n: int, apply_pass) -> Permutation:
+    """The buffer-slot gather map induced by an in-place pass."""
+    probe = np.arange(m * n, dtype=np.int64).reshape(m, n)
+    out = probe.copy()
+    apply_pass(out)
+    return Permutation(out.ravel())
+
+
+def _transposition_perm(m: int, n: int) -> Permutation:
+    return Permutation(np.arange(m * n).reshape(m, n).T.ravel())
+
+
+def _pass_rotate(dec: Decomposition):
+    def apply(V):
+        V[:] = np.take_along_axis(V, eq.rotate_r_matrix(dec), axis=0)
+
+    return apply
+
+
+def _pass_row_shuffle(dec: Decomposition):
+    def apply(V):
+        V[:] = np.take_along_axis(V, eq.dprime_inverse_matrix(dec), axis=1)
+
+    return apply
+
+
+def _pass_col_shuffle(dec: Decomposition):
+    def apply(V):
+        V[:] = np.take_along_axis(V, eq.sprime_matrix(dec), axis=0)
+
+    return apply
+
+
+def _pass_rotate_p(dec: Decomposition):
+    def apply(V):
+        V[:] = np.take_along_axis(V, eq.rotate_p_matrix(dec), axis=0)
+
+    return apply
+
+
+def _pass_permute_q(dec: Decomposition):
+    def apply(V):
+        V[:] = V[eq.permute_q_v(dec, np.arange(dec.m, dtype=np.int64)), :]
+
+    return apply
+
+
+class TestPassComposition:
+    @given(dim_pairs)
+    @settings(max_examples=50)
+    def test_three_passes_compose_to_transposition(self, mn):
+        """rotate . row-shuffle . col-shuffle == the transposition, as
+        permutations of buffer slots."""
+        m, n = mn
+        dec = Decomposition.of(m, n)
+        passes = []
+        if dec.c > 1:
+            passes.append(_buffer_perm_from_pass(m, n, _pass_rotate(dec)))
+        passes.append(_buffer_perm_from_pass(m, n, _pass_row_shuffle(dec)))
+        passes.append(_buffer_perm_from_pass(m, n, _pass_col_shuffle(dec)))
+        total = passes[0]
+        for p in passes[1:]:
+            total = total @ p
+        assert total == _transposition_perm(m, n)
+
+    @given(dim_pairs)
+    @settings(max_examples=50)
+    def test_restricted_form_composes_identically(self, mn):
+        """The 4-pass restricted form induces the same total permutation."""
+        m, n = mn
+        dec = Decomposition.of(m, n)
+        passes = []
+        if dec.c > 1:
+            passes.append(_buffer_perm_from_pass(m, n, _pass_rotate(dec)))
+        passes.append(_buffer_perm_from_pass(m, n, _pass_row_shuffle(dec)))
+        passes.append(_buffer_perm_from_pass(m, n, _pass_rotate_p(dec)))
+        passes.append(_buffer_perm_from_pass(m, n, _pass_permute_q(dec)))
+        total = passes[0]
+        for p in passes[1:]:
+            total = total @ p
+        assert total == _transposition_perm(m, n)
+
+    @given(dim_pairs)
+    @settings(max_examples=40)
+    def test_each_pass_is_a_valid_permutation(self, mn):
+        """Every pass individually permutes the buffer (Permutation's
+        constructor validates bijectivity)."""
+        m, n = mn
+        dec = Decomposition.of(m, n)
+        for builder in (
+            _pass_rotate,
+            _pass_row_shuffle,
+            _pass_col_shuffle,
+            _pass_rotate_p,
+            _pass_permute_q,
+        ):
+            _buffer_perm_from_pass(m, n, builder(dec))  # raises if not
+
+    @given(dim_pairs)
+    @settings(max_examples=40)
+    def test_pass_orders_of_the_transposition_permutation(self, mn):
+        """Sanity: applying C2R twice is generally NOT the identity (the
+        transposition of the buffer slots, unlike the matrix transpose, is
+        not an involution for m != n)."""
+        m, n = mn
+        t = _transposition_perm(m, n)
+        if m == n:
+            assert (t @ t).is_identity()
+        elif m > 1 and n > 1:
+            # order divides lcm of cycle lengths; rarely 2 for m != n
+            assert (t @ t).is_identity() == (t.order() <= 2)

@@ -1,0 +1,105 @@
+"""Tests for the cycle-statistics / parallelization-argument module."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import decomposition_task_profile, transposition_cycle_profile
+from repro.core.permutation import Permutation
+from repro.baselines.cycle_following import successor
+
+small_dims = st.tuples(st.integers(2, 24), st.integers(2, 24))
+
+
+class TestTranspositionCycles:
+    @given(small_dims)
+    @settings(max_examples=60)
+    def test_lengths_cover_all_moved_elements(self, mn):
+        m, n = mn
+        prof = transposition_cycle_profile(m, n)
+        moved = sum(
+            1
+            for l in range(m * n)
+            if successor(l, m, n) != l
+        )
+        assert prof.total == moved
+
+    @given(small_dims)
+    @settings(max_examples=40)
+    def test_matches_permutation_algebra(self, mn):
+        m, n = mn
+        gather = np.empty(m * n, dtype=np.int64)
+        # gather map of the transposition: new[P(l)] = old[l] -> gather is
+        # the inverse successor map
+        for l in range(m * n):
+            gather[successor(l, m, n)] = l
+        perm = Permutation(gather)
+        expected = sorted(c for c in perm.cycle_lengths() if c > 1)
+        got = sorted(transposition_cycle_profile(m, n).lengths.tolist())
+        assert got == expected
+
+    def test_vectors_have_no_cycles(self):
+        assert transposition_cycle_profile(1, 9).n_units == 0
+        assert transposition_cycle_profile(9, 1).n_units == 0
+
+    def test_known_bad_balance_cases(self):
+        """Transposition permutations concentrate work unpredictably: some
+        shapes yield a couple of giant cycles, capping parallel speedup no
+        matter how many processors exist (the paper's 'poorly distributed
+        cycle lengths ... difficult to parallelize')."""
+        prof = transposition_cycle_profile(60, 94)  # 2 cycles of ~half each
+        assert prof.largest_fraction >= 0.5
+        assert prof.speedup_bound(8) <= 2.0
+        prof = transposition_cycle_profile(89, 55)
+        assert prof.speedup_bound(8) <= 4.0
+
+    def test_balance_is_shape_erratic(self):
+        """Neighbouring shapes can differ wildly in cycle balance — the
+        unpredictability that makes static scheduling impossible."""
+        bounds = [
+            transposition_cycle_profile(m, n).speedup_bound(8)
+            for m, n in [(60, 94), (61, 94), (62, 94), (63, 94)]
+        ]
+        assert max(bounds) > 2 * min(bounds)
+
+
+class TestDecompositionTasks:
+    @given(small_dims)
+    @settings(max_examples=60)
+    def test_unit_counts(self, mn):
+        m, n = mn
+        task = decomposition_task_profile(m, n)
+        coprime = np.gcd(m, n) == 1
+        expected_units = m + n if coprime else m + 2 * n
+        assert task.n_units == expected_units
+        # total work = mn per pass
+        passes = 2 if coprime else 3
+        assert task.total == passes * m * n
+
+    @given(small_dims)
+    @settings(max_examples=60)
+    def test_perfect_balance(self, mn):
+        """Every pass's units are equal-sized: imbalance stays near 1 for
+        any processor count that divides the unit counts reasonably."""
+        m, n = mn
+        task = decomposition_task_profile(m, n)
+        assert task.imbalance(2) < 1.6
+        assert task.speedup_bound(4) > 2.0
+
+    @given(small_dims)
+    @settings(max_examples=40)
+    def test_decomposition_beats_cycles_on_balance(self, mn):
+        m, n = mn
+        cyc = transposition_cycle_profile(m, n)
+        task = decomposition_task_profile(m, n)
+        if cyc.n_units == 0:
+            return
+        assert task.speedup_bound(8) >= cyc.speedup_bound(8) - 1e-9
+
+    def test_empty_profile_edge_cases(self):
+        prof = transposition_cycle_profile(1, 1)
+        assert prof.largest_fraction == 0.0
+        assert prof.speedup_bound(4) == 1.0
+        assert prof.imbalance(4) == 1.0

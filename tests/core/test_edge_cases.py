@@ -1,0 +1,111 @@
+"""Edge cases across the public surface: degenerate shapes, zero batches,
+aliasing, and argument abuse that must fail loudly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BatchedTransposePlan,
+    Decomposition,
+    TransposePlan,
+    c2r_transpose,
+    r2c_transpose,
+    transpose,
+    transpose_inplace,
+)
+from repro.core.permutation import Permutation
+
+
+class TestDegenerateShapes:
+    @pytest.mark.parametrize("m,n", [(1, 1), (1, 17), (17, 1)])
+    def test_vector_shapes_are_buffer_identities(self, m, n):
+        buf = np.arange(m * n, dtype=np.float64)
+        orig = buf.copy()
+        c2r_transpose(buf, m, n)
+        np.testing.assert_array_equal(buf, orig)
+        r2c_transpose(buf, m, n)
+        np.testing.assert_array_equal(buf, orig)
+
+    def test_single_element(self):
+        buf = np.array([42.0])
+        transpose_inplace(buf, 1, 1)
+        assert buf[0] == 42.0
+
+    def test_two_by_two(self):
+        buf = np.array([1.0, 2.0, 3.0, 4.0])
+        transpose_inplace(buf, 2, 2)
+        np.testing.assert_array_equal(buf, [1.0, 3.0, 2.0, 4.0])
+
+    def test_prime_times_prime(self):
+        m, n = 101, 103
+        buf = np.arange(m * n)
+        transpose_inplace(buf, m, n)
+        assert buf.reshape(n, m)[5, 7] == 7 * n + 5
+
+    def test_power_of_two_extremes(self):
+        m, n = 1024, 2
+        A = np.arange(m * n)
+        buf = A.copy()
+        transpose_inplace(buf, m, n)
+        np.testing.assert_array_equal(buf.reshape(n, m), A.reshape(m, n).T)
+
+
+class TestAliasingAndViews:
+    def test_transpose_of_view_of_larger_buffer(self):
+        backing = np.arange(100.0)
+        window = backing[10:22]  # contiguous view
+        expected = window.reshape(3, 4).T.copy()
+        transpose_inplace(window, 3, 4)
+        np.testing.assert_array_equal(window.reshape(4, 3), expected)
+        # surrounding data untouched
+        np.testing.assert_array_equal(backing[:10], np.arange(10.0))
+        np.testing.assert_array_equal(backing[22:], np.arange(22.0, 100.0))
+
+    def test_transpose_returns_same_object_for_2d(self):
+        A = np.arange(12.0).reshape(3, 4)
+        B = transpose(A)
+        assert B.base is not None
+        assert np.shares_memory(A, B)
+
+    def test_noncontiguous_flat_buffer_rejected_loudly(self):
+        """A silently-copied non-contiguous view would make the in-place
+        call a no-op on the caller's data — the kernels refuse instead."""
+        strided = np.arange(24.0)[::2]
+        with pytest.raises(ValueError, match="contiguous"):
+            c2r_transpose(strided, 3, 4)
+        with pytest.raises(ValueError, match="contiguous"):
+            r2c_transpose(strided, 3, 4)
+
+
+class TestZeroAndAbuse:
+    def test_zero_dimension_rejected(self):
+        for m, n in [(0, 4), (4, 0), (0, 0), (-1, 4)]:
+            with pytest.raises(ValueError):
+                Decomposition.of(m, n)
+            with pytest.raises(ValueError):
+                transpose_inplace(np.zeros(max(m, 0) * max(n, 0)), m, n)
+
+    def test_empty_batch(self):
+        plan = BatchedTransposePlan(3, 4)
+        out = plan.execute(np.zeros(0))
+        assert out.size == 0
+
+    def test_2d_buffer_to_flat_api_rejected(self):
+        with pytest.raises(ValueError):
+            c2r_transpose(np.zeros((3, 4)), 3, 4)
+
+    def test_plan_wrong_dtype_is_fine(self):
+        """Plans are dtype-agnostic: one plan serves any element type."""
+        plan = TransposePlan(4, 6)
+        for dtype in (np.int16, np.float64, np.complex64):
+            A = np.arange(24).astype(dtype)
+            plan.execute(A)
+            assert A.reshape(6, 4)[1, 2] == np.asarray(2 * 6 + 1, dtype=dtype)
+
+    def test_permutation_empty(self):
+        p = Permutation(np.array([], dtype=np.int64))
+        assert len(p) == 0
+        assert p.is_identity()
+        assert (p @ p).is_identity()

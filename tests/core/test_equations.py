@@ -1,0 +1,252 @@
+"""Tests for the Section 3/4 index equations (Eq. 22-36).
+
+These are the "proofs as tests": each lemma/theorem about the index functions
+is checked exhaustively over hypothesis-generated shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given
+
+from repro.core import equations as eq
+from repro.core.indexing import Decomposition
+
+from ..conftest import dim_pairs, noncoprime_pairs
+
+
+def _dec(mn) -> Decomposition:
+    return Decomposition.of(*mn)
+
+
+class TestDestinationColumn:
+    @given(dim_pairs)
+    def test_lemma1_periodicity(self, mn):
+        """Lemma 1: d_i(j) is periodic in j with period b."""
+        dec = _dec(mn)
+        for i in range(dec.m):
+            for j in range(dec.n):
+                assert eq.d_dest(dec, i, j) == eq.d_dest(dec, i, j % dec.b)
+
+    @given(noncoprime_pairs)
+    def test_d_not_bijective_when_gcd_gt_1(self, mn):
+        """When c > 1 the raw destination map collides (b < n)."""
+        dec = _dec(mn)
+        assert dec.c > 1
+        if dec.n > dec.b:  # guaranteed by c > 1
+            dests = {eq.d_dest(dec, 0, j) for j in range(dec.n)}
+            assert len(dests) == dec.b < dec.n
+
+    @given(dim_pairs)
+    def test_d_bijective_iff_coprime(self, mn):
+        dec = _dec(mn)
+        dests = {eq.d_dest(dec, 0, j) for j in range(dec.n)}
+        assert (len(dests) == dec.n) == dec.coprime
+
+    @given(dim_pairs)
+    def test_theorem3_dprime_bijective_every_row(self, mn):
+        """Theorem 3: d'_i is a bijection on [0, n) for every fixed i."""
+        dec = _dec(mn)
+        for i in range(dec.m):
+            dests = sorted(eq.dprime(dec, i, j) for j in range(dec.n))
+            assert dests == list(range(dec.n))
+
+    @given(dim_pairs)
+    def test_coprime_case_dprime_equals_d(self, mn):
+        """Section 3 note: c == 1 implies d'_i == d_i (rotation is trivial)."""
+        dec = _dec(mn)
+        if dec.coprime:
+            for i in range(dec.m):
+                for j in range(dec.n):
+                    assert eq.dprime(dec, i, j) == eq.d_dest(dec, i, j)
+
+
+class TestLemmas2And3:
+    @given(dim_pairs)
+    def test_lemma2_injectivity(self, mn):
+        """h -> h*m mod n is injective on [0, b)."""
+        dec = _dec(mn)
+        vals = [(h * dec.m) % dec.n for h in range(dec.b)]
+        assert len(set(vals)) == dec.b
+
+    @given(dim_pairs)
+    def test_lemma3_set_equality(self, mn):
+        """{h*m mod n : h in [0,b)} == {h*c : h in [0,b)}."""
+        dec = _dec(mn)
+        S = {(h * dec.m) % dec.n for h in range(dec.b)}
+        T = {h * dec.c for h in range(dec.b)}
+        assert S == T
+
+
+class TestInverses:
+    @given(dim_pairs)
+    def test_eq31_inverts_dprime(self, mn):
+        """d'_i(d'^{-1}_i(j)) == j for all i, j."""
+        dec = _dec(mn)
+        for i in range(dec.m):
+            for j in range(dec.n):
+                assert eq.dprime(dec, i, eq.dprime_inverse(dec, i, j)) == j
+
+    @given(dim_pairs)
+    def test_eq31_left_inverse_too(self, mn):
+        dec = _dec(mn)
+        for i in range(dec.m):
+            for j in range(dec.n):
+                assert eq.dprime_inverse(dec, i, eq.dprime(dec, i, j)) == j
+
+    @given(dim_pairs)
+    def test_eq34_inverts_q(self, mn):
+        """q(q^{-1}(i)) == i and q^{-1}(q(i)) == i."""
+        dec = _dec(mn)
+        for i in range(dec.m):
+            assert eq.permute_q(dec, eq.permute_q_inverse(dec, i)) == i
+            assert eq.permute_q_inverse(dec, eq.permute_q(dec, i)) == i
+
+    @given(dim_pairs)
+    def test_rotation_inverses(self, mn):
+        """Eq. 35/36 invert Eq. 32/23 column-wise."""
+        dec = _dec(mn)
+        for j in range(dec.n):
+            for i in range(dec.m):
+                assert eq.rotate_p_inverse(dec, eq.rotate_p(dec, i, j), j) == i
+                assert eq.rotate_r_inverse(dec, eq.rotate_r(dec, i, j), j) == i
+
+
+class TestColumnShuffleDecomposition:
+    @given(dim_pairs)
+    def test_p_compose_q_equals_sprime(self, mn):
+        """Section 4.2: (p_j . q)(i) == s'_j(i) under gather composition."""
+        dec = _dec(mn)
+        for j in range(dec.n):
+            for i in range(dec.m):
+                assert eq.rotate_p(dec, eq.permute_q(dec, i), j) == eq.sprime(
+                    dec, i, j
+                )
+
+    @given(dim_pairs)
+    def test_q_is_bijection(self, mn):
+        dec = _dec(mn)
+        vals = sorted(eq.permute_q(dec, i) for i in range(dec.m))
+        assert vals == list(range(dec.m))
+
+    @given(dim_pairs)
+    def test_sprime_bijective_every_column(self, mn):
+        dec = _dec(mn)
+        for j in range(dec.n):
+            vals = sorted(eq.sprime(dec, i, j) for i in range(dec.m))
+            assert vals == list(range(dec.m))
+
+    @given(dim_pairs)
+    def test_theorem5_source_column_grouping(self, mn):
+        """The proof of Theorem 5: c_j(i) lands in [kb, (k+1)b) for k = i//a.
+
+        This is the one-to-one correspondence between rotated column groups
+        and row groups that justifies the -floor(i/a) correction in s'.
+        """
+        dec = _dec(mn)
+        for i in range(dec.m):
+            k = i // dec.a
+            for j in range(dec.n):
+                cj = (j + i * dec.n) // dec.m
+                assert k * dec.b <= cj < (k + 1) * dec.b
+
+
+class TestVectorizedEquivalence:
+    @given(dim_pairs)
+    def test_all_vectorized_match_scalar(self, mn):
+        dec = _dec(mn)
+        i = np.repeat(np.arange(dec.m, dtype=np.int64), dec.n)
+        j = np.tile(np.arange(dec.n, dtype=np.int64), dec.m)
+        pairs = list(zip(i.tolist(), j.tolist()))
+        np.testing.assert_array_equal(
+            eq.rotate_r_v(dec, i, j), [eq.rotate_r(dec, a, b) for a, b in pairs]
+        )
+        np.testing.assert_array_equal(
+            eq.rotate_r_inverse_v(dec, i, j),
+            [eq.rotate_r_inverse(dec, a, b) for a, b in pairs],
+        )
+        np.testing.assert_array_equal(
+            eq.dprime_v(dec, i, j), [eq.dprime(dec, a, b) for a, b in pairs]
+        )
+        np.testing.assert_array_equal(
+            eq.dprime_inverse_v(dec, i, j),
+            [eq.dprime_inverse(dec, a, b) for a, b in pairs],
+        )
+        np.testing.assert_array_equal(
+            eq.sprime_v(dec, i, j), [eq.sprime(dec, a, b) for a, b in pairs]
+        )
+        np.testing.assert_array_equal(
+            eq.rotate_p_v(dec, i, j), [eq.rotate_p(dec, a, b) for a, b in pairs]
+        )
+        np.testing.assert_array_equal(
+            eq.rotate_p_inverse_v(dec, i, j),
+            [eq.rotate_p_inverse(dec, a, b) for a, b in pairs],
+        )
+        rows = np.arange(dec.m, dtype=np.int64)
+        np.testing.assert_array_equal(
+            eq.permute_q_v(dec, rows), [eq.permute_q(dec, a) for a in range(dec.m)]
+        )
+        np.testing.assert_array_equal(
+            eq.permute_q_inverse_v(dec, rows),
+            [eq.permute_q_inverse(dec, a) for a in range(dec.m)],
+        )
+
+    @given(dim_pairs)
+    def test_matrix_builders_match_vectorized(self, mn):
+        dec = _dec(mn)
+        i = np.arange(dec.m, dtype=np.int64)[:, None]
+        j = np.arange(dec.n, dtype=np.int64)[None, :]
+        np.testing.assert_array_equal(
+            eq.rotate_r_matrix(dec), eq.rotate_r_v(dec, i, j)
+        )
+        np.testing.assert_array_equal(
+            eq.dprime_matrix(dec), eq.dprime_v(dec, i, j)
+        )
+        np.testing.assert_array_equal(
+            eq.dprime_inverse_matrix(dec), eq.dprime_inverse_v(dec, i, j)
+        )
+        np.testing.assert_array_equal(
+            eq.sprime_matrix(dec), eq.sprime_v(dec, i, j)
+        )
+
+
+class TestSprimeInverse:
+    @given(dim_pairs)
+    def test_inverts_sprime_columnwise(self, mn):
+        """s'_j(s'^{-1}_j(i)) == i: the fused inverse column shuffle."""
+        dec = _dec(mn)
+        for j in range(dec.n):
+            for i in range(dec.m):
+                assert eq.sprime(dec, eq.sprime_inverse(dec, i, j), j) == i
+                assert eq.sprime_inverse(dec, eq.sprime(dec, i, j), j) == i
+
+    @given(dim_pairs)
+    def test_vectorized_and_matrix_forms(self, mn):
+        dec = _dec(mn)
+        i = np.arange(dec.m, dtype=np.int64)[:, None]
+        j = np.arange(dec.n, dtype=np.int64)[None, :]
+        pairs = [
+            (int(a), int(b))
+            for a in range(dec.m)
+            for b in range(dec.n)
+        ]
+        np.testing.assert_array_equal(
+            eq.sprime_inverse_v(dec, i, j).ravel(),
+            [eq.sprime_inverse(dec, a, b) for a, b in pairs],
+        )
+        np.testing.assert_array_equal(
+            eq.sprime_inverse_matrix(dec), eq.sprime_inverse_v(dec, i, j)
+        )
+
+    @given(dim_pairs)
+    def test_inverse_matrix_builders(self, mn):
+        """The inverse-rotation matrix builders really invert the forward
+        ones, as whole-matrix gathers."""
+        dec = _dec(mn)
+        A = np.arange(dec.size, dtype=np.int64).reshape(dec.m, dec.n)
+        fwd = np.take_along_axis(A, eq.rotate_r_matrix(dec), axis=0)
+        back = np.take_along_axis(fwd, eq.rotate_r_inverse_matrix(dec), axis=0)
+        np.testing.assert_array_equal(back, A)
+        fwd = np.take_along_axis(A, eq.rotate_p_matrix(dec), axis=0)
+        back = np.take_along_axis(fwd, eq.rotate_p_inverse_matrix(dec), axis=0)
+        np.testing.assert_array_equal(back, A)

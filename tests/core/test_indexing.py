@@ -1,0 +1,167 @@
+"""Tests for the Section 2 linearization and index maps (Eq. 1-10)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import indexing as ix
+from repro.core.indexing import Decomposition
+
+from ..conftest import dim_pairs, dims
+
+
+class TestDecomposition:
+    @given(dim_pairs)
+    def test_constants_satisfy_definitions(self, mn):
+        m, n = mn
+        dec = Decomposition.of(m, n)
+        assert dec.c == math.gcd(m, n)
+        assert dec.a * dec.c == m
+        assert dec.b * dec.c == n
+        assert math.gcd(dec.a, dec.b) == 1
+
+    @given(dim_pairs)
+    def test_size_and_coprime_flags(self, mn):
+        m, n = mn
+        dec = Decomposition.of(m, n)
+        assert dec.size == m * n
+        assert dec.coprime == (math.gcd(m, n) == 1)
+
+    @pytest.mark.parametrize("m,n", [(0, 3), (3, 0), (-1, 4), (4, -2)])
+    def test_rejects_nonpositive_dimensions(self, m, n):
+        with pytest.raises(ValueError):
+            Decomposition.of(m, n)
+
+    def test_paper_figure1_shape(self):
+        dec = Decomposition.of(3, 8)
+        assert (dec.c, dec.a, dec.b) == (1, 3, 8)
+
+    def test_paper_figure2_shape(self):
+        dec = Decomposition.of(4, 8)
+        assert (dec.c, dec.a, dec.b) == (4, 1, 2)
+
+
+class TestLinearization:
+    @given(dim_pairs)
+    def test_rowmajor_roundtrip(self, mn):
+        """The paper's observation: lrm(irm(l), jrm(l)) == l."""
+        m, n = mn
+        for l in range(m * n):
+            assert ix.lrm(ix.irm(l, n), ix.jrm(l, n), n) == l
+
+    @given(dim_pairs)
+    def test_colmajor_roundtrip(self, mn):
+        """The paper's observation: lcm(icm(l), jcm(l)) == l."""
+        m, n = mn
+        for l in range(m * n):
+            assert ix.lcm(ix.icm(l, m), ix.jcm(l, m), m) == l
+
+    @given(dim_pairs)
+    def test_rowmajor_enumerates_all_cells(self, mn):
+        m, n = mn
+        seen = {ix.lrm(i, j, n) for i in range(m) for j in range(n)}
+        assert seen == set(range(m * n))
+
+    @given(dim_pairs)
+    def test_colmajor_enumerates_all_cells(self, mn):
+        m, n = mn
+        seen = {ix.lcm(i, j, m) for i in range(m) for j in range(n)}
+        assert seen == set(range(m * n))
+
+    @given(dim_pairs)
+    def test_linearizations_agree_with_numpy(self, mn):
+        m, n = mn
+        A = np.arange(m * n).reshape(m, n)
+        for i in range(m):
+            for j in range(n):
+                assert A.ravel()[ix.lrm(i, j, n)] == A[i, j]
+                assert A.ravel(order="F")[ix.lcm(i, j, m)] == A[i, j]
+
+
+class TestGatherSources:
+    """Eq. 7-10 define the C2R/R2C gathers; check them against the oracles."""
+
+    @given(dim_pairs)
+    def test_c2r_gather_is_transpose_rowmajor(self, mn):
+        """Theorem 1 (element-wise): A_C2R row-major == A^T row-major."""
+        m, n = mn
+        A = np.arange(m * n).reshape(m, n)
+        B = np.empty_like(A)
+        for i in range(m):
+            for j in range(n):
+                B[i, j] = A[ix.s_index(i, j, m, n), ix.c_index(i, j, m, n)]
+        assert np.array_equal(B.ravel(), A.T.ravel())
+
+    @given(dim_pairs)
+    def test_r2c_gather_is_transpose_colmajor(self, mn):
+        """Theorem 1 (element-wise): A_R2C col-major == A^T col-major."""
+        m, n = mn
+        A = np.arange(m * n).reshape(m, n)
+        B = np.empty_like(A)
+        for i in range(m):
+            for j in range(n):
+                B[i, j] = A[ix.t_index(i, j, m, n), ix.d_index(i, j, m, n)]
+        assert np.array_equal(B.ravel(order="F"), A.T.ravel(order="F"))
+
+    @given(dim_pairs)
+    def test_c2r_and_r2c_are_inverse_permutations(self, mn):
+        m, n = mn
+        A = np.arange(m * n).reshape(m, n)
+        # C2R then R2C applied as plain 2-D gathers must restore A.
+        B = np.empty_like(A)
+        for i in range(m):
+            for j in range(n):
+                B[i, j] = A[ix.s_index(i, j, m, n), ix.c_index(i, j, m, n)]
+        C = np.empty_like(A)
+        for i in range(m):
+            for j in range(n):
+                C[i, j] = B[ix.t_index(i, j, m, n), ix.d_index(i, j, m, n)]
+        assert np.array_equal(C, A)
+
+    def test_paper_worked_example_element16(self):
+        """Section 2's example: m=3, n=8, element at (2,0) lands at (1,5)."""
+        m, n = 3, 8
+        i, j = 2, 0
+        i_dst = ix.s_index(i, j, m, n)
+        j_dst = ix.c_index(i, j, m, n)
+        assert (i_dst, j_dst) == (1, 5)
+
+
+class TestVectorizedForms:
+    @given(dim_pairs)
+    def test_vectorized_matches_scalar(self, mn):
+        m, n = mn
+        i = np.repeat(np.arange(m), n)
+        j = np.tile(np.arange(n), m)
+        np.testing.assert_array_equal(
+            ix.s_index_v(i, j, m, n),
+            [ix.s_index(int(a), int(b), m, n) for a, b in zip(i, j)],
+        )
+        np.testing.assert_array_equal(
+            ix.c_index_v(i, j, m, n),
+            [ix.c_index(int(a), int(b), m, n) for a, b in zip(i, j)],
+        )
+        np.testing.assert_array_equal(
+            ix.t_index_v(i, j, m, n),
+            [ix.t_index(int(a), int(b), m, n) for a, b in zip(i, j)],
+        )
+        np.testing.assert_array_equal(
+            ix.d_index_v(i, j, m, n),
+            [ix.d_index(int(a), int(b), m, n) for a, b in zip(i, j)],
+        )
+
+    @given(dims, dims)
+    def test_vectorized_linearization_roundtrip(self, m, n):
+        l = np.arange(m * n, dtype=np.int64)
+        np.testing.assert_array_equal(ix.lrm_v(ix.irm_v(l, n), ix.jrm_v(l, n), n), l)
+        np.testing.assert_array_equal(ix.lcm_v(ix.icm_v(l, m), ix.jcm_v(l, m), m), l)
+
+    @given(st.integers(1, 10**6), st.integers(1, 10**6))
+    def test_vectorized_forms_use_int64(self, m, n):
+        out = ix.s_index_v(np.arange(4), np.arange(4), m, n)
+        assert out.dtype == np.int64

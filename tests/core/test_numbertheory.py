@@ -1,0 +1,79 @@
+"""Tests for extended gcd and modular multiplicative inverses."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.numbertheory import are_coprime, extended_gcd, mmi
+
+ints = st.integers(min_value=0, max_value=10**9)
+positive = st.integers(min_value=1, max_value=10**9)
+
+
+class TestExtendedGcd:
+    @given(ints, ints)
+    def test_bezout_identity(self, x, y):
+        g, u, v = extended_gcd(x, y)
+        assert g == math.gcd(x, y)
+        assert u * x + v * y == g
+
+    def test_zero_cases(self):
+        assert extended_gcd(0, 0)[0] == 0
+        assert extended_gcd(0, 7)[0] == 7
+        assert extended_gcd(7, 0)[0] == 7
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            extended_gcd(-1, 2)
+
+
+class TestMmi:
+    @given(positive, positive)
+    def test_inverse_property(self, x, y):
+        """The paper's defining property: (x * mmi(x, y)) mod y == 1."""
+        if math.gcd(x, y) != 1:
+            with pytest.raises(ValueError):
+                mmi(x, y)
+        elif y == 1:
+            assert mmi(x, y) == 0
+        else:
+            inv = mmi(x, y)
+            assert 0 <= inv < y
+            assert (x * inv) % y == 1
+
+    def test_modulus_one_degenerate(self):
+        # arises for matrices where n divides m (b == 1)
+        assert mmi(5, 1) == 0
+        assert mmi(0, 1) == 0
+
+    def test_noncoprime_raises(self):
+        with pytest.raises(ValueError):
+            mmi(4, 6)
+
+    def test_nonpositive_modulus_raises(self):
+        with pytest.raises(ValueError):
+            mmi(3, 0)
+
+    @given(st.integers(-10**6, 10**6), st.integers(2, 10**6))
+    def test_negative_x_normalized(self, x, y):
+        if math.gcd(x % y, y) == 1:
+            inv = mmi(x, y)
+            assert (x * inv) % y == 1
+
+
+class TestCoprime:
+    @given(positive, positive)
+    def test_matches_math_gcd(self, x, y):
+        assert are_coprime(x, y) == (math.gcd(x, y) == 1)
+
+    def test_decomposition_factors_always_coprime(self):
+        """a = m/c and b = n/c are coprime by construction — the property
+        Eq. 31/34 rely on to form the inverses."""
+        for m in range(1, 40):
+            for n in range(1, 40):
+                c = math.gcd(m, n)
+                assert are_coprime(m // c, n // c)

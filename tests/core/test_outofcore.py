@@ -1,0 +1,64 @@
+"""Tests for out-of-core (file-backed) transposition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import transpose_file_inplace
+
+
+def _write(tmp_path, A: np.ndarray, order: str = "C"):
+    path = tmp_path / "matrix.bin"
+    A.ravel(order=order).tofile(path)
+    return path
+
+
+class TestTransposeFile:
+    @pytest.mark.parametrize("m,n", [(7, 13), (16, 24), (1, 9), (40, 25)])
+    @pytest.mark.parametrize("order", ["C", "F"])
+    def test_transposes_file(self, tmp_path, m, n, order):
+        A = np.arange(m * n, dtype=np.float64).reshape(m, n)
+        path = _write(tmp_path, A, order)
+        transpose_file_inplace(path, m, n, np.float64, order)
+        got = np.fromfile(path, dtype=np.float64)
+        np.testing.assert_array_equal(got, A.T.ravel(order=order))
+
+    @pytest.mark.parametrize("algorithm", ["auto", "c2r", "r2c"])
+    def test_algorithms(self, tmp_path, algorithm):
+        A = np.arange(12 * 18, dtype=np.int32).reshape(12, 18)
+        path = _write(tmp_path, A)
+        transpose_file_inplace(path, 12, 18, np.int32, algorithm=algorithm)
+        got = np.fromfile(path, dtype=np.int32)
+        np.testing.assert_array_equal(got, A.T.ravel())
+
+    def test_roundtrip(self, tmp_path):
+        A = np.random.default_rng(0).standard_normal((31, 17))
+        path = _write(tmp_path, A)
+        transpose_file_inplace(path, 31, 17, np.float64)
+        transpose_file_inplace(path, 17, 31, np.float64)
+        np.testing.assert_array_equal(
+            np.fromfile(path, dtype=np.float64), A.ravel()
+        )
+
+    def test_size_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        np.zeros(10).tofile(path)
+        with pytest.raises(ValueError, match="bytes"):
+            transpose_file_inplace(path, 3, 4, np.float64)
+
+    def test_bad_order_rejected(self, tmp_path):
+        A = np.zeros((2, 3))
+        path = _write(tmp_path, A)
+        with pytest.raises(ValueError):
+            transpose_file_inplace(path, 2, 3, np.float64, "Z")
+
+    def test_larger_than_scratch_budget(self, tmp_path):
+        """A deliberately big-ish file: the strict path only ever holds one
+        row/column of scratch."""
+        m, n = 300, 500
+        A = np.arange(m * n, dtype=np.float32).reshape(m, n)
+        path = _write(tmp_path, A)
+        transpose_file_inplace(path, m, n, np.float32)
+        got = np.fromfile(path, dtype=np.float32)
+        np.testing.assert_array_equal(got, A.T.ravel())

@@ -1,0 +1,114 @@
+"""Tests for the permutation algebra."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.permutation import Permutation
+
+sizes = st.integers(min_value=0, max_value=64)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def random_perm(k: int, seed: int) -> Permutation:
+    return Permutation.random(k, np.random.default_rng(seed))
+
+
+class TestConstruction:
+    def test_identity(self):
+        p = Permutation.identity(5)
+        assert p.is_identity()
+        np.testing.assert_array_equal(p(np.arange(5)), np.arange(5))
+
+    def test_rejects_non_bijection(self):
+        with pytest.raises(ValueError):
+            Permutation([0, 0, 1])
+        with pytest.raises(ValueError):
+            Permutation([0, 3])
+        with pytest.raises(ValueError):
+            Permutation([-1, 0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            Permutation(np.zeros((2, 2), dtype=np.int64))
+
+    @given(st.integers(1, 40), st.integers(-100, 100))
+    def test_rotation_convention(self, k, amount):
+        """Matches the paper: x'[i] = x[(i + amount) mod k]."""
+        p = Permutation.rotation(k, amount)
+        x = np.arange(k)
+        y = p(x)
+        for i in range(k):
+            assert y[i] == x[(i + amount) % k]
+
+    def test_from_function_validates(self):
+        with pytest.raises(ValueError):
+            Permutation.from_function(3, lambda i: 0)
+
+
+class TestAlgebra:
+    @given(sizes, seeds)
+    def test_inverse_roundtrip(self, k, seed):
+        p = random_perm(k, seed)
+        assert (p @ p.inverse()).is_identity()
+        assert (p.inverse() @ p).is_identity()
+
+    @given(sizes, seeds)
+    def test_gather_scatter_duality(self, k, seed):
+        """Scattering with g equals gathering with g^{-1} (Eq. 11-14)."""
+        p = random_perm(k, seed)
+        x = np.random.default_rng(seed).standard_normal(k)
+        np.testing.assert_array_equal(p.apply_scatter(x), p.inverse()(x))
+
+    @given(sizes, seeds, seeds)
+    def test_composition_semantics(self, k, s1, s2):
+        """(p @ q)(x) == q(p(x)): p applied first."""
+        p, q = random_perm(k, s1), random_perm(k, s2)
+        x = np.random.default_rng(s1 ^ s2).standard_normal(k)
+        np.testing.assert_array_equal((p @ q)(x), q(p(x)))
+
+    @given(sizes, seeds)
+    def test_composition_with_identity(self, k, seed):
+        p = random_perm(k, seed)
+        e = Permutation.identity(k)
+        assert (p @ e) == p
+        assert (e @ p) == p
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Permutation.identity(3) @ Permutation.identity(4)
+
+
+class TestCycles:
+    @given(sizes, seeds)
+    def test_cycles_partition_domain(self, k, seed):
+        p = random_perm(k, seed)
+        elements = [x for cyc in p.cycles() for x in cyc]
+        assert sorted(elements) == list(range(k))
+
+    @given(st.integers(1, 40), st.integers(0, 40))
+    def test_rotation_cycle_structure(self, k, r):
+        """Section 4.6: rotating k elements by r yields gcd(k, r) cycles of
+        length k / gcd(k, r)."""
+        p = Permutation.rotation(k, r)
+        z = int(np.gcd(k, r % k)) if r % k else k
+        lengths = p.cycle_lengths()
+        if r % k == 0:
+            assert lengths == [1] * k
+        else:
+            assert len(lengths) == z
+            assert all(length == k // z for length in lengths)
+
+    @given(sizes, seeds)
+    def test_order_annihilates(self, k, seed):
+        p = random_perm(k, seed)
+        acc = Permutation.identity(k)
+        for _ in range(p.order()):
+            acc = acc @ p
+        assert acc.is_identity()
+
+    def test_identity_cycles_are_fixed_points(self):
+        assert Permutation.identity(4).cycle_lengths() == [1, 1, 1, 1]

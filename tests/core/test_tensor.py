@@ -1,0 +1,83 @@
+"""Tests for in-place 3-D axis permutations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tensor import swap_first_axes_inplace, swap_last_axes_inplace
+
+dims3 = st.tuples(st.integers(1, 12), st.integers(1, 12), st.integers(1, 12))
+
+
+class TestSwapLastAxes:
+    @given(dims3)
+    @settings(max_examples=60)
+    def test_matches_numpy_transpose(self, kmn):
+        k, m, n = kmn
+        t = np.arange(k * m * n, dtype=np.float64).reshape(k, m, n)
+        expected = t.transpose(0, 2, 1).copy()
+        out = swap_last_axes_inplace(t)
+        np.testing.assert_array_equal(out, expected)
+        assert np.shares_memory(out, t)
+
+    @given(dims3)
+    @settings(max_examples=30)
+    def test_involution(self, kmn):
+        k, m, n = kmn
+        t = np.arange(k * m * n, dtype=np.int32).reshape(k, m, n)
+        orig = t.copy()
+        out = swap_last_axes_inplace(t)
+        back = swap_last_axes_inplace(out)
+        np.testing.assert_array_equal(back, orig)
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            swap_last_axes_inplace(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            swap_last_axes_inplace(np.zeros((4, 4, 4)).transpose(2, 1, 0))
+
+
+class TestSwapFirstAxes:
+    @given(dims3)
+    @settings(max_examples=60)
+    def test_matches_numpy_transpose(self, mnk):
+        m, n, k = mnk
+        t = np.arange(m * n * k, dtype=np.float64).reshape(m, n, k)
+        expected = t.transpose(1, 0, 2).copy()
+        out = swap_first_axes_inplace(t)
+        np.testing.assert_array_equal(out, expected)
+        assert np.shares_memory(out, t)
+
+    @given(dims3)
+    @settings(max_examples=30)
+    def test_involution(self, mnk):
+        m, n, k = mnk
+        t = np.arange(m * n * k, dtype=np.float32).reshape(m, n, k)
+        orig = t.copy()
+        back = swap_first_axes_inplace(swap_first_axes_inplace(t))
+        np.testing.assert_array_equal(back, orig)
+
+    @given(dims3)
+    @settings(max_examples=20)
+    def test_composition_reaches_any_leading_cycle(self, mnk):
+        """(m,n,k)->(n,k,m) via two swaps: axis algebra composes."""
+        m, n, k = mnk
+        t = np.arange(m * n * k, dtype=np.int64).reshape(m, n, k)
+        expected = t.transpose(1, 2, 0).copy()
+        # (m,n,k) -(swap first)-> (n,m,k) -(swap last)-> (n,k,m)
+        step1 = swap_first_axes_inplace(t)
+        out = swap_last_axes_inplace(step1)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_multibyte_super_elements(self):
+        t = np.arange(5 * 7 * 3, dtype=np.complex128).reshape(5, 7, 3)
+        expected = t.transpose(1, 0, 2).copy()
+        out = swap_first_axes_inplace(t)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            swap_first_axes_inplace(np.zeros(6))

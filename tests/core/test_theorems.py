@@ -1,0 +1,182 @@
+"""Whole-algorithm theorem tests (Theorems 1, 2, 4, 6, 7).
+
+Per-equation lemmas live in test_equations.py; these tests exercise the
+theorems that talk about the *complete* transposition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import c2r_transpose, r2c_transpose
+from repro.core import equations as eq
+from repro.core import steps
+from repro.core.indexing import Decomposition
+from repro.core.permutation import Permutation
+from repro.core.reference import c2r_oracle, r2c_oracle
+
+from ..conftest import dim_pairs
+
+
+class TestTheorem1:
+    @given(dim_pairs)
+    def test_c2r_rowmajor_linearization(self, mn):
+        """A_C2R row-major == A^T row-major."""
+        m, n = mn
+        A = np.arange(m * n).reshape(m, n)
+        np.testing.assert_array_equal(c2r_oracle(A).ravel(), A.T.ravel())
+
+    @given(dim_pairs)
+    def test_r2c_colmajor_linearization(self, mn):
+        """A_R2C col-major == A^T col-major."""
+        m, n = mn
+        A = np.arange(m * n).reshape(m, n)
+        np.testing.assert_array_equal(
+            r2c_oracle(A).ravel(order="F"), A.T.ravel(order="F")
+        )
+
+    @given(dim_pairs)
+    def test_kernel_matches_oracle(self, mn):
+        """The in-place kernel computes exactly the A_C2R permutation."""
+        m, n = mn
+        A = np.arange(m * n).reshape(m, n)
+        buf = A.ravel().copy()
+        c2r_transpose(buf, m, n)
+        np.testing.assert_array_equal(buf.reshape(m, n), c2r_oracle(A))
+
+    @given(dim_pairs)
+    def test_r2c_kernel_matches_oracle(self, mn):
+        m, n = mn
+        A = np.arange(m * n).reshape(m, n)
+        buf = A.ravel().copy()
+        r2c_transpose(buf, m, n)
+        np.testing.assert_array_equal(buf.reshape(m, n), r2c_oracle(A))
+
+
+class TestTheorem2:
+    @given(dim_pairs)
+    def test_swapped_r2c_equals_c2r_on_buffer(self, mn):
+        """Swapping dims turns R2C into a row-major transposer: the buffer
+        permutation induced by R2C(n, m) equals the one induced by C2R(m, n).
+        """
+        m, n = mn
+        base = np.arange(m * n, dtype=np.int64)
+        via_c2r = base.copy()
+        c2r_transpose(via_c2r, m, n)
+        via_r2c = base.copy()
+        r2c_transpose(via_r2c, n, m)
+        np.testing.assert_array_equal(via_c2r, via_r2c)
+
+
+class TestTheorem4:
+    """Decomposability: each pass is a well-formed row/column permutation."""
+
+    @given(dim_pairs)
+    def test_row_pass_is_row_local(self, mn):
+        m, n = mn
+        dec = Decomposition.of(m, n)
+        A = np.arange(m * n, dtype=np.int64).reshape(m, n)
+        out = A.copy()
+        steps.shuffle_rows_strict(out, dec, gather=True, use_dprime=False)
+        for i in range(m):
+            assert set(out[i]) == set(A[i])
+
+    @given(dim_pairs)
+    def test_column_passes_are_column_local(self, mn):
+        m, n = mn
+        dec = Decomposition.of(m, n)
+        A = np.arange(m * n, dtype=np.int64).reshape(m, n)
+        rot = A.copy()
+        steps.rotate_columns_strict(rot, dec)
+        for j in range(n):
+            assert set(rot[:, j]) == set(A[:, j])
+
+    @given(dim_pairs)
+    def test_after_row_shuffle_each_element_in_final_column(self, mn):
+        """After pre-rotation + row shuffle, every element already sits in
+        the column it occupies in the final transposed buffer."""
+        m, n = mn
+        dec = Decomposition.of(m, n)
+        A = np.arange(m * n, dtype=np.int64).reshape(m, n)
+        mid = A.copy()
+        if dec.c > 1:
+            steps.rotate_columns_strict(mid, dec)
+        steps.shuffle_rows_strict(mid, dec, gather=True, use_dprime=False)
+        final = A.ravel().copy()
+        c2r_transpose(final, m, n)
+        final = final.reshape(m, n)
+        for j in range(n):
+            assert set(mid[:, j]) == set(final[:, j])
+
+
+class TestTheorem7:
+    @given(dim_pairs)
+    def test_linearization_freedom(self, mn):
+        """Performing the C2R passes with column-major indexing on the same
+        buffer induces the identical final permutation (Eq. 28-30)."""
+        m, n = mn
+        base = np.arange(m * n, dtype=np.int64)
+
+        # Row-major-indexed execution (the production kernel).
+        rm = base.copy()
+        c2r_transpose(rm, m, n)
+
+        # Column-major-indexed execution: apply the same logical row/column
+        # operations to the column-major view of the buffer.
+        cm = base.copy()
+        V = cm.reshape(m, n, order="F")  # view with col-major linearization
+        dec = Decomposition.of(m, n)
+        if dec.c > 1:
+            V[:] = np.take_along_axis(V, eq.rotate_r_matrix(dec), axis=0)
+        V[:] = np.take_along_axis(V, eq.dprime_inverse_matrix(dec), axis=1)
+        V[:] = np.take_along_axis(V, eq.sprime_matrix(dec), axis=0)
+
+        np.testing.assert_array_equal(rm, cm)
+
+
+class TestInducedPermutation:
+    @given(dim_pairs)
+    def test_c2r_buffer_permutation_structure(self, mn):
+        """The C2R kernel induces a fixed permutation of buffer slots; check
+        it is a true permutation and its inverse is the R2C permutation."""
+        m, n = mn
+        base = np.arange(m * n, dtype=np.int64)
+        fwd = base.copy()
+        c2r_transpose(fwd, m, n)
+        p = Permutation(fwd)  # validates bijectivity
+        inv = base.copy()
+        r2c_transpose(inv, m, n)
+        assert Permutation(inv) == p.inverse()
+
+
+class TestBufferOracles:
+    @given(dim_pairs)
+    def test_rowmajor_oracle(self, mn):
+        from repro.core import transpose_rowmajor_oracle
+
+        m, n = mn
+        A = np.arange(m * n, dtype=np.int64)
+        out = transpose_rowmajor_oracle(A, m, n)
+        np.testing.assert_array_equal(out, A.reshape(m, n).T.ravel())
+        np.testing.assert_array_equal(A, np.arange(m * n))  # input untouched
+
+    @given(dim_pairs)
+    def test_colmajor_oracle(self, mn):
+        from repro.core import transpose_colmajor_oracle
+
+        m, n = mn
+        A = np.arange(m * n, dtype=np.int64).reshape(m, n)
+        out = transpose_colmajor_oracle(A.ravel(order="F").copy(), m, n)
+        np.testing.assert_array_equal(out, A.T.ravel(order="F"))
+
+    def test_oracles_validate_length(self):
+        import pytest
+
+        from repro.core import transpose_colmajor_oracle, transpose_rowmajor_oracle
+
+        with pytest.raises(ValueError):
+            transpose_rowmajor_oracle(np.zeros(5), 2, 3)
+        with pytest.raises(ValueError):
+            transpose_colmajor_oracle(np.zeros(5), 2, 3)

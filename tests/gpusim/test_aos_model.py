@@ -1,0 +1,105 @@
+"""Tests for the Fig. 8/9 AoS access model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim.aos_model import OPS, PATTERNS, aos_access_throughput
+from repro.gpusim.device import TESLA_K20C
+
+
+class TestModelBasics:
+    def test_rejects_unknown_inputs(self):
+        with pytest.raises(ValueError):
+            aos_access_throughput(4, "psychic", "load")
+        with pytest.raises(ValueError):
+            aos_access_throughput(4, "c2r", "teleport")
+
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    @pytest.mark.parametrize("op", OPS)
+    def test_every_combination_runs(self, pattern, op):
+        res = aos_access_throughput(4, pattern, op, n_warps=2)
+        assert res.throughput > 0
+        assert res.seconds > 0
+        assert res.struct_bytes == 16
+
+    def test_deterministic_given_seed(self):
+        a = aos_access_throughput(8, "c2r", "gather", seed=3)
+        b = aos_access_throughput(8, "c2r", "gather", seed=3)
+        assert a.throughput == b.throughput
+
+    def test_throughput_capped_by_streaming_bandwidth(self):
+        for pattern in PATTERNS:
+            res = aos_access_throughput(8, pattern, "copy")
+            assert res.throughput <= TESLA_K20C.achievable_bandwidth * 1.001
+
+    def test_copy_counts_both_directions(self):
+        load = aos_access_throughput(8, "c2r", "load")
+        copy = aos_access_throughput(8, "c2r", "copy")
+        assert copy.useful_bytes == 2 * load.useful_bytes
+
+
+class TestFig8Shapes:
+    def test_direct_store_decays_with_struct_size(self):
+        vals = [
+            aos_access_throughput(m, "direct", "store").throughput_gbps
+            for m in (2, 4, 8, 16)
+        ]
+        assert vals == sorted(vals, reverse=True)
+        assert vals[0] > 2 * vals[-1]
+
+    def test_c2r_rides_the_plateau(self):
+        for m in (1, 4, 8, 16):
+            res = aos_access_throughput(m, "c2r", "store")
+            assert res.throughput > 0.7 * TESLA_K20C.achievable_bandwidth
+
+    def test_vector_between_c2r_and_direct(self):
+        m = 16  # 64-byte structs
+        c = aos_access_throughput(m, "c2r", "store").throughput
+        v = aos_access_throughput(m, "vector", "store").throughput
+        d = aos_access_throughput(m, "direct", "store").throughput
+        assert c > v > d
+
+    def test_partial_line_store_pays_rfo(self):
+        """Direct stores of sub-line structs cost ~2x their line count
+        (ECC read-modify-write): 64-byte structs land near 32x below C2R."""
+        c = aos_access_throughput(16, "c2r", "store").throughput
+        d = aos_access_throughput(16, "direct", "store").throughput
+        assert 25 < c / d < 40
+
+
+class TestFig9Shapes:
+    def test_c2r_gather_rises_with_struct_size(self):
+        small = aos_access_throughput(1, "c2r", "gather").throughput
+        large = aos_access_throughput(16, "c2r", "gather").throughput
+        assert large > 3 * small
+
+    def test_direct_gather_flat(self):
+        vals = [
+            aos_access_throughput(m, "direct", "gather").throughput_gbps
+            for m in (2, 4, 8, 16)
+        ]
+        assert max(vals) < 3 * min(vals)
+
+    def test_c2r_dominates_random_access(self):
+        for m in (4, 8, 16):
+            for op in ("gather", "scatter"):
+                c = aos_access_throughput(m, "c2r", op).throughput
+                d = aos_access_throughput(m, "direct", op).throughput
+                assert c >= d
+
+    def test_single_word_structs_equalize(self):
+        """At one word per struct there is nothing to transpose: C2R and
+        direct degenerate to the same access."""
+        c = aos_access_throughput(1, "c2r", "gather").throughput
+        d = aos_access_throughput(1, "direct", "gather").throughput
+        assert c == pytest.approx(d, rel=0.05)
+
+    def test_nondividing_struct_sizes_run_correctly(self):
+        """m that does not divide the warp takes the generic redistribution
+        path — slower in instructions but still ahead of direct."""
+        res = aos_access_throughput(7, "c2r", "gather")
+        assert res.instr_seconds > 0
+        d = aos_access_throughput(7, "direct", "gather")
+        assert res.throughput > 0.5 * d.throughput  # never catastrophically worse

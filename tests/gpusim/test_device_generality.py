@@ -1,0 +1,88 @@
+"""Model-generality checks: the paper's qualitative results are device
+properties of *bandwidth-bound transposition*, not K20c artifacts.
+
+Re-run the key orderings on a modern device model (A100): who wins, where
+the bands sit, and how the Fig. 8/9 shapes look must persist; only absolute
+GB/s scale with the device's bandwidth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim.aos_model import aos_access_throughput
+from repro.gpusim.cost import c2r_cost, skinny_cost, sung_cost
+from repro.gpusim.device import A100_SXM4, TESLA_K20C
+
+
+class TestDeviceGenerality:
+    def test_throughput_scales_with_bandwidth(self):
+        k20 = c2r_cost(9001, 9002, 8, TESLA_K20C).throughput
+        a100 = c2r_cost(9001, 9002, 8, A100_SXM4).throughput
+        scale = A100_SXM4.achievable_bandwidth / TESLA_K20C.achievable_bandwidth
+        # same pass structure; the gather-efficiency tiers differ slightly
+        # (A100's bigger L2 widens the cached band), so allow slack
+        assert 0.5 * scale < a100 / k20 < 2.0 * scale
+
+    def test_double_beats_float_in_the_uncached_regime(self):
+        """The paper's double > float gap comes from sector-granularity
+        gathers on rows too long to stay cache-resident.  On the K20c that
+        is most of the benchmark range; on the A100 (40 MB L2) the same gap
+        reappears only beyond its much wider cached band — same physics,
+        shifted threshold."""
+        rng = np.random.default_rng(8)
+        for device, lo, hi in (
+            (TESLA_K20C, 5000, 20000),
+            (A100_SXM4, 30000, 60000),
+        ):
+            d, f = [], []
+            for _ in range(15):
+                m = int(rng.integers(lo, hi))
+                n = int(rng.integers(lo, hi))
+                d.append(c2r_cost(m, n, 8, device).throughput)
+                f.append(c2r_cost(m, n, 4, device).throughput)
+            assert np.median(d) > np.median(f), device.name
+
+    def test_a100_l2_erases_the_float_penalty_in_band(self):
+        """Inside the A100's cached band float and double converge —
+        the model predicts the gap is a capacity effect, not intrinsic."""
+        d = c2r_cost(8001, 9002, 8, A100_SXM4).throughput
+        f = c2r_cost(8001, 9002, 4, A100_SXM4).throughput
+        assert abs(d - f) / d < 0.25
+
+    def test_c2r_beats_sung_on_both_devices(self):
+        rng = np.random.default_rng(9)
+        for device in (TESLA_K20C, A100_SXM4):
+            c2r, sung = [], []
+            for _ in range(15):
+                m = int(rng.integers(1000, 20000))
+                n = int(rng.integers(1000, 20000))
+                c2r.append(c2r_cost(m, n, 4, device).throughput)
+                cost, plan = sung_cost(m, n, 4, device)
+                if not plan.degenerate:
+                    sung.append(cost.throughput)
+            assert np.median(c2r) > np.median(sung), device.name
+
+    def test_band_structure_persists(self):
+        """Small-n rows stay cache-resident on the A100 too (its larger L2
+        widens the band rather than removing it)."""
+        fast = c2r_cost(20001, 1501, 8, A100_SXM4).throughput
+        slow = c2r_cost(20001, 19013, 8, A100_SXM4).throughput
+        assert fast > slow
+
+    def test_fig8_orderings_persist(self):
+        for m in (4, 8, 16):
+            c = aos_access_throughput(m, "c2r", "store", A100_SXM4).throughput
+            v = aos_access_throughput(m, "vector", "store", A100_SXM4).throughput
+            d = aos_access_throughput(m, "direct", "store", A100_SXM4).throughput
+            assert c >= v >= d
+        assert (
+            aos_access_throughput(16, "c2r", "store", A100_SXM4).throughput
+            > 10 * aos_access_throughput(16, "direct", "store", A100_SXM4).throughput
+        )
+
+    def test_skinny_specialization_wins_on_both(self):
+        for device in (TESLA_K20C, A100_SXM4):
+            s = skinny_cost(10**6, 8, 8, device).throughput
+            assert s > 0.1 * device.achievable_bandwidth, device.name

@@ -1,0 +1,102 @@
+"""Tests for the transaction analyzer and device model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpusim import TESLA_K20C, TransactionAnalyzer
+from repro.gpusim.device import CORE_I7_950
+from repro.simd.memory import AccessRecord
+
+
+class TestTransactionAnalyzer:
+    def test_fully_coalesced_warp(self):
+        """32 lanes x 4 bytes contiguous = one 128-byte transaction."""
+        an = TransactionAnalyzer(128)
+        addrs = np.arange(32) * 4
+        assert an.count_warp(addrs, 4) == 1
+        assert an.warp_efficiency(addrs, 4) == 1.0
+
+    def test_fully_scattered_warp(self):
+        an = TransactionAnalyzer(128)
+        addrs = np.arange(32) * 128
+        assert an.count_warp(addrs, 4) == 32
+        assert an.warp_efficiency(addrs, 4) == pytest.approx(4 / 128)
+
+    def test_strided_access_matches_formula(self):
+        """Stride-s word accesses touch ~32*s*4/128 lines."""
+        an = TransactionAnalyzer(128)
+        for stride_words in (2, 4, 8, 16, 32):
+            addrs = np.arange(32) * stride_words * 4
+            expected = max(1, 32 * stride_words * 4 // 128)
+            assert an.count_warp(addrs, 4) == expected
+
+    def test_straddling_access(self):
+        an = TransactionAnalyzer(128)
+        # 16-byte access starting 8 bytes before a boundary: 2 segments
+        assert an.count_warp(np.array([120]), 16) == 2
+        assert an.count_warp(np.array([112]), 16) == 1
+
+    def test_duplicate_addresses_coalesce(self):
+        an = TransactionAnalyzer(128)
+        assert an.count_warp(np.zeros(32, dtype=np.int64), 4) == 1
+
+    def test_empty_access(self):
+        an = TransactionAnalyzer(128)
+        assert an.count_warp(np.array([], dtype=np.int64), 4) == 0
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            TransactionAnalyzer(0)
+        with pytest.raises(ValueError):
+            TransactionAnalyzer(128).count_warp(np.array([0]), 0)
+
+    @given(st.integers(1, 64), st.integers(0, 2**20), st.integers(1, 16))
+    def test_count_brute_force_equivalence(self, n_lanes, base, itemsize):
+        """Against a brute-force set-of-segments computation."""
+        rng = np.random.default_rng(base)
+        addrs = base + rng.integers(0, 4096, size=n_lanes)
+        an = TransactionAnalyzer(128)
+        got = an.count_warp(addrs, itemsize)
+        segs = set()
+        for a in addrs.tolist():
+            for b in range(a, a + itemsize):
+                segs.add(b // 128)
+        assert got == len(segs)
+
+    def test_analyze_trace(self):
+        an = TransactionAnalyzer(128)
+        trace = [
+            AccessRecord("load", np.arange(32) * 4, 4),
+            AccessRecord("store", np.arange(32) * 128, 4),
+        ]
+        summary = an.analyze(trace)
+        assert summary.load_transactions == 1
+        assert summary.store_transactions == 32
+        assert summary.transactions == 33
+        assert summary.useful_bytes == 2 * 32 * 4
+        assert 0 < summary.efficiency < 1
+
+    def test_empty_trace_efficiency(self):
+        assert TransactionAnalyzer(128).analyze([]).efficiency == 1.0
+
+
+class TestDevice:
+    def test_k20c_constants(self):
+        d = TESLA_K20C
+        assert d.warp_size == 32
+        assert d.line_bytes == 128
+        # the paper's measured streaming plateau: ~180 GB/s
+        assert d.achievable_bandwidth == pytest.approx(181e9, rel=0.01)
+        # Section 4.5: rows of up to 29440 64-bit elements on chip
+        assert d.onchip.max_row_elements(8) == 29440
+
+    def test_instruction_rates_positive(self):
+        assert TESLA_K20C.shfl_rate > 0
+        assert TESLA_K20C.alu_rate > TESLA_K20C.shfl_rate
+
+    def test_cpu_device_exists(self):
+        assert CORE_I7_950.peak_bandwidth > 0

@@ -1,0 +1,68 @@
+"""Tests for the occupancy model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim.device import TESLA_K20C
+from repro.gpusim.occupancy import (
+    KEPLER_LIMITS,
+    bandwidth_fraction,
+    occupancy,
+    staged_access_bandwidth,
+)
+
+
+class TestOccupancy:
+    def test_no_resources_full_occupancy(self):
+        # 256-thread blocks, no smem, modest registers: 8 blocks = 64 warps
+        assert occupancy(256, 0, regs_per_thread=32) == 1.0
+
+    def test_smem_limits_blocks(self):
+        # 24 kB/block -> 2 blocks -> 16 warps of 64
+        occ = occupancy(256, 24 * 1024)
+        assert occ == pytest.approx(16 / 64)
+
+    def test_register_pressure(self):
+        # 255 regs/thread, 256 threads -> 1 block
+        occ = occupancy(256, 0, regs_per_thread=255)
+        assert occ == pytest.approx(8 / 64)
+
+    def test_block_limit_binds_for_small_blocks(self):
+        # 32-thread blocks, max 16 blocks -> 16 warps
+        assert occupancy(32, 0) == pytest.approx(16 / 64)
+
+    def test_impossible_configs(self):
+        assert occupancy(4096) == 0.0
+        assert occupancy(256, 64 * 1024) == 0.0
+        assert occupancy(1024, 0, regs_per_thread=255) == 0.0
+        with pytest.raises(ValueError):
+            occupancy(0)
+
+    def test_bandwidth_saturation_curve(self):
+        assert bandwidth_fraction(0.0) == 0.0
+        assert bandwidth_fraction(0.25) == pytest.approx(0.5)
+        assert bandwidth_fraction(0.5) == 1.0
+        assert bandwidth_fraction(1.0) == 1.0
+        with pytest.raises(ValueError):
+            bandwidth_fraction(1.5)
+
+
+class TestStagedAccessBandwidth:
+    def test_small_structs_keep_full_bandwidth(self):
+        bw = staged_access_bandwidth(2, itemsize=4)
+        assert bw == pytest.approx(TESLA_K20C.achievable_bandwidth)
+
+    def test_large_structs_lose_bandwidth(self):
+        """48-byte+ structs staged for 256-thread blocks exhaust shared
+        memory enough to cut occupancy below the saturation point — the
+        cost the in-register path avoids."""
+        bw16 = staged_access_bandwidth(16, itemsize=4)   # 16 kB/block
+        bw32 = staged_access_bandwidth(32, itemsize=4)   # 32 kB/block
+        full = TESLA_K20C.achievable_bandwidth
+        assert bw32 < bw16 <= full
+        assert bw32 < 0.8 * full
+
+    def test_monotone_in_struct_size(self):
+        vals = [staged_access_bandwidth(m) for m in (1, 4, 8, 16, 24, 32, 48)]
+        assert all(a >= b for a, b in zip(vals, vals[1:]))

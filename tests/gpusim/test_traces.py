@@ -1,0 +1,101 @@
+"""Direct tests for the trace-measured pass efficiencies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.indexing import Decomposition
+from repro.gpusim.device import TESLA_K20C
+from repro.gpusim.throughput import eq37_throughput, gbps
+from repro.gpusim.traces import (
+    CONCURRENT_ROWS_PER_SM,
+    L2_RESIDENT_EFFICIENCY,
+    cached_row_gather_efficiency,
+    fine_rotate_fraction,
+    row_gather_efficiency,
+    subrow_efficiency,
+)
+
+
+class TestThroughput:
+    def test_eq37(self):
+        # 2 * m * n * s / t
+        assert eq37_throughput(100, 200, 8, 1.0) == 2 * 100 * 200 * 8
+        assert gbps(19.5e9) == 19.5
+
+    def test_rejects_nonpositive_time(self):
+        with pytest.raises(ValueError):
+            eq37_throughput(2, 2, 8, 0.0)
+
+
+class TestRowGatherEfficiency:
+    def test_b_equals_one_rows_gather_contiguously(self):
+        """When n divides m (b = 1), d'^{-1} is a rotation: consecutive
+        outputs read consecutive inputs -> near-perfect coalescing."""
+        dec = Decomposition.of(20000, 2000)
+        e = row_gather_efficiency(dec, 8, TESLA_K20C, np.random.default_rng(0))
+        assert e > 0.8
+
+    def test_scattered_case_near_sector_floor(self):
+        """Generic coprime-ish shapes scatter across the row: efficiency
+        approaches itemsize/sector with index-locality bumps."""
+        dec = Decomposition.of(12345, 6789)
+        e = row_gather_efficiency(dec, 4, TESLA_K20C, np.random.default_rng(0))
+        assert 0.1 <= e <= 0.5
+
+    def test_warp_sampling_is_stable(self):
+        dec = Decomposition.of(5003, 12007)
+        es = [
+            row_gather_efficiency(dec, 8, TESLA_K20C, np.random.default_rng(s))
+            for s in range(4)
+        ]
+        assert max(es) - min(es) < 0.25
+
+    def test_cached_tier_threshold(self):
+        share = TESLA_K20C.l2_bytes // (TESLA_K20C.n_sm * CONCURRENT_ROWS_PER_SM)
+        fits = Decomposition.of(9973, share // 8 - 1)
+        rng = np.random.default_rng(1)
+        assert (
+            cached_row_gather_efficiency(fits, 8, TESLA_K20C, rng)
+            == L2_RESIDENT_EFFICIENCY
+        )
+        too_big = Decomposition.of(9973, 4 * share // 8)
+        assert (
+            cached_row_gather_efficiency(too_big, 8, TESLA_K20C, rng)
+            < L2_RESIDENT_EFFICIENCY
+        )
+
+
+class TestSubrowEfficiency:
+    def test_aligned_pitch_is_perfect(self):
+        assert subrow_efficiency(64, 1600, 8, TESLA_K20C) == 1.0
+
+    def test_unaligned_pitch_pays_straddles(self):
+        e = subrow_efficiency(64, 1601, 8, TESLA_K20C)
+        assert 0.5 <= e < 1.0
+
+    def test_smaller_elements_change_width(self):
+        e8 = subrow_efficiency(64, 1603, 8, TESLA_K20C)
+        e4 = subrow_efficiency(64, 1603, 4, TESLA_K20C)
+        assert 0.4 < e4 <= 1.0 and 0.4 < e8 <= 1.0
+
+
+class TestFineRotateFraction:
+    def test_slow_rotation_mostly_skips(self):
+        dec = Decomposition.of(4, 25600)  # b = 6400 >> w
+        assert fine_rotate_fraction(dec, 8, TESLA_K20C) < 0.01
+
+    def test_fast_rotation_never_skips(self):
+        dec = Decomposition.of(25600, 16)  # b = 1
+        assert fine_rotate_fraction(dec, 8, TESLA_K20C) == 1.0
+
+    def test_boundary_cases(self):
+        # b exactly equals the group width: every group constant
+        dec = Decomposition.of(16, 16 * 16)
+        assert fine_rotate_fraction(dec, 8, TESLA_K20C) == 0.0
+
+    def test_fraction_in_unit_interval(self):
+        for m, n in [(7, 1000), (1000, 7), (360, 480)]:
+            f = fine_rotate_fraction(Decomposition.of(m, n), 8, TESLA_K20C)
+            assert 0.0 <= f <= 1.0

@@ -1,0 +1,66 @@
+"""Tests for the cache-aware parallel CPU transpose (the paper's future
+work for Section 5.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import transpose_inplace
+from repro.parallel import CacheAwareParallelTranspose
+
+from ..conftest import dim_pairs
+
+thread_counts = st.sampled_from([1, 2, 4])
+lines = st.sampled_from([32, 64, 128])
+
+
+class TestCacheAwareParallel:
+    @given(dim_pairs, thread_counts, lines)
+    @settings(max_examples=40, deadline=None)
+    def test_c2r_matches_reference(self, mn, threads, line):
+        m, n = mn
+        A = np.arange(m * n, dtype=np.float64)
+        got = A.copy()
+        with CacheAwareParallelTranspose(threads, line_bytes=line) as pt:
+            pt.c2r(got, m, n)
+        ref = A.copy()
+        transpose_inplace(ref, m, n, algorithm="c2r")
+        np.testing.assert_array_equal(got, ref)
+
+    @given(dim_pairs, thread_counts, st.sampled_from(["C", "F"]))
+    @settings(max_examples=40, deadline=None)
+    def test_transpose_inplace_end_to_end(self, mn, threads, order):
+        m, n = mn
+        A = np.arange(m * n, dtype=np.float64).reshape(m, n)
+        buf = A.ravel(order=order).copy()
+        with CacheAwareParallelTranspose(threads) as pt:
+            pt.transpose_inplace(buf, m, n, order)
+        np.testing.assert_array_equal(buf, A.T.ravel(order=order))
+
+    def test_medium_matrix(self):
+        m, n = 240, 312
+        A = np.random.default_rng(0).standard_normal(m * n)
+        got = A.copy()
+        with CacheAwareParallelTranspose(4) as pt:
+            pt.c2r(got, m, n)
+        np.testing.assert_array_equal(
+            got.reshape(n, m), A.reshape(m, n).T
+        )
+
+    def test_float32_line_geometry(self):
+        m, n = 96, 130
+        A = np.arange(m * n, dtype=np.float32)
+        got = A.copy()
+        with CacheAwareParallelTranspose(2, line_bytes=64) as pt:
+            pt.c2r(got, m, n)
+        np.testing.assert_array_equal(got.reshape(n, m), A.reshape(m, n).T)
+
+    def test_validates(self):
+        with CacheAwareParallelTranspose(1) as pt:
+            with pytest.raises(ValueError):
+                pt.c2r(np.zeros(5), 2, 3)
+            with pytest.raises(ValueError):
+                pt.transpose_inplace(np.zeros(6), 2, 3, "Z")

@@ -1,0 +1,144 @@
+"""Tests for the parallel CPU transposition."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import transpose_inplace
+from repro.parallel import (
+    ParallelExecutor,
+    ParallelTranspose,
+    balanced_chunks,
+    parallel_transpose_inplace,
+)
+
+from ..conftest import dim_pairs
+
+thread_counts = st.sampled_from([1, 2, 3, 4, 8])
+
+
+class TestBalancedChunks:
+    @given(st.integers(0, 1000), st.integers(1, 64))
+    def test_cover_exactly_once(self, total, parts):
+        chunks = balanced_chunks(total, parts)
+        seen = []
+        for ch in chunks:
+            seen.extend(range(ch.start, ch.stop))
+        assert seen == list(range(total))
+
+    @given(st.integers(1, 1000), st.integers(1, 64))
+    def test_sizes_differ_by_at_most_one(self, total, parts):
+        chunks = balanced_chunks(total, parts)
+        sizes = [ch.stop - ch.start for ch in chunks]
+        assert max(sizes) - min(sizes) <= 1
+        assert all(s > 0 for s in sizes)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            balanced_chunks(-1, 2)
+        with pytest.raises(ValueError):
+            balanced_chunks(5, 0)
+
+    def test_more_parts_than_items(self):
+        assert len(balanced_chunks(3, 10)) == 3
+
+
+class TestExecutor:
+    def test_sequential_shortcut(self):
+        ex = ParallelExecutor(1)
+        out = []
+        ex.parallel_for(10, lambda ch: out.extend(range(ch.start, ch.stop)))
+        assert out == list(range(10))
+
+    def test_parallel_covers_all(self):
+        with ParallelExecutor(4) as ex:
+            hits = np.zeros(1000, dtype=np.int64)
+            lock = threading.Lock()
+
+            def body(ch: slice) -> None:
+                with lock:
+                    hits[ch] += 1
+
+            ex.parallel_for(1000, body)
+            assert (hits == 1).all()
+
+    def test_worker_exception_propagates(self):
+        with ParallelExecutor(2) as ex:
+            def body(ch: slice) -> None:
+                raise RuntimeError("boom")
+
+            with pytest.raises(RuntimeError, match="boom"):
+                ex.parallel_for(10, body)
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(0)
+
+
+class TestParallelTranspose:
+    @given(dim_pairs, thread_counts)
+    @settings(max_examples=40, deadline=None)
+    def test_c2r_matches_sequential_kernel(self, mn, threads):
+        m, n = mn
+        A = np.arange(m * n, dtype=np.float64)
+        got = A.copy()
+        with ParallelTranspose(threads) as pt:
+            pt.c2r(got, m, n)
+        ref = A.copy()
+        transpose_inplace(ref, m, n, algorithm="c2r")
+        np.testing.assert_array_equal(got, ref)
+
+    @given(dim_pairs, thread_counts)
+    @settings(max_examples=40, deadline=None)
+    def test_r2c_inverts_c2r(self, mn, threads):
+        m, n = mn
+        A = np.arange(m * n, dtype=np.float64)
+        buf = A.copy()
+        with ParallelTranspose(threads) as pt:
+            pt.c2r(buf, m, n)
+            pt.r2c(buf, m, n)
+        np.testing.assert_array_equal(buf, A)
+
+    @given(dim_pairs, thread_counts, st.sampled_from(["C", "F"]))
+    @settings(max_examples=40, deadline=None)
+    def test_transpose_inplace_end_to_end(self, mn, threads, order):
+        m, n = mn
+        A = np.arange(m * n, dtype=np.float64).reshape(m, n)
+        buf = A.ravel(order=order).copy()
+        parallel_transpose_inplace(buf, m, n, order, n_threads=threads)
+        np.testing.assert_array_equal(buf, A.T.ravel(order=order))
+
+    @given(dim_pairs)
+    @settings(max_examples=30, deadline=None)
+    def test_strength_reduction_toggle_identical(self, mn):
+        m, n = mn
+        A = np.arange(m * n, dtype=np.float64)
+        with_sr = A.copy()
+        without_sr = A.copy()
+        with ParallelTranspose(2, strength_reduced=True) as pt:
+            pt.c2r(with_sr, m, n)
+        with ParallelTranspose(2, strength_reduced=False) as pt:
+            pt.c2r(without_sr, m, n)
+        np.testing.assert_array_equal(with_sr, without_sr)
+
+    def test_buffer_validated(self):
+        with ParallelTranspose(1) as pt:
+            with pytest.raises(ValueError):
+                pt.c2r(np.zeros(5), 2, 3)
+            with pytest.raises(ValueError):
+                pt.r2c(np.zeros(5), 2, 3)
+            with pytest.raises(ValueError):
+                pt.transpose_inplace(np.zeros(6), 2, 3, "Z")
+
+    def test_medium_matrix_many_threads(self):
+        rng = np.random.default_rng(7)
+        m, n = 173, 240
+        A = rng.standard_normal((m, n))
+        buf = A.ravel().copy()
+        parallel_transpose_inplace(buf, m, n, n_threads=8)
+        np.testing.assert_array_equal(buf, A.T.ravel())

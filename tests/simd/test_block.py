@@ -1,0 +1,127 @@
+"""Tests for the thread block and the §4.5 on-chip row shuffle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import equations as eq
+from repro.core.indexing import Decomposition
+from repro.gpusim import TransactionAnalyzer
+from repro.simd.block import ThreadBlock, onchip_row_shuffle, twopass_row_shuffle
+from repro.simd.memory import SimulatedMemory
+
+shapes = st.tuples(st.integers(2, 12), st.integers(2, 200))
+
+
+def _setup(m, n, dtype=np.float64):
+    mem = SimulatedMemory(m * n, itemsize=8, dtype=dtype)
+    mem.data[:] = np.arange(m * n)
+    return mem, Decomposition.of(m, n)
+
+
+def _expected_row(mem_before: np.ndarray, row: int, dec: Decomposition):
+    cols = np.arange(dec.n, dtype=np.int64)
+    src = eq.dprime_inverse_v(dec, np.int64(row), cols)
+    return mem_before[row * dec.n + src]
+
+
+class TestOnChipRowShuffle:
+    @given(shapes, st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_single_pass_is_correct(self, mn, n_warps):
+        m, n = mn
+        mem, dec = _setup(m, n)
+        before = mem.data.copy()
+        row = m // 2
+        block = ThreadBlock(n_warps=n_warps, capacity_words=max(n, 64))
+        onchip_row_shuffle(mem, row, dec, block)
+        np.testing.assert_array_equal(
+            mem.data[row * n : (row + 1) * n], _expected_row(before, row, dec)
+        )
+        # other rows untouched
+        np.testing.assert_array_equal(mem.data[: row * n], before[: row * n])
+
+    @given(shapes)
+    @settings(max_examples=30, deadline=None)
+    def test_two_pass_matches_single_pass(self, mn):
+        m, n = mn
+        row = 1 % m
+        mem1, dec = _setup(m, n)
+        block1 = ThreadBlock(capacity_words=max(n, 64))
+        onchip_row_shuffle(mem1, row, dec, block1)
+        mem2, _ = _setup(m, n)
+        scratch = SimulatedMemory(n, itemsize=8)
+        block2 = ThreadBlock(capacity_words=max(n, 64))
+        twopass_row_shuffle(mem2, scratch, row, dec, block2)
+        np.testing.assert_array_equal(mem1.data, mem2.data)
+
+    def test_capacity_enforced(self):
+        mem, dec = _setup(4, 100)
+        block = ThreadBlock(capacity_words=64)
+        with pytest.raises(ValueError, match="on-chip capacity"):
+            onchip_row_shuffle(mem, 0, dec, block)
+
+    def test_scratch_size_enforced(self):
+        mem, dec = _setup(4, 100)
+        with pytest.raises(ValueError, match="scratch"):
+            twopass_row_shuffle(
+                mem, SimulatedMemory(10, itemsize=8), 0, dec,
+                ThreadBlock(capacity_words=128),
+            )
+
+    def test_block_validates(self):
+        with pytest.raises(ValueError):
+            ThreadBlock(n_warps=0)
+
+
+class TestTrafficComparison:
+    def test_single_pass_halves_global_traffic(self):
+        """The point of §4.5: 2 vs 4 global accesses per element."""
+        m, n = 8, 512
+        row = 3
+        mem1, dec = _setup(m, n)
+        mem1.clear_trace()
+        onchip_row_shuffle(mem1, row, dec, ThreadBlock(capacity_words=n))
+        one_pass = len(mem1.trace)
+
+        mem2, _ = _setup(m, n)
+        scratch = SimulatedMemory(n, itemsize=8)
+        mem2.clear_trace()
+        scratch.clear_trace()
+        twopass_row_shuffle(mem2, scratch, row, dec, ThreadBlock(capacity_words=n))
+        two_pass = len(mem2.trace) + len(scratch.trace)
+        assert two_pass == 2 * one_pass
+
+    def test_single_pass_global_accesses_fully_coalesced(self):
+        m, n = 6, 256
+        mem, dec = _setup(m, n)
+        mem.clear_trace()
+        onchip_row_shuffle(mem, 2, dec, ThreadBlock(capacity_words=n))
+        an = TransactionAnalyzer(128)
+        for rec in mem.trace:
+            assert an.warp_efficiency(rec.byte_addresses, rec.access_bytes) == 1.0
+
+    def test_two_pass_gather_reads_are_scattered(self):
+        m, n = 9, 256  # coprime-ish: d'inv scatters
+        mem, dec = _setup(m, n)
+        scratch = SimulatedMemory(n, itemsize=8)
+        mem.clear_trace()
+        twopass_row_shuffle(mem, scratch, 2, dec, ThreadBlock(capacity_words=n))
+        an = TransactionAnalyzer(32)
+        gather_effs = [
+            an.warp_efficiency(rec.byte_addresses, rec.access_bytes)
+            for rec in mem.trace
+            if rec.kind == "load"
+        ]
+        assert min(gather_effs) < 0.8  # at least some scattered reads
+
+    def test_smem_gather_conflicts_accounted(self):
+        m, n = 8, 512
+        mem, dec = _setup(m, n)
+        block = ThreadBlock(capacity_words=n)
+        stats = onchip_row_shuffle(mem, 0, dec, block)
+        assert stats.smem_cycles >= stats.global_loads  # at least 1 cyc/access
+        assert stats.barriers == 2

@@ -1,0 +1,243 @@
+"""Tests for the coalesced_ptr-style AoS accessor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simd import CoalescedArray, SimdMachine, SimulatedMemory
+
+struct_sizes = st.integers(1, 32)
+
+
+def make_array(m: int, n_structs: int = 128) -> CoalescedArray:
+    mem = SimulatedMemory(n_structs * m, itemsize=4)
+    mem.data[:] = np.arange(n_structs * m)
+    return CoalescedArray(mem, m, SimdMachine(32))
+
+
+class TestUnitStride:
+    @given(struct_sizes, st.integers(0, 3))
+    @settings(max_examples=60)
+    def test_load_delivers_structs_to_lanes(self, m, base_warp):
+        arr = make_array(m)
+        base = base_warp * 32
+        regs = arr.warp_load(base)
+        for k in range(m):
+            np.testing.assert_array_equal(
+                regs[k], (np.arange(32) + base) * m + k
+            )
+
+    @given(struct_sizes)
+    @settings(max_examples=40)
+    def test_store_roundtrip(self, m):
+        arr = make_array(m)
+        regs = arr.warp_load(0)
+        arr.warp_store(64, regs)
+        np.testing.assert_array_equal(
+            arr.memory.data[64 * m : 96 * m], np.arange(32 * m)
+        )
+
+    @given(struct_sizes)
+    @settings(max_examples=40)
+    def test_load_passes_are_fully_coalesced(self, m):
+        """Every C2R load pass touches 32 consecutive words."""
+        arr = make_array(m)
+        arr.memory.clear_trace()
+        arr.warp_load(32)
+        loads = [t for t in arr.memory.trace if t.kind == "load"]
+        assert len(loads) == m
+        for rec in loads:
+            addrs = np.sort(rec.byte_addresses)
+            assert addrs[-1] - addrs[0] == (32 - 1) * 4  # contiguous words
+
+    def test_out_of_range_batch(self):
+        arr = make_array(4, n_structs=32)
+        with pytest.raises(IndexError):
+            arr.warp_load(1)
+        with pytest.raises(IndexError):
+            arr.warp_load(-1)
+
+    def test_store_validates_register_count(self):
+        arr = make_array(4)
+        with pytest.raises(ValueError):
+            arr.warp_store(0, [np.zeros(32)] * 3)
+
+
+class TestRandomAccess:
+    @given(struct_sizes, st.integers(0, 2**32 - 1))
+    @settings(max_examples=60)
+    def test_gather_semantics(self, m, seed):
+        arr = make_array(m)
+        idx = np.random.default_rng(seed).permutation(128)[:32]
+        regs = arr.warp_gather(idx)
+        for k in range(m):
+            np.testing.assert_array_equal(regs[k], idx * m + k)
+
+    @given(struct_sizes, st.integers(0, 2**32 - 1))
+    @settings(max_examples=60)
+    def test_scatter_inverts_gather(self, m, seed):
+        src = make_array(m)
+        rng = np.random.default_rng(seed)
+        idx = rng.permutation(128)[:32]
+        regs = src.warp_gather(idx)
+        dst_mem = SimulatedMemory(128 * m, itemsize=4)
+        dst = CoalescedArray(dst_mem, m, SimdMachine(32))
+        where = rng.permutation(128)[:32]
+        dst.warp_scatter(where, regs)
+        for l in range(32):
+            np.testing.assert_array_equal(
+                dst_mem.data[where[l] * m : (where[l] + 1) * m],
+                idx[l] * m + np.arange(m),
+            )
+
+    @given(struct_sizes, st.integers(0, 2**32 - 1))
+    @settings(max_examples=40)
+    def test_duplicate_indices_allowed_for_gather(self, m, seed):
+        arr = make_array(m)
+        idx = np.random.default_rng(seed).integers(0, 128, size=32)
+        regs = arr.warp_gather(idx)
+        for k in range(m):
+            np.testing.assert_array_equal(regs[k], idx * m + k)
+
+    def test_struct_larger_than_warp_rejected(self):
+        arr = make_array(33)
+        with pytest.raises(ValueError):
+            arr.warp_gather(np.arange(32))
+
+    def test_index_validation(self):
+        arr = make_array(4)
+        with pytest.raises(ValueError):
+            arr.warp_gather(np.arange(16))
+        with pytest.raises(IndexError):
+            arr.warp_gather(np.full(32, 128))
+
+    @given(st.sampled_from([1, 2, 4, 8, 16, 32]))
+    def test_gather_reads_whole_structs_contiguously(self, m):
+        """Each cooperative round reads contiguous words within structs."""
+        arr = make_array(m)
+        arr.memory.clear_trace()
+        idx = np.arange(0, 128, 4)[:32]
+        arr.warp_gather(idx)
+        for rec in arr.memory.trace:
+            if rec.kind != "load":
+                continue
+            # group addresses by struct: each struct's words contiguous
+            words = np.sort(rec.byte_addresses // 4)
+            by_struct = {}
+            for w in words:
+                by_struct.setdefault(w // m, []).append(w % m)
+            for fields in by_struct.values():
+                assert fields == list(range(len(fields)))
+
+
+class TestBaselineAccessMethods:
+    @given(struct_sizes, st.integers(0, 2**32 - 1))
+    @settings(max_examples=40)
+    def test_all_methods_agree_on_data(self, m, seed):
+        arr = make_array(m)
+        idx = np.random.default_rng(seed).permutation(128)[:32]
+        g = arr.warp_gather(idx)
+        d = arr.direct_load(idx)
+        v = arr.vector_load(idx)
+        for k in range(m):
+            np.testing.assert_array_equal(d[k], g[k])
+            np.testing.assert_array_equal(v[k], g[k])
+
+    @given(struct_sizes)
+    @settings(max_examples=30)
+    def test_direct_and_vector_stores_agree(self, m):
+        idx = np.arange(32) * 2  # strided targets
+        regs = [np.full(32, k, dtype=np.int64) for k in range(m)]
+        a = CoalescedArray(SimulatedMemory(128 * m, itemsize=4), m, SimdMachine(32))
+        b = CoalescedArray(SimulatedMemory(128 * m, itemsize=4), m, SimdMachine(32))
+        a.direct_store(idx, regs)
+        b.vector_store(idx, regs)
+        np.testing.assert_array_equal(a.memory.data, b.memory.data)
+
+    def test_vector_load_trace_has_vector_footprint(self):
+        arr = make_array(8)  # 32-byte structs
+        arr.memory.clear_trace()
+        arr.vector_load(np.arange(32))
+        loads = [t for t in arr.memory.trace if t.kind == "load"]
+        assert len(loads) == 2  # 32 bytes / 16-byte vectors
+        assert all(rec.access_bytes == 16 for rec in loads)
+
+    def test_direct_load_issues_m_strided_passes(self):
+        arr = make_array(8)
+        arr.memory.clear_trace()
+        arr.direct_load(np.arange(32))
+        loads = [t for t in arr.memory.trace if t.kind == "load"]
+        assert len(loads) == 8
+        # stride between lanes is the struct size
+        diffs = np.diff(np.sort(loads[0].byte_addresses))
+        assert (diffs == 8 * 4).all()
+
+
+class TestCompiledOption:
+    def test_compiled_and_dynamic_agree(self):
+        for m in (1, 3, 8, 16):
+            mem1 = SimulatedMemory(128 * m, itemsize=4)
+            mem1.data[:] = np.arange(128 * m)
+            mem2 = SimulatedMemory(128 * m, itemsize=4)
+            mem2.data[:] = np.arange(128 * m)
+            a = CoalescedArray(mem1, m, SimdMachine(32), compiled=True)
+            b = CoalescedArray(mem2, m, SimdMachine(32), compiled=False)
+            ra = a.warp_load(16)
+            rb = b.warp_load(16)
+            for k in range(m):
+                np.testing.assert_array_equal(ra[k], rb[k])
+            idx = np.arange(32) * 3
+            ga = a.warp_gather(idx)
+            gb = b.warp_gather(idx)
+            for k in range(m):
+                np.testing.assert_array_equal(ga[k], gb[k])
+
+    def test_compiled_issues_fewer_alu_instructions(self):
+        """Section 6.2.4: index math folded at compile time."""
+        m = 8
+        mem = SimulatedMemory(128 * m, itemsize=4)
+        fast = SimdMachine(32)
+        CoalescedArray(mem, m, fast, compiled=True).warp_load(0)
+        slow = SimdMachine(32)
+        CoalescedArray(
+            SimulatedMemory(128 * m, itemsize=4), m, slow, compiled=False
+        ).warp_load(0)
+        assert fast.counts.alu < slow.counts.alu
+        assert fast.counts.shfl == slow.counts.shfl
+
+
+class TestNarrowMachines:
+    """CoalescedArray at CPU-SIMD widths (Section 5's 'on both CPUs and
+    GPUs'): the same cooperative access works for 8- and 16-lane units."""
+
+    @pytest.mark.parametrize("n_lanes", [4, 8, 16])
+    @pytest.mark.parametrize("m", [1, 2, 3, 4, 8])
+    def test_unit_stride_any_width(self, n_lanes, m):
+        mem = SimulatedMemory(64 * m, itemsize=4)
+        mem.data[:] = np.arange(64 * m)
+        arr = CoalescedArray(mem, m, SimdMachine(n_lanes))
+        regs = arr.warp_load(n_lanes)
+        for k in range(m):
+            np.testing.assert_array_equal(
+                regs[k], (np.arange(n_lanes) + n_lanes) * m + k
+            )
+
+    @pytest.mark.parametrize("n_lanes", [8, 16])
+    def test_gather_any_width(self, n_lanes):
+        m = 4
+        mem = SimulatedMemory(64 * m, itemsize=4)
+        mem.data[:] = np.arange(64 * m)
+        arr = CoalescedArray(mem, m, SimdMachine(n_lanes))
+        idx = np.random.default_rng(0).permutation(64)[:n_lanes]
+        regs = arr.warp_gather(idx)
+        for k in range(m):
+            np.testing.assert_array_equal(regs[k], idx * m + k)
+
+    def test_struct_wider_than_narrow_machine_rejected(self):
+        mem = SimulatedMemory(64 * 12, itemsize=4)
+        arr = CoalescedArray(mem, 12, SimdMachine(8))
+        with pytest.raises(ValueError):
+            arr.warp_gather(np.arange(8))

@@ -1,0 +1,97 @@
+"""Tests for the CPU-SIMD (wide-machine) instantiation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simd import SimdMachine, register_c2r
+from repro.simd.cpu import WideSimdMachine, deinterleave, interleave
+
+
+class TestWideMachine:
+    def test_value_shape(self):
+        mach = WideSimdMachine(5, 8)
+        assert mach.value_shape == (5, 8)
+
+    def test_rejects_zero_groups(self):
+        with pytest.raises(ValueError):
+            WideSimdMachine(0, 8)
+
+    def test_shfl_applies_per_group(self):
+        mach = WideSimdMachine(3, 4)
+        vals = np.arange(12).reshape(3, 4)
+        out = mach.shfl(vals, np.array([3, 2, 1, 0]))
+        np.testing.assert_array_equal(out, vals[:, ::-1])
+
+    @given(st.integers(1, 12), st.integers(1, 10), st.integers(2, 8))
+    @settings(max_examples=40)
+    def test_wide_transpose_equals_per_group(self, m, groups, n_lanes):
+        """One wide execution == running the narrow machine per group."""
+        rng = np.random.default_rng(m * 100 + groups)
+        data = rng.integers(0, 1000, size=(groups, m, n_lanes))
+        wide = WideSimdMachine(groups, n_lanes)
+        wide_out = np.stack(
+            register_c2r(wide, [data[:, i, :] for i in range(m)]), axis=1
+        )
+        for g in range(groups):
+            narrow = SimdMachine(n_lanes)
+            out = np.stack(
+                register_c2r(narrow, [data[g, i, :].copy() for i in range(m)])
+            )
+            np.testing.assert_array_equal(wide_out[g], out)
+
+    def test_instruction_count_independent_of_groups(self):
+        """The point of width: one vector instruction covers all groups."""
+        m = 8
+        small = WideSimdMachine(2, 8)
+        register_c2r(small, [np.zeros((2, 8), dtype=np.int64) for _ in range(m)])
+        big = WideSimdMachine(5000, 8)
+        register_c2r(big, [np.zeros((5000, 8), dtype=np.int64) for _ in range(m)])
+        assert small.counts.total == big.counts.total
+
+
+class TestDeinterleave:
+    @given(st.integers(1, 12), st.integers(1, 20), st.sampled_from([4, 8]))
+    @settings(max_examples=50, deadline=None)
+    def test_deinterleave_semantics(self, m, groups, n_lanes):
+        count = groups * n_lanes
+        buf = np.arange(count * m, dtype=np.float32)  # struct i = [i*m, ...)
+        soa = deinterleave(buf, m, n_lanes)
+        assert soa.shape == (m, count)
+        for k in range(m):
+            np.testing.assert_array_equal(soa[k], np.arange(count) * m + k)
+
+    @given(st.integers(1, 10), st.integers(1, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, m, groups):
+        count = groups * 8
+        buf = np.random.default_rng(0).standard_normal(count * m)
+        back = interleave(deinterleave(buf, m), 8)
+        np.testing.assert_array_equal(back, buf)
+
+    def test_matches_reshape_reference(self):
+        m, count = 5, 64
+        buf = np.arange(count * m, dtype=np.int64)
+        np.testing.assert_array_equal(
+            deinterleave(buf, m), buf.reshape(count, m).T
+        )
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            deinterleave(np.zeros(10), 3, n_lanes=8)  # 10 % 24 != 0
+        with pytest.raises(ValueError):
+            deinterleave(np.zeros(24), 0)
+        with pytest.raises(ValueError):
+            interleave(np.zeros(10))
+        with pytest.raises(ValueError):
+            interleave(np.zeros((3, 10)), 8)  # 10 % 8 != 0
+
+    def test_avx_like_width_4_doubles(self):
+        """The AVX float64 case: 4 lanes."""
+        m, count = 3, 32
+        buf = np.arange(count * m, dtype=np.float64)
+        soa = deinterleave(buf, m, n_lanes=4)
+        np.testing.assert_array_equal(soa, buf.reshape(count, m).T)

@@ -1,0 +1,151 @@
+"""Tests for the SIMD machine primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simd import SimdMachine
+from repro.simd.memory import SimulatedMemory
+from repro.simd.rotate import dynamic_column_rotate
+from repro.simd.rowperm import static_row_permute
+
+
+class TestMachine:
+    def test_lane_id(self):
+        mach = SimdMachine(8)
+        np.testing.assert_array_equal(mach.lane_id(), np.arange(8))
+
+    def test_rejects_zero_lanes(self):
+        with pytest.raises(ValueError):
+            SimdMachine(0)
+
+    @given(st.integers(1, 64), st.integers(0, 2**32 - 1))
+    def test_shfl_semantics(self, n_lanes, seed):
+        mach = SimdMachine(n_lanes)
+        rng = np.random.default_rng(seed)
+        vals = rng.standard_normal(n_lanes)
+        src = rng.integers(0, n_lanes, size=n_lanes)
+        out = mach.shfl(vals, src)
+        np.testing.assert_array_equal(out, vals[src])
+        assert mach.counts.shfl == 1
+
+    def test_shfl_validates(self):
+        mach = SimdMachine(4)
+        with pytest.raises(ValueError):
+            mach.shfl(np.zeros(3), np.zeros(4, dtype=np.int64))
+        with pytest.raises(ValueError):
+            mach.shfl(np.zeros(4), np.array([0, 1, 2, 4]))
+        with pytest.raises(ValueError):
+            mach.shfl(np.zeros(4), np.array([0, 1, 2, -1]))
+
+    def test_select_semantics(self):
+        mach = SimdMachine(4)
+        out = mach.select(
+            np.array([1, 0, 1, 0]), np.full(4, 10), np.full(4, 20)
+        )
+        np.testing.assert_array_equal(out, [10, 20, 10, 20])
+        assert mach.counts.select == 1
+
+    def test_select_validates(self):
+        mach = SimdMachine(4)
+        with pytest.raises(ValueError):
+            mach.select(np.zeros(3), np.zeros(4), np.zeros(4))
+
+    def test_counts_accumulate_and_reset(self):
+        mach = SimdMachine(4)
+        mach.alu(np.zeros(4), ops=3)
+        mach.select(np.zeros(4), np.zeros(4), np.zeros(4))
+        assert mach.counts.total == 4
+        mach.reset_counts()
+        assert mach.counts.total == 0
+
+
+class TestDynamicRotate:
+    @given(st.integers(1, 24), st.integers(1, 40), st.integers(0, 2**32 - 1))
+    def test_per_lane_rotation(self, m, n_lanes, seed):
+        mach = SimdMachine(n_lanes)
+        rng = np.random.default_rng(seed)
+        A = rng.integers(0, 1000, size=(m, n_lanes))
+        amounts = rng.integers(0, 3 * m, size=n_lanes)
+        out = dynamic_column_rotate(mach, [A[i] for i in range(m)], amounts)
+        got = np.stack(out)
+        for j in range(n_lanes):
+            for i in range(m):
+                assert got[i, j] == A[(i + amounts[j]) % m, j]
+
+    @given(st.integers(2, 32))
+    def test_select_count_is_m_log_m(self, m):
+        """Exactly m * ceil(log2 m) selects per rotation (Section 6.2.2)."""
+        mach = SimdMachine(8)
+        regs = [np.zeros(8) for _ in range(m)]
+        dynamic_column_rotate(mach, regs, np.arange(8) % m)
+        assert mach.counts.select == m * int(np.ceil(np.log2(m)))
+
+    def test_m1_is_free_of_selects(self):
+        mach = SimdMachine(4)
+        out = dynamic_column_rotate(mach, [np.arange(4)], np.arange(4))
+        assert mach.counts.select == 0
+        np.testing.assert_array_equal(out[0], np.arange(4))
+
+    def test_validates(self):
+        mach = SimdMachine(4)
+        with pytest.raises(ValueError):
+            dynamic_column_rotate(mach, [], np.zeros(4))
+        with pytest.raises(ValueError):
+            dynamic_column_rotate(mach, [np.zeros(4)], np.zeros(3))
+
+
+class TestStaticRowPermute:
+    @given(st.integers(1, 24), st.integers(0, 2**32 - 1))
+    def test_renaming(self, m, seed):
+        rng = np.random.default_rng(seed)
+        regs = [rng.standard_normal(4) for _ in range(m)]
+        g = rng.permutation(m)
+        out = static_row_permute(regs, g)
+        for i in range(m):
+            assert out[i] is regs[g[i]]
+
+    def test_zero_cost(self):
+        # no machine involved at all: renaming is compile-time
+        regs = [np.arange(4), np.arange(4) + 10]
+        static_row_permute(regs, np.array([1, 0]))
+
+    def test_validates_permutation(self):
+        with pytest.raises(ValueError):
+            static_row_permute([np.zeros(2)] * 3, np.array([0, 0, 1]))
+        with pytest.raises(ValueError):
+            static_row_permute([np.zeros(2)] * 3, np.array([0, 1]))
+
+
+class TestSimulatedMemory:
+    def test_load_store_roundtrip(self):
+        mem = SimulatedMemory(64, itemsize=4)
+        mem.store(np.arange(8), np.arange(8) * 10)
+        np.testing.assert_array_equal(mem.load(np.arange(8)), np.arange(8) * 10)
+        assert len(mem.trace) == 2
+        assert mem.trace[0].kind == "store"
+        np.testing.assert_array_equal(
+            mem.trace[0].byte_addresses, np.arange(8) * 4
+        )
+
+    def test_bounds_checked(self):
+        mem = SimulatedMemory(8)
+        with pytest.raises(IndexError):
+            mem.load(np.array([8]))
+        with pytest.raises(IndexError):
+            mem.store(np.array([-1]), np.array([0]))
+
+    def test_unrecorded_access(self):
+        mem = SimulatedMemory(8)
+        mem.load(np.array([0]), record=False)
+        assert mem.trace == []
+
+    def test_validates_args(self):
+        with pytest.raises(ValueError):
+            SimulatedMemory(0)
+        mem = SimulatedMemory(8)
+        with pytest.raises(ValueError):
+            mem.store(np.array([0, 1]), np.array([0]))

@@ -1,0 +1,123 @@
+"""Tests for the banked shared memory and the smem-staged AoS accessor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simd import CoalescedArray, SimdMachine, SimulatedMemory
+from repro.simd.sharedmem import SharedMemory, SmemStagedAccessor
+
+
+class TestSharedMemory:
+    def test_roundtrip(self):
+        sm = SharedMemory(64)
+        sm.store(np.arange(8), np.arange(8) * 3)
+        np.testing.assert_array_equal(sm.load(np.arange(8)), np.arange(8) * 3)
+
+    def test_bounds(self):
+        sm = SharedMemory(8)
+        with pytest.raises(IndexError):
+            sm.load(np.array([8]))
+        with pytest.raises(ValueError):
+            SharedMemory(0)
+        with pytest.raises(ValueError):
+            SharedMemory(8, n_banks=0)
+
+    def test_conflict_free_access(self):
+        sm = SharedMemory(64, n_banks=32)
+        sm.load(np.arange(32))  # one word per bank
+        assert sm.stats.cycles == 1
+        assert sm.stats.conflict_factor == 1.0
+
+    @given(st.integers(1, 32))
+    def test_strided_conflicts_match_gcd(self, stride):
+        """A stride-s warp access to 32 banks serializes gcd(s, 32) ways."""
+        sm = SharedMemory(32 * 32, n_banks=32)
+        sm.load((np.arange(32) * stride) % (32 * 32))
+        expected = int(np.gcd(stride, 32))
+        assert sm.stats.cycles == expected
+
+    def test_broadcast_counts_as_full_conflict(self):
+        """This model charges same-address lanes as a serialized bank (a
+        conservative simplification: real hardware broadcasts reads)."""
+        sm = SharedMemory(32)
+        sm.load(np.zeros(32, dtype=np.int64))
+        assert sm.stats.cycles == 32
+
+
+class TestSmemStagedAccessor:
+    def _setup(self, m, n_structs=128):
+        mem = SimulatedMemory(n_structs * m, itemsize=4)
+        mem.data[:] = np.arange(n_structs * m)
+        return SmemStagedAccessor(mem, m, SimdMachine(32))
+
+    @given(st.integers(1, 16))
+    @settings(max_examples=30)
+    def test_load_semantics_match_register_path(self, m):
+        staged = self._setup(m)
+        reg_mem = SimulatedMemory(128 * m, itemsize=4)
+        reg_mem.data[:] = np.arange(128 * m)
+        register = CoalescedArray(reg_mem, m, SimdMachine(32))
+        a = staged.warp_load(32)
+        b = register.warp_load(32)
+        for k in range(m):
+            np.testing.assert_array_equal(a[k], b[k])
+
+    @given(st.integers(1, 16))
+    @settings(max_examples=30)
+    def test_store_roundtrip(self, m):
+        staged = self._setup(m)
+        regs = staged.warp_load(0)
+        staged.warp_store(64, regs)
+        np.testing.assert_array_equal(
+            staged.memory.data[64 * m : 96 * m], np.arange(32 * m)
+        )
+
+    def test_smem_footprint_is_tile_sized(self):
+        """The staging path must allocate m * warp words of shared memory —
+        the occupancy cost the register path avoids."""
+        staged = self._setup(8)
+        assert staged.smem_words == 8 * 32
+
+    def test_struct_major_phase_has_bank_conflicts(self):
+        """Power-of-two struct sizes produce multi-way conflicts in the
+        transpose phase — the classic smem-transpose pathology."""
+        staged = self._setup(8)
+        staged.warp_load(0)
+        assert staged.smem.stats.conflict_factor > 2.0
+
+    def test_odd_struct_sizes_conflict_less(self):
+        even = self._setup(8)
+        even.warp_load(0)
+        odd = self._setup(7)
+        odd.warp_load(0)
+        assert odd.smem.stats.conflict_factor < even.smem.stats.conflict_factor
+
+    def test_validates(self):
+        staged = self._setup(4, n_structs=32)
+        with pytest.raises(IndexError):
+            staged.warp_load(1)
+        with pytest.raises(ValueError):
+            staged.warp_store(0, [np.zeros(32)] * 3)
+        with pytest.raises(ValueError):
+            SmemStagedAccessor(SimulatedMemory(10, itemsize=4), 3)
+        with pytest.raises(ValueError):
+            SmemStagedAccessor(SimulatedMemory(12, itemsize=4), 0)
+
+    def test_global_traffic_identical_to_register_path(self):
+        """Both paths issue the same coalesced global accesses; they differ
+        on chip (smem footprint + conflicts vs shuffles + selects)."""
+        m = 8
+        staged = self._setup(m)
+        staged.memory.clear_trace()
+        staged.warp_load(0)
+        reg_mem = SimulatedMemory(128 * m, itemsize=4)
+        register = CoalescedArray(reg_mem, m, SimdMachine(32))
+        reg_mem.clear_trace()
+        register.warp_load(0)
+        a = [(r.kind, r.byte_addresses.tolist()) for r in staged.memory.trace]
+        b = [(r.kind, r.byte_addresses.tolist()) for r in reg_mem.trace]
+        assert a == b

@@ -1,0 +1,102 @@
+"""Tests for fixed-point reciprocal ("magic number") computation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.strength import FastDivider, compute_magic
+
+
+class TestComputeMagic:
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            compute_magic(0)
+        with pytest.raises(ValueError):
+            compute_magic(-3)
+        with pytest.raises(ValueError):
+            compute_magic(5, nbits=0)
+        with pytest.raises(ValueError):
+            compute_magic(5, nbits=40)
+
+    def test_divisor_one(self):
+        m = compute_magic(1)
+        assert m.divide(12345) == 12345
+        assert m.modulus(12345) == 0
+
+    @pytest.mark.parametrize("d", [2, 4, 8, 1024, 2**30])
+    def test_powers_of_two_become_shifts(self, d):
+        m = compute_magic(d)
+        assert m.multiplier == 1
+        assert (1 << m.shift) == d
+
+    @pytest.mark.parametrize("d", [3, 5, 6, 7, 9, 10, 11, 12, 13, 100, 101])
+    def test_exhaustive_small_range(self, d):
+        """Brute-force exactness over a dense small range + edges."""
+        m = compute_magic(d, nbits=31)
+        xs = list(range(0, 4096)) + [2**31 - 1 - k for k in range(64)]
+        for x in xs:
+            assert m.divide(x) == x // d, (d, x)
+            assert m.modulus(x) == x % d, (d, x)
+
+    @given(st.integers(1, 2**31 - 1), st.integers(0, 2**31 - 1))
+    @settings(max_examples=300)
+    def test_random_divisors_exact(self, d, x):
+        m = compute_magic(d)
+        assert m.divide(x) == x // d
+        assert m.modulus(x) == x % d
+
+    @given(st.integers(1, 2**31 - 1))
+    def test_multiplier_fits_64bit_product(self, d):
+        """M < 2**(nbits+1) so x*M < 2**63 never overflows int64/uint64."""
+        m = compute_magic(d)
+        assert m.multiplier < 2**32
+
+    @given(st.integers(1, 255), st.integers(1, 8))
+    def test_small_nbits(self, d, nbits):
+        m = compute_magic(d, nbits=nbits)
+        for x in range(2**nbits):
+            assert m.divide(x) == x // d
+
+
+class TestFastDivider:
+    @given(st.integers(1, 10**6))
+    @settings(max_examples=100)
+    def test_vectorized_matches_numpy(self, d):
+        fd = FastDivider(d)
+        rng = np.random.default_rng(d)
+        x = rng.integers(0, 2**31, size=512, dtype=np.int64)
+        np.testing.assert_array_equal(fd.div(x), x // d)
+        np.testing.assert_array_equal(fd.mod(x), x % d)
+
+    def test_divmod_consistent(self):
+        fd = FastDivider(7)
+        x = np.arange(1000, dtype=np.int64)
+        q, r = fd.divmod(x)
+        np.testing.assert_array_equal(q * 7 + r, x)
+        assert (r >= 0).all() and (r < 7).all()
+
+    def test_accepts_any_int_dtype(self):
+        fd = FastDivider(13)
+        for dtype in (np.int32, np.uint32, np.int64, np.uint16):
+            x = np.arange(100, dtype=dtype)
+            np.testing.assert_array_equal(fd.div(x), x.astype(np.int64) // 13)
+
+    def test_edge_of_range(self):
+        fd = FastDivider(3)
+        x = np.array([2**31 - 1, 2**31 - 2, 0, 1], dtype=np.int64)
+        np.testing.assert_array_equal(fd.div(x), x // 3)
+
+    def test_repr_mentions_constants(self):
+        fd = FastDivider(7)
+        assert "d=7" in repr(fd)
+
+    def test_divisor_property(self):
+        assert FastDivider(42).divisor == 42
+
+    def test_scalar_input(self):
+        fd = FastDivider(9)
+        assert fd.div(81) == 9
+        assert fd.mod(82) == 1

@@ -1,0 +1,88 @@
+"""The strength-reduced index equations must match the reference forms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import equations as eq
+from repro.core.indexing import Decomposition
+from repro.strength import ReducedEquations
+
+from ..conftest import dim_pairs
+
+
+def _grid(dec):
+    i = np.arange(dec.m, dtype=np.int64)[:, None]
+    j = np.arange(dec.n, dtype=np.int64)[None, :]
+    return i, j
+
+
+class TestReducedEquations:
+    @given(dim_pairs)
+    @settings(max_examples=80)
+    def test_all_equations_match_reference(self, mn):
+        dec = Decomposition.of(*mn)
+        red = ReducedEquations(dec)
+        i, j = _grid(dec)
+        np.testing.assert_array_equal(red.rotate_r(i, j), eq.rotate_r_v(dec, i, j))
+        np.testing.assert_array_equal(red.dprime(i, j), eq.dprime_v(dec, i, j))
+        np.testing.assert_array_equal(
+            red.dprime_inverse(i, j), eq.dprime_inverse_v(dec, i, j)
+        )
+        np.testing.assert_array_equal(red.sprime(i, j), eq.sprime_v(dec, i, j))
+        rows = np.arange(dec.m, dtype=np.int64)
+        np.testing.assert_array_equal(red.permute_q(rows), eq.permute_q_v(dec, rows))
+
+    def test_matrix_builders_match(self):
+        dec = Decomposition.of(36, 48)
+        red = ReducedEquations(dec)
+        np.testing.assert_array_equal(
+            red.dprime_inverse_matrix(), eq.dprime_inverse_matrix(dec)
+        )
+        np.testing.assert_array_equal(red.sprime_matrix(), eq.sprime_matrix(dec))
+
+    @pytest.mark.parametrize(
+        "m,n",
+        [
+            (1000, 10000),
+            (9999, 10000),
+            (25000, 25000),
+            (7, 25001),
+            (46340, 46337),
+        ],
+    )
+    def test_paper_scale_shapes_sampled(self, m, n):
+        """At benchmark scale, spot-check random rows/columns for equality."""
+        dec = Decomposition.of(m, n)
+        red = ReducedEquations(dec)
+        rng = np.random.default_rng(m * 31 + n)
+        i = rng.integers(0, m, size=256).astype(np.int64)
+        j = rng.integers(0, n, size=256).astype(np.int64)
+        np.testing.assert_array_equal(
+            red.dprime_inverse(i, j), eq.dprime_inverse_v(dec, i, j)
+        )
+        np.testing.assert_array_equal(red.sprime(i, j), eq.sprime_v(dec, i, j))
+        np.testing.assert_array_equal(red.dprime(i, j), eq.dprime_v(dec, i, j))
+
+    def test_rejects_oversized_shapes(self):
+        with pytest.raises(ValueError):
+            ReducedEquations(Decomposition.of(2**16, 2**15))
+        with pytest.raises(ValueError):
+            # b = n / gcd = 92682 > MAX_B
+            ReducedEquations(Decomposition.of(5, 92682))
+
+    def test_transpose_via_reduced_indices_is_correct(self):
+        """End-to-end: run the C2R passes with strength-reduced gather maps."""
+        m, n = 24, 36
+        dec = Decomposition.of(m, n)
+        red = ReducedEquations(dec)
+        A = np.arange(m * n, dtype=np.int64).reshape(m, n)
+        V = A.copy()
+        # pre-rotate
+        i, j = _grid(dec)
+        V = np.take_along_axis(V, red.rotate_r(i, j), axis=0)
+        V = np.take_along_axis(V, red.dprime_inverse_matrix(), axis=1)
+        V = np.take_along_axis(V, red.sprime_matrix(), axis=0)
+        np.testing.assert_array_equal(V.ravel().reshape(n, m), A.T)

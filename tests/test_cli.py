@@ -1,0 +1,140 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestInfo:
+    def test_info_output(self, capsys):
+        assert main(["info", "12", "18"]) == 0
+        out = capsys.readouterr().out
+        assert "c = gcd = 6" in out
+        assert "heuristic algorithm" in out
+        assert "GB/s" in out
+
+    def test_info_coprime(self, capsys):
+        main(["info", "7", "9"])
+        out = capsys.readouterr().out
+        assert "pre-rotation pass needed: False" in out
+        assert "4 accesses/element" in out
+
+    def test_info_skips_cycles_over_limit(self, capsys):
+        main(["info", "5000", "7000", "--cycle-limit", "100"])
+        out = capsys.readouterr().out
+        assert "cycle following:" not in out
+
+
+class TestTransposeCommand:
+    def test_transpose_file(self, tmp_path, capsys):
+        A = np.arange(6 * 9, dtype=np.float64).reshape(6, 9)
+        path = tmp_path / "a.bin"
+        A.tofile(path)
+        assert main(["transpose", str(path), "6", "9"]) == 0
+        got = np.fromfile(path, dtype=np.float64)
+        np.testing.assert_array_equal(got, A.T.ravel())
+        assert "transposed" in capsys.readouterr().out
+
+    def test_transpose_dtype_flag(self, tmp_path):
+        A = np.arange(4 * 5, dtype=np.int32).reshape(4, 5)
+        path = tmp_path / "a.bin"
+        A.tofile(path)
+        main(["transpose", str(path), "4", "5", "--dtype", "int32"])
+        np.testing.assert_array_equal(
+            np.fromfile(path, dtype=np.int32), A.T.ravel()
+        )
+
+
+class TestBenchAndSelftest:
+    def test_bench(self, capsys):
+        assert main(["bench", "64", "96", "--repeats", "1"]) == 0
+        assert "GB/s" in capsys.readouterr().out
+
+    def test_selftest_passes(self, capsys):
+        assert main(["selftest", "--count", "6"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("OK") >= 8
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestConvertCommand:
+    def test_aos_to_soa_file(self, tmp_path, capsys):
+        import numpy as np
+
+        N, S = 48, 5
+        A = np.arange(N * S, dtype=np.float64)
+        path = tmp_path / "aos.bin"
+        A.tofile(path)
+        assert main(["convert", str(path), str(N), str(S), "--to", "soa"]) == 0
+        got = np.fromfile(path, dtype=np.float64).reshape(S, N)
+        for k in range(S):
+            np.testing.assert_array_equal(got[k], np.arange(N) * S + k)
+
+    def test_roundtrip_via_cli(self, tmp_path):
+        import numpy as np
+
+        N, S = 64, 3
+        A = np.arange(N * S, dtype=np.float32)
+        path = tmp_path / "aos.bin"
+        A.tofile(path)
+        main(["convert", str(path), str(N), str(S), "--to", "soa",
+              "--dtype", "float32"])
+        main(["convert", str(path), str(N), str(S), "--to", "aos",
+              "--dtype", "float32"])
+        np.testing.assert_array_equal(np.fromfile(path, dtype=np.float32), A)
+
+    def test_asta_roundtrip(self, tmp_path):
+        import numpy as np
+
+        N, S = 96, 4
+        A = np.arange(N * S, dtype=np.float64)
+        path = tmp_path / "aos.bin"
+        A.tofile(path)
+        main(["convert", str(path), str(N), str(S), "--to", "asta"])
+        main(["convert", str(path), str(N), str(S), "--to", "unasta"])
+        np.testing.assert_array_equal(np.fromfile(path, dtype=np.float64), A)
+
+    def test_size_mismatch_fails(self, tmp_path, capsys):
+        import numpy as np
+
+        path = tmp_path / "bad.bin"
+        np.zeros(10).tofile(path)
+        assert main(["convert", str(path), "4", "4"]) == 1
+        assert "error" in capsys.readouterr().out
+
+
+class TestLandscapeCommand:
+    def test_landscape_output(self, capsys):
+        assert main(["landscape", "--cells", "3", "--lo", "2000",
+                     "--hi", "9000"]) == 0
+        out = capsys.readouterr().out
+        assert "C2R modeled throughput" in out
+        assert out.count("m=") == 3
+
+    def test_r2c_flag(self, capsys):
+        main(["landscape", "--algorithm", "r2c", "--cells", "2"])
+        assert "R2C" in capsys.readouterr().out
+
+
+class TestCliErrorPaths:
+    def test_transpose_size_mismatch_is_friendly(self, tmp_path, capsys):
+        import numpy as np
+
+        path = tmp_path / "short.bin"
+        np.zeros(5).tofile(path)
+        assert main(["transpose", str(path), "3", "4"]) == 1
+        assert "error" in capsys.readouterr().out
+
+    def test_convert_bad_tile_is_friendly(self, tmp_path, capsys):
+        import numpy as np
+
+        path = tmp_path / "aos.bin"
+        np.zeros(30).tofile(path)  # 10 structs x 3, tile 32 does not divide
+        assert main(["convert", str(path), "10", "3", "--to", "asta"]) == 1
+        assert "error" in capsys.readouterr().out

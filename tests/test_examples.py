@@ -1,0 +1,38 @@
+"""Smoke-run every example script — the documentation must execute.
+
+Each example self-verifies (asserts against references), so exit code 0
+means the demonstrated workflow actually works.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    env = dict(os.environ)
+    src = str(Path(__file__).parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "examples must narrate what they do"
+
+
+def test_every_example_is_documented_in_readme():
+    readme = (Path(__file__).parent.parent / "README.md").read_text()
+    for script in EXAMPLES:
+        assert script.name in readme, f"{script.name} missing from README"

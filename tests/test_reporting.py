@@ -1,0 +1,60 @@
+"""Tests for the terminal reporting helpers."""
+
+from __future__ import annotations
+
+import doctest
+
+import numpy as np
+import pytest
+
+import repro.reporting as reporting
+from repro.reporting import ascii_heatmap, ascii_hist, format_table
+
+
+class TestAsciiHist:
+    def test_empty(self):
+        assert ascii_hist([]) == "(no samples)"
+
+    def test_median_marked_once(self):
+        out = ascii_hist([1, 2, 3, 4, 5, 6], bins=3)
+        assert out.count("<-- median") == 1
+        assert "median = 3.500" in out
+
+    def test_constant_values(self):
+        out = ascii_hist([7.0, 7.0, 7.0], bins=4)
+        assert "n = 3" in out
+
+    def test_bar_lengths_proportional(self):
+        out = ascii_hist([0, 0, 0, 0, 10], bins=2, width=8)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 8  # the full bin
+        assert lines[1].count("#") == 2  # 1/4 of the peak
+
+    def test_doctest(self):
+        assert doctest.testmod(reporting).failed == 0
+
+
+class TestAsciiHeatmap:
+    def test_extremes_use_extreme_shades(self):
+        grid = np.array([[0.0, 9.0], [4.5, 9.0]])
+        out = ascii_heatmap(grid, [1000, 2000], [1000, 2000])
+        assert "@" in out  # max shade
+        assert "value range: 0.00 .. 9.00" in out
+
+    def test_row_labels_in_thousands(self):
+        out = ascii_heatmap(np.ones((2, 2)), [5000, 25000], [1000, 9000])
+        assert "m=  5k" in out
+        assert "m= 25k" in out
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "v"], [["a", 1], ["bb", 22]])
+        lines = out.splitlines()
+        assert lines[0].endswith(" v")
+        assert lines[1].startswith("-")
+        assert lines[-1].endswith("22")
+
+    def test_empty_rows(self):
+        out = format_table(["col"], [])
+        assert "col" in out

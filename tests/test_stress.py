@@ -1,0 +1,97 @@
+"""Stress tests: larger shapes across the whole stack.
+
+Property tests keep shapes small for exhaustive checks; these runs push
+realistic sizes through every layer once, catching anything that only
+manifests at scale (index overflows, scratch sizing, view aliasing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aos import aos_to_soa_flat, soa_to_aos_flat
+from repro.core import (
+    BatchedTransposePlan,
+    TransposePlan,
+    transpose_inplace,
+)
+from repro.core.tensor import swap_first_axes_inplace
+from repro.parallel import parallel_transpose_inplace
+from repro.simd.cpu import deinterleave
+
+
+class TestScale:
+    def test_multi_megabyte_transpose(self):
+        m, n = 1999, 2503  # ~40 MB float64, coprime
+        A = np.arange(m * n, dtype=np.float64)
+        transpose_inplace(A, m, n)
+        # spot-check the permutation instead of materializing the oracle
+        V = A.reshape(n, m)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            i, j = int(rng.integers(m)), int(rng.integers(n))
+            assert V[j, i] == i * n + j
+
+    def test_shared_factor_large(self):
+        m, n = 1800, 2400  # gcd 600 -> full 3-pass path
+        A = np.arange(m * n, dtype=np.float32)
+        transpose_inplace(A, m, n)
+        V = A.reshape(n, m)
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            i, j = int(rng.integers(m)), int(rng.integers(n))
+            assert V[j, i] == np.float32(i * n + j)
+
+    def test_plan_reuse_many_buffers(self):
+        m, n = 640, 512
+        plan = TransposePlan(m, n)
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            A = rng.standard_normal(m * n)
+            expected_first = A.reshape(m, n)[:, 0].copy()
+            plan.execute(A)
+            np.testing.assert_array_equal(A.reshape(n, m)[0], expected_first)
+
+    def test_parallel_large(self):
+        m, n = 1024, 1536
+        A = np.arange(m * n, dtype=np.float64)
+        parallel_transpose_inplace(A, m, n, n_threads=4)
+        V = A.reshape(n, m)
+        assert V[5, 7] == 7 * n + 5
+
+    def test_aos_soa_million_structs(self):
+        N, S = 1_000_000, 6
+        buf = np.arange(N * S, dtype=np.float64)
+        soa = aos_to_soa_flat(buf, N, S)
+        np.testing.assert_array_equal(soa[2, :5], np.arange(5) * S + 2)
+        back = soa_to_aos_flat(buf, N, S)
+        np.testing.assert_array_equal(back[:2, :], [[0, 1, 2, 3, 4, 5],
+                                                    [6, 7, 8, 9, 10, 11]])
+
+    def test_batched_stack(self):
+        k, m, n = 128, 96, 112
+        plan = BatchedTransposePlan(m, n)
+        stack = np.arange(k * m * n, dtype=np.float32)
+        plan.execute(stack)
+        first = stack[: m * n].reshape(n, m)
+        assert first[3, 5] == np.float32(5 * n + 3)
+
+    def test_tensor_axis_swap_large(self):
+        t = np.arange(256 * 192 * 8, dtype=np.float32).reshape(256, 192, 8)
+        out = swap_first_axes_inplace(t)
+        assert out[10, 20, 3] == np.float32((20 * 192 + 10) * 8 + 3)
+
+    def test_wide_simd_deinterleave_large(self):
+        m, count = 16, 2**16
+        buf = np.arange(count * m, dtype=np.float32)
+        soa = deinterleave(buf, m)
+        np.testing.assert_array_equal(soa[7, :4], np.arange(4) * m + 7)
+
+    def test_int_overflow_regime(self):
+        """Index products near 2**31 stay exact (int64 index math)."""
+        m, n = 46_337, 101  # m*n ~ 4.7M but i*n products large
+        A = np.arange(m * n, dtype=np.int32)
+        transpose_inplace(A, m, n)
+        V = A.reshape(n, m)
+        assert V[100, 46_336] == np.int32(46_336 * n + 100)

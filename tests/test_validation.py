@@ -1,0 +1,80 @@
+"""Tests for the validation harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import c2r_transpose
+from repro.validation import ValidationReport, checked, validate_transposer
+
+
+def _good(buf, m, n):
+    return c2r_transpose(buf, m, n)
+
+
+def _wrong(buf, m, n):
+    buf[:] = buf[::-1]  # a permutation, but not the transpose
+
+
+def _out_of_place(buf, m, n):
+    return buf.reshape(m, n).T.copy().ravel()  # never mutates buf
+
+
+def _crashes(buf, m, n):
+    raise RuntimeError("kernel exploded")
+
+
+class TestValidateTransposer:
+    def test_accepts_correct_kernel(self):
+        report = validate_transposer(_good, count=25)
+        assert report.ok
+        assert report.checked == 25
+        assert "OK" in str(report)
+
+    def test_rejects_wrong_permutation(self):
+        report = validate_transposer(_wrong, count=10)
+        assert not report.ok
+        assert any("wrong permutation" in why for *_, why in report.failures)
+
+    def test_rejects_out_of_place_kernel(self):
+        report = validate_transposer(_out_of_place, count=10)
+        assert not report.ok
+
+    def test_reports_exceptions(self):
+        report = validate_transposer(_crashes, count=5)
+        assert len(report.failures) == 5
+        assert "RuntimeError" in report.failures[0][2]
+        assert "FAILED" in str(report)
+
+    def test_explicit_shapes(self):
+        report = validate_transposer(_good, shapes=[(3, 8), (4, 8)])
+        assert report.checked == 2 and report.ok
+
+    def test_includes_paper_shapes(self):
+        """The default population pins the paper's figures (3x8, 4x8)."""
+        seen = []
+
+        def spy(buf, m, n):
+            seen.append((m, n))
+            return c2r_transpose(buf, m, n)
+
+        validate_transposer(spy, count=20)
+        assert (3, 8) in seen and (4, 8) in seen
+
+
+class TestChecked:
+    def test_passes_through_correct_kernel(self):
+        safe = checked(_good)
+        buf = np.arange(12)
+        safe(buf, 3, 4)
+        np.testing.assert_array_equal(buf.reshape(4, 3), np.arange(12).reshape(3, 4).T)
+
+    def test_catches_bad_kernel(self):
+        safe = checked(_wrong)
+        with pytest.raises(AssertionError, match="wrong permutation"):
+            safe(np.arange(12), 3, 4)
+
+    def test_kwargs_forwarded(self):
+        safe = checked(c2r_transpose)
+        safe(np.arange(12), 3, 4, variant="restricted")

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Run the complete reproduction: tests, benchmarks, examples, selftest.
+
+Collates everything a reviewer needs into one command:
+
+    python tools/run_all.py [--skip-tests] [--skip-benches] [--skip-examples]
+
+Writes a summary to stdout and leaves the per-figure reports in
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def run(label: str, cmd: list[str]) -> tuple[str, bool, float]:
+    print(f"\n=== {label}: {' '.join(cmd)}")
+    t0 = time.perf_counter()
+    proc = subprocess.run(cmd, cwd=ROOT)
+    dt = time.perf_counter() - t0
+    ok = proc.returncode == 0
+    print(f"=== {label}: {'OK' if ok else 'FAILED'} ({dt:.1f}s)")
+    return label, ok, dt
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--skip-tests", action="store_true")
+    ap.add_argument("--skip-benches", action="store_true")
+    ap.add_argument("--skip-examples", action="store_true")
+    args = ap.parse_args()
+
+    results: list[tuple[str, bool, float]] = []
+    py = sys.executable
+
+    if not args.skip_tests:
+        results.append(run("tests", [py, "-m", "pytest", "tests/", "-q"]))
+    if not args.skip_benches:
+        results.append(
+            run(
+                "benchmarks",
+                [py, "-m", "pytest", "benchmarks/", "--benchmark-only", "-q"],
+            )
+        )
+    if not args.skip_examples:
+        for ex in sorted((ROOT / "examples").glob("*.py")):
+            results.append(run(f"example:{ex.name}", [py, str(ex)]))
+    results.append(run("selftest", [py, "-m", "repro", "selftest"]))
+
+    print("\n" + "=" * 60)
+    print("SUMMARY")
+    print("=" * 60)
+    failed = 0
+    for label, ok, dt in results:
+        print(f"  {'PASS' if ok else 'FAIL'}  {label:<40} {dt:7.1f}s")
+        failed += not ok
+    reports = sorted((ROOT / "benchmarks" / "results").glob("*.txt"))
+    if reports:
+        print(f"\nper-figure reports ({len(reports)}):")
+        for r in reports:
+            print(f"  benchmarks/results/{r.name}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
