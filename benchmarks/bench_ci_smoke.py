@@ -1,0 +1,210 @@
+"""CI benchmark smoke: a fixed shape set through the instrumented runtime.
+
+Runs a small, fast (~seconds) workload on every CI push and gates on two
+properties that guard the repo's constant factors:
+
+1. **Amortization works.**  Repeated same-shape ``transpose_inplace`` calls
+   through the process-wide plan cache must not be slower than per-call
+   planning (cache hits must be > 0 and the cached median must beat the
+   uncached median within a small tolerance).
+2. **No perf regressions.**  The cached per-element time (best-of-N, the
+   stable estimator for bandwidth-bound kernels; the median rides along in
+   the report), *normalized by a same-size memcpy on the same machine*,
+   must stay within ``--threshold``
+   (default 25%) of the committed baseline
+   (``benchmarks/results/BENCH_ci_baseline.json``) in **geometric mean
+   across the shape set**, with a 2x-threshold per-shape catch-all for
+   single-shape cliffs.  Normalizing by memcpy makes the gate portable
+   across CI runner generations: absolute nanoseconds vary wildly between
+   machines, the ratio to achievable bandwidth far less (the same trick the
+   paper uses when reporting achieved fraction of peak); gating the mean
+   keeps scheduler noise on one shape from failing the build.
+
+If the baseline file is missing the regression gate is skipped gracefully
+(first-run behavior); ``--update-baseline`` refreshes it.  The measured
+snapshot is always written to ``BENCH_ci.json`` for the CI artifact upload.
+
+Usage::
+
+    python benchmarks/bench_ci_smoke.py                    # measure + gate
+    python benchmarks/bench_ci_smoke.py --update-baseline  # refresh baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.core.transpose import transpose_inplace  # noqa: E402
+from repro.runtime import metrics, plan_cache  # noqa: E402
+
+SHAPES = [(256, 384), (384, 256), (512, 512), (500, 1000)]
+REPEATS = 9
+DEFAULT_OUT = "BENCH_ci.json"
+BASELINE = Path(__file__).resolve().parent / "results" / "BENCH_ci_baseline.json"
+
+
+def _timed_samples(fn, repeats: int) -> list[float]:
+    fn()  # warm-up: page in buffers, JIT nothing, prime caches
+    samples = []
+    for _ in range(repeats):
+        t0 = perf_counter()
+        fn()
+        samples.append(perf_counter() - t0)
+    return samples
+
+
+def measure_shape(m: int, n: int, repeats: int = REPEATS) -> dict:
+    """Cached vs uncached vs memcpy medians for one shape (float64)."""
+    elems = m * n
+    proto = np.arange(elems, dtype=np.float64)
+    dst = np.empty_like(proto)
+
+    # Best-of for every estimator used by the gate: the machine's achievable
+    # time is the *minimum*, everything above it is scheduler noise — medians
+    # of millisecond-scale samples still swing 2x on busy CI runners.
+    # Medians ride along in the report for eyeballing variance.
+    memcpy_s = min(_timed_samples(lambda: np.copyto(dst, proto), 3 * repeats))
+
+    # Uncached: planning (index-map construction) on every call.
+    uncached_samples = _timed_samples(
+        lambda: transpose_inplace(proto.copy(), m, n, use_plan_cache=False), repeats
+    )
+
+    # Cached: one warm-up miss builds the plan, then every call hits.
+    cache = plan_cache.get_plan_cache()
+    hits_before = cache.stats()["hits"]
+    transpose_inplace(proto.copy(), m, n)
+    cached_samples = _timed_samples(
+        lambda: transpose_inplace(proto.copy(), m, n), repeats
+    )
+    hits = cache.stats()["hits"] - hits_before
+
+    # The .copy() in each sample costs one memcpy; subtract it from both
+    # transpose paths so the ratio reflects the transpose alone.
+    uncached_s = max(min(uncached_samples) - memcpy_s, 1e-9)
+    cached_s = max(min(cached_samples) - memcpy_s, 1e-9)
+    cached_median_s = max(statistics.median(cached_samples) - memcpy_s, 1e-9)
+    return {
+        "m": m,
+        "n": n,
+        "elements": elems,
+        "cache_hits": hits,
+        "memcpy_ns_per_elem": memcpy_s / elems * 1e9,
+        "uncached_ns_per_elem": uncached_s / elems * 1e9,
+        "cached_ns_per_elem": cached_s / elems * 1e9,
+        "cached_median_ns_per_elem": cached_median_s / elems * 1e9,
+        "normalized": cached_s / max(memcpy_s, 1e-12),
+    }
+
+
+def run(repeats: int) -> dict:
+    metrics.reset()
+    plan_cache.clear()
+    plan_cache.get_plan_cache().reset_stats()
+    results = [measure_shape(m, n, repeats) for m, n in SHAPES]
+    return {
+        "schema": 1,
+        "repeats": repeats,
+        "results": results,
+        "plan_cache": plan_cache.stats(),
+        "metrics": metrics.registry.snapshot(),
+    }
+
+
+def gate(report: dict, baseline: dict | None, threshold: float) -> list[str]:
+    """Return a list of failure messages (empty = pass)."""
+    failures = []
+    for r in report["results"]:
+        label = f"{r['m']}x{r['n']}"
+        if r["cache_hits"] <= 0:
+            failures.append(f"{label}: no plan-cache hits recorded")
+        if r["cached_ns_per_elem"] > r["uncached_ns_per_elem"] * 1.10:
+            failures.append(
+                f"{label}: cached path ({r['cached_ns_per_elem']:.2f} ns/elem) "
+                f"slower than per-call planning "
+                f"({r['uncached_ns_per_elem']:.2f} ns/elem)"
+            )
+    if baseline is None:
+        return failures
+    base_by_shape = {(b["m"], b["n"]): b for b in baseline.get("results", [])}
+    ratios = []
+    for r in report["results"]:
+        b = base_by_shape.get((r["m"], r["n"]))
+        if b is None:
+            continue
+        ratio = r["normalized"] / max(b["normalized"], 1e-12)
+        ratios.append(ratio)
+        # Per-shape catch-all at double the aggregate threshold: loose enough
+        # for single-shape scheduler noise, tight enough to flag a cliff.
+        if ratio > 1.0 + 2 * threshold:
+            failures.append(
+                f"{r['m']}x{r['n']}: normalized per-element time "
+                f"{r['normalized']:.3f} exceeds baseline "
+                f"{b['normalized']:.3f} by more than {2 * threshold:.0%}"
+            )
+    if ratios:
+        geomean = statistics.geometric_mean(ratios)
+        print(f"normalized-vs-baseline geometric mean: {geomean:.3f}")
+        if geomean > 1.0 + threshold:
+            failures.append(
+                f"geometric-mean normalized time regressed {geomean - 1.0:.0%} "
+                f"against baseline (threshold {threshold:.0%})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=DEFAULT_OUT)
+    parser.add_argument("--baseline", default=str(BASELINE))
+    parser.add_argument("--threshold", type=float, default=0.25)
+    parser.add_argument("--repeats", type=int, default=REPEATS)
+    parser.add_argument("--update-baseline", action="store_true")
+    args = parser.parse_args(argv)
+
+    report = run(args.repeats)
+    Path(args.output).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    for r in report["results"]:
+        print(
+            f"{r['m']:>5} x {r['n']:<5} cached {r['cached_ns_per_elem']:7.2f} "
+            f"ns/elem  uncached {r['uncached_ns_per_elem']:7.2f}  "
+            f"memcpy {r['memcpy_ns_per_elem']:6.2f}  "
+            f"normalized {r['normalized']:6.3f}  hits {r['cache_hits']}"
+        )
+    print(f"wrote {args.output}")
+
+    if args.update_baseline:
+        Path(args.baseline).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.baseline).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    baseline_path = Path(args.baseline)
+    baseline = None
+    if baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text())
+    else:
+        print(f"no baseline at {baseline_path}; regression gate skipped")
+
+    failures = gate(report, baseline, args.threshold)
+    if failures:
+        for msg in failures:
+            print(f"FAIL: {msg}")
+        return 1
+    print("benchmark smoke gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,6 @@ simulated warp and prices its actual trace.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.gpusim.aos_model import aos_access_throughput

@@ -12,7 +12,6 @@ enables higher throughput on all regimes."
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.gpusim.aos_model import aos_access_throughput

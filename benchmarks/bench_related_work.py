@@ -87,7 +87,6 @@ def test_report_related_work(benchmark, results_dir):
         benchmark.pedantic(build, rounds=1, iterations=1)
     )
 
-    mn = N_STRUCTS * S
     lines = [
         "Section 7 related-work comparison",
         f"({N_STRUCTS} structs x {S} float64 fields, tile = {TILE})",

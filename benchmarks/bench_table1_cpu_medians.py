@@ -23,7 +23,6 @@ import numpy as np
 import pytest
 
 from repro.baselines import gustavson_transpose, mkl_like_transpose, outofplace_transpose
-from repro.core import transpose_inplace
 from repro.parallel import ParallelTranspose
 
 from conftest import random_dims, throughput_gbps, time_call, write_report

@@ -23,7 +23,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.reporting import ascii_heatmap, ascii_hist  # re-exported for benches
+from repro.reporting import ascii_heatmap, ascii_hist  # noqa: F401  (re-exported for benches)
 
 RESULTS_DIR = Path(__file__).parent / "results"
 

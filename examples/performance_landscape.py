@@ -12,10 +12,8 @@ Run:  python examples/performance_landscape.py
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro import choose_algorithm
-from repro.gpusim.cost import auto_cost, c2r_cost, r2c_cost
+from repro.gpusim.cost import c2r_cost, r2c_cost
 
 GRID = [1000, 4000, 8000, 14000, 20000]
 

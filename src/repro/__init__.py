@@ -29,6 +29,9 @@ Subpackages
     GPU memory-system simulator used by the evaluation benchmarks.
 ``repro.aos``
     Array-of-Structures <-> Structure-of-Arrays conversion (§6.1).
+``repro.runtime``
+    Instrumented serving layer: process-wide LRU plan cache + metrics
+    registry with per-pass timers (see docs/RUNTIME.md).
 """
 
 from .core import (

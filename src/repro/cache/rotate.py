@@ -103,7 +103,6 @@ def cache_aware_rotate(
     if amounts.shape != (n,):
         raise ValueError("amounts must have one entry per column")
 
-    w = model.width
     for g in range(model.n_groups(n)):
         cols = model.group_slice(g, n)
         base = int(amounts[cols.start])

@@ -17,6 +17,10 @@ Commands
     Print the modeled C2R/R2C throughput landscape (Figures 4-5).
 ``selftest``
     Run the validation harness over every transposer in the library.
+``stats``
+    Print a JSON snapshot of the instrumented runtime (per-pass timings,
+    bytes moved, plan-cache hit/miss/eviction counts), optionally after
+    exercising a small repeated-shape workload.
 """
 
 from __future__ import annotations
@@ -190,6 +194,59 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _parse_shapes(spec: str) -> list[tuple[int, int]]:
+    """Parse ``"64x96,128x128"`` into shape tuples."""
+    shapes = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        m, _, n = part.partition("x")
+        try:
+            shapes.append((int(m), int(n)))
+        except ValueError as exc:
+            raise ValueError(f"bad shape {part!r}; expected MxN") from exc
+    if not shapes:
+        raise ValueError("no shapes given")
+    return shapes
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from .core import batched_transpose_inplace, transpose_inplace
+    from .runtime import metrics
+
+    if args.reset:
+        from .runtime import plan_cache
+
+        metrics.reset()
+        plan_cache.clear()
+        plan_cache.get_plan_cache().reset_stats()
+    if args.exercise:
+        try:
+            shapes = _parse_shapes(args.shapes)
+        except ValueError as exc:
+            print(f"error: {exc}")
+            return 1
+        # Repeated same-shape traffic: first call per shape builds and caches
+        # the plan, the remaining repeats hit it — the amortization the
+        # runtime exists to provide, visible in the snapshot below.
+        for m, n in shapes:
+            for _ in range(args.repeats):
+                transpose_inplace(np.arange(m * n, dtype=np.float64), m, n)
+            batch = np.arange(2 * m * n, dtype=np.float64)
+            batched_transpose_inplace(batch, m, n)
+    text = json.dumps(metrics.snapshot(), indent=args.indent, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -255,6 +312,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--count", type=int, default=30)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_selftest)
+
+    p = sub.add_parser(
+        "stats", help="print a JSON snapshot of the instrumented runtime"
+    )
+    p.add_argument(
+        "--exercise",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run a small repeated-shape workload first so the snapshot "
+        "shows live per-pass timings and cache hits (default: on)",
+    )
+    p.add_argument(
+        "--shapes",
+        default="64x96,96x64,128x128",
+        help="comma-separated MxN shapes for --exercise",
+    )
+    p.add_argument(
+        "--repeats", type=int, default=4, help="calls per shape for --exercise"
+    )
+    p.add_argument(
+        "--reset",
+        action="store_true",
+        help="clear metrics and the plan cache before exercising",
+    )
+    p.add_argument("--indent", type=int, default=2)
+    p.add_argument("--output", help="write the snapshot to a file instead of stdout")
+    p.set_defaults(fn=_cmd_stats)
 
     return parser
 

@@ -13,6 +13,8 @@ stored consecutively (``buf[b * m * n : (b + 1) * m * n]`` is matrix ``b``).
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from . import equations as eq
@@ -20,6 +22,18 @@ from .indexing import Decomposition
 from .transpose import choose_algorithm
 
 __all__ = ["BatchedTransposePlan", "batched_transpose_inplace"]
+
+_metrics = None
+
+
+def _runtime_metrics():
+    """Lazily bind repro.runtime.metrics (kept acyclic w.r.t. package init)."""
+    global _metrics
+    if _metrics is None:
+        from ..runtime import metrics
+
+        _metrics = metrics
+    return _metrics
 
 
 class BatchedTransposePlan:
@@ -65,10 +79,20 @@ class BatchedTransposePlan:
             plan.append(("rows3", eq.rotate_r_inverse_matrix(dec)[None, :, :]))
         return plan
 
+    @property
+    def scratch_bytes(self) -> int:
+        """Bytes held by the precomputed gather maps."""
+        return sum(idx.nbytes for _, idx in self._steps)
+
     def execute(self, buf: np.ndarray) -> np.ndarray:
         """Transpose every matrix of the batch in place; returns ``buf``."""
         dec = self.dec
         mn = self.m * self.n
+        if not buf.flags["C_CONTIGUOUS"]:
+            raise ValueError(
+                "batched buffers must be C-contiguous "
+                "(a strided view would be silently copied, not permuted)"
+            )
         if buf.ndim == 1:
             if buf.shape[0] % mn:
                 raise ValueError("flat batch length must be a multiple of m*n")
@@ -76,17 +100,25 @@ class BatchedTransposePlan:
         elif buf.ndim == 2 and buf.shape[1] == mn:
             V = buf.reshape(buf.shape[0], dec.m, dec.n)
         elif buf.ndim == 3 and buf.shape[1] * buf.shape[2] == mn:
-            if not buf.flags["C_CONTIGUOUS"]:
-                raise ValueError("batched buffers must be C-contiguous")
             V = buf.reshape(buf.shape[0], dec.m, dec.n)
         else:
             raise ValueError(
                 f"cannot interpret shape {buf.shape} as a batch of "
                 f"{self.m}x{self.n} matrices"
             )
-        for kind, idx in self._steps:
-            axis = 1 if kind == "rows3" else 2
-            V[:] = np.take_along_axis(V, np.broadcast_to(idx, V.shape), axis=axis)
+        rt = _runtime_metrics()
+        if rt.registry.enabled:
+            for kind, idx in self._steps:
+                axis = 1 if kind == "rows3" else 2
+                t0 = perf_counter()
+                V[:] = np.take_along_axis(V, np.broadcast_to(idx, V.shape), axis=axis)
+                rt.registry.observe(f"batched.pass.{kind}", perf_counter() - t0)
+            rt.registry.inc("bytes_moved", 2 * len(self._steps) * buf.nbytes)
+            rt.registry.inc("elements_touched", len(self._steps) * buf.size)
+        else:
+            for kind, idx in self._steps:
+                axis = 1 if kind == "rows3" else 2
+                V[:] = np.take_along_axis(V, np.broadcast_to(idx, V.shape), axis=axis)
         return buf
 
     def __repr__(self) -> str:
@@ -103,10 +135,32 @@ def batched_transpose_inplace(
     order: str = "C",
     *,
     algorithm: str = "auto",
+    use_plan_cache: bool = True,
 ) -> np.ndarray:
     """One-shot batched transpose (see :class:`BatchedTransposePlan`).
 
     After the call, every ``m x n`` matrix in the batch holds its ``n x m``
-    transpose in the same storage order.
+    transpose in the same storage order.  Repeated calls on the same
+    ``(k, m, n, order, dtype)`` reuse the gather maps through the process-wide
+    :mod:`repro.runtime.plan_cache` (disable per call with
+    ``use_plan_cache=False``, or globally via the cache's own opt-out); each
+    call is timed into :mod:`repro.runtime.metrics`.
     """
-    return BatchedTransposePlan(m, n, order, algorithm).execute(buf)
+    rt = _runtime_metrics()
+    mn = m * n
+    if use_plan_cache and mn and buf.size % mn == 0:
+        from ..runtime import plan_cache
+
+        plan = plan_cache.get_batched_plan(
+            m, n, buf.size // mn, order, algorithm, buf.dtype
+        )
+    else:
+        plan = BatchedTransposePlan(m, n, order, algorithm)
+    if rt.registry.enabled:
+        t0 = perf_counter()
+        plan.execute(buf)
+        rt.registry.record_call(
+            "batched_transpose_inplace", perf_counter() - t0
+        )
+        return buf
+    return plan.execute(buf)

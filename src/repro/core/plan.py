@@ -13,6 +13,8 @@ fully materialized gather maps of the blocked fast path.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from . import equations as eq
@@ -20,6 +22,18 @@ from .indexing import Decomposition
 from .transpose import choose_algorithm
 
 __all__ = ["TransposePlan"]
+
+_metrics = None
+
+
+def _runtime_metrics():
+    """Lazily bind repro.runtime.metrics (kept acyclic w.r.t. package init)."""
+    global _metrics
+    if _metrics is None:
+        from ..runtime import metrics
+
+        _metrics = metrics
+    return _metrics
 
 
 class TransposePlan:
@@ -108,26 +122,45 @@ class TransposePlan:
             total += payload.nbytes
         return total
 
+    @staticmethod
+    def _apply_step(V: np.ndarray, kind: str, payload) -> None:
+        if kind == "rotate_groups":
+            for cols, shift in payload:
+                V[:, cols] = np.roll(V[:, cols], shift, axis=0)
+        elif kind == "gather_cols":
+            V[:] = np.take_along_axis(V, payload, axis=1)
+        elif kind == "gather_rows":
+            V[:] = np.take_along_axis(V, payload, axis=0)
+        elif kind == "permute_rows":
+            V[:] = V[payload, :]
+
     def execute(self, buf: np.ndarray) -> np.ndarray:
         """Transpose ``buf`` in place using the precomputed maps.
 
         ``buf`` must be flat and contiguous with ``m * n`` elements; after the
         call it holds the ``n x m`` transpose in the plan's storage order.
+        Per-pass timings land in :mod:`repro.runtime.metrics` when enabled.
         """
         if buf.ndim != 1 or buf.shape[0] != self.m * self.n:
             raise ValueError(f"buffer must be flat with {self.m * self.n} elements")
+        if not buf.flags["C_CONTIGUOUS"]:
+            raise ValueError(
+                "in-place transposition requires a contiguous buffer "
+                "(a non-contiguous view would be silently copied, not permuted)"
+            )
         dec = self.dec
         V = buf.reshape(dec.m, dec.n)
-        for kind, payload in self._steps:
-            if kind == "rotate_groups":
-                for cols, shift in payload:
-                    V[:, cols] = np.roll(V[:, cols], shift, axis=0)
-            elif kind == "gather_cols":
-                V[:] = np.take_along_axis(V, payload, axis=1)
-            elif kind == "gather_rows":
-                V[:] = np.take_along_axis(V, payload, axis=0)
-            elif kind == "permute_rows":
-                V[:] = V[payload, :]
+        rt = _runtime_metrics()
+        if rt.registry.enabled:
+            for kind, payload in self._steps:
+                t0 = perf_counter()
+                self._apply_step(V, kind, payload)
+                rt.registry.observe(f"plan.pass.{kind}", perf_counter() - t0)
+            rt.registry.inc("bytes_moved", 2 * len(self._steps) * buf.nbytes)
+            rt.registry.inc("elements_touched", len(self._steps) * buf.shape[0])
+        else:
+            for kind, payload in self._steps:
+                self._apply_step(V, kind, payload)
         return buf
 
     def __repr__(self) -> str:

@@ -70,6 +70,27 @@ class WorkCounter:
     def total(self) -> int:
         return self.reads + self.writes
 
+    def bytes_moved(self, itemsize: int) -> int:
+        """Main-array traffic in bytes for elements of ``itemsize`` bytes."""
+        return self.total * int(itemsize)
+
+    def as_dict(self, itemsize: int | None = None) -> dict:
+        """JSON-able summary; includes ``bytes_moved`` when given an itemsize."""
+        out = {"reads": self.reads, "writes": self.writes, "total": self.total}
+        if itemsize is not None:
+            out["bytes_moved"] = self.bytes_moved(itemsize)
+        return out
+
+    def publish(self, name: str = "strict") -> None:
+        """Fold this tally into the process-wide metrics registry
+        (:mod:`repro.runtime.metrics`) under ``<name>.reads``/``.writes``."""
+        from ..runtime import metrics
+
+        if metrics.registry.enabled:
+            metrics.registry.inc(f"{name}.reads", self.reads)
+            metrics.registry.inc(f"{name}.writes", self.writes)
+            metrics.registry.inc("elements_touched", self.total)
+
 
 @dataclass
 class Scratch:

@@ -22,6 +22,8 @@ the data's native order.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from .c2r import c2r_transpose
@@ -32,6 +34,18 @@ __all__ = ["transpose_inplace", "transpose", "choose_algorithm"]
 
 _ALGORITHMS = ("auto", "c2r", "r2c")
 _ORDERS = ("C", "F")
+
+_metrics = None
+
+
+def _runtime_metrics():
+    """Lazily bind repro.runtime.metrics (kept acyclic w.r.t. package init)."""
+    global _metrics
+    if _metrics is None:
+        from ..runtime import metrics
+
+        _metrics = metrics
+    return _metrics
 
 
 def choose_algorithm(m: int, n: int) -> str:
@@ -54,6 +68,7 @@ def transpose_inplace(
     variant: str = "gather",
     aux: str = "blocked",
     counter: WorkCounter | None = None,
+    use_plan_cache: bool | None = None,
 ) -> np.ndarray:
     """Transpose the ``m x n`` matrix stored in ``buf``, in place.
 
@@ -71,8 +86,18 @@ def transpose_inplace(
         ``"auto"`` (paper heuristic), ``"c2r"`` or ``"r2c"``.
     variant, aux, counter:
         Forwarded to the kernels; see :mod:`repro.core.c2r`.
+    use_plan_cache:
+        The default fast path (``variant="gather"``, ``aux="blocked"``, no
+        counter) executes through a :class:`~repro.core.plan.TransposePlan`
+        held in the process-wide :mod:`repro.runtime.plan_cache`, so repeated
+        same-shape calls skip index-map construction entirely.  Pass
+        ``False`` to force per-call planning; ``True`` on a non-default
+        configuration raises (strict/scatter paths have no cached form).
+        The cached and uncached paths run the same blocked gather passes and
+        produce identical buffers (pinned by ``tests/runtime``).
 
-    Returns the same ``buf``.
+    Returns the same ``buf``.  Wall time per call is recorded into
+    :mod:`repro.runtime.metrics` under ``transpose_inplace``.
     """
     if algorithm not in _ALGORITHMS:
         raise ValueError(f"unknown algorithm {algorithm!r}; expected {_ALGORITHMS}")
@@ -81,6 +106,36 @@ def transpose_inplace(
     if algorithm == "auto":
         algorithm = choose_algorithm(m, n)
 
+    cacheable = variant == "gather" and aux == "blocked" and counter is None
+    if use_plan_cache is None:
+        use_plan_cache = cacheable
+    elif use_plan_cache and not cacheable:
+        raise ValueError(
+            "use_plan_cache=True requires the default gather/blocked "
+            "configuration with no WorkCounter"
+        )
+
+    rt = _runtime_metrics()
+    t0 = perf_counter() if rt.registry.enabled else 0.0
+
+    if use_plan_cache:
+        from ..runtime import plan_cache
+
+        # TransposePlan folds order/algorithm exactly like the kernel path
+        # below and runs the identical blocked gather passes off precomputed
+        # int32 maps.  Guard contiguity here as the kernels do: reshape of a
+        # strided view would silently copy instead of permuting.
+        if not buf.flags["C_CONTIGUOUS"]:
+            raise ValueError(
+                "in-place transposition requires a contiguous buffer "
+                "(a non-contiguous view would be silently copied, not permuted)"
+            )
+        plan = plan_cache.get_single_plan(m, n, order, algorithm, buf.dtype)
+        plan.execute(buf)
+        if rt.registry.enabled:
+            rt.registry.record_call("transpose_inplace", perf_counter() - t0)
+        return buf
+
     # A column-major m x n buffer is byte-identical to a row-major n x m
     # buffer of the transposed matrix, so fold the order into a dimension
     # swap and treat everything as row-major below.
@@ -88,10 +143,15 @@ def transpose_inplace(
 
     if algorithm == "c2r":
         # Theorem 1: C2R on the row-major (vm, vn) view transposes it.
-        return c2r_transpose(buf, vm, vn, variant=variant, aux=aux, counter=counter)
-    # Theorem 2: R2C transposes a row-major array after swapping dimensions,
-    # i.e. running the passes on the (vn, vm) view of the same buffer.
-    return r2c_transpose(buf, vn, vm, variant=variant, aux=aux, counter=counter)
+        c2r_transpose(buf, vm, vn, variant=variant, aux=aux, counter=counter)
+    else:
+        # Theorem 2: R2C transposes a row-major array after swapping
+        # dimensions, i.e. running the passes on the (vn, vm) view of the
+        # same buffer.
+        r2c_transpose(buf, vn, vm, variant=variant, aux=aux, counter=counter)
+    if rt.registry.enabled:
+        rt.registry.record_call("transpose_inplace", perf_counter() - t0)
+    return buf
 
 
 def transpose(

@@ -85,7 +85,7 @@ class CacheAwareParallelTranspose:
     def _parallel_row_permute(
         self, V: np.ndarray, gather: np.ndarray, model: CacheModel
     ) -> None:
-        m, n = V.shape
+        n = V.shape[1]
         cycles = permutation_cycles(gather)
         n_groups = model.n_groups(n)
 

@@ -12,6 +12,8 @@ executor provides.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from ..core import equations as eq
@@ -21,6 +23,18 @@ from ..strength.reduced import ReducedEquations
 from .executor import ParallelExecutor
 
 __all__ = ["ParallelTranspose", "parallel_transpose_inplace"]
+
+_metrics = None
+
+
+def _runtime_metrics():
+    """Lazily bind repro.runtime.metrics (kept acyclic w.r.t. package init)."""
+    global _metrics
+    if _metrics is None:
+        from ..runtime import metrics
+
+        _metrics = metrics
+    return _metrics
 
 
 class ParallelTranspose:
@@ -142,6 +156,18 @@ class ParallelTranspose:
 
     # -- entry points ------------------------------------------------------------
 
+    @staticmethod
+    def _timed(name: str, fn, *args) -> None:
+        """Run one pass, recording it as ``parallel.pass.<name>`` when the
+        metrics registry is enabled (a bool check otherwise)."""
+        rt = _runtime_metrics()
+        if rt.registry.enabled:
+            t0 = perf_counter()
+            fn(*args)
+            rt.registry.observe(f"parallel.pass.{name}", perf_counter() - t0)
+        else:
+            fn(*args)
+
     def c2r(self, buf: np.ndarray, m: int, n: int) -> np.ndarray:
         """Parallel C2R transposition of a flat buffer."""
         if not buf.flags["C_CONTIGUOUS"]:
@@ -154,10 +180,20 @@ class ParallelTranspose:
         dec = Decomposition.of(m, n)
         red = self._reduced(dec)
         V = buf.reshape(m, n)
+        rt = _runtime_metrics()
+        t0 = perf_counter() if rt.registry.enabled else 0.0
+        passes = 3 if dec.c > 1 else 2
         if dec.c > 1:
-            self._pre_rotate(V, dec)
-        self._row_shuffle(V, dec, red)
-        self._column_shuffle(V, dec, red)
+            self._timed("pre_rotate", self._pre_rotate, V, dec)
+        self._timed("row_shuffle", self._row_shuffle, V, dec, red)
+        self._timed("column_shuffle", self._column_shuffle, V, dec, red)
+        if rt.registry.enabled:
+            rt.registry.record_call(
+                "parallel.c2r",
+                perf_counter() - t0,
+                nbytes=2 * passes * buf.nbytes,
+                elements=passes * buf.shape[0],
+            )
         return buf
 
     def r2c(self, buf: np.ndarray, m: int, n: int) -> np.ndarray:
@@ -172,10 +208,20 @@ class ParallelTranspose:
         dec = Decomposition.of(m, n)
         red = self._reduced(dec)
         V = buf.reshape(m, n)
-        self._inverse_column_shuffle(V, dec)
-        self._row_shuffle_r2c(V, dec, red)
+        rt = _runtime_metrics()
+        t0 = perf_counter() if rt.registry.enabled else 0.0
+        passes = 3 if dec.c > 1 else 2
+        self._timed("inverse_column_shuffle", self._inverse_column_shuffle, V, dec)
+        self._timed("row_shuffle_r2c", self._row_shuffle_r2c, V, dec, red)
         if dec.c > 1:
-            self._post_rotate(V, dec)
+            self._timed("post_rotate", self._post_rotate, V, dec)
+        if rt.registry.enabled:
+            rt.registry.record_call(
+                "parallel.r2c",
+                perf_counter() - t0,
+                nbytes=2 * passes * buf.nbytes,
+                elements=passes * buf.shape[0],
+            )
         return buf
 
     def transpose_inplace(

@@ -1,0 +1,220 @@
+"""Process-wide metrics registry: per-pass timers and traffic counters.
+
+The paper's evaluation lives and dies on constant factors (Section 7 reports
+achieved *bandwidth*, not asymptotics), so the runtime makes the two numbers
+that matter — seconds per pass and bytes moved — first-class and always
+available.  Every public entry point (``transpose_inplace``, ``transpose``,
+``batched_transpose_inplace``, ``TransposePlan.execute``, the parallel
+transposer) records into the registry by default; instrumentation collapses
+to a single predicate check when disabled.
+
+Design constraints:
+
+* **No repro imports.**  This module is imported lazily from ``repro.core``
+  and ``repro.parallel``; depending on nothing inside the package keeps the
+  import graph acyclic.
+* **Thread safety.**  A single lock guards the maps; individual observations
+  are O(1) dict updates, far below the cost of any pass they measure.
+* **Near-zero overhead when disabled.**  Callers are expected to guard with
+  ``if registry.enabled:`` so the disabled path costs one attribute read and
+  one branch.
+
+Usage::
+
+    from repro.runtime import metrics
+
+    metrics.registry.observe("plan.pass.gather_cols", 0.0021)
+    metrics.registry.inc("bytes_moved", 2 * buf.nbytes)
+    print(metrics.registry.to_json())
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from time import perf_counter
+
+__all__ = [
+    "TimerStat",
+    "MetricsRegistry",
+    "registry",
+    "enable",
+    "disable",
+    "is_enabled",
+    "reset",
+    "snapshot",
+    "to_json",
+]
+
+
+class TimerStat:
+    """Streaming summary of one named timer: count/total/min/max.
+
+    Means are derived at snapshot time; storing only four scalars keeps an
+    observation to a handful of float ops (no per-sample allocation).
+    """
+
+    __slots__ = ("count", "total_s", "min_s", "max_s")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s = float("inf")
+        self.max_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total_s += seconds
+        if seconds < self.min_s:
+            self.min_s = seconds
+        if seconds > self.max_s:
+            self.max_s = seconds
+
+    def as_dict(self) -> dict:
+        mean = self.total_s / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "mean_s": mean,
+            "min_s": self.min_s if self.count else 0.0,
+            "max_s": self.max_s,
+        }
+
+
+class _Timer:
+    """Context manager recording one observation into a registry timer.
+
+    A fresh no-op instance is returned when the registry is disabled, so
+    ``with registry.timer(name):`` is always legal.
+    """
+
+    __slots__ = ("_registry", "_name", "_t0")
+
+    def __init__(self, registry: "MetricsRegistry | None", name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Timer":
+        if self._registry is not None:
+            self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._registry is not None:
+            self._registry.observe(self._name, perf_counter() - self._t0)
+
+
+class MetricsRegistry:
+    """Thread-safe named counters and timers with a JSON-able snapshot.
+
+    Counters are monotonically increasing integers (``bytes_moved``,
+    ``elements_touched``, ``*.calls``); timers are :class:`TimerStat`
+    summaries keyed by pass or entry-point name.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._timers: dict[str, TimerStat] = {}
+        self.enabled = enabled
+
+    # -- recording -----------------------------------------------------------
+
+    def inc(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to counter ``name`` (created at zero on first use)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + int(value)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one duration observation under timer ``name``."""
+        with self._lock:
+            stat = self._timers.get(name)
+            if stat is None:
+                stat = self._timers[name] = TimerStat()
+            stat.observe(seconds)
+
+    def timer(self, name: str) -> _Timer:
+        """``with registry.timer("pass.x"):`` — no-op while disabled."""
+        return _Timer(self if self.enabled else None, name)
+
+    def record_call(
+        self, name: str, seconds: float, *, nbytes: int = 0, elements: int = 0
+    ) -> None:
+        """One entry-point invocation: a timing plus traffic counters.
+
+        ``nbytes``/``elements`` follow the Theorem 6 accounting used by
+        :class:`repro.core.steps.WorkCounter`: reads and writes against the
+        main array both count, scratch traffic does not.
+        """
+        with self._lock:
+            stat = self._timers.get(name)
+            if stat is None:
+                stat = self._timers[name] = TimerStat()
+            stat.observe(seconds)
+            self._counters[name + ".calls"] = self._counters.get(name + ".calls", 0) + 1
+            if nbytes:
+                self._counters["bytes_moved"] = (
+                    self._counters.get("bytes_moved", 0) + int(nbytes)
+                )
+            if elements:
+                self._counters["elements_touched"] = (
+                    self._counters.get("elements_touched", 0) + int(elements)
+                )
+
+    # -- reporting -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A point-in-time copy of every counter and timer (plain dicts)."""
+        with self._lock:
+            return {
+                "metrics_enabled": self.enabled,
+                "counters": dict(self._counters),
+                "timers": {k: v.as_dict() for k, v in self._timers.items()},
+            }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def reset(self) -> None:
+        """Drop all recorded data (the enabled flag is untouched)."""
+        with self._lock:
+            self._counters.clear()
+            self._timers.clear()
+
+
+#: The process-wide registry used by every instrumented entry point.
+#: ``REPRO_METRICS=0`` in the environment starts it disabled.
+registry = MetricsRegistry(enabled=os.environ.get("REPRO_METRICS", "1") != "0")
+
+
+def enable() -> None:
+    registry.enabled = True
+
+
+def disable() -> None:
+    registry.enabled = False
+
+
+def is_enabled() -> bool:
+    return registry.enabled
+
+
+def reset() -> None:
+    registry.reset()
+
+
+def snapshot() -> dict:
+    """Full runtime snapshot: registry metrics plus plan-cache statistics."""
+    snap = registry.snapshot()
+    # Imported here (not at module top) to keep this module dependency-free
+    # for the core modules that import it during their own initialization.
+    from . import plan_cache
+
+    snap["plan_cache"] = plan_cache.get_plan_cache().stats()
+    return snap
+
+
+def to_json(indent: int | None = 2) -> str:
+    return json.dumps(snapshot(), indent=indent, sort_keys=True)

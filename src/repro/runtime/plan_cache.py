@@ -1,0 +1,268 @@
+"""A thread-safe, process-wide LRU cache of transpose plans.
+
+Section 4's cost analysis shows that materializing the gather maps
+(``d'^{-1}``/``s'``) costs about as much as one pass over the data — so a
+workload that transposes the same shape repeatedly (AoS/SoA conversion,
+batched FFT-style pipelines, attention-head reshapes) pays the planning tax
+on every call unless something amortizes it.  This module is that something:
+a process-wide LRU keyed by
+
+    ``(kind, m, n, k, order, algorithm, variant, dtype)``
+
+mapping to fully built :class:`~repro.core.plan.TransposePlan` /
+:class:`~repro.core.batched.BatchedTransposePlan` objects.  Plans are
+immutable after construction (see ``tests/test_concurrency.py``), so one
+instance may be executed from any number of threads concurrently.
+
+Because each plan stores ``O(mn)`` int32 gather maps, the cache enforces a
+configurable **byte budget** (default 256 MiB, env
+``REPRO_PLAN_CACHE_BYTES``): least-recently-used plans are evicted once the
+budget is exceeded, and a single plan larger than the whole budget is
+returned to the caller but never retained.  The cache can be disabled
+entirely with :func:`configure` or ``REPRO_PLAN_CACHE=0``.
+
+Hit/miss/eviction counts are part of :func:`repro.runtime.metrics.snapshot`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from time import perf_counter
+
+__all__ = [
+    "PlanKey",
+    "PlanCache",
+    "DEFAULT_MAX_BYTES",
+    "get_plan_cache",
+    "configure",
+    "clear",
+    "stats",
+    "get_single_plan",
+    "get_batched_plan",
+]
+
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """The identity of a cached plan.
+
+    ``kind`` separates single-matrix from batched plans; ``k`` is the batch
+    count (``None`` for single plans).  ``dtype`` is part of the key even
+    though the int32 gather maps are dtype-independent — it keeps hit/miss
+    accounting meaningful per workload and costs nothing for the one or two
+    dtypes a real pipeline uses.  ``algorithm`` is stored post-heuristic
+    (never ``"auto"``) so explicit and heuristic requests share entries.
+    """
+
+    kind: str
+    m: int
+    n: int
+    k: int | None
+    order: str
+    algorithm: str
+    variant: str
+    dtype: str
+
+
+class PlanCache:
+    """LRU plan cache with a byte budget and hit/miss/eviction statistics.
+
+    A single reentrant lock guards the map and the counters.  Plan
+    *construction* happens outside the lock — building a plan is a full pass
+    over ``O(mn)`` index data and must not serialize unrelated shapes; the
+    cost is that two threads racing on the same cold key may both build, with
+    one build discarded (counted under ``races``).
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_MAX_BYTES, enabled: bool = True):
+        self._lock = threading.RLock()
+        self._plans: OrderedDict[PlanKey, tuple[object, int]] = OrderedDict()
+        self.max_bytes = int(max_bytes)
+        self.enabled = enabled
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.races = 0
+        self.oversize_rejects = 0
+        self.build_seconds = 0.0
+
+    # -- lookup ----------------------------------------------------------------
+
+    def get_or_build(self, key: PlanKey, factory, size_of) -> object:
+        """Return the cached plan for ``key``, building it on a miss.
+
+        ``factory`` builds the plan; ``size_of`` maps a plan to its resident
+        byte footprint (used against the budget).  When the cache is
+        disabled the factory result is returned without being retained and
+        no statistics move.
+        """
+        if not self.enabled:
+            return factory()
+        with self._lock:
+            entry = self._plans.get(key)
+            if entry is not None:
+                self._plans.move_to_end(key)
+                self.hits += 1
+                return entry[0]
+            self.misses += 1
+        t0 = perf_counter()
+        plan = factory()
+        dt = perf_counter() - t0
+        nbytes = int(size_of(plan))
+        with self._lock:
+            self.build_seconds += dt
+            if key in self._plans:
+                # Another thread built and inserted while we were building;
+                # keep theirs (it is already shared) and drop ours.
+                self.races += 1
+                self._plans.move_to_end(key)
+                return self._plans[key][0]
+            if nbytes > self.max_bytes:
+                self.oversize_rejects += 1
+                return plan
+            self._plans[key] = (plan, nbytes)
+            self.current_bytes += nbytes
+            while self.current_bytes > self.max_bytes and len(self._plans) > 1:
+                _, (_, evicted_bytes) = self._plans.popitem(last=False)
+                self.current_bytes -= evicted_bytes
+                self.evictions += 1
+        return plan
+
+    # -- management ------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every cached plan (statistics are retained)."""
+        with self._lock:
+            self._plans.clear()
+            self.current_bytes = 0
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self.hits = self.misses = self.evictions = 0
+            self.races = self.oversize_rejects = 0
+            self.build_seconds = 0.0
+
+    def configure(
+        self, *, max_bytes: int | None = None, enabled: bool | None = None
+    ) -> None:
+        """Adjust the byte budget and/or the opt-out flag.
+
+        Shrinking the budget evicts immediately; disabling keeps existing
+        entries resident (call :meth:`clear` to release them).
+        """
+        with self._lock:
+            if enabled is not None:
+                self.enabled = bool(enabled)
+            if max_bytes is not None:
+                self.max_bytes = int(max_bytes)
+                while self.current_bytes > self.max_bytes and self._plans:
+                    _, (_, evicted_bytes) = self._plans.popitem(last=False)
+                    self.current_bytes -= evicted_bytes
+                    self.evictions += 1
+
+    def stats(self) -> dict:
+        """A JSON-able statistics snapshot."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "enabled": self.enabled,
+                "entries": len(self._plans),
+                "current_bytes": self.current_bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / total if total else 0.0,
+                "evictions": self.evictions,
+                "races": self.races,
+                "oversize_rejects": self.oversize_rejects,
+                "build_seconds": self.build_seconds,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def __contains__(self, key: PlanKey) -> bool:
+        with self._lock:
+            return key in self._plans
+
+
+#: The process-wide cache used by ``transpose_inplace`` and friends.
+_GLOBAL = PlanCache(
+    max_bytes=int(os.environ.get("REPRO_PLAN_CACHE_BYTES", DEFAULT_MAX_BYTES)),
+    enabled=os.environ.get("REPRO_PLAN_CACHE", "1") != "0",
+)
+
+
+def get_plan_cache() -> PlanCache:
+    return _GLOBAL
+
+
+def configure(*, max_bytes: int | None = None, enabled: bool | None = None) -> None:
+    _GLOBAL.configure(max_bytes=max_bytes, enabled=enabled)
+
+
+def clear() -> None:
+    _GLOBAL.clear()
+
+
+def stats() -> dict:
+    return _GLOBAL.stats()
+
+
+# -- entry-point helpers --------------------------------------------------------
+# Core imports happen inside the functions: these run strictly after package
+# initialization, so the core <-> runtime import graph stays acyclic.
+
+
+def get_single_plan(
+    m: int, n: int, order: str, algorithm: str, dtype, *, cache: PlanCache | None = None
+):
+    """A (possibly cached) :class:`TransposePlan` for one matrix shape.
+
+    ``algorithm`` may be ``"auto"``; it is resolved through the paper's
+    Section 5.2 heuristic before keying.
+    """
+    from repro.core.plan import TransposePlan
+    from repro.core.transpose import choose_algorithm
+
+    if algorithm == "auto":
+        algorithm = choose_algorithm(m, n)
+    key = PlanKey("single", m, n, None, order, algorithm, "gather", str(dtype))
+    target = cache if cache is not None else _GLOBAL
+    return target.get_or_build(
+        key,
+        lambda: TransposePlan(m, n, order, algorithm),
+        lambda plan: plan.scratch_bytes,
+    )
+
+
+def get_batched_plan(
+    m: int,
+    n: int,
+    k: int,
+    order: str,
+    algorithm: str,
+    dtype,
+    *,
+    cache: PlanCache | None = None,
+):
+    """A (possibly cached) :class:`BatchedTransposePlan` for ``k`` matrices."""
+    from repro.core.batched import BatchedTransposePlan
+    from repro.core.transpose import choose_algorithm
+
+    if algorithm == "auto":
+        algorithm = choose_algorithm(m, n)
+    key = PlanKey("batched", m, n, int(k), order, algorithm, "gather", str(dtype))
+    target = cache if cache is not None else _GLOBAL
+    return target.get_or_build(
+        key,
+        lambda: BatchedTransposePlan(m, n, order, algorithm),
+        lambda plan: plan.scratch_bytes,
+    )

@@ -24,7 +24,7 @@ why the paper spends register file on rows of up to 29440 doubles.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

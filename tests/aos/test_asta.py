@@ -96,7 +96,7 @@ class TestAstaCoalescing:
         """Reading field f of 32 consecutive structs: 32 scattered words in
         AoS, one contiguous line in ASTA (tile = warp size) — the layout's
         whole purpose."""
-        n, s, t = 128, 8, 32
+        s, t = 8, 32
         an = TransactionAnalyzer(128)
         f = 3
         structs = np.arange(32)

@@ -9,7 +9,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.cache.cycles import CycleSet, RotationCycles, permutation_cycles
+from repro.cache.cycles import RotationCycles, permutation_cycles
 from repro.core.permutation import Permutation
 
 

@@ -96,6 +96,15 @@ class TestDecompositionTasks:
         task = decomposition_task_profile(m, n)
         if cyc.n_units == 0:
             return
+        if task.lengths.max() * 8 > task.total:
+            # The balance claim is within-pass uniformity: it yields a better
+            # p-way bound only once each pass holds >= p units of work.  On
+            # very skinny shapes a single row/column unit exceeds the ideal
+            # per-processor share and caps the decomposition's makespan,
+            # while the cycle structure can coincidentally be near-uniform
+            # (3x19: every cycle has length 6 or 2, so cycles reach the full
+            # 8x while the decomposition caps at total/max = 6x).
+            return
         assert task.speedup_bound(8) >= cyc.speedup_bound(8) - 1e-9
 
     def test_empty_profile_edge_cases(self):

@@ -8,7 +8,6 @@ from __future__ import annotations
 
 import numpy as np
 from hypothesis import given
-from hypothesis import strategies as st
 
 from repro.core import c2r_transpose, r2c_transpose
 from repro.core import equations as eq

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.gpusim.aos_model import OPS, PATTERNS, aos_access_throughput

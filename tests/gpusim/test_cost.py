@@ -38,7 +38,6 @@ class TestTraceEfficiencies:
     def test_doubles_gather_more_efficiently_than_floats(self):
         """Section 5.2: 64-bit rows transpose faster because the
         unstructured row-shuffle reads are more efficient."""
-        rng = np.random.default_rng(1)
         wins = 0
         trials = 0
         for m, n in [(977, 14009), (5003, 12007), (9001, 17011), (3001, 19013)]:

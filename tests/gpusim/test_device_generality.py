@@ -9,7 +9,6 @@ GB/s scale with the device's bandwidth.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.gpusim.aos_model import aos_access_throughput
 from repro.gpusim.cost import c2r_cost, skinny_cost, sung_cost

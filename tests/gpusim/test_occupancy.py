@@ -6,7 +6,6 @@ import pytest
 
 from repro.gpusim.device import TESLA_K20C
 from repro.gpusim.occupancy import (
-    KEPLER_LIMITS,
     bandwidth_fraction,
     occupancy,
     staged_access_bandwidth,

@@ -1,0 +1,1 @@
+"""Tests for the instrumented runtime: plan cache and metrics registry."""

@@ -1,0 +1,205 @@
+"""Metrics registry: counters, timer statistics, snapshots, instrumentation
+wiring of the public entry points, and the ``repro stats`` CLI command."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.batched import batched_transpose_inplace
+from repro.core.steps import WorkCounter
+from repro.core.transpose import transpose_inplace
+from repro.parallel import parallel_transpose_inplace
+from repro.runtime import metrics
+from repro.runtime.metrics import MetricsRegistry, TimerStat
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    was_enabled = metrics.registry.enabled
+    metrics.reset()
+    metrics.enable()
+    yield
+    metrics.reset()
+    metrics.registry.enabled = was_enabled
+
+
+class TestTimerStat:
+    def test_streaming_summary(self):
+        stat = TimerStat()
+        for s in (0.2, 0.1, 0.4):
+            stat.observe(s)
+        d = stat.as_dict()
+        assert d["count"] == 3
+        assert d["total_s"] == pytest.approx(0.7)
+        assert d["mean_s"] == pytest.approx(0.7 / 3)
+        assert d["min_s"] == pytest.approx(0.1)
+        assert d["max_s"] == pytest.approx(0.4)
+
+    def test_empty_stat_serializes_to_zeros(self):
+        d = TimerStat().as_dict()
+        assert d == {"count": 0, "total_s": 0.0, "mean_s": 0.0, "min_s": 0.0, "max_s": 0.0}
+
+
+class TestRegistry:
+    def test_counters_accumulate(self):
+        reg = MetricsRegistry()
+        reg.inc("x")
+        reg.inc("x", 4)
+        assert reg.snapshot()["counters"]["x"] == 5
+
+    def test_timer_context_manager_respects_enabled_flag(self):
+        reg = MetricsRegistry(enabled=False)
+        with reg.timer("t"):
+            pass
+        assert reg.snapshot()["timers"] == {}
+        reg.enabled = True
+        with reg.timer("t"):
+            pass
+        assert reg.snapshot()["timers"]["t"]["count"] == 1
+
+    def test_record_call_tracks_traffic(self):
+        reg = MetricsRegistry()
+        reg.record_call("op", 0.01, nbytes=800, elements=100)
+        reg.record_call("op", 0.02, nbytes=800, elements=100)
+        snap = reg.snapshot()
+        assert snap["counters"]["op.calls"] == 2
+        assert snap["counters"]["bytes_moved"] == 1600
+        assert snap["counters"]["elements_touched"] == 200
+        assert snap["timers"]["op"]["count"] == 2
+
+    def test_snapshot_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.record_call("op", 0.01, nbytes=8)
+        parsed = json.loads(reg.to_json())
+        assert parsed["counters"]["op.calls"] == 1
+
+    def test_reset_clears_data_not_flag(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.inc("x")
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap["counters"] == {} and snap["timers"] == {}
+        assert reg.enabled is False
+
+    def test_thread_safety_of_observations(self):
+        reg = MetricsRegistry()
+
+        def worker() -> None:
+            for _ in range(500):
+                reg.inc("n")
+                reg.observe("t", 0.001)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = reg.snapshot()
+        assert snap["counters"]["n"] == 4000
+        assert snap["timers"]["t"]["count"] == 4000
+
+
+class TestEntryPointWiring:
+    def test_transpose_inplace_records_by_default(self):
+        transpose_inplace(np.arange(12 * 18, dtype=np.float64), 12, 18)
+        snap = metrics.registry.snapshot()
+        assert snap["counters"]["transpose_inplace.calls"] == 1
+        assert snap["timers"]["transpose_inplace"]["count"] == 1
+        assert snap["counters"]["bytes_moved"] > 0
+        assert any(k.startswith("plan.pass.") for k in snap["timers"])
+
+    def test_uncached_kernel_path_also_records(self):
+        transpose_inplace(
+            np.arange(12 * 18, dtype=np.float64), 12, 18, use_plan_cache=False
+        )
+        snap = metrics.registry.snapshot()
+        assert snap["counters"]["transpose_inplace.calls"] == 1
+
+    def test_batched_records(self):
+        batched_transpose_inplace(np.arange(3 * 6 * 9, dtype=np.float64), 6, 9)
+        snap = metrics.registry.snapshot()
+        assert snap["counters"]["batched_transpose_inplace.calls"] == 1
+        assert any(k.startswith("batched.pass.") for k in snap["timers"])
+
+    def test_parallel_records_per_pass(self):
+        parallel_transpose_inplace(
+            np.arange(12 * 18, dtype=np.float64), 12, 18, n_threads=2
+        )
+        snap = metrics.registry.snapshot()
+        assert any(k.startswith("parallel.pass.") for k in snap["timers"])
+        assert any(k in snap["timers"] for k in ("parallel.c2r", "parallel.r2c"))
+
+    def test_disabled_registry_records_nothing(self):
+        metrics.disable()
+        transpose_inplace(np.arange(12 * 18, dtype=np.float64), 12, 18)
+        batched_transpose_inplace(np.arange(2 * 6 * 9, dtype=np.float64), 6, 9)
+        snap = metrics.registry.snapshot()
+        assert snap["counters"] == {}
+        assert snap["timers"] == {}
+        assert snap["metrics_enabled"] is False
+
+    def test_full_snapshot_includes_plan_cache_stats(self):
+        transpose_inplace(np.arange(6 * 8, dtype=np.float64), 6, 8)
+        snap = metrics.snapshot()
+        assert "plan_cache" in snap
+        for field in ("hits", "misses", "evictions", "current_bytes"):
+            assert field in snap["plan_cache"]
+
+
+class TestWorkCounterExtensions:
+    def test_bytes_moved_scales_total_by_itemsize(self):
+        wc = WorkCounter()
+        wc.add(10, 6)
+        assert wc.bytes_moved(8) == 16 * 8
+        assert wc.as_dict(itemsize=4) == {
+            "reads": 10,
+            "writes": 6,
+            "total": 16,
+            "bytes_moved": 64,
+        }
+
+    def test_strict_kernel_counter_publishes_to_registry(self):
+        wc = WorkCounter()
+        transpose_inplace(
+            np.arange(9 * 15, dtype=np.float64), 9, 15, aux="strict", counter=wc
+        )
+        wc.publish("strict")
+        snap = metrics.registry.snapshot()
+        assert snap["counters"]["strict.reads"] == wc.reads
+        assert snap["counters"]["strict.writes"] == wc.writes
+        assert snap["counters"]["elements_touched"] >= wc.total
+
+
+class TestStatsCommand:
+    def test_stats_prints_json_with_timings_and_cache_counts(self, capsys):
+        assert main(["stats", "--reset", "--shapes", "16x24,24x16,20x20"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["counters"]["transpose_inplace.calls"] >= 12
+        assert snap["timers"]["transpose_inplace"]["count"] >= 12
+        assert any(k.startswith("plan.pass.") for k in snap["timers"])
+        assert snap["plan_cache"]["hits"] > 0
+        assert snap["plan_cache"]["misses"] > 0
+
+    def test_stats_without_exercise_is_a_pure_snapshot(self, capsys):
+        before = metrics.registry.snapshot()["counters"].get(
+            "transpose_inplace.calls", 0
+        )
+        assert main(["stats", "--no-exercise"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["counters"].get("transpose_inplace.calls", 0) == before
+
+    def test_stats_writes_output_file(self, tmp_path, capsys):
+        out = tmp_path / "snap.json"
+        assert main(["stats", "--output", str(out)]) == 0
+        snap = json.loads(out.read_text())
+        assert "plan_cache" in snap
+        assert "wrote" in capsys.readouterr().out
+
+    def test_stats_rejects_bad_shapes(self, capsys):
+        assert main(["stats", "--shapes", "banana"]) == 1
+        assert "error" in capsys.readouterr().out

@@ -5,7 +5,6 @@ from __future__ import annotations
 import doctest
 
 import numpy as np
-import pytest
 
 import repro.reporting as reporting
 from repro.reporting import ascii_heatmap, ascii_hist, format_table

@@ -8,7 +8,6 @@ manifests at scale (index overflows, scratch sizing, view aliasing).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.aos import aos_to_soa_flat, soa_to_aos_flat
 from repro.core import (

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core import c2r_transpose
-from repro.validation import ValidationReport, checked, validate_transposer
+from repro.validation import checked, validate_transposer
 
 
 def _good(buf, m, n):
