@@ -1,0 +1,71 @@
+"""Static analysis for the decomposition: prove plans before they run.
+
+The paper's index maps are closed-form modular arithmetic, which makes
+correctness *statically decidable* — this package exploits that three ways:
+
+``repro.analysis.algebra``
+    A symbolic permutation verifier: bijectivity of every pass, exact
+    gather/scatter inversion (Eq. 31/34 against Eq. 24/33), the Eq. 32-33
+    rotation/static-permutation split, whole-plan composition against the
+    transposition permutation, and magic-number division cross-checked
+    against exact ``//``/``%`` over the full reachable operand range.
+
+``repro.analysis.racecheck``
+    A static race detector proving per-chunk write footprints of the
+    parallel schedules are pairwise disjoint and cover the matrix, plus an
+    opt-in shadow-memory sanitizer (``REPRO_SANITIZE=1``) that tracks
+    writes-per-element-per-pass and read-after-clobber hazards during real
+    plan execution.
+
+``repro.analysis.lint``
+    An AST lint pass enforcing repo invariants: strength-reduced hot paths,
+    no implicit-copy reshape/ravel in execution paths, contiguity guards at
+    public entry points, and lock discipline in ``repro.runtime``.
+
+``repro.analysis.driver``
+    ``repro analyze`` — the lattice sweep + lint, emitted as a JSON report
+    and gated in CI.
+
+See ``docs/ANALYSIS.md`` for the guarantees and the suppression syntax.
+"""
+
+from .algebra import (
+    Check,
+    LatticeReport,
+    ShapeReport,
+    composed_source_map,
+    transposition_source_map,
+    verify_lattice,
+    verify_shape,
+)
+from .driver import analyze
+from .lint import LintViolation, run_lint
+from .racecheck import (
+    RaceReport,
+    Sanitizer,
+    SanitizerError,
+    check_partition,
+    check_schedule,
+    sanitizer,
+    schedule_footprints,
+)
+
+__all__ = [
+    "Check",
+    "ShapeReport",
+    "LatticeReport",
+    "transposition_source_map",
+    "composed_source_map",
+    "verify_shape",
+    "verify_lattice",
+    "RaceReport",
+    "check_partition",
+    "check_schedule",
+    "schedule_footprints",
+    "Sanitizer",
+    "SanitizerError",
+    "sanitizer",
+    "LintViolation",
+    "run_lint",
+    "analyze",
+]

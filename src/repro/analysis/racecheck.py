@@ -1,0 +1,411 @@
+"""Static race detection and the opt-in shadow-memory sanitizer.
+
+Two layers, both centred on the same invariant: every parallel pass writes a
+*static partition* of the matrix ("perfect load balancing due to the regular
+structure", Section 1), so write-set disjointness is decidable from
+``(m, n, n_threads)`` alone.
+
+**Static layer** — :func:`check_schedule` reconstructs the exact chunk
+footprints that :class:`~repro.parallel.cpu.ParallelTranspose` hands its
+workers (the same :func:`~repro.parallel.partition.balanced_chunks` schedule
+over the same pass structure) and proves, per pass:
+
+* the chunks tile the iteration range exactly (no gap, no overlap),
+* the per-chunk write rectangles are pairwise disjoint,
+* the rectangles cover the whole matrix, and
+* every chunk's reads stay inside its own rectangle, so no chunk can observe
+  another chunk's in-flight writes.
+
+**Runtime layer** — :class:`Sanitizer` is a shadow memory tracking one pass
+at a time: each recorded write increments a per-element counter, each
+recorded read checks the element has not already been written *this pass*
+(gather passes read pre-pass state by contract — a read of an
+already-written element is a read-after-clobber hazard).  At pass end every
+element must have been written exactly once (for full-coverage passes).
+Violations raise :class:`SanitizerError` carrying pass name, chunk
+provenance and sample indices.  Enable with ``REPRO_SANITIZE=1`` or
+:func:`enable`; the disabled path costs one attribute read at each hook.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.indexing import Decomposition
+from ..core.transpose import choose_algorithm
+from ..parallel.partition import balanced_chunks
+
+__all__ = [
+    "Rect",
+    "ChunkFootprint",
+    "PassFootprints",
+    "RaceReport",
+    "schedule_footprints",
+    "check_partition",
+    "check_schedule",
+    "SanitizerError",
+    "Sanitizer",
+    "sanitizer",
+    "enable",
+    "disable",
+    "is_enabled",
+]
+
+
+# ---------------------------------------------------------------------------
+# Static write-footprint analysis
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Rect:
+    """A half-open rectangle ``[r0, r1) x [c0, c1)`` of matrix elements."""
+
+    r0: int
+    r1: int
+    c0: int
+    c1: int
+
+    @property
+    def area(self) -> int:
+        return max(0, self.r1 - self.r0) * max(0, self.c1 - self.c0)
+
+    def intersects(self, other: "Rect") -> bool:
+        return (
+            self.r0 < other.r1
+            and other.r0 < self.r1
+            and self.c0 < other.c1
+            and other.c0 < self.c1
+        )
+
+    def contains(self, other: "Rect") -> bool:
+        return (
+            self.r0 <= other.r0
+            and other.r1 <= self.r1
+            and self.c0 <= other.c0
+            and other.c1 <= self.c1
+        )
+
+    def as_dict(self) -> dict:
+        return {"rows": [self.r0, self.r1], "cols": [self.c0, self.c1]}
+
+
+@dataclass(frozen=True)
+class ChunkFootprint:
+    """One worker's read and write rectangles within a pass."""
+
+    label: str
+    writes: Rect
+    reads: Rect
+
+
+@dataclass(frozen=True)
+class PassFootprints:
+    """The full static schedule of one parallel pass."""
+
+    name: str
+    #: iteration-space extent handed to ``parallel_for``
+    total: int
+    chunks: tuple[ChunkFootprint, ...]
+
+
+def _chunk_rects(
+    name: str, m: int, n: int, total: int, parts: int, axis: str
+) -> PassFootprints:
+    """Footprints for a pass chunked over ``axis`` (the other axis is full).
+
+    ``axis`` is ``"rows"`` (row shuffle), ``"cols"`` (column shuffles) or
+    ``"colgroups"`` (rotation passes: iteration g covers columns
+    ``[g*b, (g+1)*b)`` where ``b = n // total``).
+    """
+    chunks = []
+    for ch in balanced_chunks(total, parts):
+        if axis == "rows":
+            rect = Rect(ch.start, ch.stop, 0, n)
+        elif axis == "cols":
+            rect = Rect(0, m, ch.start, ch.stop)
+        elif axis == "colgroups":
+            b = n // total
+            rect = Rect(0, m, ch.start * b, ch.stop * b)
+        else:
+            raise ValueError(f"unknown axis {axis!r}")
+        # Every pass is a gather confined to its own rows/columns: reads and
+        # writes share the rectangle.  (The per-element gather indices stay
+        # in range by the bijectivity certificates of analysis.algebra.)
+        chunks.append(ChunkFootprint(f"{axis}[{ch.start}:{ch.stop}]", rect, rect))
+    return PassFootprints(name=name, total=total, chunks=tuple(chunks))
+
+
+def schedule_footprints(
+    m: int, n: int, n_threads: int, algorithm: str = "auto"
+) -> list[PassFootprints]:
+    """The static schedule :class:`ParallelTranspose` would execute.
+
+    ``m``/``n`` are the row-major *view* dimensions the passes run on (the
+    same view ``ParallelTranspose.c2r``/``r2c`` reshape to).
+    """
+    if algorithm == "auto":
+        algorithm = choose_algorithm(m, n)
+    dec = Decomposition.of(m, n)
+    passes = []
+    if algorithm == "c2r":
+        if dec.c > 1:
+            passes.append(_chunk_rects("pre_rotate", m, n, dec.c, n_threads, "colgroups"))
+        passes.append(_chunk_rects("row_shuffle", m, n, dec.m, n_threads, "rows"))
+        passes.append(_chunk_rects("column_shuffle", m, n, dec.n, n_threads, "cols"))
+    elif algorithm == "r2c":
+        passes.append(
+            _chunk_rects("inverse_column_shuffle", m, n, dec.n, n_threads, "cols")
+        )
+        passes.append(_chunk_rects("row_shuffle_r2c", m, n, dec.m, n_threads, "rows"))
+        if dec.c > 1:
+            passes.append(_chunk_rects("post_rotate", m, n, dec.c, n_threads, "colgroups"))
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    return passes
+
+
+def check_partition(total: int, parts: int) -> tuple[bool, str]:
+    """Prove ``balanced_chunks(total, parts)`` tiles ``range(total)`` exactly:
+    contiguous, gap-free, non-empty, sizes differing by at most one."""
+    chunks = balanced_chunks(total, parts)
+    pos = 0
+    sizes = []
+    for ch in chunks:
+        if ch.start != pos:
+            return False, f"gap/overlap at {pos}: chunk starts at {ch.start}"
+        if ch.stop <= ch.start:
+            return False, f"empty or inverted chunk {ch}"
+        sizes.append(ch.stop - ch.start)
+        pos = ch.stop
+    if pos != total:
+        return False, f"chunks end at {pos}, not {total}"
+    if len(chunks) > max(parts, 0):
+        return False, f"{len(chunks)} chunks exceed parts={parts}"
+    if sizes and max(sizes) - min(sizes) > 1:
+        return False, f"imbalanced sizes {min(sizes)}..{max(sizes)}"
+    return True, f"{len(chunks)} chunks tile range({total})"
+
+
+@dataclass
+class RaceReport:
+    """Disjointness/coverage verdict for one ``(m, n, n_threads)`` schedule."""
+
+    m: int
+    n: int
+    n_threads: int
+    algorithm: str
+    passes: int = 0
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def as_dict(self) -> dict:
+        return {
+            "m": self.m,
+            "n": self.n,
+            "n_threads": self.n_threads,
+            "algorithm": self.algorithm,
+            "passes": self.passes,
+            "ok": self.ok,
+            "failures": self.failures,
+        }
+
+
+def check_schedule(
+    m: int, n: int, n_threads: int, algorithm: str = "auto"
+) -> RaceReport:
+    """Prove the parallel schedule for ``(m, n, n_threads)`` is race-free.
+
+    Per pass: chunks tile the iteration range, write rectangles are pairwise
+    disjoint and cover the full matrix, and reads stay within the writing
+    chunk's own rectangle.
+    """
+    if algorithm == "auto":
+        algorithm = choose_algorithm(m, n)
+    report = RaceReport(m=m, n=n, n_threads=n_threads, algorithm=algorithm)
+    for p in schedule_footprints(m, n, n_threads, algorithm):
+        report.passes += 1
+        ok, detail = check_partition(p.total, n_threads)
+        if not ok:
+            report.failures.append(f"{p.name}: partition: {detail}")
+        # Chunks are contiguous along one axis, so sorting is unnecessary:
+        # pairwise disjointness reduces to adjacent-interval checks, and the
+        # explicit rectangle test below keeps the proof independent of that
+        # observation (O(parts^2) with parts <= n_threads).
+        for x in range(len(p.chunks)):
+            for y in range(x + 1, len(p.chunks)):
+                if p.chunks[x].writes.intersects(p.chunks[y].writes):
+                    report.failures.append(
+                        f"{p.name}: write overlap between {p.chunks[x].label} "
+                        f"and {p.chunks[y].label}"
+                    )
+        covered = sum(ch.writes.area for ch in p.chunks)
+        full = Rect(0, m, 0, n)
+        if covered != m * n or not all(full.contains(ch.writes) for ch in p.chunks):
+            report.failures.append(
+                f"{p.name}: writes cover {covered} of {m * n} elements"
+            )
+        for ch in p.chunks:
+            if not ch.writes.contains(ch.reads):
+                report.failures.append(
+                    f"{p.name}: {ch.label} reads outside its write rectangle"
+                )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Shadow-memory sanitizer
+# ---------------------------------------------------------------------------
+
+class SanitizerError(RuntimeError):
+    """A shadow-memory invariant violation, with pass/index provenance."""
+
+    def __init__(self, kind: str, pass_name: str, where: str, indices: np.ndarray):
+        self.kind = kind
+        self.pass_name = pass_name
+        self.where = where
+        self.indices = np.asarray(indices)[:8]
+        sample = ", ".join(str(int(v)) for v in self.indices)
+        super().__init__(
+            f"{kind} in pass {pass_name!r}"
+            + (f" ({where})" if where else "")
+            + f": flat indices [{sample}]"
+            + ("..." if np.asarray(indices).size > 8 else "")
+        )
+
+
+class _PassShadow:
+    """Per-pass write counters over a flat buffer of ``size`` elements."""
+
+    __slots__ = ("name", "size", "full_coverage", "writes")
+
+    def __init__(self, name: str, size: int, full_coverage: bool):
+        self.name = name
+        self.size = size
+        self.full_coverage = full_coverage
+        self.writes = np.zeros(size, dtype=np.int64)
+
+
+class Sanitizer:
+    """Tracks one executing pass at a time across all worker threads.
+
+    Hooks in the plan executor and the parallel transposer call
+    :meth:`record` with the flat indices each chunk is about to read and
+    write (reads recorded before the chunk's own writes, mirroring gather
+    semantics).  Violations raise immediately in the offending thread so the
+    executor's barrier propagates them to the caller.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        # Serializes whole passes: concurrent plan executions from separate
+        # user threads take turns, TSAN-style, instead of sharing one shadow.
+        # Reentrant so a same-thread nested scope fails loudly, not deadlocks.
+        self._exec_lock = threading.RLock()
+        self._shadow: _PassShadow | None = None
+        self.passes_checked = 0
+        self.elements_checked = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    @contextmanager
+    def pass_scope(self, name: str, size: int, *, full_coverage: bool = True):
+        """Scope one pass: zero the shadow, collect records, check coverage.
+
+        ``full_coverage=False`` relaxes the exactly-once check to at-most-once
+        (rotation passes legitimately skip zero-shift column groups).  Worker
+        threads record into the scope; whole passes from *different* user
+        threads serialize on an execution lock.
+        """
+        self._exec_lock.acquire()
+        if self._shadow is not None:
+            held = self._shadow.name
+            self._exec_lock.release()
+            raise SanitizerError(
+                "nested pass", name, f"inside {held!r}", np.empty(0, dtype=np.int64)
+            )
+        with self._lock:
+            self._shadow = _PassShadow(name, size, full_coverage)
+        try:
+            yield self
+            shadow = self._shadow
+            if shadow is not None and shadow.full_coverage:
+                missed = np.flatnonzero(shadow.writes == 0)
+                if missed.size:
+                    raise SanitizerError("missed write", name, "pass end", missed)
+        finally:
+            with self._lock:
+                self._shadow = None
+            self._exec_lock.release()
+        self.passes_checked += 1
+        self.elements_checked += size
+
+    def record(
+        self,
+        *,
+        reads: np.ndarray | None = None,
+        writes: np.ndarray | None = None,
+        where: str = "",
+    ) -> None:
+        """Record one chunk's accesses, in execution order (reads first)."""
+        with self._lock:
+            shadow = self._shadow
+            if shadow is None:
+                return  # hooks outside a pass scope are inert
+            if reads is not None:
+                r = np.asarray(reads, dtype=np.int64).ravel()
+                if r.size and (r.min() < 0 or r.max() >= shadow.size):
+                    oob = r[(r < 0) | (r >= shadow.size)]
+                    raise SanitizerError("out-of-bounds read", shadow.name, where, oob)
+                clobbered = r[shadow.writes[r] != 0]
+                if clobbered.size:
+                    raise SanitizerError(
+                        "read-after-clobber", shadow.name, where, clobbered
+                    )
+            if writes is not None:
+                w = np.asarray(writes, dtype=np.int64).ravel()
+                if w.size and (w.min() < 0 or w.max() >= shadow.size):
+                    oob = w[(w < 0) | (w >= shadow.size)]
+                    raise SanitizerError("out-of-bounds write", shadow.name, where, oob)
+                shadow.writes += np.bincount(w, minlength=shadow.size)
+                doubled = np.flatnonzero(shadow.writes > 1)
+                if doubled.size:
+                    raise SanitizerError("double write", shadow.name, where, doubled)
+
+    def stats(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "passes_checked": self.passes_checked,
+            "elements_checked": self.elements_checked,
+        }
+
+
+#: The process-wide sanitizer consulted by the execution hooks.
+#: ``REPRO_SANITIZE=1`` in the environment starts it enabled.
+sanitizer = Sanitizer(enabled=os.environ.get("REPRO_SANITIZE", "0") not in ("0", ""))
+
+
+def enable() -> None:
+    sanitizer.enable()
+
+
+def disable() -> None:
+    sanitizer.disable()
+
+
+def is_enabled() -> bool:
+    return sanitizer.enabled

@@ -21,6 +21,11 @@ Commands
     Print a JSON snapshot of the instrumented runtime (per-pass timings,
     bytes moved, plan-cache hit/miss/eviction counts), optionally after
     exercising a small repeated-shape workload.
+``analyze``
+    Prove the permutation algebra over a shape lattice (bijectivity,
+    inversion, composition, fast division), the race-freedom of the
+    parallel schedules, and the repo lint invariants; emit a JSON report
+    and exit non-zero on any failure.
 """
 
 from __future__ import annotations
@@ -247,6 +252,65 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis import analyze
+    from .analysis.driver import DEFAULT_THREAD_COUNTS
+
+    threads = DEFAULT_THREAD_COUNTS
+    if args.threads:
+        try:
+            threads = tuple(int(t) for t in args.threads.split(","))
+        except ValueError:
+            print(f"error: bad thread list {args.threads!r}; expected e.g. 1,2,4")
+            return 1
+        if not threads or any(t < 1 for t in threads):
+            print("error: thread counts must be positive")
+            return 1
+
+    progress = None
+    if args.progress:
+        def progress(done: int, total: int) -> None:
+            print(f"  lattice: {done}/{total} shapes", file=sys.stderr)
+
+    report = analyze(
+        args.m_max,
+        args.n_max,
+        thread_counts=threads,
+        run_lint=not args.no_lint,
+        fastdiv=not args.no_fastdiv,
+        plan_objects=args.plan_objects,
+        progress=progress,
+    )
+    text = json.dumps(report, indent=args.indent, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    lattice = report["lattice"]
+    races = report["racecheck"]
+    print(
+        f"algebra: {lattice['shapes']} shapes, {lattice['checks']} checks, "
+        f"{len(lattice['failures'])} failed shape(s) ({lattice['seconds']:.1f}s)"
+    )
+    print(
+        f"racecheck: {races['schedules']} schedules over threads "
+        f"{races['thread_counts']}, {len(races['failures'])} failed "
+        f"({races['seconds']:.1f}s)"
+    )
+    if "lint" in report:
+        nv = len(report["lint"]["violations"])
+        print(f"lint: {nv} violation(s)")
+        for v in report["lint"]["violations"]:
+            print(f"  {v['path']}:{v['line']}: {v['rule']} {v['message']}")
+    if args.output:
+        print(f"wrote {args.output}")
+    elif not report["ok"] or args.verbose:
+        print(text)
+    print("ok" if report["ok"] else "FAILED")
+    return 0 if report["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -339,6 +403,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--indent", type=int, default=2)
     p.add_argument("--output", help="write the snapshot to a file instead of stdout")
     p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser(
+        "analyze",
+        help="prove plan bijectivity, schedule race-freedom and lint invariants",
+    )
+    p.add_argument("--m-max", type=int, default=64, help="lattice rows bound")
+    p.add_argument("--n-max", type=int, default=64, help="lattice cols bound")
+    p.add_argument(
+        "--threads",
+        default="",
+        help="comma-separated thread counts for the race sweep (default 1,2,4,8)",
+    )
+    p.add_argument(
+        "--no-lint", action="store_true", help="skip the AST lint pass"
+    )
+    p.add_argument(
+        "--no-fastdiv",
+        action="store_true",
+        help="skip the magic-number division cross-check",
+    )
+    p.add_argument(
+        "--plan-objects",
+        action="store_true",
+        help="also execute a real TransposePlan per shape (slower)",
+    )
+    p.add_argument(
+        "--progress", action="store_true", help="print lattice progress to stderr"
+    )
+    p.add_argument("--verbose", action="store_true", help="print the full JSON report")
+    p.add_argument("--indent", type=int, default=2)
+    p.add_argument("--output", help="write the JSON report to a file")
+    p.set_defaults(fn=_cmd_analyze)
 
     return parser
 

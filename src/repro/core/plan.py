@@ -24,6 +24,7 @@ from .transpose import choose_algorithm
 __all__ = ["TransposePlan"]
 
 _metrics = None
+_racecheck = None
 
 
 def _runtime_metrics():
@@ -34,6 +35,16 @@ def _runtime_metrics():
 
         _metrics = metrics
     return _metrics
+
+
+def _sanitizer():
+    """Lazily bind the shadow-memory sanitizer (repro.analysis.racecheck)."""
+    global _racecheck
+    if _racecheck is None:
+        from ..analysis import racecheck
+
+        _racecheck = racecheck
+    return _racecheck.sanitizer
 
 
 class TransposePlan:
@@ -103,7 +114,7 @@ class TransposePlan:
         """Per-group ``np.roll`` shifts for the (inverse) pre-rotation."""
         out = []
         for g in range(dec.c):
-            k = g % dec.m
+            k = g % dec.m  # repro-lint: allow(raw-divmod) O(c) plan construction, not per-element
             if k == 0:
                 continue
             shift = k if inverse else -k
@@ -134,6 +145,36 @@ class TransposePlan:
         elif kind == "permute_rows":
             V[:] = V[payload, :]
 
+    @staticmethod
+    def _apply_step_sanitized(V: np.ndarray, kind: str, payload, san) -> None:
+        """One step under the shadow-memory sanitizer: report the flat read
+        and write footprints (reads logically precede writes in a gather)
+        before mutating, so clobbers/double-writes carry pass provenance."""
+        m, n = V.shape
+        rows = np.arange(m, dtype=np.int64)[:, None]
+        cols = np.arange(n, dtype=np.int64)[None, :]
+        if kind == "rotate_groups":
+            # Zero-shift groups are skipped by construction, so the pass
+            # covers at most (not exactly) the whole matrix.
+            with san.pass_scope(f"plan.{kind}", m * n, full_coverage=False):
+                for csl, shift in payload:
+                    flat = (rows * n + np.arange(csl.start, csl.stop)).ravel()  # repro-lint: allow(implicit-copy) flat index array, not a matrix view
+                    san.record(
+                        reads=flat, writes=flat,
+                        where=f"cols[{csl.start}:{csl.stop}]",
+                    )
+                    V[:, csl] = np.roll(V[:, csl], shift, axis=0)
+            return
+        if kind == "gather_cols":
+            reads = rows * n + payload.astype(np.int64)
+        elif kind == "gather_rows":
+            reads = payload.astype(np.int64) * n + cols
+        else:  # permute_rows
+            reads = payload.astype(np.int64)[:, None] * n + cols
+        with san.pass_scope(f"plan.{kind}", m * n):
+            san.record(reads=reads, writes=rows * n + cols, where="full matrix")
+            TransposePlan._apply_step(V, kind, payload)
+
     def execute(self, buf: np.ndarray) -> np.ndarray:
         """Transpose ``buf`` in place using the precomputed maps.
 
@@ -151,7 +192,11 @@ class TransposePlan:
         dec = self.dec
         V = buf.reshape(dec.m, dec.n)
         rt = _runtime_metrics()
-        if rt.registry.enabled:
+        san = _sanitizer()
+        if san.enabled:
+            for kind, payload in self._steps:
+                self._apply_step_sanitized(V, kind, payload, san)
+        elif rt.registry.enabled:
             for kind, payload in self._steps:
                 t0 = perf_counter()
                 self._apply_step(V, kind, payload)

@@ -25,6 +25,7 @@ from .executor import ParallelExecutor
 __all__ = ["ParallelTranspose", "parallel_transpose_inplace"]
 
 _metrics = None
+_racecheck = None
 
 
 def _runtime_metrics():
@@ -35,6 +36,16 @@ def _runtime_metrics():
 
         _metrics = metrics
     return _metrics
+
+
+def _sanitizer():
+    """Lazily bind the shadow-memory sanitizer (repro.analysis.racecheck)."""
+    global _racecheck
+    if _racecheck is None:
+        from ..analysis import racecheck
+
+        _racecheck = racecheck
+    return _racecheck.sanitizer
 
 
 class ParallelTranspose:
@@ -66,93 +77,129 @@ class ParallelTranspose:
 
     # -- passes ----------------------------------------------------------------
 
-    def _pre_rotate(self, V: np.ndarray, dec: Decomposition) -> None:
-        """Columns rotate by j // b; parallel over the c groups of b columns
-        (each group shares one rotation amount, Lemma 1)."""
+    def _run_pass(
+        self, name: str, dec: Decomposition, total: int, body, *,
+        full_coverage: bool = True,
+    ) -> None:
+        """Run one chunked pass, inside a shadow-memory scope when the
+        sanitizer is enabled (the disabled path costs one attribute read)."""
+        san = _sanitizer()
+        if san.enabled:
+            with san.pass_scope(
+                f"parallel.{name}", dec.m * dec.n, full_coverage=full_coverage
+            ):
+                self.executor.parallel_for(total, body)
+        else:
+            self.executor.parallel_for(total, body)
+
+    def _rotate_pass(
+        self, name: str, V: np.ndarray, dec: Decomposition, sign: int
+    ) -> None:
+        """Columns rotate by ``sign * (j // b)``; parallel over the c groups
+        of b columns (each group shares one rotation amount, Lemma 1)."""
         m = dec.m
+        san = _sanitizer()
 
         def body(groups: slice) -> None:
             for g in range(groups.start, groups.stop):
-                k = g % m
+                k = g % m  # repro-lint: allow(raw-divmod) O(c) per-group setup, not per-element
                 if k == 0:
                     continue
                 cols = slice(g * dec.b, (g + 1) * dec.b)
-                V[:, cols] = np.roll(V[:, cols], -k, axis=0)
+                if san.enabled:
+                    flat = (
+                        np.arange(m, dtype=np.int64)[:, None] * dec.n
+                        + np.arange(cols.start, cols.stop, dtype=np.int64)
+                    ).ravel()  # repro-lint: allow(implicit-copy) flat index array, not a matrix view
+                    san.record(reads=flat, writes=flat, where=f"group[{g}]")
+                V[:, cols] = np.roll(V[:, cols], sign * k, axis=0)
 
-        self.executor.parallel_for(dec.c, body)
+        # Zero-shift groups are skipped, so coverage is at-most-once.
+        self._run_pass(name, dec, dec.c, body, full_coverage=False)
+
+    def _pre_rotate(self, V: np.ndarray, dec: Decomposition) -> None:
+        self._rotate_pass("pre_rotate", V, dec, -1)
+
+    def _gathered_row_pass(
+        self, name: str, V: np.ndarray, dec: Decomposition, index_map
+    ) -> None:
+        """Rows gather along axis 1 with ``index_map(i, cols)``; parallel
+        over row chunks."""
+        cols = np.arange(dec.n, dtype=np.int64)[None, :]
+        san = _sanitizer()
+
+        def body(rows: slice) -> None:
+            i = np.arange(rows.start, rows.stop, dtype=np.int64)[:, None]
+            idx = index_map(i, cols)
+            if san.enabled:
+                san.record(
+                    reads=i * dec.n + idx,
+                    writes=i * dec.n + cols,
+                    where=f"rows[{rows.start}:{rows.stop}]",
+                )
+            V[rows] = np.take_along_axis(V[rows], idx, axis=1)
+
+        self._run_pass(name, dec, dec.m, body)
+
+    def _gathered_column_pass(
+        self, name: str, V: np.ndarray, dec: Decomposition, index_map
+    ) -> None:
+        """Columns gather along axis 0 with ``index_map(rows, j)``; parallel
+        over column chunks."""
+        rows = np.arange(dec.m, dtype=np.int64)[:, None]
+        san = _sanitizer()
+
+        def body(cols: slice) -> None:
+            j = np.arange(cols.start, cols.stop, dtype=np.int64)[None, :]
+            idx = index_map(rows, j)
+            if san.enabled:
+                san.record(
+                    reads=idx * dec.n + j,
+                    writes=rows * dec.n + j,
+                    where=f"cols[{cols.start}:{cols.stop}]",
+                )
+            V[:, cols] = np.take_along_axis(V[:, cols], idx, axis=0)
+
+        self._run_pass(name, dec, dec.n, body)
 
     def _row_shuffle(
         self, V: np.ndarray, dec: Decomposition, red: ReducedEquations | None
     ) -> None:
-        """Rows gather with d'^{-1}; parallel over row chunks."""
-        cols = np.arange(dec.n, dtype=np.int64)[None, :]
-
-        def body(rows: slice) -> None:
-            i = np.arange(rows.start, rows.stop, dtype=np.int64)[:, None]
-            idx = (
-                red.dprime_inverse(i, cols)
-                if red is not None
-                else eq.dprime_inverse_v(dec, i, cols)
-            )
-            V[rows] = np.take_along_axis(V[rows], idx, axis=1)
-
-        self.executor.parallel_for(dec.m, body)
+        """Rows gather with d'^{-1} (Eq. 31); parallel over row chunks."""
+        index_map = (
+            red.dprime_inverse
+            if red is not None
+            else lambda i, j: eq.dprime_inverse_v(dec, i, j)
+        )
+        self._gathered_row_pass("row_shuffle", V, dec, index_map)
 
     def _column_shuffle(
         self, V: np.ndarray, dec: Decomposition, red: ReducedEquations | None
     ) -> None:
-        """Columns gather with s'; parallel over column chunks."""
-        rows = np.arange(dec.m, dtype=np.int64)[:, None]
-
-        def body(cols: slice) -> None:
-            j = np.arange(cols.start, cols.stop, dtype=np.int64)[None, :]
-            idx = (
-                red.sprime(rows, j)
-                if red is not None
-                else eq.sprime_v(dec, rows, j)
-            )
-            V[:, cols] = np.take_along_axis(V[:, cols], idx, axis=0)
-
-        self.executor.parallel_for(dec.n, body)
+        """Columns gather with s' (Eq. 26); parallel over column chunks."""
+        index_map = (
+            red.sprime if red is not None else lambda i, j: eq.sprime_v(dec, i, j)
+        )
+        self._gathered_column_pass("column_shuffle", V, dec, index_map)
 
     def _inverse_column_shuffle(
         self, V: np.ndarray, dec: Decomposition
     ) -> None:
-        rows = np.arange(dec.m, dtype=np.int64)[:, None]
-
-        def body(cols: slice) -> None:
-            j = np.arange(cols.start, cols.stop, dtype=np.int64)[None, :]
-            idx = eq.sprime_inverse_v(dec, rows, j)
-            V[:, cols] = np.take_along_axis(V[:, cols], idx, axis=0)
-
-        self.executor.parallel_for(dec.n, body)
+        self._gathered_column_pass(
+            "inverse_column_shuffle", V, dec,
+            lambda i, j: eq.sprime_inverse_v(dec, i, j),
+        )
 
     def _row_shuffle_r2c(
         self, V: np.ndarray, dec: Decomposition, red: ReducedEquations | None
     ) -> None:
-        cols = np.arange(dec.n, dtype=np.int64)[None, :]
-
-        def body(rows: slice) -> None:
-            i = np.arange(rows.start, rows.stop, dtype=np.int64)[:, None]
-            idx = (
-                red.dprime(i, cols) if red is not None else eq.dprime_v(dec, i, cols)
-            )
-            V[rows] = np.take_along_axis(V[rows], idx, axis=1)
-
-        self.executor.parallel_for(dec.m, body)
+        index_map = (
+            red.dprime if red is not None else lambda i, j: eq.dprime_v(dec, i, j)
+        )
+        self._gathered_row_pass("row_shuffle_r2c", V, dec, index_map)
 
     def _post_rotate(self, V: np.ndarray, dec: Decomposition) -> None:
-        m = dec.m
-
-        def body(groups: slice) -> None:
-            for g in range(groups.start, groups.stop):
-                k = g % m
-                if k == 0:
-                    continue
-                cols = slice(g * dec.b, (g + 1) * dec.b)
-                V[:, cols] = np.roll(V[:, cols], k, axis=0)
-
-        self.executor.parallel_for(dec.c, body)
+        self._rotate_pass("post_rotate", V, dec, 1)
 
     # -- entry points ------------------------------------------------------------
 

@@ -124,11 +124,17 @@ class MetricsRegistry:
 
     def inc(self, name: str, value: int = 1) -> None:
         """Add ``value`` to counter ``name`` (created at zero on first use)."""
+        if not self.enabled:
+            # Lock-free fast path: callers that skip the ``registry.enabled``
+            # guard still must not contend on the lock (or mutate state).
+            return
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + int(value)
 
     def observe(self, name: str, seconds: float) -> None:
         """Record one duration observation under timer ``name``."""
+        if not self.enabled:
+            return
         with self._lock:
             stat = self._timers.get(name)
             if stat is None:
@@ -148,6 +154,8 @@ class MetricsRegistry:
         :class:`repro.core.steps.WorkCounter`: reads and writes against the
         main array both count, scratch traffic does not.
         """
+        if not self.enabled:
+            return
         with self._lock:
             stat = self._timers.get(name)
             if stat is None:

@@ -1,0 +1,63 @@
+"""The ``repro analyze`` driver and CLI subcommand."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.driver import analyze
+from repro.cli import main
+
+
+class TestAnalyzeDriver:
+    def test_report_structure_and_ok(self):
+        report = analyze(8, 8, thread_counts=(1, 3))
+        assert report["ok"] is True
+        assert report["lattice"]["shapes"] == 64
+        assert report["lattice"]["ok"] is True
+        # 64 shapes x 2 thread counts x 2 algorithms
+        assert report["racecheck"]["schedules"] == 256
+        assert report["racecheck"]["ok"] is True
+        assert report["lint"]["ok"] is True
+        assert "sanitizer" in report
+        assert report["seconds"] > 0
+
+    def test_report_is_json_serializable(self):
+        report = analyze(4, 4, thread_counts=(2,), run_lint=False)
+        parsed = json.loads(json.dumps(report))
+        assert parsed["ok"] is True
+        assert "lint" not in parsed
+
+    def test_lint_failure_flips_ok(self, tmp_path):
+        bad = tmp_path / "parallel"
+        bad.mkdir()
+        (bad / "cpu.py").write_text("x = a % b\n", encoding="utf-8")
+        report = analyze(2, 2, thread_counts=(1,), lint_root=tmp_path)
+        assert report["lint"]["ok"] is False
+        assert report["ok"] is False
+
+
+class TestAnalyzeCommand:
+    def test_cli_writes_report_and_exits_zero(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = main(
+            ["analyze", "--m-max", "6", "--n-max", "6", "--threads", "1,2",
+             "--output", str(out)]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["ok"] is True
+        assert report["lattice"]["shapes"] == 36
+        text = capsys.readouterr().out
+        assert "ok" in text and "wrote" in text
+
+    def test_cli_no_lint_flag(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert main(
+            ["analyze", "--m-max", "3", "--n-max", "3", "--threads", "1",
+             "--no-lint", "--output", str(out)]
+        ) == 0
+        assert "lint" not in json.loads(out.read_text())
+
+    def test_cli_rejects_bad_thread_list(self, capsys):
+        assert main(["analyze", "--threads", "two"]) == 1
+        assert "error" in capsys.readouterr().out

@@ -1,0 +1,207 @@
+"""AST lint: each rule fires on a minimal offending fixture, respects
+suppressions, and the real tree is clean."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.lint import (
+    check_source,
+    run_lint,
+)
+
+
+def lint(source: str, rel: str, rule: str | None = None):
+    """Lint a fixture; with ``rule``, keep only that rule's findings (the
+    configured hot/exec modules also produce entry-guard 'not found'
+    violations for fixtures that naturally lack the real entry points)."""
+    vs = check_source(textwrap.dedent(source), rel)
+    if rule is not None:
+        vs = [v for v in vs if v.rule == rule]
+    return vs
+
+
+class TestRawDivmod:
+    def test_fires_in_hot_module(self):
+        vs = lint("x = a % b\n", "parallel/cpu.py", rule="raw-divmod")
+        assert len(vs) == 1
+        vs = lint("x = a // b\n", "core/plan.py", rule="raw-divmod")
+        assert len(vs) == 1
+
+    def test_augmented_forms_fire(self):
+        vs = lint("a %= b\n", "strength/reduced.py", rule="raw-divmod")
+        assert len(vs) == 1
+
+    def test_silent_outside_hot_modules(self):
+        assert lint("x = a % b\n", "core/equations.py") == []
+
+    def test_line_suppression(self):
+        vs = lint(
+            "x = a % b  # repro-lint: allow(raw-divmod) setup-time only\n",
+            "parallel/cpu.py",
+            rule="raw-divmod",
+        )
+        assert vs == []
+
+    def test_def_line_suppression_covers_the_body(self):
+        vs = lint(
+            """\
+            def f(a, b):  # repro-lint: allow(raw-divmod) reference impl
+                return a % b
+            """,
+            "parallel/cpu.py",
+            rule="raw-divmod",
+        )
+        assert vs == []
+
+    def test_suppression_on_any_line_of_multiline_expression(self):
+        vs = lint(
+            """\
+            x = (
+                a % b  # repro-lint: allow(raw-divmod) because reasons
+            )
+            """,
+            "parallel/cpu.py",
+            rule="raw-divmod",
+        )
+        assert vs == []
+
+
+class TestImplicitCopy:
+    def test_ravel_fires_in_exec_module(self):
+        vs = lint("y = V.ravel()\n", "core/plan.py", rule="implicit-copy")
+        assert len(vs) == 1
+
+    def test_reshape_without_guard_fires(self):
+        vs = lint(
+            """\
+            def execute(buf):
+                return buf.reshape(4, 6)
+            """,
+            "core/batched.py",
+            rule="implicit-copy",
+        )
+        assert len(vs) == 1
+
+    def test_reshape_with_contiguity_guard_passes(self):
+        vs = lint(
+            """\
+            def execute(buf):
+                if not buf.flags["C_CONTIGUOUS"]:
+                    raise ValueError("need contiguous")
+                return buf.reshape(4, 6)
+            """,
+            "core/batched.py",
+            rule="implicit-copy",
+        )
+        assert vs == []
+
+    def test_silent_outside_exec_modules(self):
+        assert lint("y = V.ravel()\n", "gpusim/cost.py") == []
+
+
+class TestEntryGuard:
+    def test_missing_guard_in_configured_entry_point_fires(self):
+        vs = lint(
+            """\
+            def transpose_inplace(buf, m, n):
+                return buf
+            """,
+            "core/transpose.py",
+        )
+        assert any(
+            v.rule == "entry-guard" and "transpose_inplace" in v.message for v in vs
+        )
+
+    def test_guarded_entry_points_pass(self):
+        vs = lint(
+            """\
+            def transpose_inplace(buf, m, n):
+                if not buf.flags["C_CONTIGUOUS"]:
+                    raise ValueError("no")
+                return buf
+
+
+            def transpose(A):
+                if not A.flags["C_CONTIGUOUS"]:
+                    raise ValueError("no")
+                return A
+            """,
+            "core/transpose.py",
+            rule="entry-guard",
+        )
+        assert vs == []
+
+
+class TestLockDiscipline:
+    def test_unlocked_mutation_fires_in_runtime_module(self):
+        vs = lint(
+            """\
+            import threading
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._counters = {}
+
+                def inc(self, name):
+                    self._counters[name] = 1
+            """,
+            "runtime/metrics.py",
+        )
+        assert any(v.rule == "lock-discipline" for v in vs)
+
+    def test_locked_mutation_passes(self):
+        vs = lint(
+            """\
+            import threading
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._counters = {}
+
+                def inc(self, name):
+                    with self._lock:
+                        self._counters[name] = 1
+            """,
+            "runtime/metrics.py",
+        )
+        assert [v for v in vs if v.rule == "lock-discipline"] == []
+
+    def test_init_is_exempt(self):
+        vs = lint(
+            """\
+            import threading
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._state = 0
+            """,
+            "runtime/metrics.py",
+        )
+        assert [v for v in vs if v.rule == "lock-discipline"] == []
+
+    def test_lockless_classes_are_exempt(self):
+        vs = lint(
+            """\
+            class Plain:
+                def __init__(self):
+                    self.x = 0
+
+                def bump(self):
+                    self.x = 1
+            """,
+            "runtime/metrics.py",
+        )
+        assert [v for v in vs if v.rule == "lock-discipline"] == []
+
+
+class TestRealTree:
+    def test_repro_package_is_lint_clean(self):
+        assert run_lint() == []
+
+    def test_unparseable_module_reports_instead_of_crashing(self):
+        vs = lint("def broken(:\n", "core/plan.py")
+        assert len(vs) == 1 and "unparseable" in vs[0].message

@@ -1,0 +1,65 @@
+"""Edge-case and property tests for the static partitioner.
+
+The race-freedom proof in ``repro.analysis.racecheck`` leans on
+``balanced_chunks`` tiling ``range(total)`` exactly — these tests pin that
+contract down directly, including the degenerate inputs the parallel passes
+can produce (empty matrices, more workers than rows).
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parallel.partition import balanced_chunks
+
+
+class TestEdgeCases:
+    def test_zero_total_returns_no_chunks(self):
+        assert balanced_chunks(0, 1) == []
+        assert balanced_chunks(0, 8) == []
+
+    def test_more_parts_than_total_caps_at_total(self):
+        chunks = balanced_chunks(3, 8)
+        assert len(chunks) == 3
+        assert [(c.start, c.stop) for c in chunks] == [(0, 1), (1, 2), (2, 3)]
+
+    def test_single_part_covers_everything(self):
+        assert balanced_chunks(10, 1) == [slice(0, 10)]
+
+    def test_exact_division(self):
+        chunks = balanced_chunks(12, 4)
+        assert [(c.stop - c.start) for c in chunks] == [3, 3, 3, 3]
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError):
+            balanced_chunks(-1, 2)
+
+    def test_non_positive_parts_rejected(self):
+        with pytest.raises(ValueError):
+            balanced_chunks(10, 0)
+        with pytest.raises(ValueError):
+            balanced_chunks(10, -3)
+
+
+@given(total=st.integers(0, 10_000), parts=st.integers(1, 64))
+def test_chunks_tile_range_exactly(total, parts):
+    """Chunks are contiguous, non-empty, balanced, and tile range(total)."""
+    chunks = balanced_chunks(total, parts)
+    assert len(chunks) <= parts
+    prev_stop = 0
+    sizes = []
+    for c in chunks:
+        assert c.start == prev_stop, "chunks must be contiguous"
+        assert c.stop > c.start, "empty chunks must never be returned"
+        sizes.append(c.stop - c.start)
+        prev_stop = c.stop
+    assert prev_stop == total, "chunks must cover range(total) exactly"
+    if sizes:
+        assert max(sizes) - min(sizes) <= 1, "sizes may differ by at most one"
+
+
+@given(total=st.integers(1, 10_000), parts=st.integers(1, 64))
+def test_every_index_in_exactly_one_chunk(total, parts):
+    chunks = balanced_chunks(total, parts)
+    seen = sorted(i for c in chunks for i in range(c.start, c.stop))
+    assert seen == list(range(total))

@@ -86,6 +86,37 @@ class TestRegistry:
         assert snap["counters"] == {} and snap["timers"] == {}
         assert reg.enabled is False
 
+    def test_disabled_registry_takes_no_lock_and_mutates_nothing(self):
+        """The ``REPRO_METRICS=0`` fast path must return before touching the
+        lock or the maps, so unguarded callers pay one branch, no contention."""
+
+        class CountingLock:
+            def __init__(self):
+                self.acquisitions = 0
+                self._inner = threading.Lock()
+
+            def __enter__(self):
+                self.acquisitions += 1
+                return self._inner.__enter__()
+
+            def __exit__(self, *exc):
+                return self._inner.__exit__(*exc)
+
+        reg = MetricsRegistry(enabled=False)
+        lock = CountingLock()
+        reg._lock = lock
+        reg.inc("x", 5)
+        reg.observe("t", 0.001)
+        reg.record_call("op", 0.01, nbytes=64, elements=8)
+        assert lock.acquisitions == 0
+        assert reg._counters == {}
+        assert reg._timers == {}
+        # Re-enabling restores the locked slow path.
+        reg.enabled = True
+        reg.inc("x")
+        assert lock.acquisitions == 1
+        assert reg._counters == {"x": 1}
+
     def test_thread_safety_of_observations(self):
         reg = MetricsRegistry()
 

@@ -3,12 +3,30 @@ to share across threads; executors are reusable."""
 
 from __future__ import annotations
 
+import os
 import threading
 
 import numpy as np
+import pytest
 
 from repro.core import BatchedTransposePlan, TransposePlan
 from repro.parallel import ParallelExecutor, ParallelTranspose
+
+
+@pytest.fixture(autouse=True)
+def _shadow_memory_sanitizer():
+    """With ``REPRO_SANITIZE=1`` the concurrency suite runs under the
+    shadow-memory sanitizer; concurrent plan executions serialize on the
+    sanitizer's execution lock (TSAN-style), so thread-safety of the plan
+    objects is still exercised while each pass gets exact write accounting."""
+    if os.environ.get("REPRO_SANITIZE", "0") in ("0", ""):
+        yield
+        return
+    from repro.analysis import racecheck
+
+    racecheck.enable()
+    yield
+    racecheck.disable()
 
 
 class TestPlanThreadSafety:

@@ -7,7 +7,10 @@ manifests at scale (index overflows, scratch sizing, view aliasing).
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
+import pytest
 
 from repro.aos import aos_to_soa_flat, soa_to_aos_flat
 from repro.core import (
@@ -18,6 +21,23 @@ from repro.core import (
 from repro.core.tensor import swap_first_axes_inplace
 from repro.parallel import parallel_transpose_inplace
 from repro.simd.cpu import deinterleave
+
+
+@pytest.fixture(autouse=True)
+def _shadow_memory_sanitizer():
+    """With ``REPRO_SANITIZE=1`` the whole stress suite runs under the
+    shadow-memory sanitizer: every plan/parallel pass is checked for
+    double writes, read-after-clobber and missed coverage (CI runs both
+    configurations; locally the flag is opt-in because it adds a full
+    bookkeeping pass per real pass)."""
+    if os.environ.get("REPRO_SANITIZE", "0") in ("0", ""):
+        yield
+        return
+    from repro.analysis import racecheck
+
+    racecheck.enable()
+    yield
+    racecheck.disable()
 
 
 class TestScale:

@@ -1,0 +1,140 @@
+"""Gate mypy on *new* errors against a committed baseline.
+
+The repo predates its type annotations, so a plain ``mypy --strict`` run
+would drown real regressions in legacy noise.  Instead CI runs mypy with
+the lenient config in ``pyproject.toml`` and diffs the normalized error
+set against ``tools/mypy_baseline.txt``:
+
+* errors present in the baseline are tolerated (legacy debt),
+* errors **not** in the baseline fail the job (new debt),
+* baseline entries that no longer fire are reported so the baseline can
+  be shrunk (run with ``--update`` to rewrite it).
+
+Errors are normalized by stripping line/column numbers, so moving code
+around does not churn the baseline — only genuinely new error messages do.
+
+The committed baseline starts as the ``<bootstrap>`` sentinel: in that
+mode the script records what mypy reports and always exits 0, so the gate
+arms itself on the first CI run that commits a real baseline
+(``python tools/check_mypy_baseline.py --update``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+BASELINE = REPO / "tools" / "mypy_baseline.txt"
+BOOTSTRAP_SENTINEL = "<bootstrap>"
+
+#: ``path:line: error: message  [code]`` -> ``path: error: message  [code]``
+_LOCATION_RE = re.compile(r"^(?P<path>[^:]+):\d+(?::\d+)?: (?P<rest>.*)$")
+
+MYPY_TARGETS = ["src/repro/core", "src/repro/analysis"]
+
+
+def normalize(line: str) -> str | None:
+    """One mypy output line -> location-free key, or None for non-errors."""
+    line = line.strip()
+    if not line or ": error:" not in line:
+        return None
+    match = _LOCATION_RE.match(line)
+    if match is None:
+        return line
+    return f"{match.group('path')}: {match.group('rest')}"
+
+
+def run_mypy() -> tuple[list[str], str]:
+    """Run mypy over the gated targets; returns (normalized errors, raw)."""
+    cmd = [sys.executable, "-m", "mypy", *MYPY_TARGETS]
+    proc = subprocess.run(
+        cmd, cwd=REPO, capture_output=True, text=True, check=False
+    )
+    if "No module named mypy" in proc.stderr:
+        raise SystemExit(
+            "mypy is not installed; the typecheck job must `pip install mypy` "
+            "before running this gate"
+        )
+    if proc.returncode not in (0, 1):
+        # 2 = usage/config/crash: never mask it as "no new errors".
+        sys.stderr.write(proc.stdout + proc.stderr)
+        raise SystemExit(f"mypy failed to run (exit {proc.returncode})")
+    errors = []
+    for line in proc.stdout.splitlines():
+        key = normalize(line)
+        if key is not None:
+            errors.append(key)
+    return sorted(set(errors)), proc.stdout
+
+
+def load_baseline() -> set[str] | None:
+    """The committed baseline, or None while the bootstrap sentinel stands."""
+    if not BASELINE.exists():
+        return None
+    lines = [
+        ln.strip()
+        for ln in BASELINE.read_text(encoding="utf-8").splitlines()
+        if ln.strip() and not ln.strip().startswith("#")
+    ]
+    if lines == [BOOTSTRAP_SENTINEL]:
+        return None
+    return set(lines)
+
+
+def write_baseline(errors: list[str]) -> None:
+    header = (
+        "# mypy baseline: normalized legacy errors tolerated by CI.\n"
+        "# Regenerate with: python tools/check_mypy_baseline.py --update\n"
+    )
+    body = "\n".join(errors)
+    BASELINE.write_text(header + body + ("\n" if body else ""), encoding="utf-8")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline with the current mypy output and exit 0",
+    )
+    args = parser.parse_args(argv)
+
+    errors, raw = run_mypy()
+
+    if args.update:
+        write_baseline(errors)
+        print(f"baseline updated: {len(errors)} tolerated error(s)")
+        return 0
+
+    baseline = load_baseline()
+    if baseline is None:
+        print(
+            f"mypy baseline is in bootstrap mode ({len(errors)} current "
+            "error(s) observed, not gated).\n"
+            "Arm the gate with: python tools/check_mypy_baseline.py --update"
+        )
+        return 0
+
+    new = [e for e in errors if e not in baseline]
+    fixed = sorted(baseline - set(errors))
+    if fixed:
+        print(f"{len(fixed)} baseline entr(ies) no longer fire — consider "
+              "shrinking the baseline with --update:")
+        for e in fixed:
+            print(f"  stale: {e}")
+    if new:
+        print(f"{len(new)} NEW mypy error(s) not in the baseline:")
+        for e in new:
+            print(f"  {e}")
+        print("\nFull mypy output:\n" + raw)
+        return 1
+    print(f"mypy clean against baseline ({len(errors)} tolerated, 0 new)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
