@@ -1,6 +1,6 @@
 """AST-based custom lint pass enforcing repo invariants over ``src/repro``.
 
-Four rules, each born from a class of bug this codebase has actually hit or
+Five rules, each born from a class of bug this codebase has actually hit or
 explicitly defends against:
 
 ``raw-divmod`` (REPRO001)
@@ -24,6 +24,14 @@ explicitly defends against:
     may mutate shared attributes only inside ``with self._lock:`` (mutation
     = attribute/subscript assignment, augmented assignment, or a mutating
     container-method call; ``__init__`` is exempt).
+
+``trace-granularity`` (REPRO005)
+    Span/metric recording calls (``.span``/``.event``/``.observe``/
+    ``.inc``/``.record_call``) must not sit inside doubly-nested loops —
+    one record per *pass* is the contract; per-element recording would
+    swamp both the workload and the ring buffer.  Loop depth resets at
+    nested ``def`` boundaries (a worker closure runs per chunk, not per
+    iteration of the loop that spawned it).
 
 Suppressions
 ------------
@@ -57,6 +65,7 @@ RULES = {
     "implicit-copy": ("REPRO002", "possible silent-copy reshape/ravel in an execution path"),
     "entry-guard": ("REPRO003", "public entry point lacks a contiguity guard"),
     "lock-discipline": ("REPRO004", "shared runtime state mutated outside its lock"),
+    "trace-granularity": ("REPRO005", "span/metric recording inside a per-element inner loop"),
 }
 
 #: Modules (relative to the package root) where raw ``//``/``%`` is banned.
@@ -88,6 +97,9 @@ ENTRY_POINT_GUARDS = [
 LOCK_MODULE_PREFIX = "runtime/"
 
 _CONTIGUITY_MARKERS = ("C_CONTIGUOUS", "F_CONTIGUOUS")
+#: Recording calls whose receivers are tracers/registries; flagged when the
+#: call sits at loop depth >= 2 (per-element granularity).
+_RECORDING_METHODS = {"span", "event", "observe", "inc", "record_call"}
 _MUTATING_METHODS = {
     "append", "extend", "insert", "remove", "pop", "popitem", "clear",
     "update", "add", "discard", "setdefault", "move_to_end",
@@ -150,6 +162,8 @@ class _Analyzer(ast.NodeVisitor):
         self._class_stack: list[str] = []
         #: lock nesting depth (``with self._lock`` scopes)
         self._lock_depth = 0
+        #: For/While nesting depth within the current function body
+        self._loop_depth = 0
         #: name of the class currently known to own a ``self._lock``
         self._lock_classes: set[str] = set()
         self.rel_posix = rel.replace("\\", "/")
@@ -199,11 +213,25 @@ class _Analyzer(ast.NodeVisitor):
     def _visit_function(self, node) -> None:
         self.functions[self._qualname(node.name)] = node
         self._func_stack.append(node)
+        # A nested def runs on its own schedule (e.g. a worker closure runs
+        # once per chunk), so loop depth does not carry across it.
+        saved_depth = self._loop_depth
+        self._loop_depth = 0
         self.generic_visit(node)
+        self._loop_depth = saved_depth
         self._func_stack.pop()
 
     visit_FunctionDef = _visit_function
     visit_AsyncFunctionDef = _visit_function
+
+    def _visit_loop(self, node) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    visit_For = _visit_loop
+    visit_AsyncFor = _visit_loop
+    visit_While = _visit_loop
 
     def visit_With(self, node: ast.With) -> None:
         is_lock = any(
@@ -247,6 +275,15 @@ class _Analyzer(ast.NodeVisitor):
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
         if isinstance(func, ast.Attribute):
+            # trace-granularity: recording from a doubly-nested loop means
+            # per-element (or per-tile-element) spans/metrics — the record
+            # volume scales with the data, not with the pass count.
+            if func.attr in _RECORDING_METHODS and self._loop_depth >= 2:
+                self._emit(
+                    "trace-granularity", node,
+                    f".{func.attr}() at loop depth {self._loop_depth}; "
+                    "record once per pass, not per element",
+                )
             if self.in_exec_module and func.attr == "ravel":
                 self._emit(
                     "implicit-copy", node,

@@ -25,6 +25,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..trace.spans import traced
+
 __all__ = ["CycleStats", "transpose_cycle_following", "successor"]
 
 
@@ -62,6 +64,7 @@ def _predecessor(l: int, m: int, n: int) -> int:
     return (l * n) % (mn - 1)
 
 
+@traced("baseline.cycle_following")
 def transpose_cycle_following(
     buf: np.ndarray,
     m: int,

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..trace.spans import traced
 from .tiling import TileStats, tiled_transpose_inplace
 
 __all__ = ["gustavson_transpose", "best_tile"]
@@ -43,6 +44,7 @@ def best_tile(dim: int, bound: int = DEFAULT_TILE_BOUND) -> int:
     return best
 
 
+@traced("baseline.gustavson")
 def gustavson_transpose(
     buf: np.ndarray,
     m: int,

@@ -12,11 +12,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..trace.spans import traced
 from .cycle_following import CycleStats, transpose_cycle_following
 
 __all__ = ["mkl_like_transpose"]
 
 
+@traced("baseline.mkl_like")
 def mkl_like_transpose(
     buf: np.ndarray, m: int, n: int, *, stats: CycleStats | None = None
 ) -> np.ndarray:

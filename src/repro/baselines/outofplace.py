@@ -10,9 +10,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..trace.spans import traced
+
 __all__ = ["outofplace_transpose"]
 
 
+@traced("baseline.outofplace")
 def outofplace_transpose(buf: np.ndarray, m: int, n: int) -> np.ndarray:
     """Return a new buffer holding the row-major transpose of ``buf``.
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..trace.spans import traced
 from .tiling import TileStats, tiled_transpose_inplace
 
 __all__ = ["SungPlan", "sung_tile_heuristic", "sung_transpose"]
@@ -87,6 +88,7 @@ class SungPlan:
         )
 
 
+@traced("baseline.sung")
 def sung_transpose(
     buf: np.ndarray,
     m: int,

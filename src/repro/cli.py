@@ -26,6 +26,13 @@ Commands
     inversion, composition, fast division), the race-freedom of the
     parallel schedules, and the repo lint invariants; emit a JSON report
     and exit non-zero on any failure.
+``trace``
+    Run a traced workload and export the structured spans as a
+    Chrome/Perfetto trace, a Prometheus text snapshot, or a readable
+    per-thread tree.
+``profile``
+    Per-pass bandwidth breakdown (achieved GB/s and memcpy fraction) from
+    a traced run — the Section 7 per-pass evaluation, on this machine.
 """
 
 from __future__ import annotations
@@ -311,6 +318,86 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0 if report["ok"] else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from .runtime import metrics
+    from .trace import spans
+    from .trace.export import (
+        to_chrome_trace,
+        to_prometheus,
+        to_tree,
+        validate_chrome_trace,
+    )
+
+    try:
+        shapes = _parse_shapes(args.shape)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 1
+
+    spans.tracer.reset()
+    spans.enable()
+    from .core.transpose import transpose_inplace
+
+    # The cached single-matrix path emits one pass.* span per decomposition
+    # pass plus cache.hit/miss events; the parallel path adds worker.chunk
+    # spans on distinct thread lanes.  Run both so one trace shows the whole
+    # story.
+    for m, n in shapes:
+        proto = np.arange(m * n, dtype=np.float64)
+        for _ in range(args.repeats):
+            transpose_inplace(proto.copy(), m, n, algorithm=args.algorithm)
+        if args.threads > 1:
+            from .parallel import ParallelTranspose
+
+            with ParallelTranspose(args.threads) as pt:
+                for _ in range(args.repeats):
+                    pt.transpose_inplace(proto.copy(), m, n)
+
+    recs = spans.tracer.snapshot()
+    if args.format == "chrome":
+        doc = to_chrome_trace(recs)
+        validate_chrome_trace(doc)
+        text = json.dumps(doc, indent=args.indent)
+    elif args.format == "tree":
+        text = to_tree(recs)
+    else:  # prometheus
+        text = to_prometheus(metrics.snapshot())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out} ({len(recs)} spans, "
+              f"{spans.tracer.dropped} dropped)")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from .trace.profile import format_profile_table, profile_shapes
+
+    try:
+        shapes = _parse_shapes(args.shape)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 1
+    profiles = profile_shapes(
+        shapes,
+        dtype=args.dtype,
+        repeats=args.repeats,
+        threads=args.threads,
+        algorithm=args.algorithm,
+    )
+    if args.json:
+        print(json.dumps([p.as_dict() for p in profiles], indent=args.indent))
+    else:
+        print(format_profile_table(profiles))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -435,6 +522,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--indent", type=int, default=2)
     p.add_argument("--output", help="write the JSON report to a file")
     p.set_defaults(fn=_cmd_analyze)
+
+    p = sub.add_parser(
+        "trace", help="run a traced workload and export the structured spans"
+    )
+    p.add_argument(
+        "--shape",
+        default="512x768",
+        help="comma-separated MxN shapes to transpose under tracing",
+    )
+    p.add_argument(
+        "--format",
+        choices=["chrome", "tree", "prometheus"],
+        default="chrome",
+        help="chrome = Perfetto-loadable JSON, tree = per-thread text tree, "
+        "prometheus = text-format counters and latency histograms",
+    )
+    p.add_argument("--threads", type=int, default=1,
+                   help="also run the parallel transposer (worker.chunk lanes)")
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument(
+        "--algorithm", choices=["auto", "c2r", "r2c"], default="auto"
+    )
+    p.add_argument("--indent", type=int, default=None)
+    p.add_argument("--out", help="write the export to a file instead of stdout")
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "profile",
+        help="per-pass achieved bandwidth (GB/s and memcpy fraction)",
+    )
+    p.add_argument(
+        "--shape",
+        default="512x768,768x512",
+        help="comma-separated MxN shapes to profile",
+    )
+    p.add_argument("--threads", type=int, default=1)
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--dtype", default="float64")
+    p.add_argument(
+        "--algorithm", choices=["auto", "c2r", "r2c"], default="auto"
+    )
+    p.add_argument("--json", action="store_true",
+                   help="emit the profiles as JSON instead of a table")
+    p.add_argument("--indent", type=int, default=2)
+    p.set_defaults(fn=_cmd_profile)
 
     return parser
 

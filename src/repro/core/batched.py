@@ -13,6 +13,7 @@ stored consecutively (``buf[b * m * n : (b + 1) * m * n]`` is matrix ``b``).
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from time import perf_counter
 
 import numpy as np
@@ -23,7 +24,11 @@ from .transpose import choose_algorithm
 
 __all__ = ["BatchedTransposePlan", "batched_transpose_inplace"]
 
+#: reusable stateless no-op context manager for untraced paths
+_NULL_CM = nullcontext()
+
 _metrics = None
+_trace = None
 
 
 def _runtime_metrics():
@@ -34,6 +39,16 @@ def _runtime_metrics():
 
         _metrics = metrics
     return _metrics
+
+
+def _tracer():
+    """Lazily bind the process-wide structured tracer (repro.trace.spans)."""
+    global _trace
+    if _trace is None:
+        from ..trace import spans
+
+        _trace = spans
+    return _trace.tracer
 
 
 class BatchedTransposePlan:
@@ -107,7 +122,27 @@ class BatchedTransposePlan:
                 f"{self.m}x{self.n} matrices"
             )
         rt = _runtime_metrics()
-        if rt.registry.enabled:
+        tr = _tracer()
+        if tr.enabled:
+            # One span per batched pass; the batch dimension rides along, so
+            # the byte volume scales with the whole batch buffer.
+            pass_bytes = 2 * buf.nbytes
+            reg = rt.registry
+            for kind, idx in self._steps:
+                axis = 1 if kind == "rows3" else 2
+                with tr.span(
+                    f"pass.{kind}", m=dec.m, n=dec.n, batch=V.shape[0],
+                    algorithm=self.algorithm, bytes=pass_bytes,
+                ) as sp:
+                    V[:] = np.take_along_axis(
+                        V, np.broadcast_to(idx, V.shape), axis=axis
+                    )
+                if reg.enabled:
+                    reg.observe(f"batched.pass.{kind}", sp.duration_s)
+            if reg.enabled:
+                reg.inc("bytes_moved", len(self._steps) * pass_bytes)
+                reg.inc("elements_touched", len(self._steps) * buf.size)
+        elif rt.registry.enabled:
             for kind, idx in self._steps:
                 axis = 1 if kind == "rows3" else 2
                 t0 = perf_counter()
@@ -156,11 +191,18 @@ def batched_transpose_inplace(
         )
     else:
         plan = BatchedTransposePlan(m, n, order, algorithm)
-    if rt.registry.enabled:
-        t0 = perf_counter()
-        plan.execute(buf)
-        rt.registry.record_call(
-            "batched_transpose_inplace", perf_counter() - t0
-        )
-        return buf
-    return plan.execute(buf)
+    tr = _tracer()
+    with tr.span(
+        "op.batched_transpose_inplace", m=m, n=n,
+        batch=buf.size // mn if mn else 0, order=order,
+        algorithm=plan.algorithm, dtype=str(buf.dtype),
+    ) if tr.enabled else _NULL_CM:
+        if rt.registry.enabled:
+            t0 = perf_counter()
+            plan.execute(buf)
+            rt.registry.record_call(
+                "batched_transpose_inplace", perf_counter() - t0
+            )
+        else:
+            plan.execute(buf)
+    return buf

@@ -25,6 +25,7 @@ __all__ = ["TransposePlan"]
 
 _metrics = None
 _racecheck = None
+_trace = None
 
 
 def _runtime_metrics():
@@ -35,6 +36,16 @@ def _runtime_metrics():
 
         _metrics = metrics
     return _metrics
+
+
+def _tracer():
+    """Lazily bind the process-wide structured tracer (repro.trace.spans)."""
+    global _trace
+    if _trace is None:
+        from ..trace import spans
+
+        _trace = spans
+    return _trace.tracer
 
 
 def _sanitizer():
@@ -180,7 +191,8 @@ class TransposePlan:
 
         ``buf`` must be flat and contiguous with ``m * n`` elements; after the
         call it holds the ``n x m`` transpose in the plan's storage order.
-        Per-pass timings land in :mod:`repro.runtime.metrics` when enabled.
+        Per-pass timings land in :mod:`repro.runtime.metrics` when enabled,
+        and one ``pass.*`` span per step in :mod:`repro.trace` when tracing.
         """
         if buf.ndim != 1 or buf.shape[0] != self.m * self.n:
             raise ValueError(f"buffer must be flat with {self.m * self.n} elements")
@@ -193,9 +205,26 @@ class TransposePlan:
         V = buf.reshape(dec.m, dec.n)
         rt = _runtime_metrics()
         san = _sanitizer()
+        tr = _tracer()
         if san.enabled:
             for kind, payload in self._steps:
                 self._apply_step_sanitized(V, kind, payload, san)
+        elif tr.enabled:
+            # One span per decomposition pass, carrying the 2x read+write
+            # byte volume so the profiler can join duration with traffic.
+            pass_bytes = 2 * buf.nbytes
+            reg = rt.registry
+            for kind, payload in self._steps:
+                with tr.span(
+                    f"pass.{kind}", m=dec.m, n=dec.n,
+                    algorithm=self.algorithm, bytes=pass_bytes,
+                ) as sp:
+                    self._apply_step(V, kind, payload)
+                if reg.enabled:
+                    reg.observe(f"plan.pass.{kind}", sp.duration_s)
+            if reg.enabled:
+                reg.inc("bytes_moved", len(self._steps) * pass_bytes)
+                reg.inc("elements_touched", len(self._steps) * buf.shape[0])
         elif rt.registry.enabled:
             for kind, payload in self._steps:
                 t0 = perf_counter()

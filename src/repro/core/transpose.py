@@ -22,6 +22,7 @@ the data's native order.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from time import perf_counter
 
 import numpy as np
@@ -35,7 +36,11 @@ __all__ = ["transpose_inplace", "transpose", "choose_algorithm"]
 _ALGORITHMS = ("auto", "c2r", "r2c")
 _ORDERS = ("C", "F")
 
+#: reusable stateless no-op context manager for untraced paths
+_NULL_CM = nullcontext()
+
 _metrics = None
+_trace = None
 
 
 def _runtime_metrics():
@@ -46,6 +51,16 @@ def _runtime_metrics():
 
         _metrics = metrics
     return _metrics
+
+
+def _tracer():
+    """Lazily bind the process-wide structured tracer (repro.trace.spans)."""
+    global _trace
+    if _trace is None:
+        from ..trace import spans
+
+        _trace = spans
+    return _trace.tracer
 
 
 def choose_algorithm(m: int, n: int) -> str:
@@ -131,7 +146,15 @@ def transpose_inplace(
                 "(a non-contiguous view would be silently copied, not permuted)"
             )
         plan = plan_cache.get_single_plan(m, n, order, algorithm, buf.dtype)
-        plan.execute(buf)
+        tr = _tracer()
+        if tr.enabled:
+            with tr.span(
+                "op.transpose_inplace", m=m, n=n, order=order,
+                algorithm=algorithm, cached=True, dtype=str(buf.dtype),
+            ):
+                plan.execute(buf)
+        else:
+            plan.execute(buf)
         if rt.registry.enabled:
             rt.registry.record_call("transpose_inplace", perf_counter() - t0)
         return buf
@@ -141,14 +164,19 @@ def transpose_inplace(
     # swap and treat everything as row-major below.
     vm, vn = (m, n) if order == "C" else (n, m)
 
-    if algorithm == "c2r":
-        # Theorem 1: C2R on the row-major (vm, vn) view transposes it.
-        c2r_transpose(buf, vm, vn, variant=variant, aux=aux, counter=counter)
-    else:
-        # Theorem 2: R2C transposes a row-major array after swapping
-        # dimensions, i.e. running the passes on the (vn, vm) view of the
-        # same buffer.
-        r2c_transpose(buf, vn, vm, variant=variant, aux=aux, counter=counter)
+    tr = _tracer()
+    with tr.span(
+        "op.transpose_inplace", m=m, n=n, order=order, algorithm=algorithm,
+        cached=False, variant=variant, aux=aux,
+    ) if tr.enabled else _NULL_CM:
+        if algorithm == "c2r":
+            # Theorem 1: C2R on the row-major (vm, vn) view transposes it.
+            c2r_transpose(buf, vm, vn, variant=variant, aux=aux, counter=counter)
+        else:
+            # Theorem 2: R2C transposes a row-major array after swapping
+            # dimensions, i.e. running the passes on the (vn, vm) view of the
+            # same buffer.
+            r2c_transpose(buf, vn, vm, variant=variant, aux=aux, counter=counter)
     if rt.registry.enabled:
         rt.registry.record_call("transpose_inplace", perf_counter() - t0)
     return buf

@@ -12,6 +12,7 @@ executor provides.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from time import perf_counter
 
 import numpy as np
@@ -24,8 +25,12 @@ from .executor import ParallelExecutor
 
 __all__ = ["ParallelTranspose", "parallel_transpose_inplace"]
 
+#: reusable stateless no-op context manager for untraced paths
+_NULL_CM = nullcontext()
+
 _metrics = None
 _racecheck = None
+_trace = None
 
 
 def _runtime_metrics():
@@ -36,6 +41,16 @@ def _runtime_metrics():
 
         _metrics = metrics
     return _metrics
+
+
+def _tracer():
+    """Lazily bind the process-wide structured tracer (repro.trace.spans)."""
+    global _trace
+    if _trace is None:
+        from ..trace import spans
+
+        _trace = spans
+    return _trace.tracer
 
 
 def _sanitizer():
@@ -99,8 +114,10 @@ class ParallelTranspose:
         of b columns (each group shares one rotation amount, Lemma 1)."""
         m = dec.m
         san = _sanitizer()
+        tr = _tracer()
+        itemsize = V.itemsize
 
-        def body(groups: slice) -> None:
+        def work(groups: slice) -> None:
             for g in range(groups.start, groups.stop):
                 k = g % m  # repro-lint: allow(raw-divmod) O(c) per-group setup, not per-element
                 if k == 0:
@@ -110,9 +127,23 @@ class ParallelTranspose:
                     flat = (
                         np.arange(m, dtype=np.int64)[:, None] * dec.n
                         + np.arange(cols.start, cols.stop, dtype=np.int64)
-                    ).ravel()  # repro-lint: allow(implicit-copy) flat index array, not a matrix view
+                    ).ravel()  # repro-lint: allow(implicit-copy) flat index array, not a view
                     san.record(reads=flat, writes=flat, where=f"group[{g}]")
                 V[:, cols] = np.roll(V[:, cols], sign * k, axis=0)
+
+        def body(groups: slice) -> None:
+            # One worker.chunk span per chunk, carrying the rectangle the
+            # chunk owns — the Chrome-trace lane layout shows these spans
+            # overlapping across worker threads.
+            if tr.enabled:
+                c0, c1 = groups.start * dec.b, groups.stop * dec.b
+                with tr.span(
+                    "worker.chunk", stage=name, r0=0, r1=m, c0=c0, c1=c1,
+                    bytes=2 * m * (c1 - c0) * itemsize,
+                ):
+                    work(groups)
+            else:
+                work(groups)
 
         # Zero-shift groups are skipped, so coverage is at-most-once.
         self._run_pass(name, dec, dec.c, body, full_coverage=False)
@@ -127,8 +158,10 @@ class ParallelTranspose:
         over row chunks."""
         cols = np.arange(dec.n, dtype=np.int64)[None, :]
         san = _sanitizer()
+        tr = _tracer()
+        itemsize = V.itemsize
 
-        def body(rows: slice) -> None:
+        def work(rows: slice) -> None:
             i = np.arange(rows.start, rows.stop, dtype=np.int64)[:, None]
             idx = index_map(i, cols)
             if san.enabled:
@@ -139,6 +172,17 @@ class ParallelTranspose:
                 )
             V[rows] = np.take_along_axis(V[rows], idx, axis=1)
 
+        def body(rows: slice) -> None:
+            if tr.enabled:
+                with tr.span(
+                    "worker.chunk", stage=name,
+                    r0=rows.start, r1=rows.stop, c0=0, c1=dec.n,
+                    bytes=2 * (rows.stop - rows.start) * dec.n * itemsize,
+                ):
+                    work(rows)
+            else:
+                work(rows)
+
         self._run_pass(name, dec, dec.m, body)
 
     def _gathered_column_pass(
@@ -148,8 +192,10 @@ class ParallelTranspose:
         over column chunks."""
         rows = np.arange(dec.m, dtype=np.int64)[:, None]
         san = _sanitizer()
+        tr = _tracer()
+        itemsize = V.itemsize
 
-        def body(cols: slice) -> None:
+        def work(cols: slice) -> None:
             j = np.arange(cols.start, cols.stop, dtype=np.int64)[None, :]
             idx = index_map(rows, j)
             if san.enabled:
@@ -159,6 +205,17 @@ class ParallelTranspose:
                     where=f"cols[{cols.start}:{cols.stop}]",
                 )
             V[:, cols] = np.take_along_axis(V[:, cols], idx, axis=0)
+
+        def body(cols: slice) -> None:
+            if tr.enabled:
+                with tr.span(
+                    "worker.chunk", stage=name,
+                    r0=0, r1=dec.m, c0=cols.start, c1=cols.stop,
+                    bytes=2 * dec.m * (cols.stop - cols.start) * itemsize,
+                ):
+                    work(cols)
+            else:
+                work(cols)
 
         self._run_pass(name, dec, dec.n, body)
 
@@ -206,9 +263,19 @@ class ParallelTranspose:
     @staticmethod
     def _timed(name: str, fn, *args) -> None:
         """Run one pass, recording it as ``parallel.pass.<name>`` when the
-        metrics registry is enabled (a bool check otherwise)."""
+        metrics registry is enabled and as a ``pass.<name>`` span when the
+        tracer is enabled (a bool check each otherwise)."""
         rt = _runtime_metrics()
-        if rt.registry.enabled:
+        tr = _tracer()
+        if tr.enabled:
+            V, dec = args[0], args[1]
+            with tr.span(
+                f"pass.{name}", m=dec.m, n=dec.n, bytes=2 * V.nbytes
+            ) as sp:
+                fn(*args)
+            if rt.registry.enabled:
+                rt.registry.observe(f"parallel.pass.{name}", sp.duration_s)
+        elif rt.registry.enabled:
             t0 = perf_counter()
             fn(*args)
             rt.registry.observe(f"parallel.pass.{name}", perf_counter() - t0)
@@ -228,12 +295,17 @@ class ParallelTranspose:
         red = self._reduced(dec)
         V = buf.reshape(m, n)
         rt = _runtime_metrics()
+        tr = _tracer()
         t0 = perf_counter() if rt.registry.enabled else 0.0
         passes = 3 if dec.c > 1 else 2
-        if dec.c > 1:
-            self._timed("pre_rotate", self._pre_rotate, V, dec)
-        self._timed("row_shuffle", self._row_shuffle, V, dec, red)
-        self._timed("column_shuffle", self._column_shuffle, V, dec, red)
+        with tr.span(
+            "op.parallel.c2r", m=m, n=n,
+            threads=self.executor.n_threads, dtype=str(buf.dtype),
+        ) if tr.enabled else _NULL_CM:
+            if dec.c > 1:
+                self._timed("pre_rotate", self._pre_rotate, V, dec)
+            self._timed("row_shuffle", self._row_shuffle, V, dec, red)
+            self._timed("column_shuffle", self._column_shuffle, V, dec, red)
         if rt.registry.enabled:
             rt.registry.record_call(
                 "parallel.c2r",
@@ -256,12 +328,19 @@ class ParallelTranspose:
         red = self._reduced(dec)
         V = buf.reshape(m, n)
         rt = _runtime_metrics()
+        tr = _tracer()
         t0 = perf_counter() if rt.registry.enabled else 0.0
         passes = 3 if dec.c > 1 else 2
-        self._timed("inverse_column_shuffle", self._inverse_column_shuffle, V, dec)
-        self._timed("row_shuffle_r2c", self._row_shuffle_r2c, V, dec, red)
-        if dec.c > 1:
-            self._timed("post_rotate", self._post_rotate, V, dec)
+        with tr.span(
+            "op.parallel.r2c", m=m, n=n,
+            threads=self.executor.n_threads, dtype=str(buf.dtype),
+        ) if tr.enabled else _NULL_CM:
+            self._timed(
+                "inverse_column_shuffle", self._inverse_column_shuffle, V, dec
+            )
+            self._timed("row_shuffle_r2c", self._row_shuffle_r2c, V, dec, red)
+            if dec.c > 1:
+                self._timed("post_rotate", self._post_rotate, V, dec)
         if rt.registry.enabled:
             rt.registry.record_call(
                 "parallel.r2c",

@@ -30,8 +30,14 @@ class ParallelExecutor:
         if n_threads <= 0:
             raise ValueError("n_threads must be positive")
         self.n_threads = n_threads
+        # The prefix names worker threads (repro-worker_0, ...), which the
+        # structured tracer exports as Chrome-trace lane labels.
         self._pool = (
-            ThreadPoolExecutor(max_workers=n_threads) if n_threads > 1 else None
+            ThreadPoolExecutor(
+                max_workers=n_threads, thread_name_prefix="repro-worker"
+            )
+            if n_threads > 1
+            else None
         )
 
     def parallel_for(self, total: int, body: Callable[[slice], None]) -> None:

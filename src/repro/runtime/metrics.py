@@ -1,4 +1,4 @@
-"""Process-wide metrics registry: per-pass timers and traffic counters.
+"""Process-wide metrics registry: per-pass timers, histograms and counters.
 
 The paper's evaluation lives and dies on constant factors (Section 7 reports
 achieved *bandwidth*, not asymptotics), so the runtime makes the two numbers
@@ -6,7 +6,11 @@ that matter — seconds per pass and bytes moved — first-class and always
 available.  Every public entry point (``transpose_inplace``, ``transpose``,
 ``batched_transpose_inplace``, ``TransposePlan.execute``, the parallel
 transposer) records into the registry by default; instrumentation collapses
-to a single predicate check when disabled.
+to a single predicate check when disabled.  Every timer observation also
+lands in a log-spaced latency histogram (:class:`HistogramStat`), so the
+snapshot carries full latency *distributions* — exportable as Prometheus
+histograms via :func:`repro.trace.export.to_prometheus` — rather than just
+count/total/min/max.
 
 Design constraints:
 
@@ -33,10 +37,13 @@ from __future__ import annotations
 import json
 import os
 import threading
+from bisect import bisect_left
 from time import perf_counter
 
 __all__ = [
     "TimerStat",
+    "HistogramStat",
+    "HISTOGRAM_BOUNDS",
     "MetricsRegistry",
     "registry",
     "enable",
@@ -82,6 +89,46 @@ class TimerStat:
         }
 
 
+#: Log-spaced latency bucket upper bounds (seconds): 3 per decade from
+#: 100 ns to 10 s.  Pass latencies span ~6 decades between a 16x16 toy
+#: shape and an out-of-core run; log spacing keeps relative resolution
+#: constant across that range where TimerStat's four scalars collapse it.
+HISTOGRAM_BOUNDS = tuple(10.0 ** (e / 3.0) for e in range(-21, 4))
+
+
+class HistogramStat:
+    """A latency histogram over the shared log-spaced bucket bounds.
+
+    ``counts[i]`` holds observations with ``value <= bounds[i]`` and
+    ``value > bounds[i-1]`` (per-bucket, not cumulative; the Prometheus
+    exporter accumulates at render time).  The final slot is the +Inf
+    overflow bucket.  An observation is one bisect over 25 bounds plus two
+    adds — negligible next to any pass it measures.
+    """
+
+    __slots__ = ("counts", "count", "sum_s")
+
+    bounds = HISTOGRAM_BOUNDS
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.counts[bisect_left(self.bounds, seconds)] += 1
+        self.count += 1
+        self.sum_s += seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum_s": self.sum_s,
+        }
+
+
 class _Timer:
     """Context manager recording one observation into a registry timer.
 
@@ -118,6 +165,10 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._counters: dict[str, int] = {}
         self._timers: dict[str, TimerStat] = {}
+        self._histograms: dict[str, HistogramStat] = {}
+        #: bumped by reset(); snapshots carry it so readers can tell two
+        #: snapshots from different epochs apart.
+        self._epoch = 0
         self.enabled = enabled
 
     # -- recording -----------------------------------------------------------
@@ -131,15 +182,30 @@ class MetricsRegistry:
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + int(value)
 
+    def _observe_locked(  # repro-lint: allow(lock-discipline) caller holds self._lock
+        self, name: str, seconds: float
+    ) -> None:
+        """Record into the timer *and* the latency histogram for ``name``.
+
+        Caller holds ``self._lock`` — keeping both updates inside one
+        acquisition is what makes timer/histogram counts agree in every
+        snapshot (the epoch-consistency invariant the tests pin).
+        """
+        stat = self._timers.get(name)
+        if stat is None:
+            stat = self._timers[name] = TimerStat()
+        stat.observe(seconds)
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = HistogramStat()
+        hist.observe(seconds)
+
     def observe(self, name: str, seconds: float) -> None:
         """Record one duration observation under timer ``name``."""
         if not self.enabled:
             return
         with self._lock:
-            stat = self._timers.get(name)
-            if stat is None:
-                stat = self._timers[name] = TimerStat()
-            stat.observe(seconds)
+            self._observe_locked(name, seconds)
 
     def timer(self, name: str) -> _Timer:
         """``with registry.timer("pass.x"):`` — no-op while disabled."""
@@ -157,10 +223,7 @@ class MetricsRegistry:
         if not self.enabled:
             return
         with self._lock:
-            stat = self._timers.get(name)
-            if stat is None:
-                stat = self._timers[name] = TimerStat()
-            stat.observe(seconds)
+            self._observe_locked(name, seconds)
             self._counters[name + ".calls"] = self._counters.get(name + ".calls", 0) + 1
             if nbytes:
                 self._counters["bytes_moved"] = (
@@ -174,12 +237,23 @@ class MetricsRegistry:
     # -- reporting -----------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """A point-in-time copy of every counter and timer (plain dicts)."""
+        """A point-in-time copy of counters, timers and histograms.
+
+        All three maps (and the epoch) are materialized under a *single*
+        lock acquisition: a concurrent :meth:`reset` can land before or
+        after a snapshot, but never between its maps, so the counter/timer/
+        histogram views always describe the same epoch (regression-tested
+        in ``tests/runtime/test_metrics.py``).
+        """
         with self._lock:
             return {
                 "metrics_enabled": self.enabled,
+                "epoch": self._epoch,
                 "counters": dict(self._counters),
                 "timers": {k: v.as_dict() for k, v in self._timers.items()},
+                "histograms": {
+                    k: v.as_dict() for k, v in self._histograms.items()
+                },
             }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -190,6 +264,8 @@ class MetricsRegistry:
         with self._lock:
             self._counters.clear()
             self._timers.clear()
+            self._histograms.clear()
+            self._epoch += 1
 
 
 #: The process-wide registry used by every instrumented entry point.

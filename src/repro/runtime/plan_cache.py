@@ -46,6 +46,32 @@ __all__ = [
 
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 
+_trace = None
+
+
+def _tracer():
+    """Lazily bind the process-wide tracer (repro.trace.spans is stdlib-only,
+    so this import can never recurse into package initialization)."""
+    global _trace
+    if _trace is None:
+        from repro.trace import spans as _sp
+
+        _trace = _sp
+    return _trace.tracer
+
+
+def _key_attrs(key: "PlanKey") -> dict:
+    """Span attributes identifying a cached plan in ``cache.*`` events."""
+    return {
+        "kind": key.kind,
+        "m": key.m,
+        "n": key.n,
+        "k": key.k,
+        "order": key.order,
+        "algorithm": key.algorithm,
+        "dtype": key.dtype,
+    }
+
 
 @dataclass(frozen=True)
 class PlanKey:
@@ -104,17 +130,27 @@ class PlanCache:
         """
         if not self.enabled:
             return factory()
+        tr = _tracer()
         with self._lock:
             entry = self._plans.get(key)
             if entry is not None:
                 self._plans.move_to_end(key)
                 self.hits += 1
-                return entry[0]
-            self.misses += 1
+            else:
+                self.misses += 1
+        # Trace events fire outside the lock: the tracer is a leaf subsystem
+        # and must never extend the cache's critical section.
+        if entry is not None:
+            if tr.enabled:
+                tr.event("cache.hit", **_key_attrs(key))
+            return entry[0]
+        if tr.enabled:
+            tr.event("cache.miss", **_key_attrs(key))
         t0 = perf_counter()
         plan = factory()
         dt = perf_counter() - t0
         nbytes = int(size_of(plan))
+        evicted: list[tuple[PlanKey, int]] = []
         with self._lock:
             self.build_seconds += dt
             if key in self._plans:
@@ -129,9 +165,13 @@ class PlanCache:
             self._plans[key] = (plan, nbytes)
             self.current_bytes += nbytes
             while self.current_bytes > self.max_bytes and len(self._plans) > 1:
-                _, (_, evicted_bytes) = self._plans.popitem(last=False)
+                ekey, (_, evicted_bytes) = self._plans.popitem(last=False)
                 self.current_bytes -= evicted_bytes
                 self.evictions += 1
+                evicted.append((ekey, evicted_bytes))
+        if tr.enabled:
+            for ekey, ebytes in evicted:
+                tr.event("cache.evict", bytes=ebytes, **_key_attrs(ekey))
         return plan
 
     # -- management ------------------------------------------------------------
@@ -156,15 +196,21 @@ class PlanCache:
         Shrinking the budget evicts immediately; disabling keeps existing
         entries resident (call :meth:`clear` to release them).
         """
+        evicted: list[tuple[PlanKey, int]] = []
         with self._lock:
             if enabled is not None:
                 self.enabled = bool(enabled)
             if max_bytes is not None:
                 self.max_bytes = int(max_bytes)
                 while self.current_bytes > self.max_bytes and self._plans:
-                    _, (_, evicted_bytes) = self._plans.popitem(last=False)
+                    ekey, (_, evicted_bytes) = self._plans.popitem(last=False)
                     self.current_bytes -= evicted_bytes
                     self.evictions += 1
+                    evicted.append((ekey, evicted_bytes))
+        tr = _tracer()
+        if tr.enabled:
+            for ekey, ebytes in evicted:
+                tr.event("cache.evict", bytes=ebytes, **_key_attrs(ekey))
 
     def stats(self) -> dict:
         """A JSON-able statistics snapshot."""

@@ -1,0 +1,253 @@
+"""Exporters for recorded spans and metrics snapshots.
+
+Three formats, three audiences:
+
+``to_chrome_trace``
+    Chrome ``chrome://tracing`` / Perfetto JSON (the Trace Event Format).
+    Spans become ``ph: "X"`` complete events on one lane per thread, so the
+    overlap of parallel worker chunks is visible directly; instant events
+    (``cache.hit`` …) become ``ph: "i"`` markers.  Open the file at
+    https://ui.perfetto.dev or ``chrome://tracing``.
+
+``to_prometheus``
+    Prometheus text exposition format (version 0.0.4) rendered from a
+    :func:`repro.runtime.metrics.snapshot`: counters as ``counter`` families,
+    the log-spaced latency histograms as real ``histogram`` families with
+    cumulative ``le`` buckets, plan-cache statistics as gauges.  Suitable
+    for a textfile-collector drop or a scrape endpoint.
+
+``to_tree``
+    A human-readable per-thread span tree with durations and attributes —
+    the quickest way to read a trace without leaving the terminal.
+
+All three are pure functions over plain data (no repro-internal imports
+besides :mod:`repro.trace.spans` types), so they are trivially testable.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Iterable
+
+from .spans import SpanRecord
+
+__all__ = [
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "to_prometheus",
+    "to_tree",
+    "FORMATS",
+]
+
+#: formats understood by ``repro trace --format``
+FORMATS = ("chrome", "tree", "prometheus")
+
+
+# ---------------------------------------------------------------------------
+# Chrome / Perfetto trace event format
+# ---------------------------------------------------------------------------
+
+def to_chrome_trace(spans: Iterable[SpanRecord], *, pid: int | None = None) -> dict:
+    """Render spans as a Trace Event Format document (JSON-able dict).
+
+    Timestamps are microseconds relative to the earliest record, one lane
+    per thread (``tid``), with ``thread_name`` metadata events so Perfetto
+    labels worker lanes.  Zero-width records export as instant events.
+    """
+    spans = list(spans)
+    if pid is None:
+        pid = os.getpid()
+    t_base = min((s.t0 for s in spans), default=0.0)
+    events: list[dict] = []
+    thread_names: dict[int, str] = {}
+    for s in spans:
+        thread_names.setdefault(s.tid, s.thread_name)
+        ts = (s.t0 - t_base) * 1e6
+        ev: dict = {
+            "name": s.name,
+            "cat": s.name.split(".", 1)[0],
+            "pid": pid,
+            "tid": s.tid,
+            "ts": ts,
+            "args": dict(s.attrs),
+        }
+        if s.is_event:
+            ev["ph"] = "i"
+            ev["s"] = "t"  # thread-scoped instant marker
+        else:
+            ev["ph"] = "X"
+            ev["dur"] = (s.t1 - s.t0) * 1e6
+        events.append(ev)
+    for tid, name in sorted(thread_names.items()):
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": name},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(doc: dict) -> dict:
+    """Check a Chrome-trace document against the exporter's schema.
+
+    Raises :class:`ValueError` on the first structural problem; returns a
+    small summary (event counts by phase) on success.  Used by the tests
+    and by the CI ``trace`` step to gate the uploaded artifact.
+    """
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("trace document must be a dict with 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        raise ValueError("'traceEvents' must be a non-empty list")
+    counts: dict[str, int] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"event {i} is not an object")
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in ev:
+                raise ValueError(f"event {i} ({ev.get('name')!r}) lacks {field!r}")
+        ph = ev["ph"]
+        counts[ph] = counts.get(ph, 0) + 1
+        if ph == "X":
+            if "ts" not in ev or "dur" not in ev:
+                raise ValueError(f"complete event {i} needs 'ts' and 'dur'")
+            if ev["dur"] < 0:
+                raise ValueError(f"complete event {i} has negative duration")
+        elif ph == "i":
+            if "ts" not in ev:
+                raise ValueError(f"instant event {i} needs 'ts'")
+        elif ph == "M":
+            if not isinstance(ev.get("args"), dict) or "name" not in ev["args"]:
+                raise ValueError(f"metadata event {i} needs args.name")
+        else:
+            raise ValueError(f"event {i} has unexpected phase {ph!r}")
+    if counts.get("X", 0) == 0:
+        raise ValueError("trace contains no complete ('X') span events")
+    return counts
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition format
+# ---------------------------------------------------------------------------
+
+def _prom_name(name: str) -> str:
+    """Sanitize a dotted metric name into a Prometheus identifier."""
+    out = "".join(c if (c.isalnum() or c == "_") else "_" for c in name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _prom_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt_bound(b: float) -> str:
+    if math.isinf(b):
+        return "+Inf"
+    return repr(b)
+
+
+def to_prometheus(snapshot: dict, *, prefix: str = "repro") -> str:
+    """Render a metrics snapshot as Prometheus text format.
+
+    ``snapshot`` is the dict from :func:`repro.runtime.metrics.snapshot`
+    (counters + timers + histograms, optionally ``plan_cache`` stats).
+    Counter families get a ``_total`` suffix; every latency histogram is
+    one series of the shared ``<prefix>_latency_seconds`` family labelled
+    by operation name, with cumulative ``le`` buckets as Prometheus
+    requires.
+    """
+    lines: list[str] = []
+
+    for name in sorted(snapshot.get("counters", {})):
+        value = snapshot["counters"][name]
+        metric = f"{prefix}_{_prom_name(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+
+    hists = snapshot.get("histograms", {})
+    if hists:
+        metric = f"{prefix}_latency_seconds"
+        lines.append(f"# TYPE {metric} histogram")
+        for name in sorted(hists):
+            h = hists[name]
+            label = f'op="{_prom_label(name)}"'
+            bounds = list(h["bounds"]) + [math.inf]
+            cumulative = 0
+            for bound, count in zip(bounds, h["counts"]):
+                cumulative += count
+                lines.append(
+                    f'{metric}_bucket{{{label},le="{_fmt_bound(bound)}"}} '
+                    f"{cumulative}"
+                )
+            lines.append(f"{metric}_sum{{{label}}} {h['sum_s']}")
+            lines.append(f"{metric}_count{{{label}}} {h['count']}")
+
+    cache = snapshot.get("plan_cache")
+    if cache:
+        for key in sorted(cache):
+            value = cache[key]
+            if isinstance(value, bool):
+                value = int(value)
+            if not isinstance(value, (int, float)):
+                continue
+            metric = f"{prefix}_plan_cache_{_prom_name(key)}"
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {value}")
+
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Human-readable tree dump
+# ---------------------------------------------------------------------------
+
+def _fmt_attrs(attrs: dict) -> str:
+    if not attrs:
+        return ""
+    inner = ", ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+    return f"  [{inner}]"
+
+
+def to_tree(spans: Iterable[SpanRecord]) -> str:
+    """Render spans as an indented per-thread tree with durations."""
+    spans = list(spans)
+    if not spans:
+        return "(no spans recorded)\n"
+    by_thread: dict[int, list[SpanRecord]] = {}
+    for s in spans:
+        by_thread.setdefault(s.tid, []).append(s)
+
+    lines: list[str] = []
+    for tid in sorted(by_thread):
+        records = sorted(by_thread[tid], key=lambda s: (s.t0, s.span_id))
+        ids = {s.span_id for s in records}
+        children: dict[int, list[SpanRecord]] = {}
+        roots: list[SpanRecord] = []
+        for s in records:
+            if s.parent_id in ids:
+                children.setdefault(s.parent_id, []).append(s)
+            else:
+                roots.append(s)
+        name = records[0].thread_name
+        lines.append(f"thread {name} (tid={tid}):")
+
+        def emit(s: SpanRecord, depth: int) -> None:
+            indent = "  " * depth
+            if s.is_event:
+                lines.append(f"{indent}* {s.name}{_fmt_attrs(s.attrs)}")
+            else:
+                lines.append(
+                    f"{indent}{s.name:<32} {s.duration_s * 1e3:9.3f} ms"
+                    f"{_fmt_attrs(s.attrs)}"
+                )
+            for child in children.get(s.span_id, []):
+                emit(child, depth + 1)
+
+        for root in roots:
+            emit(root, 1)
+    return "\n".join(lines) + "\n"

@@ -198,6 +198,107 @@ class TestLockDiscipline:
         assert [v for v in vs if v.rule == "lock-discipline"] == []
 
 
+class TestTraceGranularity:
+    def test_recording_in_doubly_nested_loop_fires(self):
+        vs = lint(
+            """\
+            def execute(self, V):
+                for kind in self.steps:
+                    for row in V:
+                        self.registry.observe("pass", 0.1)
+            """,
+            "core/plan.py",
+            rule="trace-granularity",
+        )
+        assert len(vs) == 1
+        assert "loop depth 2" in vs[0].message
+
+    def test_span_and_event_and_inc_all_fire(self):
+        src = """\
+        def f(tr, reg, items):
+            for group in items:
+                for x in group:
+                    with tr.span("pass.x"):
+                        pass
+                    tr.event("cache.hit")
+                    reg.inc("n")
+                    reg.record_call("op", 0.1)
+        """
+        vs = lint(src, "core/plan.py", rule="trace-granularity")
+        assert len(vs) == 4
+
+    def test_per_pass_recording_at_depth_one_passes(self):
+        vs = lint(
+            """\
+            def execute(self, V):
+                for kind in self.steps:
+                    with self.tracer.span("pass.x"):
+                        self.apply(V, kind)
+                    self.registry.observe("pass.x", 0.1)
+            """,
+            "core/plan.py",
+            rule="trace-granularity",
+        )
+        assert vs == []
+
+    def test_nested_def_resets_loop_depth(self):
+        # A worker closure defined under two loops runs per chunk, not per
+        # element; recording at its top level is per-chunk granularity.
+        vs = lint(
+            """\
+            def schedule(tr, passes, chunks):
+                for p in passes:
+                    for ch in chunks:
+                        def body(sl):
+                            with tr.span("worker.chunk"):
+                                work(sl)
+                        submit(body, ch)
+            """,
+            "parallel/cpu.py",
+            rule="trace-granularity",
+        )
+        assert vs == []
+
+    def test_while_loops_count_toward_depth(self):
+        vs = lint(
+            """\
+            def f(tr, rows):
+                while rows:
+                    for r in rows:
+                        tr.event("touched")
+            """,
+            "core/transpose.py",
+            rule="trace-granularity",
+        )
+        assert len(vs) == 1
+
+    def test_suppression_works(self):
+        vs = lint(
+            """\
+            def f(tr, items):
+                for group in items:
+                    for x in group:
+                        tr.event("x")  # repro-lint: allow(trace-granularity) O(c) groups
+            """,
+            "core/plan.py",
+            rule="trace-granularity",
+        )
+        assert vs == []
+
+    def test_unrelated_methods_in_nested_loops_pass(self):
+        vs = lint(
+            """\
+            def f(out, items):
+                for group in items:
+                    for x in group:
+                        out.append(x)
+            """,
+            "core/plan.py",
+            rule="trace-granularity",
+        )
+        assert vs == []
+
+
 class TestRealTree:
     def test_repro_package_is_lint_clean(self):
         assert run_lint() == []

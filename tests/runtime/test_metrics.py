@@ -15,7 +15,12 @@ from repro.core.steps import WorkCounter
 from repro.core.transpose import transpose_inplace
 from repro.parallel import parallel_transpose_inplace
 from repro.runtime import metrics
-from repro.runtime.metrics import MetricsRegistry, TimerStat
+from repro.runtime.metrics import (
+    HISTOGRAM_BOUNDS,
+    HistogramStat,
+    MetricsRegistry,
+    TimerStat,
+)
 
 
 @pytest.fixture(autouse=True)
@@ -43,6 +48,39 @@ class TestTimerStat:
     def test_empty_stat_serializes_to_zeros(self):
         d = TimerStat().as_dict()
         assert d == {"count": 0, "total_s": 0.0, "mean_s": 0.0, "min_s": 0.0, "max_s": 0.0}
+
+
+class TestHistogramStat:
+    def test_bounds_are_log_spaced_three_per_decade(self):
+        assert len(HISTOGRAM_BOUNDS) == 25
+        assert HISTOGRAM_BOUNDS[0] == pytest.approx(1e-7)
+        assert HISTOGRAM_BOUNDS[-1] == pytest.approx(1e1)
+        for lo, hi in zip(HISTOGRAM_BOUNDS, HISTOGRAM_BOUNDS[3:]):
+            assert hi / lo == pytest.approx(10.0)
+
+    def test_observations_land_in_le_buckets(self):
+        h = HistogramStat()
+        h.observe(5e-8)   # below the first bound -> bucket 0
+        h.observe(1e-7)   # exactly on a bound -> that bound's bucket (le)
+        h.observe(3e-4)
+        h.observe(100.0)  # beyond the last bound -> overflow bucket
+        d = h.as_dict()
+        assert d["count"] == 4
+        assert d["sum_s"] == pytest.approx(5e-8 + 1e-7 + 3e-4 + 100.0)
+        assert len(d["counts"]) == len(d["bounds"]) + 1
+        assert d["counts"][0] == 2
+        assert d["counts"][-1] == 1
+        idx = next(
+            i for i, b in enumerate(HISTOGRAM_BOUNDS) if 3e-4 <= b
+        )
+        assert d["counts"][idx] == 1
+
+    def test_total_count_equals_sum_of_buckets(self):
+        h = HistogramStat()
+        for i in range(200):
+            h.observe(10.0 ** ((i % 30) - 22))
+        d = h.as_dict()
+        assert sum(d["counts"]) == d["count"] == 200
 
 
 class TestRegistry:
@@ -134,6 +172,67 @@ class TestRegistry:
         assert snap["counters"]["n"] == 4000
         assert snap["timers"]["t"]["count"] == 4000
 
+    def test_observations_feed_timer_and_histogram_together(self):
+        reg = MetricsRegistry()
+        reg.observe("op", 0.003)
+        reg.record_call("op", 0.005)
+        snap = reg.snapshot()
+        assert snap["timers"]["op"]["count"] == 2
+        assert snap["histograms"]["op"]["count"] == 2
+        assert snap["histograms"]["op"]["sum_s"] == pytest.approx(0.008)
+
+    def test_reset_bumps_epoch_and_clears_histograms(self):
+        reg = MetricsRegistry()
+        reg.observe("op", 0.01)
+        assert reg.snapshot()["epoch"] == 0
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap["epoch"] == 1
+        assert snap["histograms"] == {} and snap["timers"] == {}
+
+    def test_snapshot_is_atomic_under_concurrent_reset(self):
+        """Regression: the three maps and the epoch must come from one lock
+        acquisition, so a snapshot racing reset() can never pair counters
+        from one epoch with timers/histograms from another — the invariant
+        ``op.calls == timers[op].count == histograms[op].count`` holds in
+        every observed snapshot."""
+        reg = MetricsRegistry()
+        stop = threading.Event()
+        bad: list[dict] = []
+
+        def recorder() -> None:
+            while not stop.is_set():
+                reg.record_call("op", 0.001)
+
+        def resetter() -> None:
+            while not stop.is_set():
+                reg.reset()
+
+        def snapshotter() -> None:
+            while not stop.is_set():
+                snap = reg.snapshot()
+                calls = snap["counters"].get("op.calls", 0)
+                t_count = snap["timers"].get("op", {}).get("count", 0)
+                h_count = snap["histograms"].get("op", {}).get("count", 0)
+                if not (calls == t_count == h_count):
+                    bad.append(snap)
+                    return
+
+        threads = (
+            [threading.Thread(target=recorder) for _ in range(2)]
+            + [threading.Thread(target=resetter)]
+            + [threading.Thread(target=snapshotter) for _ in range(2)]
+        )
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.5)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert bad == [], f"torn snapshot observed: {bad[0]}"
+
 
 class TestEntryPointWiring:
     def test_transpose_inplace_records_by_default(self):
@@ -215,6 +314,10 @@ class TestStatsCommand:
         assert any(k.startswith("plan.pass.") for k in snap["timers"])
         assert snap["plan_cache"]["hits"] > 0
         assert snap["plan_cache"]["misses"] > 0
+        # Each timer has a matching latency histogram with agreeing counts.
+        hist = snap["histograms"]["transpose_inplace"]
+        assert hist["count"] == snap["timers"]["transpose_inplace"]["count"]
+        assert sum(hist["counts"]) == hist["count"]
 
     def test_stats_without_exercise_is_a_pure_snapshot(self, capsys):
         before = metrics.registry.snapshot()["counters"].get(

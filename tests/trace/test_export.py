@@ -1,0 +1,181 @@
+"""Exporters: Chrome-trace schema and validation, Prometheus text format
+with cumulative buckets, and the human-readable tree."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.runtime.metrics import MetricsRegistry
+from repro.trace.export import (
+    to_chrome_trace,
+    to_prometheus,
+    to_tree,
+    validate_chrome_trace,
+)
+from repro.trace.spans import Tracer
+
+
+def _traced_workload() -> list:
+    """A small two-thread workload: nested spans, an event, a worker span."""
+    tr = Tracer(enabled=True)
+    with tr.span("op.transpose_inplace", m=4, n=6):
+        with tr.span("pass.row_shuffle", bytes=192):
+            pass
+        tr.event("cache.hit", m=4, n=6)
+    t = threading.Thread(
+        target=lambda: tr.span("worker.chunk", stage="row_shuffle").__enter__().__exit__()
+    )
+    t.start()
+    t.join()
+    return tr.snapshot()
+
+
+class TestChromeTrace:
+    def test_document_validates_and_is_json_serializable(self):
+        doc = to_chrome_trace(_traced_workload(), pid=1234)
+        counts = validate_chrome_trace(doc)
+        assert counts["X"] == 3
+        assert counts["i"] == 1
+        assert counts["M"] == 2  # one thread_name metadata event per lane
+        json.dumps(doc)  # must not raise
+
+    def test_timestamps_rebase_to_zero_in_microseconds(self):
+        recs = _traced_workload()
+        doc = to_chrome_trace(recs)
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert min(e["ts"] for e in xs) == pytest.approx(0.0, abs=1e-6)
+        outer = next(e for e in xs if e["name"] == "op.transpose_inplace")
+        rec = next(r for r in recs if r.name == "op.transpose_inplace")
+        assert outer["dur"] == pytest.approx(rec.duration_s * 1e6)
+
+    def test_lanes_follow_thread_ids(self):
+        doc = to_chrome_trace(_traced_workload())
+        worker = next(
+            e for e in doc["traceEvents"] if e["name"] == "worker.chunk"
+        )
+        main = next(
+            e for e in doc["traceEvents"] if e["name"] == "pass.row_shuffle"
+        )
+        assert worker["tid"] != main["tid"]
+        meta = {
+            e["tid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert meta[main["tid"]] == "MainThread"
+
+    def test_category_comes_from_name_prefix(self):
+        doc = to_chrome_trace(_traced_workload())
+        cats = {e["name"]: e["cat"] for e in doc["traceEvents"] if "cat" in e}
+        assert cats["pass.row_shuffle"] == "pass"
+        assert cats["op.transpose_inplace"] == "op"
+        assert cats["cache.hit"] == "cache"
+
+    def test_attrs_become_args(self):
+        doc = to_chrome_trace(_traced_workload())
+        ev = next(
+            e for e in doc["traceEvents"] if e["name"] == "pass.row_shuffle"
+        )
+        assert ev["args"] == {"bytes": 192}
+
+
+class TestChromeValidation:
+    def test_rejects_non_dict_and_empty_documents(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace([])
+        with pytest.raises(ValueError, match="non-empty"):
+            validate_chrome_trace({"traceEvents": []})
+
+    def test_rejects_missing_required_fields(self):
+        with pytest.raises(ValueError, match="lacks 'ph'"):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "pid": 1, "tid": 1}]}
+            )
+
+    def test_rejects_complete_event_without_duration(self):
+        ev = {"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": 0.0}
+        with pytest.raises(ValueError, match="'ts' and 'dur'"):
+            validate_chrome_trace({"traceEvents": [ev]})
+
+    def test_rejects_negative_duration(self):
+        ev = {"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": 0.0, "dur": -1}
+        with pytest.raises(ValueError, match="negative"):
+            validate_chrome_trace({"traceEvents": [ev]})
+
+    def test_rejects_unknown_phase_and_span_free_traces(self):
+        ev = {"name": "x", "ph": "Q", "pid": 1, "tid": 1}
+        with pytest.raises(ValueError, match="unexpected phase"):
+            validate_chrome_trace({"traceEvents": [ev]})
+        inst = {"name": "x", "ph": "i", "pid": 1, "tid": 1, "ts": 0.0}
+        with pytest.raises(ValueError, match="no complete"):
+            validate_chrome_trace({"traceEvents": [inst]})
+
+
+class TestPrometheus:
+    def _snapshot(self) -> dict:
+        reg = MetricsRegistry()
+        reg.inc("bytes_moved", 1024)
+        reg.record_call("transpose_inplace", 0.002)
+        reg.record_call("transpose_inplace", 0.004)
+        snap = reg.snapshot()
+        snap["plan_cache"] = {"hits": 3, "misses": 1, "enabled": True}
+        return snap
+
+    def test_counters_render_as_total_families(self):
+        text = to_prometheus(self._snapshot())
+        assert "# TYPE repro_bytes_moved_total counter" in text
+        assert "repro_bytes_moved_total 1024" in text
+        assert "repro_transpose_inplace_calls_total 2" in text
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        text = to_prometheus(self._snapshot())
+        bucket_lines = [
+            ln for ln in text.splitlines()
+            if ln.startswith("repro_latency_seconds_bucket")
+        ]
+        counts = [int(ln.rsplit(" ", 1)[1]) for ln in bucket_lines]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        assert counts[-1] == 2
+        assert 'le="+Inf"' in bucket_lines[-1]
+        assert 'op="transpose_inplace"' in bucket_lines[0]
+        assert "repro_latency_seconds_count" in text
+        assert "repro_latency_seconds_sum" in text
+
+    def test_plan_cache_stats_render_as_gauges(self):
+        text = to_prometheus(self._snapshot())
+        assert "# TYPE repro_plan_cache_hits gauge" in text
+        assert "repro_plan_cache_hits 3" in text
+        assert "repro_plan_cache_enabled 1" in text
+
+    def test_metric_names_are_sanitized(self):
+        reg = MetricsRegistry()
+        reg.inc("plan.pass.gather_cols", 7)
+        text = to_prometheus(reg.snapshot())
+        assert "repro_plan_pass_gather_cols_total 7" in text
+
+    def test_empty_snapshot_renders_nothing(self):
+        assert to_prometheus(MetricsRegistry().snapshot()) == "\n"
+
+
+class TestTree:
+    def test_tree_shows_nesting_threads_and_events(self):
+        text = to_tree(_traced_workload())
+        assert "thread MainThread" in text
+        assert "op.transpose_inplace" in text
+        # child pass indented deeper than its parent op
+        op_line = next(
+            ln for ln in text.splitlines() if "op.transpose_inplace" in ln
+        )
+        pass_line = next(
+            ln for ln in text.splitlines() if "pass.row_shuffle" in ln
+        )
+        indent = len(op_line) - len(op_line.lstrip())
+        assert len(pass_line) - len(pass_line.lstrip()) > indent
+        assert "* cache.hit" in text
+        assert "worker.chunk" in text
+
+    def test_empty_input_is_handled(self):
+        assert to_tree([]) == "(no spans recorded)\n"

@@ -1,0 +1,232 @@
+"""Core tracer semantics: disabled no-op path, ring-buffer bounds, nesting
+and per-thread parenting, instant events, and the global enable helpers."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.trace import spans
+from repro.trace.spans import _NOOP, SpanRecord, Tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_tracer():
+    was_enabled = spans.tracer.enabled
+    spans.tracer.reset()
+    yield
+    spans.tracer.reset()
+    spans.tracer.enabled = was_enabled
+
+
+class TestDisabledPath:
+    def test_span_returns_the_shared_noop_singleton(self):
+        tr = Tracer(enabled=False)
+        assert tr.span("pass.x", m=4, n=6) is _NOOP
+        assert tr.span("other") is _NOOP
+
+    def test_disabled_span_and_event_record_nothing(self):
+        tr = Tracer(enabled=False)
+        with tr.span("pass.x"):
+            pass
+        tr.event("cache.hit")
+        assert len(tr) == 0
+        assert tr.recorded == 0
+
+    def test_noop_span_exposes_zero_duration(self):
+        tr = Tracer(enabled=False)
+        with tr.span("pass.x") as sp:
+            pass
+        assert sp.duration_s == 0.0
+
+    def test_noop_span_does_not_swallow_exceptions(self):
+        tr = Tracer(enabled=False)
+        with pytest.raises(RuntimeError):
+            with tr.span("pass.x"):
+                raise RuntimeError("boom")
+
+
+class TestRecording:
+    def test_span_records_name_attrs_and_positive_duration(self):
+        tr = Tracer(enabled=True)
+        with tr.span("pass.row_shuffle", m=3, n=4, bytes=96):
+            pass
+        (rec,) = tr.snapshot()
+        assert rec.name == "pass.row_shuffle"
+        assert rec.attrs == {"m": 3, "n": 4, "bytes": 96}
+        assert rec.duration_s >= 0.0
+        assert not rec.is_event
+        assert rec.tid == threading.get_ident()
+
+    def test_live_span_records_even_when_body_raises(self):
+        tr = Tracer(enabled=True)
+        with pytest.raises(ValueError):
+            with tr.span("pass.x"):
+                raise ValueError("boom")
+        assert len(tr) == 1
+
+    def test_event_is_zero_width(self):
+        tr = Tracer(enabled=True)
+        tr.event("cache.hit", m=3, n=4)
+        (rec,) = tr.snapshot()
+        assert rec.is_event and rec.t0 == rec.t1
+        assert rec.attrs == {"m": 3, "n": 4}
+
+    def test_span_ids_are_unique_and_monotonic(self):
+        tr = Tracer(enabled=True)
+        for _ in range(10):
+            with tr.span("s"):
+                pass
+        ids = [r.span_id for r in tr.snapshot()]
+        assert ids == sorted(ids) and len(set(ids)) == 10
+
+    def test_as_dict_round_trips_fields(self):
+        tr = Tracer(enabled=True)
+        with tr.span("op.x", k=1):
+            pass
+        d = tr.snapshot()[0].as_dict()
+        assert d["name"] == "op.x"
+        assert d["attrs"] == {"k": 1}
+        assert d["duration_s"] == pytest.approx(d["t1"] - d["t0"])
+
+
+class TestNesting:
+    def test_nested_spans_parent_correctly(self):
+        tr = Tracer(enabled=True)
+        with tr.span("op.outer"):
+            with tr.span("pass.inner"):
+                pass
+            tr.event("cache.hit")
+        recs = {r.name: r for r in tr.snapshot()}
+        outer = recs["op.outer"]
+        assert recs["pass.inner"].parent_id == outer.span_id
+        assert recs["cache.hit"].parent_id == outer.span_id
+        assert outer.parent_id == 0
+
+    def test_siblings_share_a_parent(self):
+        tr = Tracer(enabled=True)
+        with tr.span("op.outer"):
+            with tr.span("pass.a"):
+                pass
+            with tr.span("pass.b"):
+                pass
+        recs = {r.name: r for r in tr.snapshot()}
+        assert recs["pass.a"].parent_id == recs["pass.b"].parent_id
+
+    def test_threads_never_parent_each_other(self):
+        """Spans opened on a worker thread must be roots there, even while a
+        span is open on the main thread (per-thread stacks)."""
+        tr = Tracer(enabled=True)
+        # The barrier keeps all four workers alive at once, so the OS cannot
+        # recycle a finished worker's thread ident for the next one.
+        barrier = threading.Barrier(4)
+
+        def worker() -> None:
+            with tr.span("worker.chunk", stage="row_shuffle"):
+                barrier.wait(timeout=10)
+
+        with tr.span("op.parallel"):
+            threads = [threading.Thread(target=worker) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        recs = tr.snapshot()
+        chunks = [r for r in recs if r.name == "worker.chunk"]
+        assert len(chunks) == 4
+        assert all(c.parent_id == 0 for c in chunks)
+        assert len({c.tid for c in chunks}) == 4
+
+    def test_concurrent_recording_is_lossless_within_capacity(self):
+        tr = Tracer(enabled=True, capacity=10_000)
+
+        def worker() -> None:
+            for _ in range(250):
+                with tr.span("s"):
+                    pass
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tr) == 2000
+        assert tr.dropped == 0
+        ids = [r.span_id for r in tr.snapshot()]
+        assert len(set(ids)) == 2000
+
+
+class TestRingBuffer:
+    def test_wraparound_keeps_newest_and_counts_dropped(self):
+        tr = Tracer(enabled=True, capacity=8)
+        for i in range(20):
+            with tr.span(f"s{i}"):
+                pass
+        recs = tr.snapshot()
+        assert len(recs) == 8
+        assert [r.name for r in recs] == [f"s{i}" for i in range(12, 20)]
+        assert tr.dropped == 12
+        assert tr.recorded == 20
+
+    def test_reset_clears_records_and_counters_not_flag(self):
+        tr = Tracer(enabled=True, capacity=4)
+        for i in range(6):
+            with tr.span("s"):
+                pass
+        tr.reset()
+        assert len(tr) == 0 and tr.dropped == 0 and tr.recorded == 0
+        assert tr.enabled is True
+
+    def test_drain_empties_the_buffer(self):
+        tr = Tracer(enabled=True)
+        with tr.span("s"):
+            pass
+        out = tr.drain()
+        assert len(out) == 1 and len(tr) == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestGlobalHelpers:
+    def test_enable_disable_toggle_the_shared_tracer(self):
+        spans.enable()
+        assert spans.is_enabled()
+        with spans.tracer.span("s"):
+            pass
+        spans.disable()
+        assert not spans.is_enabled()
+        with spans.tracer.span("s2"):
+            pass
+        names = [r.name for r in spans.tracer.snapshot()]
+        assert names == ["s"]
+
+    def test_traced_decorator_wraps_buf_m_n_entry_points(self):
+        calls = []
+
+        @spans.traced("baseline.fake")
+        def fake(buf, m, n, *, flag=False):
+            calls.append((m, n, flag))
+            return "ret"
+
+        class Buf:
+            nbytes = 128
+
+        spans.disable()
+        assert fake(Buf(), 3, 4, flag=True) == "ret"
+        assert len(spans.tracer) == 0
+        spans.enable()
+        assert fake(Buf(), 3, 4) == "ret"
+        (rec,) = spans.tracer.snapshot()
+        assert rec.name == "baseline.fake"
+        assert rec.attrs == {"m": 3, "n": 4, "bytes": 256}
+        assert calls == [(3, 4, True), (3, 4, False)]
+
+    def test_module_reset_helper(self):
+        spans.enable()
+        with spans.tracer.span("s"):
+            pass
+        spans.reset()
+        assert len(spans.tracer) == 0
