@@ -33,6 +33,20 @@ Commands
 ``profile``
     Per-pass bandwidth breakdown (achieved GB/s and memcpy fraction) from
     a traced run — the Section 7 per-pass evaluation, on this machine.
+``transpose-file``
+    Out-of-core in-place transpose of a raw binary matrix file through
+    ``O(max(m, n))`` scratch (alias of ``transpose``, kept under the
+    explicit name).
+``serve``
+    Run the HTTP transposition service: bounded queue with admission
+    control, shape-coalescing batcher, draining worker pool,
+    ``/transpose`` + ``/healthz`` + ``/metrics`` endpoints.  SIGINT/
+    SIGTERM shut down gracefully (drain, never drop) and print a summary.
+``loadtest``
+    Open-loop Poisson load generator against a running server (or an
+    in-process one with ``--inproc``): p50/p99 latency, throughput vs the
+    direct-call ceiling, coalesced-vs-naive batching speedup, optional
+    threshold assertions for CI.
 """
 
 from __future__ import annotations
@@ -398,6 +412,131 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from .serve import ServeConfig, TransposeServer
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        request_timeout_s=args.request_timeout,
+    )
+    server = TransposeServer(config, verbose=args.verbose).start()
+    host, port = server.address
+    print(f"repro-serve listening on http://{host}:{port} "
+          f"({config.workers} workers, queue {config.queue_size}, "
+          f"max batch {config.max_batch}, max wait {config.max_wait_ms}ms)")
+    print("endpoints: POST /transpose, GET /healthz, GET /metrics")
+    stop = {"signal": None}
+
+    def _on_signal(signum, frame):
+        stop["signal"] = signum
+
+    signal.signal(signal.SIGINT, _on_signal)
+    signal.signal(signal.SIGTERM, _on_signal)
+    t0 = time.monotonic()
+    try:
+        while stop["signal"] is None:
+            time.sleep(0.2)
+            if args.max_seconds and time.monotonic() - t0 > args.max_seconds:
+                break
+    except KeyboardInterrupt:
+        pass
+    print("shutting down (draining accepted requests)...")
+    summary = server.shutdown()
+    print(
+        "shutdown summary: "
+        f"accepted={summary['accepted']} responded={summary['responded']} "
+        f"dropped={summary['dropped']} rejected_full={summary['rejected_full']} "
+        f"retries={summary['retries']} drained={summary['drained']}"
+    )
+    return 0 if summary["dropped"] == 0 and summary["drained"] else 1
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve.loadgen import format_report, parse_shape_mix, run_loadtest
+
+    try:
+        shapes = parse_shape_mix(args.shapes)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 1
+
+    server = None
+    url = args.url
+    if args.inproc:
+        from .serve import ServeConfig, TransposeServer
+
+        server = TransposeServer(ServeConfig(
+            port=0,
+            workers=args.workers,
+            queue_size=args.queue_size,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+        )).start()
+        url = server.url
+    elif not url:
+        print("error: pass --url or --inproc")
+        return 1
+
+    try:
+        report = run_loadtest(
+            url,
+            rate=args.rate,
+            duration_s=args.duration,
+            shapes=shapes,
+            dtype=args.dtype,
+            tiles=args.tiles,
+            connections=args.connections,
+            batch=args.max_batch,
+            seed=args.seed,
+            reference=not args.no_reference,
+        )
+    finally:
+        summary = server.shutdown() if server is not None else None
+
+    print(format_report(report))
+    if summary is not None:
+        print(
+            f"  shutdown  accepted={summary['accepted']} "
+            f"responded={summary['responded']} dropped={summary['dropped']}"
+        )
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+
+    failed = []
+    if report.verify_failures:
+        failed.append(f"{report.verify_failures} responses failed verification")
+    if report.errors:
+        failed.append(f"{report.errors} requests errored")
+    if summary is not None and summary["dropped"]:
+        failed.append(f"{summary['dropped']} accepted requests dropped")
+    if args.min_efficiency is not None and report.efficiency < args.min_efficiency:
+        failed.append(
+            f"efficiency {report.efficiency:.1%} < floor {args.min_efficiency:.1%}"
+        )
+    if (
+        args.min_batch_speedup is not None
+        and report.batched_speedup < args.min_batch_speedup
+    ):
+        failed.append(
+            f"batched speedup {report.batched_speedup:.2f}x < floor "
+            f"{args.min_batch_speedup:.2f}x"
+        )
+    for reason in failed:
+        print(f"FAILED: {reason}")
+    if not failed:
+        print("ok")
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -441,6 +580,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dtype", default="float64")
     p.add_argument("--tile", type=int, default=32)
     p.set_defaults(fn=_cmd_convert)
+
+    p = sub.add_parser(
+        "transpose-file",
+        help="out-of-core in-place transpose of a raw binary matrix file",
+    )
+    p.add_argument("file")
+    p.add_argument("m", type=int)
+    p.add_argument("n", type=int)
+    p.add_argument("--dtype", default="float64")
+    p.add_argument("--order", choices=["C", "F"], default="C")
+    p.add_argument("--algorithm", choices=["auto", "c2r", "r2c"], default="auto")
+    p.set_defaults(fn=_cmd_transpose)
 
     p = sub.add_parser("bench", help="quick wall-clock benchmark")
     p.add_argument("m", type=int)
@@ -567,6 +718,62 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the profiles as JSON instead of a table")
     p.add_argument("--indent", type=int, default=2)
     p.set_defaults(fn=_cmd_profile)
+
+    p = sub.add_parser(
+        "serve", help="run the HTTP transposition service (drains on SIGTERM)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8077,
+                   help="0 picks an ephemeral port (printed at startup)")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--queue-size", type=int, default=512,
+                   help="admission-control bound; full -> HTTP 429")
+    p.add_argument("--max-batch", type=int, default=32,
+                   help="largest same-shape group one dispatch coalesces")
+    p.add_argument("--max-wait-ms", type=float, default=2.0,
+                   help="longest a request waits for batch-mates")
+    p.add_argument("--request-timeout", type=float, default=30.0,
+                   help="server-side cap on one request's total time (s)")
+    p.add_argument("--max-seconds", type=float, default=0.0,
+                   help="exit (gracefully) after this long; 0 = run until signal")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every HTTP request to stderr")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "loadtest",
+        help="open-loop Poisson load generator + serving-efficiency report",
+    )
+    p.add_argument("--url", default="",
+                   help="target server, e.g. http://127.0.0.1:8077")
+    p.add_argument("--inproc", action="store_true",
+                   help="spin up an in-process server on an ephemeral port")
+    p.add_argument("--rate", type=float, default=900.0,
+                   help="offered request rate (Poisson arrivals)")
+    p.add_argument("--duration", type=float, default=5.0, help="seconds of load")
+    p.add_argument("--shapes", default="256x384",
+                   help="workload mix, e.g. 256x384:0.8,128x192:0.2")
+    p.add_argument("--dtype", default="uint8",
+                   help="element dtype (uint8 = image-tile workload)")
+    p.add_argument("--tiles", type=int, default=4,
+                   help="matrices per request (X-Repro-Batch client-side "
+                   "micro-batching)")
+    p.add_argument("--connections", type=int, default=16,
+                   help="persistent client connections")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=2, help="--inproc: worker threads")
+    p.add_argument("--queue-size", type=int, default=512, help="--inproc: queue bound")
+    p.add_argument("--max-batch", type=int, default=32)
+    p.add_argument("--max-wait-ms", type=float, default=0.5)
+    p.add_argument("--no-reference", action="store_true",
+                   help="skip the in-process ceiling/naive reference runs")
+    p.add_argument("--min-efficiency", type=float, default=None,
+                   help="fail unless achieved/ceiling >= this fraction")
+    p.add_argument("--min-batch-speedup", type=float, default=None,
+                   help="fail unless coalesced/naive >= this factor")
+    p.add_argument("--json", action="store_true",
+                   help="also print the report as JSON")
+    p.set_defaults(fn=_cmd_loadtest)
 
     return parser
 

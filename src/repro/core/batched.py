@@ -22,7 +22,11 @@ from . import equations as eq
 from .indexing import Decomposition
 from .transpose import choose_algorithm
 
-__all__ = ["BatchedTransposePlan", "batched_transpose_inplace"]
+__all__ = [
+    "BatchedTransposePlan",
+    "batched_transpose_inplace",
+    "validate_batch_member",
+]
 
 #: reusable stateless no-op context manager for untraced paths
 _NULL_CM = nullcontext()
@@ -49,6 +53,59 @@ def _tracer():
 
         _trace = spans
     return _trace.tracer
+
+
+def validate_batch_member(
+    buf: np.ndarray,
+    m: int,
+    n: int,
+    dtype: np.dtype | None = None,
+    *,
+    count: int = 1,
+    require_writeable: bool = True,
+) -> None:
+    """Check one request buffer is safe to coalesce into an ``m x n`` batch.
+
+    The batched gather path shares a single staging buffer across requests,
+    so every member must be exactly ``count`` stacked ``m * n``-element
+    matrices with the batch's dtype; a strided view or a byte-swapped/
+    foreign dtype would be silently *copied* into the batch and the
+    caller's buffer left untouched — the same latent bug class the PR-1
+    contiguity guards close for the single-matrix paths.  Raises
+    :class:`ValueError` naming the offending property instead.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if buf.ndim not in (1, 2):
+        raise ValueError(
+            f"batch member must be a flat or 2-D array, got {buf.ndim}-D"
+        )
+    if buf.size != count * m * n:
+        raise ValueError(
+            f"batch member has {buf.size} elements; {count} stacked "
+            f"{m}x{n} matrices need {count * m * n}"
+        )
+    if buf.ndim == 2 and buf.shape not in ((m, n), (count, m * n)):
+        raise ValueError(
+            f"batch member shape {buf.shape} matches neither ({m}, {n}) "
+            f"nor ({count}, {m * n})"
+        )
+    if not buf.flags["C_CONTIGUOUS"]:
+        raise ValueError(
+            "batch member must be C-contiguous (a strided view would be "
+            "silently copied into the batch, not transposed in place)"
+        )
+    if require_writeable and not buf.flags.writeable:
+        raise ValueError(
+            "batch member is read-only; in-place transposition must be "
+            "able to write the result back"
+        )
+    if dtype is not None and buf.dtype != np.dtype(dtype):
+        raise ValueError(
+            f"batch member dtype {buf.dtype} does not match the batch "
+            f"dtype {np.dtype(dtype)} (mixed-dtype groups cannot share a "
+            "staging buffer without a silent conversion copy)"
+        )
 
 
 class BatchedTransposePlan:
@@ -107,6 +164,11 @@ class BatchedTransposePlan:
             raise ValueError(
                 "batched buffers must be C-contiguous "
                 "(a strided view would be silently copied, not permuted)"
+            )
+        if not buf.flags.writeable:
+            raise ValueError(
+                "batched buffers must be writeable "
+                "(in-place transposition writes the result back)"
             )
         if buf.ndim == 1:
             if buf.shape[0] % mn:

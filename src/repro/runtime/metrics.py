@@ -97,20 +97,20 @@ HISTOGRAM_BOUNDS = tuple(10.0 ** (e / 3.0) for e in range(-21, 4))
 
 
 class HistogramStat:
-    """A latency histogram over the shared log-spaced bucket bounds.
+    """A histogram over log-spaced bucket bounds (latencies by default).
 
     ``counts[i]`` holds observations with ``value <= bounds[i]`` and
     ``value > bounds[i-1]`` (per-bucket, not cumulative; the Prometheus
     exporter accumulates at render time).  The final slot is the +Inf
-    overflow bucket.  An observation is one bisect over 25 bounds plus two
-    adds — negligible next to any pass it measures.
+    overflow bucket.  An observation is one bisect over the bounds plus two
+    adds — negligible next to any pass it measures.  Value histograms
+    (batch sizes, queue depths) pass their own ``bounds``.
     """
 
-    __slots__ = ("counts", "count", "sum_s")
+    __slots__ = ("bounds", "counts", "count", "sum_s")
 
-    bounds = HISTOGRAM_BOUNDS
-
-    def __init__(self) -> None:
+    def __init__(self, bounds: tuple[float, ...] = HISTOGRAM_BOUNDS) -> None:
+        self.bounds = bounds
         self.counts = [0] * (len(self.bounds) + 1)
         self.count = 0
         self.sum_s = 0.0
@@ -166,6 +166,8 @@ class MetricsRegistry:
         self._counters: dict[str, int] = {}
         self._timers: dict[str, TimerStat] = {}
         self._histograms: dict[str, HistogramStat] = {}
+        self._gauges: dict[str, float] = {}
+        self._value_hists: dict[str, HistogramStat] = {}
         #: bumped by reset(); snapshots carry it so readers can tell two
         #: snapshots from different epochs apart.
         self._epoch = 0
@@ -206,6 +208,34 @@ class MetricsRegistry:
             return
         with self._lock:
             self._observe_locked(name, seconds)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to a point-in-time ``value`` (queue depth,
+        worker count, …) — last write wins, no history."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe_value(
+        self, name: str, value: float, bounds: tuple[float, ...] | None = None
+    ) -> None:
+        """Record a non-latency observation (batch size, bytes, depth) into
+        a value histogram.
+
+        ``bounds`` applies on first use of ``name`` (the default log-spaced
+        latency bounds are wrong for counts, so callers sizing batches pass
+        e.g. ``(1, 2, 4, 8, ...)``); later calls reuse the family's bounds.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            hist = self._value_hists.get(name)
+            if hist is None:
+                hist = self._value_hists[name] = HistogramStat(
+                    tuple(bounds) if bounds is not None else HISTOGRAM_BOUNDS
+                )
+            hist.observe(value)
 
     def timer(self, name: str) -> _Timer:
         """``with registry.timer("pass.x"):`` — no-op while disabled."""
@@ -254,6 +284,10 @@ class MetricsRegistry:
                 "histograms": {
                     k: v.as_dict() for k, v in self._histograms.items()
                 },
+                "gauges": dict(self._gauges),
+                "value_histograms": {
+                    k: v.as_dict() for k, v in self._value_hists.items()
+                },
             }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -265,6 +299,8 @@ class MetricsRegistry:
             self._counters.clear()
             self._timers.clear()
             self._histograms.clear()
+            self._gauges.clear()
+            self._value_hists.clear()
             self._epoch += 1
 
 

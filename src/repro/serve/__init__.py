@@ -1,0 +1,37 @@
+"""Transposition serving layer (see docs/SERVING.md).
+
+Turns the kernel library into a service: a bounded request queue with
+admission control (:mod:`~repro.serve.queue`), a shape/dtype-coalescing
+batcher that amortizes plans across same-shape requests
+(:mod:`~repro.serve.batcher`), a draining worker pool
+(:mod:`~repro.serve.workers`), a stdlib HTTP front end
+(:mod:`~repro.serve.server`) and an open-loop load generator
+(:mod:`~repro.serve.loadgen`).  ``repro serve`` / ``repro loadtest`` are
+the CLI entry points.
+"""
+
+from .batcher import Group, ShapeBatcher
+from .queue import (
+    DeadlineExceededError,
+    QueueClosedError,
+    QueueFullError,
+    Request,
+    RequestCancelledError,
+    RequestQueue,
+)
+from .server import ServeConfig, TransposeServer
+from .workers import WorkerPool
+
+__all__ = [
+    "Request",
+    "RequestQueue",
+    "QueueFullError",
+    "QueueClosedError",
+    "DeadlineExceededError",
+    "RequestCancelledError",
+    "Group",
+    "ShapeBatcher",
+    "WorkerPool",
+    "ServeConfig",
+    "TransposeServer",
+]

@@ -1,0 +1,300 @@
+"""Bounded request queue with admission control, deadlines and cancellation.
+
+The serving layer is open-loop: clients submit work at whatever rate they
+like, so the queue — not the workers — is where overload policy lives.
+Three rules, all enforced here:
+
+* **Admission control.**  The queue holds at most ``maxsize`` requests;
+  a submit against a full queue raises :class:`QueueFullError` immediately
+  (the HTTP front end maps it to ``429 Too Many Requests``) instead of
+  letting latency grow without bound.
+* **Deadlines.**  A request may carry a deadline (:func:`time.monotonic`
+  scale).  Expired requests are never executed — the batcher fails them
+  with :class:`DeadlineExceededError` at claim time, so a backed-up queue
+  sheds exactly the work nobody is waiting for anymore.
+* **Cancellation.**  A pending request can be cancelled by its submitter;
+  claim and cancel race through one per-request state machine
+  (``PENDING -> CLAIMED -> terminal``), so a request is executed or
+  cancelled, never both.
+
+The queue itself stores requests in arrival order and knows nothing about
+shapes; coalescing is :mod:`repro.serve.batcher`'s job.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from time import monotonic
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "QueueFullError",
+    "QueueClosedError",
+    "DeadlineExceededError",
+    "RequestCancelledError",
+    "Request",
+    "RequestQueue",
+    "PENDING",
+    "CLAIMED",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+]
+
+
+class QueueFullError(RuntimeError):
+    """Admission reject: the queue is at capacity (HTTP 429)."""
+
+
+class QueueClosedError(RuntimeError):
+    """Submit after shutdown began (HTTP 503)."""
+
+
+class DeadlineExceededError(RuntimeError):
+    """The request's deadline passed before execution (HTTP 504)."""
+
+
+class RequestCancelledError(RuntimeError):
+    """The submitter cancelled the request before execution."""
+
+
+#: request lifecycle states
+PENDING = "pending"
+CLAIMED = "claimed"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+_ids = itertools.count(1)
+
+
+class Request:
+    """One transposition request travelling through the serving layer.
+
+    ``buf`` holds ``tiles`` stacked ``m x n`` matrices (``tiles * m * n``
+    elements; ``tiles`` is client-side micro-batching — one HTTP round
+    trip carrying several same-shape tiles).  It is **never mutated** —
+    the worker fulfills the request with a freshly produced transposed
+    array (staged through the batch buffer), which keeps a retry after a
+    transient failure safe: the input is still intact.
+
+    The submitter blocks in :meth:`wait`; the worker finishes the request
+    through exactly one of :meth:`fulfill` / :meth:`fail`.
+    """
+
+    __slots__ = (
+        "id", "buf", "m", "n", "order", "tiles", "deadline", "t_submit",
+        "t_claim", "t_done", "result", "error", "_state", "_lock", "_event",
+    )
+
+    def __init__(
+        self,
+        buf: np.ndarray,
+        m: int,
+        n: int,
+        order: str = "C",
+        *,
+        tiles: int = 1,
+        deadline: float | None = None,
+    ):
+        if tiles < 1:
+            raise ValueError(f"tiles must be >= 1, got {tiles}")
+        self.id = next(_ids)
+        self.buf = buf
+        self.m = int(m)
+        self.n = int(n)
+        self.order = order
+        self.tiles = int(tiles)
+        self.deadline = deadline
+        self.t_submit = 0.0
+        self.t_claim = 0.0
+        self.t_done = 0.0
+        self.result: np.ndarray | None = None
+        self.error: BaseException | None = None
+        self._state = PENDING
+        self._lock = threading.Lock()
+        self._event = threading.Event()
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def shape_key(self) -> tuple[int, int, str, str]:
+        """The coalescing identity: same key means same batched plan."""
+        return (self.m, self.n, self.order, str(self.buf.dtype))
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def expired(self) -> bool:
+        return self.deadline is not None and monotonic() > self.deadline
+
+    # -- worker side ---------------------------------------------------------
+
+    def claim(self) -> bool:
+        """Move PENDING -> CLAIMED; False if cancelled first (or terminal).
+
+        Claiming again while already CLAIMED succeeds — a worker retrying a
+        transient group failure re-claims the same requests.
+        """
+        with self._lock:
+            if self._state == PENDING:
+                self._state = CLAIMED
+                self.t_claim = monotonic()
+                return True
+            return self._state == CLAIMED
+
+    def fulfill(self, result: np.ndarray) -> None:
+        with self._lock:
+            if self._state in (DONE, FAILED, CANCELLED):
+                return
+            self._state = DONE
+            self.result = result
+            self.t_done = monotonic()
+        self._event.set()
+
+    def fail(self, error: BaseException) -> None:
+        with self._lock:
+            if self._state in (DONE, FAILED, CANCELLED):
+                return
+            self._state = FAILED
+            self.error = error
+            self.t_done = monotonic()
+        self._event.set()
+
+    # -- submitter side ------------------------------------------------------
+
+    def cancel(self) -> bool:
+        """Cancel a still-pending request; False once claimed or finished."""
+        with self._lock:
+            if self._state != PENDING:
+                return False
+            self._state = CANCELLED
+            self.error = RequestCancelledError(f"request {self.id} cancelled")
+            self.t_done = monotonic()
+        self._event.set()
+        return True
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: float | None = None) -> np.ndarray:
+        """Block until terminal; return the transposed array or raise."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"request {self.id} still in flight")
+        if self.error is not None:
+            raise self.error
+        assert self.result is not None
+        return self.result
+
+    def __repr__(self) -> str:
+        return (
+            f"Request(id={self.id}, {self.m}x{self.n} {self.buf.dtype}, "
+            f"state={self._state!r})"
+        )
+
+
+class RequestQueue:
+    """A bounded FIFO of :class:`Request` with admission control.
+
+    ``submit`` never blocks: a full queue is a client problem (back off and
+    retry), not a reason to hold the connection hostage.  Consumers use
+    :meth:`get` / :meth:`drain_nowait`; :meth:`close` starts shutdown —
+    further submits raise, and ``get`` returns ``None`` once the backlog is
+    empty so workers can exit their drain loop.
+    """
+
+    def __init__(self, maxsize: int = 1024):
+        if maxsize < 1:
+            raise ValueError("queue maxsize must be >= 1")
+        self.maxsize = int(maxsize)
+        self._items: list[Request] = []
+        self._cv = threading.Condition()
+        self._closed = False
+        #: lifetime counters (exported through serve metrics)
+        self.submitted = 0
+        self.rejected_full = 0
+        self.rejected_closed = 0
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def depth(self) -> int:
+        with self._cv:
+            return len(self._items)
+
+    def submit(self, request: Request) -> Request:
+        """Admit ``request`` or raise (:class:`QueueFullError` /
+        :class:`QueueClosedError`).  Returns the request for chaining."""
+        with self._cv:
+            if self._closed:
+                self.rejected_closed += 1
+                raise QueueClosedError("queue is closed (server shutting down)")
+            if len(self._items) >= self.maxsize:
+                self.rejected_full += 1
+                raise QueueFullError(
+                    f"queue full ({self.maxsize} requests); retry later"
+                )
+            request.t_submit = monotonic()
+            self._items.append(request)
+            self.submitted += 1
+            self._cv.notify()
+        return request
+
+    def get(self, timeout: float | None = None) -> Request | None:
+        """Pop the oldest request, waiting up to ``timeout``.
+
+        Returns ``None`` on timeout, or immediately once the queue is both
+        closed and empty (the drain-complete signal).
+        """
+        deadline = None if timeout is None else monotonic() + timeout
+        with self._cv:
+            while not self._items:
+                if self._closed:
+                    return None
+                remaining = None if deadline is None else deadline - monotonic()
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._cv.wait(remaining)
+            return self._items.pop(0)
+
+    def drain_nowait(self, max_items: int | None = None) -> list[Request]:
+        """Pop everything currently queued (up to ``max_items``), no wait."""
+        with self._cv:
+            if max_items is None or max_items >= len(self._items):
+                out, self._items = self._items, []
+            else:
+                out = self._items[:max_items]
+                del self._items[:max_items]
+            return out
+
+    def close(self) -> None:
+        """Refuse new submits; wake every waiting consumer.
+
+        Queued requests stay queued — shutdown *drains* them ("drain, don't
+        drop"); :class:`~repro.serve.workers.WorkerPool` keeps consuming
+        until :meth:`get` returns ``None``.
+        """
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+
+    def stats(self) -> dict[str, Any]:
+        with self._cv:
+            return {
+                "depth": len(self._items),
+                "maxsize": self.maxsize,
+                "closed": self._closed,
+                "submitted": self.submitted,
+                "rejected_full": self.rejected_full,
+                "rejected_closed": self.rejected_closed,
+            }
+
+    def __len__(self) -> int:
+        return self.depth

@@ -1,0 +1,368 @@
+"""Stdlib HTTP front end for the transposition service.
+
+``http.server`` + ``socketserver`` only — the container ships no web
+framework, and none is needed: one binary POST endpoint, two text GET
+endpoints.
+
+Endpoints
+---------
+``POST /transpose``
+    Body: the raw ``m * n`` elements — or ``k`` same-shape matrices
+    stacked back to back with ``X-Repro-Batch: k`` (client-side
+    micro-batching: one HTTP round trip, ``k`` kernel tiles).  Headers:
+    ``X-Repro-Rows`` (m), ``X-Repro-Cols`` (n), optional ``X-Repro-Dtype``
+    (default float64), ``X-Repro-Order`` (C|F, default C) and
+    ``X-Repro-Timeout-Ms`` (a per-request deadline).  Response: the
+    ``n x m`` transpose(s), raw, with the swapped shape echoed in the
+    same headers.  Errors: 400 (bad
+    shape/dtype/size), 429 (queue full — admission control), 503
+    (shutting down), 504 (deadline exceeded), 500 (execution failure).
+``GET /healthz``
+    JSON liveness snapshot (queue depth, workers, counters).
+``GET /metrics``
+    Prometheus 0.0.4 text exposition: everything
+    :func:`repro.trace.export.to_prometheus` renders from the runtime
+    snapshot, which the serving layer extends with queue-depth/in-flight/
+    worker gauges, admission-reject counters, the ``serve.batch_size``
+    histogram and ``serve.e2e``/``serve.queue_wait``/``serve.execute``
+    latency histograms.
+
+Shutdown is graceful by contract: :meth:`TransposeServer.shutdown` stops
+accepting, drains every accepted request through the worker pool, waits
+for the in-flight responses to flush, and reports ``dropped`` (accepted
+minus responded — zero unless the drain timed out).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import monotonic, sleep
+
+import numpy as np
+
+from ..runtime import metrics
+from ..trace.export import to_prometheus
+from .batcher import ShapeBatcher
+from .queue import (
+    DeadlineExceededError,
+    QueueClosedError,
+    QueueFullError,
+    Request,
+    RequestQueue,
+)
+from .workers import WorkerPool
+
+__all__ = ["ServeConfig", "TransposeServer"]
+
+#: cap on a single request body; a 512 MiB matrix through a Python HTTP
+#: stack is a misconfiguration, not a workload
+MAX_BODY_BYTES = 512 * 1024 * 1024
+
+
+@dataclass
+class ServeConfig:
+    """Tuning knobs for one server instance (see docs/SERVING.md)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8077
+    workers: int = 2
+    queue_size: int = 512
+    max_batch: int = 32
+    max_wait_ms: float = 2.0
+    request_timeout_s: float = 30.0
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1.0"
+
+    # -- plumbing ------------------------------------------------------------
+
+    @property
+    def app(self) -> "TransposeServer":
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.app.verbose:
+            super().log_message(format, *args)
+
+    def _reply(
+        self, status: int, body, content_type: str, headers: dict | None = None
+    ) -> None:
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            for key, value in (headers or {}).items():
+                self.send_header(key, value)
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+
+    def _reply_error(self, status: int, message: str, headers: dict | None = None) -> None:
+        body = json.dumps({"error": message}).encode()
+        self._reply(status, body, "application/json", headers)
+
+    # -- GET: health + metrics -----------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        if self.path == "/healthz":
+            body = json.dumps(self.app.health(), sort_keys=True).encode()
+            self._reply(200, body, "application/json")
+        elif self.path == "/metrics":
+            text = self.app.render_metrics()
+            self._reply(
+                200, text.encode(), "text/plain; version=0.0.4; charset=utf-8"
+            )
+        else:
+            self._reply_error(404, f"no such path: {self.path}")
+
+    # -- POST: the work endpoint ---------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        if self.path != "/transpose":
+            self._reply_error(404, f"no such path: {self.path}")
+            return
+        app = self.app
+        try:
+            m = int(self.headers.get("X-Repro-Rows", ""))
+            n = int(self.headers.get("X-Repro-Cols", ""))
+        except ValueError:
+            self._reply_error(400, "X-Repro-Rows and X-Repro-Cols must be integers")
+            return
+        if m < 1 or n < 1:
+            self._reply_error(400, "matrix dimensions must be positive")
+            return
+        try:
+            dtype = np.dtype(self.headers.get("X-Repro-Dtype", "float64"))
+        except TypeError:
+            self._reply_error(400, "unknown X-Repro-Dtype")
+            return
+        order = self.headers.get("X-Repro-Order", "C")
+        if order not in ("C", "F"):
+            self._reply_error(400, "X-Repro-Order must be C or F")
+            return
+        try:
+            tiles = int(self.headers.get("X-Repro-Batch", "1"))
+        except ValueError:
+            self._reply_error(400, "X-Repro-Batch must be an integer")
+            return
+        if tiles < 1:
+            self._reply_error(400, "X-Repro-Batch must be >= 1")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", ""))
+        except ValueError:
+            self._reply_error(400, "Content-Length required")
+            return
+        expected = tiles * m * n * dtype.itemsize
+        if length != expected:
+            self._reply_error(
+                400,
+                f"body holds {length} bytes; {tiles} x {m}x{n} {dtype} "
+                f"needs {expected}",
+            )
+            return
+        if length > MAX_BODY_BYTES:
+            self._reply_error(400, f"body exceeds {MAX_BODY_BYTES} bytes")
+            return
+
+        deadline = None
+        timeout_ms = self.headers.get("X-Repro-Timeout-Ms")
+        if timeout_ms is not None:
+            try:
+                deadline = monotonic() + float(timeout_ms) / 1e3
+            except ValueError:
+                self._reply_error(400, "X-Repro-Timeout-Ms must be a number")
+                return
+
+        # Read the body straight into a fresh array: no intermediate bytes
+        # object, and the buffer is writeable for the singleton in-place path.
+        buf = np.empty(tiles * m * n, dtype=dtype)
+        view = memoryview(buf).cast("B")
+        got = 0
+        while got < length:
+            read = self.rfile.readinto(view[got:])
+            if not read:
+                self._reply_error(400, f"truncated body: {got} of {length} bytes")
+                return
+            got += read
+
+        request = Request(buf, m, n, order, tiles=tiles, deadline=deadline)
+        try:
+            app.submit(request)
+        except QueueFullError as exc:
+            metrics.registry.inc("serve.rejected_full")
+            self._reply_error(429, str(exc), {"Retry-After": "1"})
+            return
+        except QueueClosedError as exc:
+            metrics.registry.inc("serve.rejected_closed")
+            self._reply_error(503, str(exc))
+            return
+
+        try:
+            wait_s = app.config.request_timeout_s
+            if deadline is not None:
+                # the batcher fails expired requests; the extra slack covers
+                # one in-flight batch ahead of the expiry check
+                wait_s = min(wait_s, deadline - monotonic() + 1.0)
+            result = request.wait(timeout=max(wait_s, 0.001))
+        except TimeoutError:
+            request.cancel()
+            self._reply_error(504, "request timed out in the serving layer")
+            return
+        except DeadlineExceededError as exc:
+            self._reply_error(504, str(exc))
+            return
+        except Exception as exc:  # noqa: BLE001 — report execution errors
+            self._reply_error(500, f"{type(exc).__name__}: {exc}")
+            return
+        finally:
+            app.responded_one()
+
+        # memoryview, not tobytes(): the socket writer consumes the staging
+        # row directly, skipping one body-sized copy per response
+        self._reply(
+            200,
+            memoryview(np.ascontiguousarray(result)).cast("B"),
+            "application/octet-stream",
+            {
+                "X-Repro-Rows": str(n),
+                "X-Repro-Cols": str(m),
+                "X-Repro-Dtype": str(dtype),
+                "X-Repro-Order": order,
+                "X-Repro-Batch": str(tiles),
+            },
+        )
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class TransposeServer:
+    """The assembled service: queue + batcher + worker pool + HTTP front.
+
+    Usage::
+
+        server = TransposeServer(ServeConfig(port=0)).start()
+        ...                       # serve
+        summary = server.shutdown()
+        assert summary["dropped"] == 0
+    """
+
+    def __init__(self, config: ServeConfig | None = None, *, verbose: bool = False):
+        self.config = config or ServeConfig()
+        self.verbose = verbose
+        self.queue = RequestQueue(maxsize=self.config.queue_size)
+        self.batcher = ShapeBatcher(
+            self.queue,
+            max_batch=self.config.max_batch,
+            max_wait_s=self.config.max_wait_ms / 1e3,
+        )
+        self.pool = WorkerPool(self.batcher, self.config.workers)
+        self._httpd = _HTTPServer((self.config.host, self.config.port), _Handler)
+        self._httpd.app = self  # type: ignore[attr-defined]
+        self._serve_thread: threading.Thread | None = None
+        self._state_lock = threading.Lock()
+        self.accepted = 0
+        self.responded = 0
+
+    # -- request accounting (called from handler threads) ---------------------
+
+    def submit(self, request: Request) -> None:
+        self.queue.submit(request)
+        reg = metrics.registry
+        with self._state_lock:
+            self.accepted += 1
+        if reg.enabled:
+            reg.inc("serve.accepted")
+            reg.set_gauge("serve.queue_depth", self.queue.depth)
+
+    def responded_one(self) -> None:
+        with self._state_lock:
+            self.responded += 1
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "TransposeServer":
+        self.pool.start()
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        return self
+
+    def shutdown(self, timeout: float = 30.0) -> dict:
+        """Graceful: stop accepting, drain, flush responses, report.
+
+        ``dropped`` counts accepted requests that never produced a
+        response — zero unless ``timeout`` expired mid-drain.
+        """
+        t_end = monotonic() + timeout
+        self._httpd.shutdown()  # stop the accept loop (handlers continue)
+        pool_summary = self.pool.shutdown(timeout=max(t_end - monotonic(), 0.1))
+        # Handler threads deliver the final responses; wait for them.
+        while monotonic() < t_end:
+            with self._state_lock:
+                if self.responded >= self.accepted:
+                    break
+            sleep(0.01)
+        self._httpd.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=1.0)
+        with self._state_lock:
+            accepted, responded = self.accepted, self.responded
+        return {
+            "accepted": accepted,
+            "responded": responded,
+            "dropped": accepted - responded,
+            "rejected_full": self.queue.rejected_full,
+            "rejected_closed": self.queue.rejected_closed,
+            **pool_summary,
+        }
+
+    # -- introspection ---------------------------------------------------------
+
+    def health(self) -> dict:
+        with self._state_lock:
+            accepted, responded = self.accepted, self.responded
+        return {
+            "status": "draining" if self.queue.closed else "ok",
+            "queue_depth": self.queue.depth,
+            "queue_maxsize": self.queue.maxsize,
+            "pending_batches": self.batcher.pending,
+            "workers_alive": self.pool.alive,
+            "accepted": accepted,
+            "responded": responded,
+            "rejected_full": self.queue.rejected_full,
+        }
+
+    def render_metrics(self) -> str:
+        reg = metrics.registry
+        if reg.enabled:
+            reg.set_gauge("serve.queue_depth", self.queue.depth)
+            reg.set_gauge("serve.pending_batches", self.batcher.pending)
+            reg.set_gauge("serve.workers", self.pool.alive)
+            with self._state_lock:
+                inflight = self.accepted - self.responded
+            reg.set_gauge("serve.inflight", inflight)
+        return to_prometheus(metrics.snapshot())

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import math
 import os
+import re
 from typing import Iterable
 
 from .spans import SpanRecord
@@ -36,6 +37,7 @@ __all__ = [
     "to_chrome_trace",
     "validate_chrome_trace",
     "to_prometheus",
+    "validate_prometheus_text",
     "to_tree",
     "FORMATS",
 ]
@@ -155,11 +157,14 @@ def to_prometheus(snapshot: dict, *, prefix: str = "repro") -> str:
     """Render a metrics snapshot as Prometheus text format.
 
     ``snapshot`` is the dict from :func:`repro.runtime.metrics.snapshot`
-    (counters + timers + histograms, optionally ``plan_cache`` stats).
-    Counter families get a ``_total`` suffix; every latency histogram is
-    one series of the shared ``<prefix>_latency_seconds`` family labelled
-    by operation name, with cumulative ``le`` buckets as Prometheus
-    requires.
+    (counters + timers + histograms + gauges + value histograms, optionally
+    ``plan_cache`` stats).  Counter families get a ``_total`` suffix; every
+    latency histogram is one series of the shared
+    ``<prefix>_latency_seconds`` family labelled by operation name, with
+    cumulative ``le`` buckets as Prometheus requires.  Gauges
+    (``serve.queue_depth`` …) render as ``gauge`` families and each value
+    histogram (``serve.batch_size`` …) as its own ``histogram`` family,
+    since its bucket bounds are not latencies.
     """
     lines: list[str] = []
 
@@ -168,6 +173,26 @@ def to_prometheus(snapshot: dict, *, prefix: str = "repro") -> str:
         metric = f"{prefix}_{_prom_name(name)}_total"
         lines.append(f"# TYPE {metric} counter")
         lines.append(f"{metric} {value}")
+
+    for name in sorted(snapshot.get("gauges", {})):
+        value = snapshot["gauges"][name]
+        metric = f"{prefix}_{_prom_name(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value}")
+
+    for name in sorted(snapshot.get("value_histograms", {})):
+        h = snapshot["value_histograms"][name]
+        metric = f"{prefix}_{_prom_name(name)}"
+        lines.append(f"# TYPE {metric} histogram")
+        bounds = list(h["bounds"]) + [math.inf]
+        cumulative = 0
+        for bound, count in zip(bounds, h["counts"]):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_fmt_bound(bound)}"}} {cumulative}'
+            )
+        lines.append(f"{metric}_sum {h['sum_s']}")
+        lines.append(f"{metric}_count {h['count']}")
 
     hists = snapshot.get("histograms", {})
     if hists:
@@ -200,6 +225,102 @@ def to_prometheus(snapshot: dict, *, prefix: str = "repro") -> str:
             lines.append(f"{metric} {value}")
 
     return "\n".join(lines) + "\n"
+
+
+_METRIC_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def validate_prometheus_text(text: str) -> dict:
+    """Check a Prometheus 0.0.4 text exposition for structural validity.
+
+    A lightweight parser covering what :func:`to_prometheus` (and the
+    ``/metrics`` endpoint built on it) may emit: ``# TYPE``/``# HELP``
+    comments, samples with optional ``{label="value"}`` sets, float values.
+    Histogram families are additionally checked for cumulative
+    (monotonically non-decreasing) ``le`` buckets ending at ``+Inf`` with
+    the bucket total equal to the ``_count`` sample.  Raises
+    :class:`ValueError` on the first problem; returns a summary with
+    per-type family counts and the number of samples.  Used by the CI
+    ``serve`` job to gate the scraped endpoint.
+    """
+    types: dict[str, str] = {}
+    samples: list[tuple[str, dict, float]] = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1] not in ("TYPE", "HELP"):
+                raise ValueError(f"line {lineno}: unknown comment {parts[1]!r}")
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    raise ValueError(f"line {lineno}: malformed TYPE comment")
+                name, mtype = parts[2], parts[3]
+                if mtype not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                    raise ValueError(f"line {lineno}: unknown metric type {mtype!r}")
+                if name in types:
+                    raise ValueError(f"line {lineno}: duplicate TYPE for {name!r}")
+                types[name] = mtype
+            continue
+        m = _METRIC_NAME_RE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: sample lacks a metric name")
+        name, rest = m.group(0), line[m.end():]
+        labels: dict[str, str] = {}
+        if rest.startswith("{"):
+            end = rest.find("}")
+            if end < 0:
+                raise ValueError(f"line {lineno}: unterminated label set")
+            body, rest = rest[1:end], rest[end + 1:]
+            for key, val in _LABEL_PAIR_RE.findall(body):
+                labels[key] = val
+            if not labels and body.strip():
+                raise ValueError(f"line {lineno}: malformed label set {body!r}")
+        try:
+            value = float(rest.strip().split()[0])
+        except (ValueError, IndexError) as exc:
+            raise ValueError(f"line {lineno}: bad sample value in {line!r}") from exc
+        samples.append((name, labels, value))
+
+    # Histogram invariants: per (family, non-le labels) series, buckets must
+    # be cumulative, end at +Inf, and agree with _count.
+    series: dict[tuple, list[tuple[float, float]]] = {}
+    counts: dict[tuple, float] = {}
+    for name, labels, value in samples:
+        base = None
+        for suffix in ("_bucket", "_count", "_sum"):
+            if name.endswith(suffix) and types.get(name[: -len(suffix)]) == "histogram":
+                base = name[: -len(suffix)]
+                break
+        if base is None:
+            continue
+        ident = (base,) + tuple(
+            sorted((k, v) for k, v in labels.items() if k != "le")
+        )
+        if name.endswith("_bucket"):
+            if "le" not in labels:
+                raise ValueError(f"histogram bucket for {base!r} lacks an 'le' label")
+            le = math.inf if labels["le"] == "+Inf" else float(labels["le"])
+            series.setdefault(ident, []).append((le, value))
+        elif name.endswith("_count"):
+            counts[ident] = value
+    for ident, buckets in series.items():
+        buckets.sort(key=lambda b: b[0])
+        if not math.isinf(buckets[-1][0]):
+            raise ValueError(f"histogram {ident[0]!r} lacks a +Inf bucket")
+        cum = [v for _, v in buckets]
+        if any(later < earlier for earlier, later in zip(cum, cum[1:])):
+            raise ValueError(f"histogram {ident[0]!r} buckets are not cumulative")
+        if ident in counts and counts[ident] != cum[-1]:
+            raise ValueError(
+                f"histogram {ident[0]!r}: _count {counts[ident]} != "
+                f"+Inf bucket {cum[-1]}"
+            )
+    by_type: dict[str, int] = {}
+    for mtype in types.values():
+        by_type[mtype] = by_type.get(mtype, 0) + 1
+    return {"families": by_type, "samples": len(samples)}
 
 
 # ---------------------------------------------------------------------------

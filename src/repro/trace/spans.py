@@ -36,6 +36,7 @@ prefix     meaning
 ``worker.*`` one parallel worker chunk (carries its rectangle)
 ``cache.*`` plan-cache events (hit / miss / evict), zero-width
 ``baseline.*`` one baseline-algorithm invocation
+``serve.*`` one serving-layer group execution (batch / single)
 ========== =====================================================
 
 Usage::

@@ -8,6 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import BatchedTransposePlan, batched_transpose_inplace
+from repro.core.batched import validate_batch_member
 
 from ..conftest import dim_pairs
 
@@ -82,3 +83,58 @@ class TestBatched:
 
     def test_repr(self):
         assert "BatchedTransposePlan" in repr(BatchedTransposePlan(3, 4))
+
+    def test_rejects_read_only_buffer(self):
+        buf = np.arange(12, dtype=np.float64)
+        buf.flags.writeable = False
+        with pytest.raises(ValueError, match="writeable"):
+            BatchedTransposePlan(3, 4).execute(buf)
+
+
+class TestValidateBatchMember:
+    """The admission checks the serving batcher runs per coalesced member."""
+
+    def test_accepts_flat_2d_and_stacked_layouts(self):
+        validate_batch_member(np.zeros(12), 3, 4)
+        validate_batch_member(np.zeros((3, 4)), 3, 4)
+        validate_batch_member(np.zeros(24), 3, 4, count=2)
+        validate_batch_member(np.zeros((2, 12)), 3, 4, count=2)
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError, match="count"):
+            validate_batch_member(np.zeros(12), 3, 4, count=0)
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError, match="3-D"):
+            validate_batch_member(np.zeros((1, 3, 4)), 3, 4)
+
+    def test_rejects_wrong_size(self):
+        with pytest.raises(ValueError, match="elements"):
+            validate_batch_member(np.zeros(11), 3, 4)
+        with pytest.raises(ValueError, match="elements"):
+            validate_batch_member(np.zeros(12), 3, 4, count=2)
+
+    def test_rejects_mismatched_2d_shape(self):
+        # Right element count, wrong axes split.
+        with pytest.raises(ValueError, match="shape"):
+            validate_batch_member(np.zeros((4, 3)), 3, 4)
+
+    def test_rejects_strided_view(self):
+        base = np.zeros(24)
+        with pytest.raises(ValueError, match="contiguous"):
+            validate_batch_member(base[::2], 3, 4)
+
+    def test_rejects_read_only_unless_waived(self):
+        buf = np.zeros(12)
+        buf.flags.writeable = False
+        with pytest.raises(ValueError, match="read-only"):
+            validate_batch_member(buf, 3, 4)
+        # The serving path stages a copy, so it waives writeability.
+        validate_batch_member(buf, 3, 4, require_writeable=False)
+
+    def test_rejects_foreign_dtype(self):
+        with pytest.raises(ValueError, match="dtype"):
+            validate_batch_member(
+                np.zeros(12, dtype=np.float32), 3, 4, np.float64
+            )
+        validate_batch_member(np.zeros(12, dtype=np.float32), 3, 4, np.float32)

@@ -124,6 +124,44 @@ class TestRegistry:
         assert snap["counters"] == {} and snap["timers"] == {}
         assert reg.enabled is False
 
+    def test_gauges_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("serve.queue_depth", 4)
+        reg.set_gauge("serve.queue_depth", 2)
+        assert reg.snapshot()["gauges"] == {"serve.queue_depth": 2.0}
+
+    def test_observe_value_uses_custom_bounds_on_first_use(self):
+        reg = MetricsRegistry()
+        reg.observe_value("serve.batch_size", 3, (1, 2, 4, 8))
+        # Later calls reuse the family's bounds even if they pass none.
+        reg.observe_value("serve.batch_size", 100)
+        d = reg.snapshot()["value_histograms"]["serve.batch_size"]
+        assert d["bounds"] == [1, 2, 4, 8]
+        assert d["count"] == 2
+        assert d["counts"][2] == 1   # 3 lands in le=4
+        assert d["counts"][-1] == 1  # 100 overflows to +Inf
+
+    def test_observe_value_defaults_to_latency_bounds(self):
+        reg = MetricsRegistry()
+        reg.observe_value("depth", 0.5)
+        d = reg.snapshot()["value_histograms"]["depth"]
+        assert d["bounds"] == list(HISTOGRAM_BOUNDS)
+
+    def test_gauges_and_value_histograms_respect_enabled_flag(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.set_gauge("g", 1)
+        reg.observe_value("v", 1)
+        snap = reg.snapshot()
+        assert snap["gauges"] == {} and snap["value_histograms"] == {}
+
+    def test_reset_clears_gauges_and_value_histograms(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("g", 1)
+        reg.observe_value("v", 1)
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap["gauges"] == {} and snap["value_histograms"] == {}
+
     def test_disabled_registry_takes_no_lock_and_mutates_nothing(self):
         """The ``REPRO_METRICS=0`` fast path must return before touching the
         lock or the maps, so unguarded callers pay one branch, no contention."""

@@ -1,0 +1,200 @@
+"""Shape-coalescing batcher: grouping policy and execution semantics."""
+
+from __future__ import annotations
+
+from time import monotonic
+
+import numpy as np
+import pytest
+
+from repro.serve.batcher import ShapeBatcher
+from repro.serve.queue import (
+    DeadlineExceededError,
+    Request,
+    RequestQueue,
+)
+
+
+def _req(m, n, dtype=np.float64, tiles=1, seed=0, **kw):
+    rng = np.random.default_rng(seed)
+    buf = (rng.random(tiles * m * n) * 100).astype(dtype)
+    return Request(buf, m, n, tiles=tiles, **kw)
+
+
+def _expected(r: Request) -> np.ndarray:
+    tiles = r.buf.reshape(r.tiles, r.m, r.n)
+    return np.ascontiguousarray(tiles.transpose(0, 2, 1)).reshape(-1)
+
+
+def _batcher(maxsize=64, max_batch=8, max_wait_s=0.0):
+    q = RequestQueue(maxsize=maxsize)
+    return q, ShapeBatcher(q, max_batch=max_batch, max_wait_s=max_wait_s)
+
+
+class TestGrouping:
+    def test_same_shape_requests_coalesce(self):
+        q, b = _batcher()
+        reqs = [q.submit(_req(6, 4, seed=i)) for i in range(5)]
+        group = b.next_group(timeout=0.2)
+        assert group is not None
+        assert group.requests == reqs
+        assert group.key == (6, 4, "C", "float64")
+
+    def test_mixed_shapes_split_into_lanes(self):
+        q, b = _batcher()
+        a = [q.submit(_req(6, 4, seed=i)) for i in range(2)]
+        c = [q.submit(_req(3, 5, seed=i)) for i in range(2)]
+        q.submit(a[0].__class__(a[0].buf, 6, 4))  # same shape as lane a
+        groups = [b.next_group(timeout=0.2) for _ in range(2)]
+        keys = {g.key for g in groups}
+        assert keys == {(6, 4, "C", "float64"), (3, 5, "C", "float64")}
+        by_key = {g.key: g for g in groups}
+        assert by_key[(6, 4, "C", "float64")].requests[:2] == a
+        assert by_key[(3, 5, "C", "float64")].requests == c
+
+    def test_dtype_splits_lanes(self):
+        q, b = _batcher()
+        f64 = q.submit(_req(6, 4, dtype=np.float64))
+        f32 = q.submit(_req(6, 4, dtype=np.float32))
+        g1 = b.next_group(timeout=0.2)
+        g2 = b.next_group(timeout=0.2)
+        assert {g1.requests[0], g2.requests[0]} == {f64, f32}
+        assert len(g1) == len(g2) == 1
+
+    def test_full_lane_dispatches_without_wait(self):
+        q, b = _batcher(max_batch=4, max_wait_s=60.0)
+        for i in range(4):
+            q.submit(_req(6, 4, seed=i))
+        t0 = monotonic()
+        group = b.next_group(timeout=5)
+        assert monotonic() - t0 < 1.0
+        assert len(group) == 4
+
+    def test_partial_lane_waits_for_ripeness(self):
+        q, b = _batcher(max_batch=8, max_wait_s=10.0)
+        q.submit(_req(6, 4))
+        assert b.next_group(timeout=0.05) is None
+        assert b.pending == 1
+
+    def test_lane_fullness_counts_tiles(self):
+        # Two 2-tile requests fill a max_batch=4 lane.
+        q, b = _batcher(max_batch=4, max_wait_s=60.0)
+        q.submit(_req(6, 4, tiles=2, seed=1))
+        q.submit(_req(6, 4, tiles=2, seed=2))
+        group = b.next_group(timeout=1)
+        assert group is not None
+        assert len(group) == 2
+        assert group.tiles == 4
+
+    def test_oversized_request_dispatches_alone(self):
+        q, b = _batcher(max_batch=2, max_wait_s=60.0)
+        q.submit(_req(6, 4, tiles=5))
+        group = b.next_group(timeout=1)
+        assert len(group) == 1
+        assert group.tiles == 5
+
+    def test_close_flushes_unripe_lanes(self):
+        q, b = _batcher(max_batch=8, max_wait_s=60.0)
+        q.submit(_req(6, 4))
+        q.close()
+        group = b.next_group(timeout=1)
+        assert group is not None and len(group) == 1
+        assert b.next_group(timeout=0) is None
+
+    def test_constructor_validation(self):
+        q = RequestQueue()
+        with pytest.raises(ValueError):
+            ShapeBatcher(q, max_batch=0)
+        with pytest.raises(ValueError):
+            ShapeBatcher(q, max_wait_s=-1)
+
+
+class TestExecution:
+    def test_batch_execution_matches_numpy(self):
+        q, b = _batcher()
+        reqs = [q.submit(_req(12, 8, seed=i)) for i in range(6)]
+        group = b.next_group(timeout=0.2)
+        assert b.execute_group(group) == 6
+        for r in reqs:
+            np.testing.assert_array_equal(r.wait(timeout=0), _expected(r))
+
+    def test_singleton_fallback_matches_numpy(self):
+        q, b = _batcher()
+        r = q.submit(_req(9, 7, seed=3))
+        group = b.next_group(timeout=0.2)
+        assert len(group) == 1
+        assert b.execute_group(group) == 1
+        np.testing.assert_array_equal(r.wait(timeout=0), _expected(r))
+
+    def test_multi_tile_request_matches_numpy(self):
+        q, b = _batcher()
+        solo = q.submit(_req(12, 8, tiles=3, seed=5))
+        mixed = q.submit(_req(12, 8, tiles=1, seed=6))
+        group = b.next_group(timeout=0.2)
+        assert group.tiles == 4
+        assert b.execute_group(group) == 2
+        np.testing.assert_array_equal(solo.wait(timeout=0), _expected(solo))
+        np.testing.assert_array_equal(mixed.wait(timeout=0), _expected(mixed))
+
+    def test_input_buffers_never_mutated(self):
+        q, b = _batcher()
+        reqs = [q.submit(_req(6, 4, seed=i)) for i in range(3)]
+        originals = [r.buf.copy() for r in reqs]
+        b.execute_group(b.next_group(timeout=0.2))
+        for r, orig in zip(reqs, originals):
+            np.testing.assert_array_equal(r.buf, orig)
+
+    def test_expired_request_skipped_not_executed(self):
+        q, b = _batcher()
+        dead = q.submit(_req(6, 4, deadline=monotonic() - 0.01))
+        live = q.submit(_req(6, 4, seed=1))
+        group = b.next_group(timeout=0.2)
+        assert b.execute_group(group) == 1
+        with pytest.raises(DeadlineExceededError):
+            dead.wait(timeout=0)
+        np.testing.assert_array_equal(live.wait(timeout=0), _expected(live))
+
+    def test_cancelled_request_skipped(self):
+        q, b = _batcher()
+        gone = q.submit(_req(6, 4))
+        live = q.submit(_req(6, 4, seed=1))
+        gone.cancel()
+        group = b.next_group(timeout=0.2)
+        assert b.execute_group(group) == 1
+        np.testing.assert_array_equal(live.wait(timeout=0), _expected(live))
+
+    def test_invalid_member_fails_alone(self):
+        q, b = _batcher()
+        # Wrong element count for the claimed shape: rejected per-request.
+        bad = q.submit(Request(np.zeros(11), 6, 4))
+        good = q.submit(_req(6, 4, seed=2))
+        group = b.next_group(timeout=0.2)
+        assert b.execute_group(group) == 1
+        with pytest.raises(ValueError, match="elements"):
+            bad.wait(timeout=0)
+        np.testing.assert_array_equal(good.wait(timeout=0), _expected(good))
+
+    def test_execution_failure_leaves_requests_retryable(self, monkeypatch):
+        q, b = _batcher()
+        reqs = [q.submit(_req(6, 4, seed=i)) for i in range(3)]
+        group = b.next_group(timeout=0.2)
+
+        import repro.serve.batcher as batcher_mod
+
+        real = batcher_mod.batched_transpose_inplace
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(batcher_mod, "batched_transpose_inplace", flaky)
+        with pytest.raises(RuntimeError, match="transient"):
+            b.execute_group(group)
+        # Nothing fulfilled, inputs intact: the retry contract.
+        assert all(not r.done() for r in reqs)
+        assert b.execute_group(group) == 3
+        for r in reqs:
+            np.testing.assert_array_equal(r.wait(timeout=0), _expected(r))

@@ -1,0 +1,182 @@
+"""Request lifecycle and bounded-queue admission control."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve.queue import (
+    CANCELLED,
+    CLAIMED,
+    DONE,
+    FAILED,
+    PENDING,
+    QueueClosedError,
+    QueueFullError,
+    Request,
+    RequestQueue,
+)
+
+
+def _req(m=3, n=4, tiles=1, **kw):
+    return Request(np.arange(tiles * m * n, dtype=np.float64), m, n,
+                   tiles=tiles, **kw)
+
+
+class TestRequestLifecycle:
+    def test_initial_state(self):
+        r = _req()
+        assert r.state == PENDING
+        assert not r.done()
+        assert r.shape_key == (3, 4, "C", "float64")
+
+    def test_claim_then_fulfill(self):
+        r = _req()
+        assert r.claim()
+        assert r.state == CLAIMED
+        out = np.arange(12.0)
+        r.fulfill(out)
+        assert r.state == DONE
+        assert r.wait(timeout=0) is out
+
+    def test_claim_is_idempotent_while_claimed(self):
+        # A worker retrying a transient failure re-claims the same request.
+        r = _req()
+        assert r.claim()
+        assert r.claim()
+
+    def test_cancel_beats_claim(self):
+        r = _req()
+        assert r.cancel()
+        assert r.state == CANCELLED
+        assert not r.claim()
+        with pytest.raises(Exception, match="cancelled"):
+            r.wait(timeout=0)
+
+    def test_cancel_after_claim_fails(self):
+        r = _req()
+        r.claim()
+        assert not r.cancel()
+        assert r.state == CLAIMED
+
+    def test_fail_delivers_error_to_waiter(self):
+        r = _req()
+        r.claim()
+        r.fail(ValueError("boom"))
+        assert r.state == FAILED
+        with pytest.raises(ValueError, match="boom"):
+            r.wait(timeout=0)
+
+    def test_terminal_states_are_sticky(self):
+        r = _req()
+        r.claim()
+        r.fulfill(np.zeros(12))
+        r.fail(ValueError("late"))
+        assert r.state == DONE
+        assert r.error is None
+
+    def test_wait_timeout_raises(self):
+        r = _req()
+        with pytest.raises(TimeoutError):
+            r.wait(timeout=0.01)
+
+    def test_wait_unblocks_across_threads(self):
+        r = _req()
+        result = np.arange(12.0)
+
+        def worker():
+            r.claim()
+            r.fulfill(result)
+
+        t = threading.Thread(target=worker)
+        t.start()
+        assert r.wait(timeout=5) is result
+        t.join()
+
+    def test_deadline_expiry(self):
+        from time import monotonic
+
+        assert not _req().expired
+        assert _req(deadline=monotonic() - 0.001).expired
+        assert not _req(deadline=monotonic() + 60).expired
+
+    def test_tiles_validation(self):
+        with pytest.raises(ValueError, match="tiles"):
+            _req(tiles=0)
+        assert _req(tiles=3).tiles == 3
+
+
+class TestRequestQueue:
+    def test_fifo_order(self):
+        q = RequestQueue(maxsize=8)
+        reqs = [_req() for _ in range(3)]
+        for r in reqs:
+            q.submit(r)
+        assert [q.get(timeout=0) for _ in range(3)] == reqs
+
+    def test_admission_reject_when_full(self):
+        q = RequestQueue(maxsize=2)
+        q.submit(_req())
+        q.submit(_req())
+        with pytest.raises(QueueFullError):
+            q.submit(_req())
+        assert q.rejected_full == 1
+        assert q.depth == 2
+
+    def test_submit_after_close_raises(self):
+        q = RequestQueue(maxsize=2)
+        q.close()
+        with pytest.raises(QueueClosedError):
+            q.submit(_req())
+        assert q.rejected_closed == 1
+
+    def test_close_drains_backlog_then_signals_empty(self):
+        # "Drain, don't drop": queued requests survive close().
+        q = RequestQueue(maxsize=4)
+        r = q.submit(_req())
+        q.close()
+        assert q.get(timeout=0) is r
+        assert q.get(timeout=0) is None
+
+    def test_get_timeout_returns_none(self):
+        q = RequestQueue(maxsize=2)
+        assert q.get(timeout=0.01) is None
+
+    def test_get_wakes_on_submit(self):
+        q = RequestQueue(maxsize=2)
+        r = _req()
+        got = []
+
+        def consumer():
+            got.append(q.get(timeout=5))
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        q.submit(r)
+        t.join(timeout=5)
+        assert got == [r]
+
+    def test_drain_nowait_respects_limit(self):
+        q = RequestQueue(maxsize=8)
+        reqs = [q.submit(_req()) for _ in range(5)]
+        first = q.drain_nowait(max_items=2)
+        rest = q.drain_nowait()
+        assert first == reqs[:2]
+        assert rest == reqs[2:]
+        assert q.drain_nowait() == []
+
+    def test_stats_snapshot(self):
+        q = RequestQueue(maxsize=3)
+        q.submit(_req())
+        s = q.stats()
+        assert s["depth"] == 1
+        assert s["maxsize"] == 3
+        assert s["submitted"] == 1
+        assert not s["closed"]
+        assert len(q) == 1
+
+    def test_maxsize_validation(self):
+        with pytest.raises(ValueError):
+            RequestQueue(maxsize=0)

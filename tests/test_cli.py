@@ -48,6 +48,68 @@ class TestTransposeCommand:
         )
 
 
+class TestTransposeFileCommand:
+    def test_round_trip_restores_original(self, tmp_path, capsys):
+        A = np.arange(12 * 7, dtype=np.float64).reshape(12, 7)
+        path = tmp_path / "a.bin"
+        A.tofile(path)
+        assert main(["transpose-file", str(path), "12", "7"]) == 0
+        np.testing.assert_array_equal(
+            np.fromfile(path, dtype=np.float64), A.T.ravel()
+        )
+        # Transposing the (7, 12) result brings the file back exactly.
+        assert main(["transpose-file", str(path), "7", "12"]) == 0
+        np.testing.assert_array_equal(
+            np.fromfile(path, dtype=np.float64), A.ravel()
+        )
+        assert capsys.readouterr().out.count("transposed") == 2
+
+    def test_dtype_and_algorithm_flags(self, tmp_path):
+        A = np.arange(6 * 10, dtype=np.int16).reshape(6, 10)
+        path = tmp_path / "a.bin"
+        A.tofile(path)
+        assert main(["transpose-file", str(path), "6", "10",
+                     "--dtype", "int16", "--algorithm", "c2r"]) == 0
+        np.testing.assert_array_equal(
+            np.fromfile(path, dtype=np.int16), A.T.ravel()
+        )
+
+    def test_size_mismatch_is_friendly(self, tmp_path, capsys):
+        path = tmp_path / "short.bin"
+        np.zeros(5).tofile(path)
+        assert main(["transpose-file", str(path), "3", "4"]) == 1
+        assert "error" in capsys.readouterr().out
+
+
+class TestServeAndLoadtestCommands:
+    def test_serve_max_seconds_drains_clean(self, capsys):
+        assert main(["serve", "--port", "0", "--workers", "1",
+                     "--max-seconds", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "repro-serve listening" in out
+        assert "dropped=0" in out
+        assert "drained=True" in out
+
+    def test_loadtest_inproc_smoke(self, capsys):
+        assert main(["loadtest", "--inproc", "--workers", "1",
+                     "--rate", "200", "--duration", "0.4",
+                     "--shapes", "16x12", "--dtype", "float64",
+                     "--tiles", "2", "--connections", "4",
+                     "--no-reference"]) == 0
+        out = capsys.readouterr().out
+        assert "achieved" in out
+        assert "dropped=0" in out
+        assert out.rstrip().endswith("ok")
+
+    def test_loadtest_requires_a_target(self, capsys):
+        assert main(["loadtest"]) == 1
+        assert "--url or --inproc" in capsys.readouterr().out
+
+    def test_loadtest_rejects_bad_shape_mix(self, capsys):
+        assert main(["loadtest", "--inproc", "--shapes", "8y6"]) == 1
+        assert "error" in capsys.readouterr().out
+
+
 class TestBenchAndSelftest:
     def test_bench(self, capsys):
         assert main(["bench", "64", "96", "--repeats", "1"]) == 0

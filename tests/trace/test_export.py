@@ -14,6 +14,7 @@ from repro.trace.export import (
     to_prometheus,
     to_tree,
     validate_chrome_trace,
+    validate_prometheus_text,
 )
 from repro.trace.spans import Tracer
 
@@ -158,6 +159,91 @@ class TestPrometheus:
 
     def test_empty_snapshot_renders_nothing(self):
         assert to_prometheus(MetricsRegistry().snapshot()) == "\n"
+
+    def test_gauges_render_as_gauge_families(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("serve.queue_depth", 7)
+        text = to_prometheus(reg.snapshot())
+        assert "# TYPE repro_serve_queue_depth gauge" in text
+        assert "repro_serve_queue_depth 7.0" in text
+
+    def test_value_histograms_render_as_own_families(self):
+        # Unlike latencies (one shared family labelled by op), each value
+        # histogram keeps its own family — its bounds are not seconds.
+        reg = MetricsRegistry()
+        for size in (1, 2, 4, 4, 9):
+            reg.observe_value("serve.batch_size", size, (1, 2, 4, 8))
+        text = to_prometheus(reg.snapshot())
+        assert "# TYPE repro_serve_batch_size histogram" in text
+        bucket_lines = [
+            ln for ln in text.splitlines()
+            if ln.startswith("repro_serve_batch_size_bucket")
+        ]
+        counts = [int(ln.rsplit(" ", 1)[1]) for ln in bucket_lines]
+        assert counts == sorted(counts)
+        assert counts[-1] == 5
+        assert 'le="+Inf"' in bucket_lines[-1]
+        assert "repro_serve_batch_size_count 5" in text
+
+
+class TestPrometheusValidation:
+    def _text(self) -> str:
+        reg = MetricsRegistry()
+        reg.inc("serve.completed", 12)
+        reg.set_gauge("serve.queue_depth", 3)
+        reg.observe("serve.e2e", 0.004)
+        reg.observe("serve.e2e", 0.009)
+        reg.observe_value("serve.batch_size", 2, (1, 2, 4, 8))
+        return to_prometheus(reg.snapshot())
+
+    def test_accepts_exporter_output(self):
+        stats = validate_prometheus_text(self._text())
+        assert stats["families"]["counter"] == 1
+        assert stats["families"]["gauge"] == 1
+        assert stats["families"]["histogram"] == 2
+        assert stats["samples"] > 10
+
+    def test_rejects_missing_metric_name(self):
+        with pytest.raises(ValueError, match="metric name"):
+            validate_prometheus_text("  42\n")
+
+    def test_rejects_bad_sample_value(self):
+        with pytest.raises(ValueError, match="bad sample value"):
+            validate_prometheus_text("repro_x not_a_number\n")
+
+    def test_rejects_malformed_type_comment(self):
+        with pytest.raises(ValueError, match="malformed TYPE"):
+            validate_prometheus_text("# TYPE repro_x\n")
+        with pytest.raises(ValueError, match="unknown metric type"):
+            validate_prometheus_text("# TYPE repro_x tachyon\n")
+
+    def test_rejects_duplicate_type(self):
+        text = "# TYPE repro_x counter\n# TYPE repro_x counter\n"
+        with pytest.raises(ValueError, match="duplicate TYPE"):
+            validate_prometheus_text(text)
+
+    def test_rejects_non_cumulative_histogram(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 5\n'
+            'repro_h_bucket{le="+Inf"} 3\n'
+        )
+        with pytest.raises(ValueError, match="not cumulative"):
+            validate_prometheus_text(text)
+
+    def test_rejects_histogram_without_inf_bucket(self):
+        text = "# TYPE repro_h histogram\n" 'repro_h_bucket{le="1"} 5\n'
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            validate_prometheus_text(text)
+
+    def test_rejects_count_bucket_disagreement(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="+Inf"} 3\n'
+            "repro_h_count 4\n"
+        )
+        with pytest.raises(ValueError, match="_count"):
+            validate_prometheus_text(text)
 
 
 class TestTree:
