@@ -498,6 +498,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             batch=args.max_batch,
             seed=args.seed,
             reference=not args.no_reference,
+            verify_every=args.verify_every,
         )
     finally:
         summary = server.shutdown() if server is not None else None
@@ -767,6 +768,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-wait-ms", type=float, default=0.5)
     p.add_argument("--no-reference", action="store_true",
                    help="skip the in-process ceiling/naive reference runs")
+    p.add_argument("--verify-every", type=int, default=1,
+                   help="byte-verify every Nth response per shape "
+                   "(1 = verify all)")
     p.add_argument("--min-efficiency", type=float, default=None,
                    help="fail unless achieved/ceiling >= this fraction")
     p.add_argument("--min-batch-speedup", type=float, default=None,

@@ -34,7 +34,14 @@ import numpy as np
 from ..core.batched import batched_transpose_inplace, validate_batch_member
 from ..runtime import metrics, plan_cache
 from ..trace import spans
-from .queue import DeadlineExceededError, Request, RequestQueue
+from .queue import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    DeadlineExceededError,
+    Request,
+    RequestQueue,
+)
 
 __all__ = ["Group", "ShapeBatcher", "BATCH_SIZE_BOUNDS"]
 
@@ -218,6 +225,11 @@ class ShapeBatcher:
         reg = metrics.registry
         live: list[Request] = []
         for r in group.requests:
+            if r.state in (DONE, FAILED, CANCELLED):
+                # Terminal from a previous attempt of this group (worker
+                # retry path): its counter was recorded on the first
+                # transition — re-counting would skew the serving metrics.
+                continue
             if r.expired:
                 r.fail(DeadlineExceededError(
                     f"request {r.id} missed its deadline while queued"

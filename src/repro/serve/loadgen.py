@@ -169,6 +169,7 @@ class LoadtestReport:
     completed: int = 0
     rejected: int = 0          # 429 admission rejects
     errors: int = 0            # anything else non-200
+    verified: int = 0          # responses compared byte-for-byte
     verify_failures: int = 0
     achieved_rps: float = 0.0
     latencies_ms: dict = field(default_factory=dict)  # p50/p90/p99/mean/max
@@ -197,6 +198,7 @@ class LoadtestReport:
             "completed": self.completed,
             "rejected": self.rejected,
             "errors": self.errors,
+            "verified": self.verified,
             "verify_failures": self.verify_failures,
             "achieved_rps": self.achieved_rps,
             "latencies_ms": dict(self.latencies_ms),
@@ -245,18 +247,30 @@ class _Client(threading.Thread):
                         ctx.errors += 1
                     continue
                 latency = monotonic() - due
+                check = False
                 with ctx.lock:
                     if status == 200:
                         ctx.completed += 1
                         ctx.latencies.append(latency)
-                        if not ctx.verified[shape_i]:
-                            ctx.verified[shape_i] = True
-                            if data != ctx.expected[shape_i]:
-                                ctx.verify_failures += 1
+                        # Sample responses for verification across the whole
+                        # run — corruption that only appears once coalesced
+                        # batches form (i.e. after warm-up) must not slip
+                        # past the gate.
+                        seen = ctx.verify_counts[shape_i]
+                        ctx.verify_counts[shape_i] = seen + 1
+                        check = seen % ctx.verify_every == 0
                     elif status == 429:
                         ctx.rejected += 1
                     else:
                         ctx.errors += 1
+                if check:
+                    # Compare outside the lock: a body-sized memcmp per
+                    # sampled response must not serialize the clients.
+                    ok = data == ctx.expected[shape_i]
+                    with ctx.lock:
+                        ctx.verified += 1
+                        if not ok:
+                            ctx.verify_failures += 1
         finally:
             conn.close()
 
@@ -264,20 +278,26 @@ class _Client(threading.Thread):
 class _RunContext:
     """Shared mutable state for one load run (guarded by ``lock``)."""
 
-    def __init__(self, host, port, arrivals, shape_of, payloads, expected, dtype):
+    def __init__(
+        self, host, port, arrivals, shape_of, payloads, expected, dtype,
+        verify_every=1,
+    ):
         self.host, self.port = host, port
         self.arrivals = arrivals
         self.shape_of = shape_of
         self.payloads = payloads
         self.expected = expected
         self.dtype = dtype
+        self.verify_every = max(1, int(verify_every))
         self.lock = threading.Lock()
         self.next_index = 0
         self.completed = 0
         self.rejected = 0
         self.errors = 0
+        self.verified = 0
         self.verify_failures = 0
-        self.verified = [False] * len(payloads)
+        #: per-shape count of 200s seen, for the every-Nth sampling
+        self.verify_counts = [0] * len(payloads)
         self.latencies: list[float] = []
         self.t0 = 0.0
 
@@ -307,6 +327,7 @@ def run_loadtest(
     batch: int = 32,
     seed: int = 0,
     reference: bool = True,
+    verify_every: int = 1,
 ) -> LoadtestReport:
     """Drive ``url`` with an open-loop Poisson workload; return the report.
 
@@ -314,6 +335,12 @@ def run_loadtest(
     against the per-matrix ceiling; each HTTP request carries ``tiles``
     same-shape matrices (``X-Repro-Batch`` client-side micro-batching),
     i.e. requests arrive at ``rate / tiles`` per second.
+
+    ``verify_every`` samples responses for byte-exact verification: every
+    Nth 200 per shape is compared against the precomputed transpose,
+    spread across the whole run so post-warm-up corruption (e.g. a bug
+    only the coalesced batched path triggers) is caught.  The default of
+    1 verifies every response.
 
     ``reference=True`` also measures the three in-process reference rates
     (ceiling / coalesced / naive) for the *first* shape of the mix — skip
@@ -352,7 +379,10 @@ def run_loadtest(
             np.ascontiguousarray(A.transpose(0, 2, 1)).tobytes()
         )
 
-    ctx = _RunContext(host, port, arrivals, shape_of, payloads, expected, dtype)
+    ctx = _RunContext(
+        host, port, arrivals, shape_of, payloads, expected, dtype,
+        verify_every=verify_every,
+    )
     clients = [_Client(ctx, i) for i in range(connections)]
     ctx.t0 = monotonic()
     for c in clients:
@@ -371,6 +401,7 @@ def run_loadtest(
         completed=ctx.completed,
         rejected=ctx.rejected,
         errors=ctx.errors,
+        verified=ctx.verified,
         verify_failures=ctx.verify_failures,
         # Matrices per second (tiles per request), apples-to-apples with
         # the per-matrix ceiling.
@@ -399,7 +430,8 @@ def format_report(report: LoadtestReport) -> str:
         f"  completed {report.completed} ok requests "
         f"({report.completed * report.tiles} matrices), "
         f"{report.rejected} rejected (429), "
-        f"{report.errors} errors, {report.verify_failures} verify failures",
+        f"{report.errors} errors, {report.verify_failures} verify failures "
+        f"({report.verified} responses verified byte-exact)",
         f"  achieved  {report.achieved_rps:8.1f} matrices/s",
         f"  latency   p50 {lat.get('p50', 0):7.2f} ms   "
         f"p90 {lat.get('p90', 0):7.2f} ms   p99 {lat.get('p99', 0):7.2f} ms   "

@@ -107,6 +107,15 @@ class _Handler(BaseHTTPRequestHandler):
         body = json.dumps({"error": message}).encode()
         self._reply(status, body, "application/json", headers)
 
+    def _reject_unread_body(self, status: int, message: str) -> None:
+        """Error reply while request-body bytes are still on the socket.
+
+        Keep-alive would parse those unread bytes as the next request line
+        and desync the connection, so force a close with the reply.
+        """
+        self.close_connection = True
+        self._reply_error(status, message, {"Connection": "close"})
+
     # -- GET: health + metrics -----------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 — http.server API
@@ -125,50 +134,60 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 — http.server API
         if self.path != "/transpose":
-            self._reply_error(404, f"no such path: {self.path}")
+            self._reject_unread_body(404, f"no such path: {self.path}")
             return
         app = self.app
         try:
             m = int(self.headers.get("X-Repro-Rows", ""))
             n = int(self.headers.get("X-Repro-Cols", ""))
         except ValueError:
-            self._reply_error(400, "X-Repro-Rows and X-Repro-Cols must be integers")
+            self._reject_unread_body(
+                400, "X-Repro-Rows and X-Repro-Cols must be integers"
+            )
             return
         if m < 1 or n < 1:
-            self._reply_error(400, "matrix dimensions must be positive")
+            self._reject_unread_body(400, "matrix dimensions must be positive")
             return
         try:
             dtype = np.dtype(self.headers.get("X-Repro-Dtype", "float64"))
-        except TypeError:
-            self._reply_error(400, "unknown X-Repro-Dtype")
+        except (TypeError, ValueError):
+            self._reject_unread_body(400, "unknown X-Repro-Dtype")
+            return
+        # Numeric fixed-size kinds only.  Anything else — 'object' above
+        # all — would let readinto() write wire bytes over PyObject
+        # pointers, a remotely triggered interpreter crash.
+        if dtype.kind not in "biufc" or dtype.itemsize == 0:
+            self._reject_unread_body(
+                400, f"X-Repro-Dtype {dtype!s} is not a numeric dtype"
+            )
             return
         order = self.headers.get("X-Repro-Order", "C")
         if order not in ("C", "F"):
-            self._reply_error(400, "X-Repro-Order must be C or F")
+            self._reject_unread_body(400, "X-Repro-Order must be C or F")
             return
         try:
             tiles = int(self.headers.get("X-Repro-Batch", "1"))
         except ValueError:
-            self._reply_error(400, "X-Repro-Batch must be an integer")
+            self._reject_unread_body(400, "X-Repro-Batch must be an integer")
             return
         if tiles < 1:
-            self._reply_error(400, "X-Repro-Batch must be >= 1")
+            self._reject_unread_body(400, "X-Repro-Batch must be >= 1")
             return
         try:
             length = int(self.headers.get("Content-Length", ""))
         except ValueError:
-            self._reply_error(400, "Content-Length required")
+            self._reject_unread_body(400, "Content-Length required")
             return
         expected = tiles * m * n * dtype.itemsize
         if length != expected:
-            self._reply_error(
+            self._reject_unread_body(
                 400,
                 f"body holds {length} bytes; {tiles} x {m}x{n} {dtype} "
                 f"needs {expected}",
             )
             return
         if length > MAX_BODY_BYTES:
-            self._reply_error(400, f"body exceeds {MAX_BODY_BYTES} bytes")
+            self._reject_unread_body(400, f"body exceeds {MAX_BODY_BYTES} bytes")
             return
 
         deadline = None
@@ -177,7 +196,9 @@ class _Handler(BaseHTTPRequestHandler):
             try:
                 deadline = monotonic() + float(timeout_ms) / 1e3
             except ValueError:
-                self._reply_error(400, "X-Repro-Timeout-Ms must be a number")
+                self._reject_unread_body(
+                    400, "X-Repro-Timeout-Ms must be a number"
+                )
                 return
 
         # Read the body straight into a fresh array: no intermediate bytes
@@ -188,7 +209,9 @@ class _Handler(BaseHTTPRequestHandler):
         while got < length:
             read = self.rfile.readinto(view[got:])
             if not read:
-                self._reply_error(400, f"truncated body: {got} of {length} bytes")
+                self._reject_unread_body(
+                    400, f"truncated body: {got} of {length} bytes"
+                )
                 return
             got += read
 

@@ -198,3 +198,54 @@ class TestExecution:
         assert b.execute_group(group) == 3
         for r in reqs:
             np.testing.assert_array_equal(r.wait(timeout=0), _expected(r))
+
+    def test_retry_does_not_double_count_terminal_requests(self, monkeypatch):
+        # A group re-executed after a transient failure must not re-count
+        # requests that reached a terminal state in the first attempt:
+        # expired ones would re-increment serve.expired, and failed ones
+        # (claim() returning False) would be miscounted as cancelled.
+        from repro.runtime import metrics
+
+        monkeypatch.setattr(metrics.registry, "enabled", True)
+        q, b = _batcher()
+        dead = q.submit(_req(6, 4, deadline=monotonic() - 0.01))
+        bad = q.submit(Request(np.zeros(11), 6, 4))  # wrong element count
+        live = [q.submit(_req(6, 4, seed=i)) for i in range(2)]
+        group = b.next_group(timeout=0.2)
+
+        import repro.serve.batcher as batcher_mod
+
+        real = batcher_mod.batched_transpose_inplace
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(batcher_mod, "batched_transpose_inplace", flaky)
+
+        def counters():
+            snap = metrics.registry.snapshot()["counters"]
+            return {
+                k: snap.get(f"serve.{k}", 0)
+                for k in ("expired", "skipped_cancelled", "rejected_invalid")
+            }
+
+        before = counters()
+        with pytest.raises(RuntimeError, match="transient"):
+            b.execute_group(group)
+        after_first = counters()
+        assert after_first["expired"] == before["expired"] + 1
+        assert after_first["rejected_invalid"] == before["rejected_invalid"] + 1
+
+        assert b.execute_group(group) == 2  # the retry serves only the live pair
+        after_retry = counters()
+        assert after_retry == after_first  # terminal requests not re-counted
+        for r in live:
+            np.testing.assert_array_equal(r.wait(timeout=0), _expected(r))
+        with pytest.raises(DeadlineExceededError):
+            dead.wait(timeout=0)
+        with pytest.raises(ValueError):
+            bad.wait(timeout=0)

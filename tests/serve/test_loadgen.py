@@ -142,9 +142,37 @@ class TestRunLoadtest:
         assert report.completed > 0
         assert report.errors == 0
         assert report.verify_failures == 0
+        # verify_every defaults to 1: every 200 is byte-checked, not just
+        # the first per shape — post-warm-up corruption must be caught.
+        assert report.verified == report.completed
         assert report.achieved_rps > 0
         assert report.tiles == 2
         assert report.latencies_ms["p99"] >= report.latencies_ms["p50"] > 0
+
+    def test_verify_sampling_every_nth(self):
+        srv = TransposeServer(
+            ServeConfig(port=0, workers=1, queue_size=256, max_wait_ms=0.5)
+        ).start()
+        try:
+            host, port = srv.address
+            report = run_loadtest(
+                f"{host}:{port}",
+                rate=200.0,
+                duration_s=0.3,
+                shapes=[ShapeMix(16, 12, 1.0)],
+                dtype="float64",
+                tiles=1,
+                connections=2,
+                seed=2,
+                reference=False,
+                verify_every=3,
+            )
+        finally:
+            srv.shutdown(timeout=10)
+        assert report.completed > 0
+        assert report.verify_failures == 0
+        # Every 3rd response per shape sampled (the first always included).
+        assert 0 < report.verified <= report.completed // 3 + 1
 
     def test_tiles_validation(self):
         with pytest.raises(ValueError, match="tiles"):

@@ -113,6 +113,24 @@ class TestErrorMapping:
         status, _, _ = _post(server, b"", _headers(3, 4, dtype="complex_lies"))
         assert status == 400
 
+    @pytest.mark.parametrize("dtype", ["object", "O", "U4", "S8", "V8", "M8[s]"])
+    def test_non_numeric_dtype_400(self, server, dtype):
+        # 'object' especially: readinto() over PyObject pointers was a
+        # remotely triggered interpreter crash before the dtype-kind guard.
+        itemsize = np.dtype(dtype).itemsize or 8
+        body = b"\x41" * (3 * 4 * itemsize)
+        status, reply, _ = _post(server, body, _headers(3, 4, dtype=dtype))
+        assert status == 400
+        assert b"numeric" in reply
+        # The process survived: a well-formed request still round-trips.
+        A = np.arange(12, dtype=np.float64)
+        status, out, _ = _post(server, A.tobytes(), _headers(3, 4))
+        assert status == 200
+        np.testing.assert_array_equal(
+            np.frombuffer(out, dtype=np.float64).reshape(4, 3),
+            A.reshape(3, 4).T,
+        )
+
     def test_bad_order_400(self, server):
         status, _, _ = _post(
             server, b"", _headers(3, 4, **{"X-Repro-Order": "Z"})
@@ -135,6 +153,35 @@ class TestErrorMapping:
         assert status == 400  # transpose path with bad headers
         status, _ = _get(server, "/nope")
         assert status == 404
+
+    def test_error_with_unread_body_closes_connection(self, server):
+        # A pre-body 400 leaves the request body on the socket; the server
+        # must close the connection instead of letting keep-alive parse
+        # those bytes as the next request line (desync).
+        host, port = server.address
+        A = np.arange(12, dtype=np.float64)
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.request(
+                "POST", "/transpose", body=A.tobytes(),
+                headers=_headers(3, 4, dtype="no_such_dtype"),
+            )
+            resp = conn.getresponse()
+            assert resp.status == 400
+            assert resp.getheader("Connection") == "close"
+            resp.read()
+            # The advertised close makes http.client reconnect; before the
+            # fix this follow-up got a garbage reply parsed out of the
+            # stale body bytes still sitting on the old connection.
+            conn.request(
+                "POST", "/transpose", body=A.tobytes(), headers=_headers(3, 4)
+            )
+            resp = conn.getresponse()
+            assert resp.status == 200
+            out = np.frombuffer(resp.read(), dtype=np.float64).reshape(4, 3)
+            np.testing.assert_array_equal(out, A.reshape(3, 4).T)
+        finally:
+            conn.close()
 
     def test_expired_deadline_504(self, server):
         A = np.arange(12, dtype=np.float64)
