@@ -40,10 +40,12 @@ DEFAULT_SHAPE = ShapeMix(256, 384, 1.0)
 
 
 def run_point(
-    *, tiles: int, rate: float, duration: float, dtype: str, workers: int
+    *, tiles: int, rate: float, duration: float, dtype: str, workers: int,
+    worker_mode: str = "thread",
 ) -> dict:
     server = TransposeServer(ServeConfig(
-        port=0, workers=workers, queue_size=512, max_batch=32, max_wait_ms=0.5
+        port=0, workers=workers, queue_size=512, max_batch=32, max_wait_ms=0.5,
+        worker_mode=worker_mode,
     )).start()
     try:
         report = run_loadtest(
@@ -68,6 +70,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--duration", type=float, default=3.0)
     parser.add_argument("--dtype", default="uint8")
     parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--worker-mode", choices=["thread", "process"],
+                        default="thread",
+                        help="process = batch groups execute in worker "
+                        "processes over shared-memory staging")
     parser.add_argument("--tiles", default="1,2,4,8",
                         help="comma-separated tiles-per-request sweep")
     parser.add_argument("--json", help="write the sweep as JSON to a file")
@@ -80,6 +86,7 @@ def main(argv: list[str] | None = None) -> int:
         point = run_point(
             tiles=tiles, rate=args.rate, duration=args.duration,
             dtype=args.dtype, workers=args.workers,
+            worker_mode=args.worker_mode,
         )
         report = point["report"]
         # Reuse the tiles=1 reference measurements for the whole sweep so
@@ -97,7 +104,8 @@ def main(argv: list[str] | None = None) -> int:
         points.append(point)
         print(format_report(report))
         print(f"  shutdown  dropped={point['shutdown']['dropped']} "
-              f"drained={point['shutdown']['drained']}")
+              f"drained={point['shutdown']['drained']} "
+              f"shm_leaked={point['shutdown'].get('shm_leaked', 0)}")
         print()
 
     print("tiles sweep (achieved matrices/s and efficiency vs ceiling):")
@@ -118,6 +126,10 @@ def main(argv: list[str] | None = None) -> int:
     dropped = sum(p["shutdown"]["dropped"] for p in points)
     if dropped:
         print(f"FAIL: {dropped} accepted requests dropped during shutdown")
+        return 1
+    leaked = sum(p["shutdown"].get("shm_leaked", 0) for p in points)
+    if leaked:
+        print(f"FAIL: {leaked} shared-memory segment(s) leaked")
         return 1
     return 0
 

@@ -101,14 +101,40 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_transpose(args: argparse.Namespace) -> int:
-    from .core.outofcore import transpose_file_inplace
-
     t0 = time.perf_counter()
     try:
-        transpose_file_inplace(
-            args.file, args.m, args.n, args.dtype, args.order,
-            algorithm=args.algorithm,
-        )
+        if getattr(args, "threads", 1) > 1:
+            # Parallel path: memmap the file and run the chunked passes
+            # over it in place (threads or the mp shared-memory backend).
+            # --algorithm applies to the out-of-core path only; here the
+            # paper's C2R/R2C heuristic picks.
+            import os
+
+            from .parallel import parallel_transpose_inplace
+
+            dtype = np.dtype(args.dtype)
+            expected = args.m * args.n * dtype.itemsize
+            actual = os.stat(args.file).st_size
+            if actual != expected:
+                raise ValueError(
+                    f"{args.file} holds {actual} bytes; "
+                    f"{args.m} x {args.n} {args.dtype} needs {expected}"
+                )
+            buf = np.memmap(
+                args.file, dtype=dtype, mode="r+", shape=(args.m * args.n,)
+            )
+            parallel_transpose_inplace(
+                buf, args.m, args.n, args.order,
+                n_threads=args.threads, backend=args.backend,
+            )
+            buf.flush()
+        else:
+            from .core.outofcore import transpose_file_inplace
+
+            transpose_file_inplace(
+                args.file, args.m, args.n, args.dtype, args.order,
+                algorithm=args.algorithm,
+            )
     except (ValueError, OSError) as exc:
         print(f"error: {exc}")
         return 1
@@ -155,17 +181,18 @@ def _cmd_convert(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .parallel import ParallelTranspose
+    from .parallel import ParallelTranspose, default_worker_count
 
     m, n = args.m, args.n
+    threads = args.threads or default_worker_count()
     best = float("inf")
-    with ParallelTranspose(args.threads) as pt:
+    with ParallelTranspose(threads, backend=args.backend) as pt:
         for _ in range(args.repeats):
             buf = np.arange(m * n, dtype=np.float64)
             t0 = time.perf_counter()
             pt.transpose_inplace(buf, m, n)
             best = min(best, time.perf_counter() - t0)
-    print(f"{m} x {n} float64, {args.threads} thread(s): best "
+    print(f"{m} x {n} float64, {threads} {args.backend} worker(s): best "
           f"{best * 1e3:.2f} ms = {2 * m * n * 8 / best / 1e9:.3f} GB/s (Eq. 37)")
     return 0
 
@@ -196,27 +223,33 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
     )
     from .cache import c2r_cache_aware
     from .core import c2r_transpose, transpose_inplace
-    from .parallel import parallel_transpose_inplace
+    from .parallel import ParallelTranspose, default_worker_count
     from .validation import validate_transposer
 
+    threads = args.threads or default_worker_count()
+    # One persistent transposer for the whole run: the mp backend's process
+    # pool costs real startup time, far too much to pay per validation call.
+    pt = ParallelTranspose(threads, backend=args.backend)
     candidates = {
         "transpose_inplace (auto)": lambda b, m, n: transpose_inplace(b, m, n),
         "c2r strict": lambda b, m, n: c2r_transpose(b, m, n, aux="strict"),
         "c2r restricted": lambda b, m, n: c2r_transpose(b, m, n, variant="restricted"),
         "cache-aware c2r": lambda b, m, n: c2r_cache_aware(b, m, n),
-        "parallel (2 threads)": lambda b, m, n: parallel_transpose_inplace(
-            b, m, n, n_threads=2
-        ),
+        f"parallel ({threads} {args.backend})":
+            lambda b, m, n: pt.transpose_inplace(b, m, n),
         "skinny": skinny_transpose,
         "cycle following": lambda b, m, n: transpose_cycle_following(b, m, n),
         "gustavson": lambda b, m, n: gustavson_transpose(b, m, n),
         "sung": lambda b, m, n: sung_transpose(b, m, n),
     }
     failed = False
-    for name, fn in candidates.items():
-        report = validate_transposer(fn, count=args.count, seed=args.seed)
-        print(f"{name:<24} {report}")
-        failed |= not report.ok
+    try:
+        for name, fn in candidates.items():
+            report = validate_transposer(fn, count=args.count, seed=args.seed)
+            print(f"{name:<24} {report}")
+            failed |= not report.ok
+    finally:
+        pt.close()
     return 1 if failed else 0
 
 
@@ -415,21 +448,25 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
+    from .parallel import default_worker_count
     from .serve import ServeConfig, TransposeServer
 
     config = ServeConfig(
         host=args.host,
         port=args.port,
-        workers=args.workers,
+        workers=args.workers or default_worker_count(),
         queue_size=args.queue_size,
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         request_timeout_s=args.request_timeout,
+        worker_mode=args.worker_mode,
+        mp_start_method=args.mp_start_method,
     )
     server = TransposeServer(config, verbose=args.verbose).start()
     host, port = server.address
     print(f"repro-serve listening on http://{host}:{port} "
-          f"({config.workers} workers, queue {config.queue_size}, "
+          f"({config.workers} {config.worker_mode} workers, "
+          f"queue {config.queue_size}, "
           f"max batch {config.max_batch}, max wait {config.max_wait_ms}ms)")
     print("endpoints: POST /transpose, GET /healthz, GET /metrics")
     stop = {"signal": None}
@@ -453,9 +490,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "shutdown summary: "
         f"accepted={summary['accepted']} responded={summary['responded']} "
         f"dropped={summary['dropped']} rejected_full={summary['rejected_full']} "
-        f"retries={summary['retries']} drained={summary['drained']}"
+        f"retries={summary['retries']} drained={summary['drained']} "
+        f"worker_mode={summary['worker_mode']} "
+        f"shm_leaked={summary['shm_leaked']}"
     )
-    return 0 if summary["dropped"] == 0 and summary["drained"] else 1
+    ok = (
+        summary["dropped"] == 0
+        and summary["drained"]
+        and summary["shm_leaked"] == 0
+    )
+    return 0 if ok else 1
 
 
 def _cmd_loadtest(args: argparse.Namespace) -> int:
@@ -472,14 +516,17 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     server = None
     url = args.url
     if args.inproc:
+        from .parallel import default_worker_count
         from .serve import ServeConfig, TransposeServer
 
         server = TransposeServer(ServeConfig(
             port=0,
-            workers=args.workers,
+            workers=args.workers or default_worker_count(),
             queue_size=args.queue_size,
             max_batch=args.max_batch,
             max_wait_ms=args.max_wait_ms,
+            worker_mode=args.worker_mode,
+            mp_start_method=args.mp_start_method,
         )).start()
         url = server.url
     elif not url:
@@ -507,7 +554,8 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     if summary is not None:
         print(
             f"  shutdown  accepted={summary['accepted']} "
-            f"responded={summary['responded']} dropped={summary['dropped']}"
+            f"responded={summary['responded']} dropped={summary['dropped']} "
+            f"shm_leaked={summary['shm_leaked']}"
         )
     if args.json:
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
@@ -519,6 +567,10 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         failed.append(f"{report.errors} requests errored")
     if summary is not None and summary["dropped"]:
         failed.append(f"{summary['dropped']} accepted requests dropped")
+    if summary is not None and summary["shm_leaked"]:
+        failed.append(
+            f"{summary['shm_leaked']} shared-memory segment(s) leaked"
+        )
     if args.min_efficiency is not None and report.efficiency < args.min_efficiency:
         failed.append(
             f"efficiency {report.efficiency:.1%} < floor {args.min_efficiency:.1%}"
@@ -567,6 +619,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dtype", default="float64")
     p.add_argument("--order", choices=["C", "F"], default="C")
     p.add_argument("--algorithm", choices=["auto", "c2r", "r2c"], default="auto")
+    p.add_argument("--threads", type=int, default=1,
+                   help=">1 memmaps the file and runs the parallel passes")
+    p.add_argument("--backend", choices=["threads", "mp"], default="threads",
+                   help="parallel execution backend for --threads > 1")
     p.set_defaults(fn=_cmd_transpose)
 
     p = sub.add_parser(
@@ -592,12 +648,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dtype", default="float64")
     p.add_argument("--order", choices=["C", "F"], default="C")
     p.add_argument("--algorithm", choices=["auto", "c2r", "r2c"], default="auto")
+    p.add_argument("--threads", type=int, default=1,
+                   help=">1 memmaps the file and runs the parallel passes")
+    p.add_argument("--backend", choices=["threads", "mp"], default="threads",
+                   help="parallel execution backend for --threads > 1")
     p.set_defaults(fn=_cmd_transpose)
 
     p = sub.add_parser("bench", help="quick wall-clock benchmark")
     p.add_argument("m", type=int)
     p.add_argument("n", type=int)
-    p.add_argument("--threads", type=int, default=1)
+    p.add_argument("--threads", type=int, default=None,
+                   help="worker count (default: os.cpu_count(), capped)")
+    p.add_argument("--backend", choices=["threads", "mp"], default="threads")
     p.add_argument("--repeats", type=int, default=3)
     p.set_defaults(fn=_cmd_bench)
 
@@ -614,6 +676,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("selftest", help="validate every transposer")
     p.add_argument("--count", type=int, default=30)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--threads", type=int, default=None,
+                   help="parallel-candidate worker count "
+                   "(default: os.cpu_count(), capped)")
+    p.add_argument("--backend", choices=["threads", "mp"], default="threads",
+                   help="backend for the parallel candidate")
     p.set_defaults(fn=_cmd_selftest)
 
     p = sub.add_parser(
@@ -726,7 +793,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8077,
                    help="0 picks an ephemeral port (printed at startup)")
-    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker count (default: os.cpu_count(), capped)")
+    p.add_argument("--worker-mode", choices=["thread", "process"],
+                   default="thread",
+                   help="process = execute batches in worker processes over "
+                   "shared-memory staging")
+    p.add_argument("--mp-start-method", default=None,
+                   help="multiprocessing start method for --worker-mode "
+                   "process (default: forkserver)")
     p.add_argument("--queue-size", type=int, default=512,
                    help="admission-control bound; full -> HTTP 429")
     p.add_argument("--max-batch", type=int, default=32,
@@ -762,7 +837,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--connections", type=int, default=16,
                    help="persistent client connections")
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--workers", type=int, default=2, help="--inproc: worker threads")
+    p.add_argument("--workers", type=int, default=None,
+                   help="--inproc: worker count (default: os.cpu_count(), "
+                   "capped)")
+    p.add_argument("--worker-mode", choices=["thread", "process"],
+                   default="thread", help="--inproc: worker execution mode")
+    p.add_argument("--mp-start-method", default=None,
+                   help="--inproc: start method for --worker-mode process")
     p.add_argument("--queue-size", type=int, default=512, help="--inproc: queue bound")
     p.add_argument("--max-batch", type=int, default=32)
     p.add_argument("--max-wait-ms", type=float, default=0.5)

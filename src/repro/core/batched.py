@@ -156,6 +156,12 @@ class BatchedTransposePlan:
         """Bytes held by the precomputed gather maps."""
         return sum(idx.nbytes for _, idx in self._steps)
 
+    def __reduce__(self):
+        # Ship the identity, not the O(mn) gather maps: a plan crossing a
+        # process boundary rebuilds from its plan-cache key on the other
+        # side (each worker process owns its own cache).
+        return (self.__class__, (self.m, self.n, self.order, self.algorithm))
+
     def execute(self, buf: np.ndarray) -> np.ndarray:
         """Transpose every matrix of the batch in place; returns ``buf``."""
         dec = self.dec

@@ -144,6 +144,12 @@ class TransposePlan:
             total += payload.nbytes
         return total
 
+    def __reduce__(self):
+        # Ship the identity, not the O(mn) gather maps: a plan crossing a
+        # process boundary rebuilds from its plan-cache key on the other
+        # side (each worker process owns its own cache).
+        return (self.__class__, (self.m, self.n, self.order, self.algorithm))
+
     @staticmethod
     def _apply_step(V: np.ndarray, kind: str, payload) -> None:
         if kind == "rotate_groups":

@@ -10,18 +10,23 @@ lengths thwart parallelization.
 * :mod:`~repro.parallel.executor` — the OpenMP-analogue thread-pool
   parallel-for (numpy releases the GIL on array copies, so threads overlap).
 * :mod:`~repro.parallel.cpu` — the parallel in-place transpose used by the
-  Table 1 / Fig. 3 benchmarks.
+  Table 1 / Fig. 3 benchmarks; ``backend="mp"`` selects the process pool.
+* :mod:`~repro.parallel.mp` / :mod:`~repro.parallel.shm` — the multiprocess
+  shared-memory backend: true parallel-for over pass chunks, descriptors
+  (not closures) across the process boundary (docs/PARALLEL.md).
 """
 
 from .cache_aware import CacheAwareParallelTranspose
 from .cpu import ParallelTranspose, parallel_transpose_inplace
-from .executor import ParallelExecutor
+from .executor import ParallelExecutor, PassExecutionError, default_worker_count
 from .partition import balanced_chunks
 
 __all__ = [
     "ParallelExecutor",
     "ParallelTranspose",
+    "PassExecutionError",
     "CacheAwareParallelTranspose",
     "balanced_chunks",
+    "default_worker_count",
     "parallel_transpose_inplace",
 ]

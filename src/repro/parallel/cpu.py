@@ -23,7 +23,14 @@ from ..core.transpose import choose_algorithm
 from ..strength.reduced import ReducedEquations
 from .executor import ParallelExecutor
 
-__all__ = ["ParallelTranspose", "parallel_transpose_inplace"]
+__all__ = [
+    "ParallelTranspose",
+    "parallel_transpose_inplace",
+    "rotate_chunk",
+    "row_gather_chunk",
+    "col_gather_chunk",
+    "pass_index_map",
+]
 
 #: reusable stateless no-op context manager for untraced paths
 _NULL_CM = nullcontext()
@@ -63,8 +70,68 @@ def _sanitizer():
     return _racecheck.sanitizer
 
 
+# -- chunk kernels -------------------------------------------------------------
+#
+# Module-level so both backends share one implementation: the thread backend
+# calls them through closures over the live view, the process backend calls
+# them from worker processes against a shared-memory attachment (functions at
+# module scope are picklable by reference — descriptors, not closures, cross
+# the process boundary).
+
+
+def rotate_chunk(V: np.ndarray, dec: Decomposition, sign: int, groups: slice) -> None:
+    """Rotate the column groups in ``groups`` by ``sign * (g mod m)``
+    (Lemma 1: each group of b columns shares one rotation amount)."""
+    m = dec.m
+    for g in range(groups.start, groups.stop):
+        k = g % m  # repro-lint: allow(raw-divmod) O(c) per-group setup, not per-element
+        if k == 0:
+            continue
+        cols = slice(g * dec.b, (g + 1) * dec.b)
+        V[:, cols] = np.roll(V[:, cols], sign * k, axis=0)
+
+
+def row_gather_chunk(V: np.ndarray, dec: Decomposition, index_map, rows: slice) -> None:
+    """Gather the rows in ``rows`` along axis 1 with ``index_map(i, cols)``."""
+    i = np.arange(rows.start, rows.stop, dtype=np.int64)[:, None]
+    cols = np.arange(dec.n, dtype=np.int64)[None, :]
+    idx = index_map(i, cols)
+    V[rows] = np.take_along_axis(V[rows], idx, axis=1)
+
+
+def col_gather_chunk(V: np.ndarray, dec: Decomposition, index_map, cols: slice) -> None:
+    """Gather the columns in ``cols`` along axis 0 with ``index_map(rows, j)``."""
+    rows = np.arange(dec.m, dtype=np.int64)[:, None]
+    j = np.arange(cols.start, cols.stop, dtype=np.int64)[None, :]
+    idx = index_map(rows, j)
+    V[:, cols] = np.take_along_axis(V[:, cols], idx, axis=0)
+
+
+def pass_index_map(name: str, dec: Decomposition, red: ReducedEquations | None):
+    """Resolve the gather index map for a named pass (Eqs. 26/31).
+
+    Keyed by pass *name* so a worker process can rebuild the map from a
+    descriptor instead of unpickling a closure over live numpy state.
+    """
+    if name == "row_shuffle":
+        if red is not None:
+            return red.dprime_inverse
+        return lambda i, j: eq.dprime_inverse_v(dec, i, j)
+    if name == "row_shuffle_r2c":
+        if red is not None:
+            return red.dprime
+        return lambda i, j: eq.dprime_v(dec, i, j)
+    if name == "column_shuffle":
+        if red is not None:
+            return red.sprime
+        return lambda i, j: eq.sprime_v(dec, i, j)
+    if name == "inverse_column_shuffle":
+        return lambda i, j: eq.sprime_inverse_v(dec, i, j)
+    raise ValueError(f"no index map for pass {name!r}")
+
+
 class ParallelTranspose:
-    """A reusable parallel transposer bound to a thread count.
+    """A reusable parallel transposer bound to a worker count.
 
     Parameters
     ----------
@@ -74,11 +141,42 @@ class ParallelTranspose:
         Use fixed-point-reciprocal index math (on by default, as in the
         paper's CPU implementation); falls back to plain ``//``/``%`` for
         shapes outside the reduced range.
+    backend:
+        ``"threads"`` (default) runs chunks on a thread pool — real overlap
+        only while numpy's gather kernels release the GIL.  ``"mp"`` runs
+        chunks in a persistent process pool against a shared-memory copy of
+        the buffer (see :mod:`repro.parallel.mp`): true parallel-for, at
+        the cost of one staging copy in and one out.
+    start_method:
+        mp backend only — multiprocessing start method override (defaults
+        to forkserver where available; see ``REPRO_MP_START``).
     """
 
-    def __init__(self, n_threads: int = 1, *, strength_reduced: bool = True):
-        self.executor = ParallelExecutor(n_threads)
+    def __init__(
+        self,
+        n_threads: int = 1,
+        *,
+        strength_reduced: bool = True,
+        backend: str = "threads",
+        start_method: str | None = None,
+    ):
+        if backend not in ("threads", "mp"):
+            raise ValueError(f"unknown backend {backend!r}; use 'threads' or 'mp'")
+        self.n_threads = int(n_threads)
+        self.backend = backend
         self.strength_reduced = strength_reduced
+        if backend == "mp":
+            from .mp import MpTranspose
+
+            self._mp: "MpTranspose | None" = MpTranspose(
+                n_threads,
+                strength_reduced=strength_reduced,
+                start_method=start_method,
+            )
+            self.executor = None
+        else:
+            self._mp = None
+            self.executor = ParallelExecutor(n_threads)
 
     # -- index-map helpers ---------------------------------------------------
 
@@ -103,9 +201,9 @@ class ParallelTranspose:
             with san.pass_scope(
                 f"parallel.{name}", dec.m * dec.n, full_coverage=full_coverage
             ):
-                self.executor.parallel_for(total, body)
+                self.executor.parallel_for(total, body, name=name)
         else:
-            self.executor.parallel_for(total, body)
+            self.executor.parallel_for(total, body, name=name)
 
     def _rotate_pass(
         self, name: str, V: np.ndarray, dec: Decomposition, sign: int
@@ -118,17 +216,19 @@ class ParallelTranspose:
         itemsize = V.itemsize
 
         def work(groups: slice) -> None:
+            if not san.enabled:
+                rotate_chunk(V, dec, sign, groups)
+                return
             for g in range(groups.start, groups.stop):
                 k = g % m  # repro-lint: allow(raw-divmod) O(c) per-group setup, not per-element
                 if k == 0:
                     continue
                 cols = slice(g * dec.b, (g + 1) * dec.b)
-                if san.enabled:
-                    flat = (
-                        np.arange(m, dtype=np.int64)[:, None] * dec.n
-                        + np.arange(cols.start, cols.stop, dtype=np.int64)
-                    ).ravel()  # repro-lint: allow(implicit-copy) flat index array, not a view
-                    san.record(reads=flat, writes=flat, where=f"group[{g}]")
+                flat = (
+                    np.arange(m, dtype=np.int64)[:, None] * dec.n
+                    + np.arange(cols.start, cols.stop, dtype=np.int64)
+                ).ravel()  # repro-lint: allow(implicit-copy) flat index array, not a view
+                san.record(reads=flat, writes=flat, where=f"group[{g}]")
                 V[:, cols] = np.roll(V[:, cols], sign * k, axis=0)
 
         def body(groups: slice) -> None:
@@ -162,14 +262,16 @@ class ParallelTranspose:
         itemsize = V.itemsize
 
         def work(rows: slice) -> None:
+            if not san.enabled:
+                row_gather_chunk(V, dec, index_map, rows)
+                return
             i = np.arange(rows.start, rows.stop, dtype=np.int64)[:, None]
             idx = index_map(i, cols)
-            if san.enabled:
-                san.record(
-                    reads=i * dec.n + idx,
-                    writes=i * dec.n + cols,
-                    where=f"rows[{rows.start}:{rows.stop}]",
-                )
+            san.record(
+                reads=i * dec.n + idx,
+                writes=i * dec.n + cols,
+                where=f"rows[{rows.start}:{rows.stop}]",
+            )
             V[rows] = np.take_along_axis(V[rows], idx, axis=1)
 
         def body(rows: slice) -> None:
@@ -196,14 +298,16 @@ class ParallelTranspose:
         itemsize = V.itemsize
 
         def work(cols: slice) -> None:
+            if not san.enabled:
+                col_gather_chunk(V, dec, index_map, cols)
+                return
             j = np.arange(cols.start, cols.stop, dtype=np.int64)[None, :]
             idx = index_map(rows, j)
-            if san.enabled:
-                san.record(
-                    reads=idx * dec.n + j,
-                    writes=rows * dec.n + j,
-                    where=f"cols[{cols.start}:{cols.stop}]",
-                )
+            san.record(
+                reads=idx * dec.n + j,
+                writes=rows * dec.n + j,
+                where=f"cols[{cols.start}:{cols.stop}]",
+            )
             V[:, cols] = np.take_along_axis(V[:, cols], idx, axis=0)
 
         def body(cols: slice) -> None:
@@ -223,37 +327,32 @@ class ParallelTranspose:
         self, V: np.ndarray, dec: Decomposition, red: ReducedEquations | None
     ) -> None:
         """Rows gather with d'^{-1} (Eq. 31); parallel over row chunks."""
-        index_map = (
-            red.dprime_inverse
-            if red is not None
-            else lambda i, j: eq.dprime_inverse_v(dec, i, j)
+        self._gathered_row_pass(
+            "row_shuffle", V, dec, pass_index_map("row_shuffle", dec, red)
         )
-        self._gathered_row_pass("row_shuffle", V, dec, index_map)
 
     def _column_shuffle(
         self, V: np.ndarray, dec: Decomposition, red: ReducedEquations | None
     ) -> None:
         """Columns gather with s' (Eq. 26); parallel over column chunks."""
-        index_map = (
-            red.sprime if red is not None else lambda i, j: eq.sprime_v(dec, i, j)
+        self._gathered_column_pass(
+            "column_shuffle", V, dec, pass_index_map("column_shuffle", dec, red)
         )
-        self._gathered_column_pass("column_shuffle", V, dec, index_map)
 
     def _inverse_column_shuffle(
         self, V: np.ndarray, dec: Decomposition
     ) -> None:
         self._gathered_column_pass(
             "inverse_column_shuffle", V, dec,
-            lambda i, j: eq.sprime_inverse_v(dec, i, j),
+            pass_index_map("inverse_column_shuffle", dec, None),
         )
 
     def _row_shuffle_r2c(
         self, V: np.ndarray, dec: Decomposition, red: ReducedEquations | None
     ) -> None:
-        index_map = (
-            red.dprime if red is not None else lambda i, j: eq.dprime_v(dec, i, j)
+        self._gathered_row_pass(
+            "row_shuffle_r2c", V, dec, pass_index_map("row_shuffle_r2c", dec, red)
         )
-        self._gathered_row_pass("row_shuffle_r2c", V, dec, index_map)
 
     def _post_rotate(self, V: np.ndarray, dec: Decomposition) -> None:
         self._rotate_pass("post_rotate", V, dec, 1)
@@ -284,6 +383,8 @@ class ParallelTranspose:
 
     def c2r(self, buf: np.ndarray, m: int, n: int) -> np.ndarray:
         """Parallel C2R transposition of a flat buffer."""
+        if self._mp is not None:
+            return self._mp.c2r(buf, m, n)
         if not buf.flags["C_CONTIGUOUS"]:
             raise ValueError(
                 "in-place transposition requires a contiguous buffer "
@@ -300,7 +401,7 @@ class ParallelTranspose:
         passes = 3 if dec.c > 1 else 2
         with tr.span(
             "op.parallel.c2r", m=m, n=n,
-            threads=self.executor.n_threads, dtype=str(buf.dtype),
+            threads=self.n_threads, dtype=str(buf.dtype),
         ) if tr.enabled else _NULL_CM:
             if dec.c > 1:
                 self._timed("pre_rotate", self._pre_rotate, V, dec)
@@ -317,6 +418,8 @@ class ParallelTranspose:
 
     def r2c(self, buf: np.ndarray, m: int, n: int) -> np.ndarray:
         """Parallel R2C transposition of a flat buffer."""
+        if self._mp is not None:
+            return self._mp.r2c(buf, m, n)
         if not buf.flags["C_CONTIGUOUS"]:
             raise ValueError(
                 "in-place transposition requires a contiguous buffer "
@@ -333,7 +436,7 @@ class ParallelTranspose:
         passes = 3 if dec.c > 1 else 2
         with tr.span(
             "op.parallel.r2c", m=m, n=n,
-            threads=self.executor.n_threads, dtype=str(buf.dtype),
+            threads=self.n_threads, dtype=str(buf.dtype),
         ) if tr.enabled else _NULL_CM:
             self._timed(
                 "inverse_column_shuffle", self._inverse_column_shuffle, V, dec
@@ -362,7 +465,10 @@ class ParallelTranspose:
         return self.r2c(buf, vn, vm)
 
     def close(self) -> None:
-        self.executor.shutdown()
+        if self._mp is not None:
+            self._mp.close()
+        if self.executor is not None:
+            self.executor.shutdown()
 
     def __enter__(self) -> "ParallelTranspose":
         return self
@@ -372,8 +478,17 @@ class ParallelTranspose:
 
 
 def parallel_transpose_inplace(
-    buf: np.ndarray, m: int, n: int, order: str = "C", *, n_threads: int = 1
+    buf: np.ndarray,
+    m: int,
+    n: int,
+    order: str = "C",
+    *,
+    n_threads: int = 1,
+    backend: str = "threads",
+    start_method: str | None = None,
 ) -> np.ndarray:
     """One-shot convenience wrapper around :class:`ParallelTranspose`."""
-    with ParallelTranspose(n_threads) as pt:
+    with ParallelTranspose(
+        n_threads, backend=backend, start_method=start_method
+    ) as pt:
         return pt.transpose_inplace(buf, m, n, order)

@@ -2,7 +2,14 @@
 
 Workers receive contiguous chunks (static schedule); a pass completes when
 every chunk has (a barrier, like OpenMP's implicit barrier at the end of a
-``parallel for``).  Exceptions raised in workers propagate to the caller.
+``parallel for``).
+
+Failure semantics: the first chunk exception cancels every not-yet-started
+sibling, waits for the in-flight ones to finish (so no worker is still
+mutating the buffer when the caller sees the error), and surfaces as a
+:class:`PassExecutionError` carrying the pass name and the failed chunk.
+The buffer is half-permuted at that point — callers must not run any
+subsequent pass over it.
 
 numpy's copy/gather kernels release the GIL for non-trivially-sized
 operations, so chunked passes overlap on real cores.
@@ -10,12 +17,41 @@ operations, so chunked passes overlap on real cores.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import os
+from concurrent.futures import FIRST_EXCEPTION, CancelledError, ThreadPoolExecutor, wait
 from typing import Callable
 
 from .partition import balanced_chunks
 
-__all__ = ["ParallelExecutor"]
+__all__ = ["ParallelExecutor", "PassExecutionError", "default_worker_count"]
+
+#: default cap on CLI-chosen worker counts — beyond this the passes are
+#: memory-bound and extra workers only add scheduling noise
+DEFAULT_WORKER_CAP = 8
+
+
+def default_worker_count(cap: int = DEFAULT_WORKER_CAP) -> int:
+    """``os.cpu_count()`` capped — the CLI-facing default parallelism."""
+    return max(1, min(os.cpu_count() or 1, cap))
+
+
+class PassExecutionError(RuntimeError):
+    """One chunk of a parallel pass failed.
+
+    By the time this propagates, no sibling chunk is still running — but
+    the pass stopped mid-flight, so the buffer may be **half-permuted**.
+    Callers must treat it as corrupt and not run subsequent passes.
+    ``pass_name`` and ``chunk`` identify the failure; the original
+    exception rides along as ``__cause__``.
+    """
+
+    def __init__(self, pass_name: str, chunk: slice, cause: BaseException):
+        self.pass_name = pass_name
+        self.chunk = chunk
+        super().__init__(
+            f"pass {pass_name!r} failed on chunk "
+            f"[{chunk.start}:{chunk.stop}): {cause}"
+        )
 
 
 class ParallelExecutor:
@@ -40,17 +76,53 @@ class ParallelExecutor:
             else None
         )
 
-    def parallel_for(self, total: int, body: Callable[[slice], None]) -> None:
+    def parallel_for(
+        self,
+        total: int,
+        body: Callable[[slice], None],
+        *,
+        name: str = "parallel_for",
+    ) -> None:
         """Run ``body(chunk)`` over a balanced static partition of
-        ``range(total)`` and wait for all chunks (barrier semantics)."""
+        ``range(total)`` and wait for all chunks (barrier semantics).
+
+        On failure: outstanding chunks are cancelled, in-flight ones run to
+        completion, and the first failure (in chunk order) is raised as a
+        :class:`PassExecutionError` tagged with ``name``.
+        """
         chunks = balanced_chunks(total, self.n_threads)
         if self._pool is None or len(chunks) <= 1:
             for ch in chunks:
-                body(ch)
+                try:
+                    body(ch)
+                except Exception as exc:
+                    raise PassExecutionError(name, ch, exc) from exc
             return
-        futures = [self._pool.submit(body, ch) for ch in chunks]
-        for fut in futures:
-            fut.result()  # re-raises worker exceptions
+        futures = [(self._pool.submit(body, ch), ch) for ch in chunks]
+        done, not_done = wait(
+            [f for f, _ in futures], return_when=FIRST_EXCEPTION
+        )
+        if not_done:
+            # A chunk failed early: stop what has not started and let the
+            # in-flight chunks finish so nothing mutates the buffer after
+            # the error surfaces.
+            for f in not_done:
+                f.cancel()
+            wait(not_done)
+        first: tuple[slice, BaseException] | None = None
+        for f, ch in futures:
+            if f.cancelled():
+                continue
+            try:
+                exc = f.exception()
+            except CancelledError:  # cancelled between checks
+                continue
+            if exc is not None:
+                first = (ch, exc)
+                break
+        if first is not None:
+            ch, exc = first
+            raise PassExecutionError(name, ch, exc) from exc
 
     def shutdown(self) -> None:
         if self._pool is not None:

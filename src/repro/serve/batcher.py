@@ -210,7 +210,7 @@ class ShapeBatcher:
 
     # -- execution -----------------------------------------------------------
 
-    def execute_group(self, group: Group) -> int:
+    def execute_group(self, group: Group, host=None) -> int:
         """Claim, validate and execute one group; returns requests served.
 
         Expired requests fail with :class:`DeadlineExceededError`, cancelled
@@ -219,6 +219,11 @@ class ShapeBatcher:
         :func:`~repro.core.batched.validate_batch_member` error.  Raises
         only on execution failure — with every live request still
         unfulfilled and every input buffer intact, so the caller may retry.
+
+        ``host`` (a :class:`~repro.parallel.mp.ProcessWorkerHost`) routes
+        execution to a worker process over shared-memory staging instead of
+        running the kernel on this thread; the retry contract is identical
+        (inputs are only read, nothing fulfills until the kernel returned).
         """
         m, n, order, dtype_str = group.key
         dtype = np.dtype(dtype_str)
@@ -255,7 +260,13 @@ class ShapeBatcher:
         tiles = sum(r.tiles for r in live)
         tr = spans.tracer
         t0 = perf_counter()
-        if tiles == 1:
+        if host is not None:
+            with tr.span(
+                "serve.execute.process", m=m, n=n, batch=tiles, dtype=dtype_str
+            ) if tr.enabled else _NULL_CM:
+                self._execute_process(host, live, m, n, order, dtype)
+            reg.inc("serve.batches")
+        elif tiles == 1:
             with tr.span(
                 "serve.execute.single", m=m, n=n, dtype=dtype_str
             ) if tr.enabled else _NULL_CM:
@@ -308,4 +319,43 @@ class ShapeBatcher:
                 r.fulfill(staging[off])
             else:
                 r.fulfill(staging[off:off + r.tiles].reshape(-1))
+            off += r.tiles
+
+    @staticmethod
+    def _execute_process(
+        host, live: list[Request], m: int, n: int, order: str, dtype: np.dtype
+    ) -> None:
+        """Stage the group into shared memory, run it in a worker process,
+        copy the results out and merge the worker's metrics.
+
+        Retry contract preserved: request buffers are only read, the
+        segment is destroyed on every path, and nothing fulfills unless
+        the worker returned success — a crash
+        (:class:`~repro.parallel.mp.WorkerCrashedError`) or kernel error
+        leaves every live request claimable with inputs intact.
+        """
+        from ..parallel.shm import SharedArray
+
+        mn = m * n
+        tiles = sum(r.tiles for r in live)
+        seg = SharedArray((tiles, mn), dtype)
+        try:
+            off = 0
+            for r in live:
+                seg.array[off:off + r.tiles] = r.buf.reshape(r.tiles, mn)
+                off += r.tiles
+            worker_snap = host.execute(seg.name, m, n, order, str(dtype), tiles)
+            # Copy out before destroy: fulfilled views must not point into
+            # a segment whose mapping is about to be torn down.
+            out = seg.array.copy()
+        finally:
+            seg.destroy()
+        if worker_snap:
+            metrics.registry.merge_snapshot(worker_snap)
+        off = 0
+        for r in live:
+            if r.tiles == 1:
+                r.fulfill(out[off])
+            else:
+                r.fulfill(out[off:off + r.tiles].reshape(-1))
             off += r.tiles

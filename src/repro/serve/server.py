@@ -73,6 +73,12 @@ class ServeConfig:
     max_batch: int = 32
     max_wait_ms: float = 2.0
     request_timeout_s: float = 30.0
+    #: "thread" executes groups on the worker threads; "process" stages
+    #: them through shared memory into worker processes (docs/PARALLEL.md)
+    worker_mode: str = "thread"
+    #: multiprocessing start method for worker_mode="process"
+    #: (None = forkserver where available; REPRO_MP_START overrides)
+    mp_start_method: str | None = None
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -103,18 +109,32 @@ class _Handler(BaseHTTPRequestHandler):
         except (BrokenPipeError, ConnectionResetError):
             self.close_connection = True
 
-    def _reply_error(self, status: int, message: str, headers: dict | None = None) -> None:
-        body = json.dumps({"error": message}).encode()
+    def _reply_error(
+        self,
+        status: int,
+        message: str,
+        headers: dict | None = None,
+        *,
+        kind: str | None = None,
+    ) -> None:
+        """JSON error reply; ``kind`` tags ambiguous statuses (the two 504
+        flavors: ``client-deadline`` vs ``serving-timeout``)."""
+        payload: dict = {"error": message}
+        if kind is not None:
+            payload["kind"] = kind
+        body = json.dumps(payload).encode()
         self._reply(status, body, "application/json", headers)
 
-    def _reject_unread_body(self, status: int, message: str) -> None:
+    def _reject_unread_body(
+        self, status: int, message: str, *, kind: str | None = None
+    ) -> None:
         """Error reply while request-body bytes are still on the socket.
 
         Keep-alive would parse those unread bytes as the next request line
         and desync the connection, so force a close with the reply.
         """
         self.close_connection = True
-        self._reply_error(status, message, {"Connection": "close"})
+        self._reply_error(status, message, {"Connection": "close"}, kind=kind)
 
     # -- GET: health + metrics -----------------------------------------------
 
@@ -200,6 +220,19 @@ class _Handler(BaseHTTPRequestHandler):
                     400, "X-Repro-Timeout-Ms must be a number"
                 )
                 return
+            if deadline <= monotonic():
+                # Already expired at admission: fail fast with the
+                # DeadlineExceededError taxonomy instead of enqueueing and
+                # burning the +1.0 s batcher slack on a doomed request.
+                metrics.registry.inc("serve.expired_at_admission")
+                self._reject_unread_body(
+                    504,
+                    str(DeadlineExceededError(
+                        "X-Repro-Timeout-Ms deadline expired before admission"
+                    )),
+                    kind="client-deadline",
+                )
+                return
 
         # Read the body straight into a fresh array: no intermediate bytes
         # object, and the buffer is writeable for the singleton in-place path.
@@ -236,10 +269,13 @@ class _Handler(BaseHTTPRequestHandler):
             result = request.wait(timeout=max(wait_s, 0.001))
         except TimeoutError:
             request.cancel()
-            self._reply_error(504, "request timed out in the serving layer")
+            self._reply_error(
+                504, "request timed out in the serving layer",
+                kind="serving-timeout",
+            )
             return
         except DeadlineExceededError as exc:
-            self._reply_error(504, str(exc))
+            self._reply_error(504, str(exc), kind="client-deadline")
             return
         except Exception as exc:  # noqa: BLE001 — report execution errors
             self._reply_error(500, f"{type(exc).__name__}: {exc}")
@@ -288,7 +324,12 @@ class TransposeServer:
             max_batch=self.config.max_batch,
             max_wait_s=self.config.max_wait_ms / 1e3,
         )
-        self.pool = WorkerPool(self.batcher, self.config.workers)
+        self.pool = WorkerPool(
+            self.batcher,
+            self.config.workers,
+            mode=self.config.worker_mode,
+            start_method=self.config.mp_start_method,
+        )
         self._httpd = _HTTPServer((self.config.host, self.config.port), _Handler)
         self._httpd.app = self  # type: ignore[attr-defined]
         self._serve_thread: threading.Thread | None = None
@@ -354,12 +395,18 @@ class TransposeServer:
             self._serve_thread.join(timeout=1.0)
         with self._state_lock:
             accepted, responded = self.accepted, self.responded
+        from ..parallel import shm
+
         return {
             "accepted": accepted,
             "responded": responded,
             "dropped": accepted - responded,
             "rejected_full": self.queue.rejected_full,
             "rejected_closed": self.queue.rejected_closed,
+            "worker_mode": self.config.worker_mode,
+            # Live shared-memory segments after a full drain mean a leak;
+            # the CI mp job asserts this is zero after SIGTERM.
+            "shm_leaked": len(shm.owned_segments()),
             **pool_summary,
         }
 

@@ -13,6 +13,7 @@ from repro.core import transpose_inplace
 from repro.parallel import (
     ParallelExecutor,
     ParallelTranspose,
+    PassExecutionError,
     balanced_chunks,
     parallel_transpose_inplace,
 )
@@ -78,6 +79,91 @@ class TestExecutor:
     def test_rejects_zero_threads(self):
         with pytest.raises(ValueError):
             ParallelExecutor(0)
+
+    def test_chunk_failure_identifies_pass_and_chunk(self):
+        """A failing chunk raises PassExecutionError carrying the pass name
+        and the exact chunk slice, chained to the original exception."""
+        with ParallelExecutor(2) as ex:
+            def body(ch: slice) -> None:
+                if ch.start == 0:
+                    raise ValueError("boom")
+
+            with pytest.raises(PassExecutionError) as ei:
+                ex.parallel_for(10, body, name="row_shuffle")
+        err = ei.value
+        assert err.pass_name == "row_shuffle"
+        assert (err.chunk.start, err.chunk.stop) == (0, 5)
+        assert isinstance(err.__cause__, ValueError)
+        assert "row_shuffle" in str(err) and "[0:5)" in str(err)
+
+    def test_chunk_failure_sequential_path(self):
+        ex = ParallelExecutor(1)
+
+        def body(ch: slice) -> None:
+            raise ValueError("boom")
+
+        with pytest.raises(PassExecutionError) as ei:
+            ex.parallel_for(4, body, name="column_shuffle")
+        assert ei.value.pass_name == "column_shuffle"
+        assert isinstance(ei.value.__cause__, ValueError)
+
+    def test_chunk_failure_waits_for_in_flight(self):
+        """parallel_for must not raise while another chunk is still running:
+        the caller tears down shared state right after, so the barrier has
+        to cover in-flight chunks even on the failure path."""
+        release = threading.Event()
+        slow_done = threading.Event()
+
+        def body(ch: slice) -> None:
+            if ch.start == 0:
+                # the slow chunk: blocks until the timer releases it
+                release.wait(timeout=10)
+                slow_done.set()
+            else:
+                raise ValueError("boom")
+
+        timer = threading.Timer(0.2, release.set)
+        timer.start()
+        try:
+            with ParallelExecutor(2) as ex:
+                with pytest.raises(PassExecutionError) as ei:
+                    ex.parallel_for(10, body, name="p")
+        finally:
+            timer.cancel()
+        # the raise happened only after the blocked chunk finished
+        assert slow_done.is_set()
+        assert ei.value.chunk.start == 5
+
+
+class TestTransposeAbortsOnPassFailure:
+    def test_failed_pass_stops_the_schedule(self, monkeypatch):
+        """If row_shuffle fails, column_shuffle must never run: executing
+        later passes over a half-permuted buffer would corrupt it further
+        and mask the original error."""
+        from repro.core import equations as eq_mod
+
+        calls = []
+        orig_sprime = eq_mod.sprime_v
+
+        def boom(dec, i, j):
+            raise ValueError("boom")
+
+        def spy_sprime(dec, i, j):
+            calls.append("column_shuffle")
+            return orig_sprime(dec, i, j)
+
+        monkeypatch.setattr(eq_mod, "dprime_inverse_v", boom)
+        monkeypatch.setattr(eq_mod, "sprime_v", spy_sprime)
+        m, n = 7, 13  # coprime: no pre-rotation, row_shuffle runs first
+        buf = np.arange(m * n, dtype=np.float64)
+        snapshot = buf.copy()
+        with ParallelTranspose(2, strength_reduced=False) as pt:
+            with pytest.raises(PassExecutionError) as ei:
+                pt.c2r(buf, m, n)
+        assert ei.value.pass_name == "row_shuffle"
+        assert calls == []  # column_shuffle never started
+        # the index map raised before any write: buffer is untouched
+        np.testing.assert_array_equal(buf, snapshot)
 
 
 class TestParallelTranspose:

@@ -1,0 +1,184 @@
+"""Process-mode serving: shared-memory staging, crash recovery, metrics merge.
+
+The worker pool's ``mode="process"`` routes every batched group through a
+:class:`~repro.parallel.mp.ProcessWorkerHost` — the group stages into one
+shared-memory segment, a worker process transposes it through its own plan
+cache, and the worker's metrics snapshot merges back into the parent
+registry.  These tests pin the three contracts that make that safe:
+byte-identical results, nothing-fulfilled-on-failure (so retry-once works
+even when the failure is a dead process), and zero leaked segments.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.parallel.mp import ProcessWorkerHost, WorkerCrashedError
+from repro.parallel.shm import owned_segments
+from repro.runtime import metrics
+from repro.serve.batcher import ShapeBatcher
+from repro.serve.queue import FAILED, Request, RequestQueue
+from repro.serve.workers import WorkerPool
+
+
+def _req(m=8, n=6, seed=0, tiles=1, dtype=np.float64):
+    rng = np.random.default_rng(seed)
+    buf = (rng.random(tiles * m * n) * 100).astype(dtype)
+    return Request(buf, m, n, tiles=tiles)
+
+
+def _expected(r: Request) -> np.ndarray:
+    tiles = r.buf.reshape(r.tiles, r.m, r.n)
+    return np.ascontiguousarray(tiles.transpose(0, 2, 1)).reshape(-1)
+
+
+def _stack(workers=1, max_batch=8, max_wait_s=0.001, host=None):
+    q = RequestQueue(maxsize=256)
+    b = ShapeBatcher(q, max_batch=max_batch, max_wait_s=max_wait_s)
+    pool = WorkerPool(b, workers, poll_s=0.01, mode="process", host=host)
+    return q, b, pool
+
+
+@pytest.fixture(scope="module")
+def host():
+    """One persistent process host for the module (pool startup is slow)."""
+    h = ProcessWorkerHost(1)
+    yield h
+    h.shutdown()
+
+
+class TestProcessServing:
+    def test_concurrent_clients_differential(self, host):
+        q, _, pool = _stack(workers=2, host=host)
+        shapes = [(8, 6), (5, 9), (12, 4)]
+        results = {}
+        lock = threading.Lock()
+
+        def client(i):
+            m, n = shapes[i % len(shapes)]
+            r = _req(m, n, seed=i, tiles=1 + i % 3)
+            q.submit(r)
+            out = r.wait(timeout=60)
+            with lock:
+                results[i] = (r, out.copy())
+
+        with pool:
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(12)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+        assert len(results) == 12
+        for r, out in results.values():
+            np.testing.assert_array_equal(out, _expected(r))
+        assert owned_segments() == []
+
+    def test_narrow_dtype_batch(self, host):
+        # uint8 image tiles — the workload the mp backend exists for.
+        q, _, pool = _stack(workers=1, host=host)
+        reqs = [q.submit(_req(16, 24, seed=i, dtype=np.uint8)) for i in range(6)]
+        with pool:
+            for r in reqs:
+                out = r.wait(timeout=60)
+                assert out.tobytes() == _expected(r).tobytes()
+
+    def test_worker_metrics_merge_into_parent(self, host):
+        was_enabled = metrics.is_enabled()
+        metrics.reset()
+        metrics.enable()
+        try:
+            q, _, pool = _stack(workers=1, host=host)
+            r = q.submit(_req(seed=3))
+            with pool:
+                r.wait(timeout=60)
+            snap = metrics.snapshot()
+        finally:
+            if not was_enabled:
+                metrics.disable()
+            metrics.reset()
+        # The kernel ran in the child; its op counter only exists in the
+        # parent snapshot because the merge happened.
+        counters = snap.get("counters", {})
+        assert counters.get("batched_transpose_inplace.calls", 0) >= 1, (
+            sorted(counters)
+        )
+        assert "batched_transpose_inplace" in snap.get("timers", {})
+
+
+class TestCrashRecovery:
+    def test_killed_worker_retries_once_and_succeeds(self, tmp_path):
+        """A worker dying mid-batch (os._exit) must fulfill nothing, leave
+        inputs intact, and succeed on the pool's single retry."""
+        flag = tmp_path / "die-once"
+        flag.write_text("x")
+        host = ProcessWorkerHost(1, fault_flag=str(flag))
+        try:
+            q, _, pool = _stack(workers=1, host=host)
+            r = _req(seed=11, tiles=2)
+            original = r.buf.copy()
+            q.submit(r)
+            with pool:
+                out = r.wait(timeout=60)
+            np.testing.assert_array_equal(out, _expected(r))
+            np.testing.assert_array_equal(r.buf, original)  # inputs untouched
+            assert pool.retries == 1
+            assert pool.group_failures == 0
+            assert owned_segments() == []
+        finally:
+            host.shutdown()
+
+    def test_persistent_crash_fails_group_nothing_fulfilled(self):
+        host = ProcessWorkerHost(1, fault_flag="always")
+        try:
+            q, _, pool = _stack(workers=1, host=host)
+            r = _req(seed=5)
+            original = r.buf.copy()
+            q.submit(r)
+            pool.start()
+            with pytest.raises(WorkerCrashedError):
+                r.wait(timeout=60)
+            assert r.state == FAILED
+            np.testing.assert_array_equal(r.buf, original)
+            summary = pool.shutdown(timeout=30)
+            assert summary["group_failures"] == 1
+            assert summary["retries"] == 1
+            assert owned_segments() == []
+        finally:
+            host.shutdown()
+
+    def test_host_pool_survives_crash(self, tmp_path):
+        """After a crash the rebuilt pool serves the next group normally."""
+        flag = tmp_path / "die-once-2"
+        flag.write_text("x")
+        host = ProcessWorkerHost(1, fault_flag=str(flag))
+        try:
+            q, _, pool = _stack(workers=1, host=host)
+            with pool:
+                r1 = q.submit(_req(seed=1))
+                np.testing.assert_array_equal(r1.wait(timeout=60), _expected(r1))
+                r2 = q.submit(_req(seed=2))
+                np.testing.assert_array_equal(r2.wait(timeout=60), _expected(r2))
+        finally:
+            host.shutdown()
+
+
+class TestPoolOwnsHostLifecycle:
+    def test_pool_creates_and_shuts_down_host(self):
+        q, b, _ = _stack()
+        pool = WorkerPool(b, 1, poll_s=0.01, mode="process")
+        r = q.submit(_req(seed=9))
+        with pool:
+            np.testing.assert_array_equal(r.wait(timeout=60), _expected(r))
+        assert pool._host is not None
+        assert pool._host.executor._pool is None  # shut down with the pool
+        assert owned_segments() == []
+
+    def test_mode_validated(self):
+        _, b, _ = _stack()
+        with pytest.raises(ValueError):
+            WorkerPool(b, 1, mode="fiber")

@@ -191,6 +191,43 @@ class TestErrorMapping:
         )
         assert status == 504
 
+    def test_expired_at_admission_fails_fast_as_client_deadline(self, server):
+        """An already-expired X-Repro-Timeout-Ms must be rejected before
+        the request is enqueued — no queue wait, no kernel work — and the
+        504 body must say the *client's* deadline expired."""
+        from time import perf_counter
+
+        A = np.arange(12, dtype=np.float64)
+        t0 = perf_counter()
+        status, body, headers = _post(
+            server, A.tobytes(),
+            _headers(3, 4, **{"X-Repro-Timeout-Ms": "0"}),
+        )
+        elapsed = perf_counter() - t0
+        assert status == 504
+        assert json.loads(body)["kind"] == "client-deadline"
+        assert b"before admission" in body
+        # Fast fail: rejected pre-queue, not after a queue/execute timeout.
+        assert elapsed < 0.9
+        # Pre-body rejection leaves bytes on the socket -> must close.
+        assert headers.get("Connection") == "close"
+
+    def test_serving_timeout_504_is_distinguished(self):
+        """A request that was admitted fine but hit the serving-layer
+        timeout gets the other 504 flavor: kind="serving-timeout"."""
+        srv = TransposeServer(ServeConfig(
+            port=0, workers=1, queue_size=32,
+            max_wait_ms=5000.0,  # lone request waits for batch-mates...
+            request_timeout_s=0.05,  # ...but the server gives up first
+        )).start()
+        try:
+            A = np.arange(12, dtype=np.float64)
+            status, body, _ = _post(srv, A.tobytes(), _headers(3, 4))
+            assert status == 504
+            assert json.loads(body)["kind"] == "serving-timeout"
+        finally:
+            srv.shutdown(timeout=10)
+
     def test_queue_full_429_with_retry_after(self):
         # Fill the queue directly (workers not started, nothing drains),
         # then a real HTTP submit must be admission-rejected.
