@@ -437,11 +437,20 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         threads=args.threads,
         algorithm=args.algorithm,
+        backend=args.backend,
     )
     if args.json:
         print(json.dumps([p.as_dict() for p in profiles], indent=args.indent))
     else:
         print(format_profile_table(profiles))
+        # One summary line per shape naming the backend that actually ran:
+        # a fraction without its engine is unactionable.
+        for prof in profiles:
+            frac = max((p.memcpy_frac for p in prof.passes), default=0.0)
+            print(
+                f"{prof.m}x{prof.n}: backend={prof.backend} "
+                f"best-pass memcpy fraction {frac:.3f}"
+            )
     return 0
 
 
@@ -781,6 +790,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dtype", default="float64")
     p.add_argument(
         "--algorithm", choices=["auto", "c2r", "r2c"], default="auto"
+    )
+    p.add_argument(
+        "--backend", choices=["auto", "native", "numpy"], default=None,
+        help="execution engine: compiled native kernels or numpy gathers "
+             "(default: auto-select)",
     )
     p.add_argument("--json", action="store_true",
                    help="emit the profiles as JSON instead of a table")

@@ -33,6 +33,7 @@ _NULL_CM = nullcontext()
 
 _metrics = None
 _trace = None
+_native_mod = None
 
 
 def _runtime_metrics():
@@ -43,6 +44,19 @@ def _runtime_metrics():
 
         _metrics = metrics
     return _metrics
+
+
+def _native():
+    """Lazily bind the compiled-kernel backend (repro.native)."""
+    global _native_mod
+    if _native_mod is None:
+        from .. import native
+
+        _native_mod = native
+    return _native_mod
+
+
+_BACKENDS = (None, "auto", "native", "numpy")
 
 
 def _tracer():
@@ -162,8 +176,106 @@ class BatchedTransposePlan:
         # side (each worker process owns its own cache).
         return (self.__class__, (self.m, self.n, self.order, self.algorithm))
 
-    def execute(self, buf: np.ndarray) -> np.ndarray:
-        """Transpose every matrix of the batch in place; returns ``buf``."""
+    @staticmethod
+    def _apply_np(V: np.ndarray, kind: str, idx: np.ndarray) -> None:
+        axis = 1 if kind == "rows3" else 2
+        V[:] = np.take_along_axis(V, np.broadcast_to(idx, V.shape), axis=axis)
+
+    def _resolve_native(self, buf: np.ndarray, backend: str | None):
+        """The compiled kernel to batch over, or ``None`` for numpy.
+
+        Batched and single plans for one ``(algorithm, shape, itemsize)``
+        generate identical C source, so the on-disk artifact is shared; only
+        the per-plan memoization slot is separate.
+        """
+        if backend == "numpy":
+            return None
+        native = _native()
+        if not native.enabled():
+            if backend == "native":
+                native.record_fallback("disabled by REPRO_NATIVE=0")
+            return None
+        if backend != "native" and buf.size < native.min_elems():
+            return None
+        return native.kernel_for_plan(self, buf.dtype.itemsize)
+
+    def _execute_native(self, buf: np.ndarray, V: np.ndarray, kernel) -> None:
+        """Run the compiled kernel across the batch.
+
+        Scratch failures are positional (see the kernel's return-code
+        contract): the numpy gathers finish exactly the tiles and passes the
+        kernel did not reach.
+        """
+        rt = _runtime_metrics()
+        tr = _tracer()
+        reg = rt.registry
+        addr = buf.ctypes.data
+        k = V.shape[0]
+        steps = self._steps
+        dec = self.dec
+        if tr.enabled or reg.enabled:
+            pass_bytes = 2 * buf.nbytes
+            for i, (kind, idx) in enumerate(steps):
+                try:
+                    if tr.enabled:
+                        with tr.span(
+                            f"pass.{kind}", m=dec.m, n=dec.n, batch=k,
+                            algorithm=self.algorithm, bytes=pass_bytes,
+                            backend="native",
+                        ) as sp:
+                            kernel.run_pass_batch(i, addr, k)
+                        if reg.enabled:
+                            reg.observe(f"batched.pass.{kind}", sp.duration_s)
+                    else:
+                        t0 = perf_counter()
+                        kernel.run_pass_batch(i, addr, k)
+                        reg.observe(f"batched.pass.{kind}", perf_counter() - t0)
+                except MemoryError as exc:
+                    # Pass ``i`` reached tiles < tile; finish it, then run
+                    # the remaining passes entirely on numpy.
+                    tile = getattr(exc, "tile", 0)
+                    _native().record_fallback(
+                        f"scratch allocation failed at batched pass {i}"
+                    )
+                    self._apply_np(V[tile:], kind, idx)
+                    for rest_kind, rest_idx in steps[i + 1:]:
+                        self._apply_np(V, rest_kind, rest_idx)
+                    break
+            if reg.enabled:
+                reg.inc("native.calls")
+                reg.inc("bytes_moved", len(steps) * 2 * buf.nbytes)
+                reg.inc("elements_touched", len(steps) * buf.size)
+        else:
+            try:
+                kernel.run_batch(addr, k)
+            except MemoryError as exc:
+                pi = getattr(exc, "pass_index", 0)
+                tile = getattr(exc, "tile", 0)
+                _native().record_fallback(
+                    f"scratch allocation failed at tile {tile}, pass {pi}"
+                )
+                sub = V[tile:tile + 1]
+                for kind, idx in steps[pi:]:
+                    self._apply_np(sub, kind, idx)
+                if tile + 1 < k:
+                    rest = V[tile + 1:]
+                    for kind, idx in steps:
+                        self._apply_np(rest, kind, idx)
+
+    def on_cache_evict(self) -> None:
+        """Plan-cache eviction hook: unlink any compiled kernel artifacts."""
+        _native().release_plan_kernels(self)
+
+    def execute(self, buf: np.ndarray, *, backend: str | None = None) -> np.ndarray:
+        """Transpose every matrix of the batch in place; returns ``buf``.
+
+        ``backend`` follows :meth:`TransposePlan.execute`: ``None``/
+        ``"auto"`` use a compiled kernel opportunistically, ``"native"``
+        insists (warns and falls back when impossible), ``"numpy"`` forces
+        the 3-D gathers.
+        """
+        if backend not in _BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}")
         dec = self.dec
         mn = self.m * self.n
         if not buf.flags["C_CONTIGUOUS"]:
@@ -189,6 +301,10 @@ class BatchedTransposePlan:
                 f"cannot interpret shape {buf.shape} as a batch of "
                 f"{self.m}x{self.n} matrices"
             )
+        kernel = self._resolve_native(buf, backend)
+        if kernel is not None:
+            self._execute_native(buf, V, kernel)
+            return buf
         rt = _runtime_metrics()
         tr = _tracer()
         if tr.enabled:
@@ -239,6 +355,7 @@ def batched_transpose_inplace(
     *,
     algorithm: str = "auto",
     use_plan_cache: bool = True,
+    backend: str | None = None,
 ) -> np.ndarray:
     """One-shot batched transpose (see :class:`BatchedTransposePlan`).
 
@@ -247,7 +364,8 @@ def batched_transpose_inplace(
     ``(k, m, n, order, dtype)`` reuse the gather maps through the process-wide
     :mod:`repro.runtime.plan_cache` (disable per call with
     ``use_plan_cache=False``, or globally via the cache's own opt-out); each
-    call is timed into :mod:`repro.runtime.metrics`.
+    call is timed into :mod:`repro.runtime.metrics`.  ``backend`` follows
+    :meth:`BatchedTransposePlan.execute`.
     """
     rt = _runtime_metrics()
     mn = m * n
@@ -267,10 +385,10 @@ def batched_transpose_inplace(
     ) if tr.enabled else _NULL_CM:
         if rt.registry.enabled:
             t0 = perf_counter()
-            plan.execute(buf)
+            plan.execute(buf, backend=backend)
             rt.registry.record_call(
                 "batched_transpose_inplace", perf_counter() - t0
             )
         else:
-            plan.execute(buf)
+            plan.execute(buf, backend=backend)
     return buf

@@ -26,6 +26,7 @@ __all__ = ["TransposePlan"]
 _metrics = None
 _racecheck = None
 _trace = None
+_native_mod = None
 
 
 def _runtime_metrics():
@@ -56,6 +57,19 @@ def _sanitizer():
 
         _racecheck = racecheck
     return _racecheck.sanitizer
+
+
+def _native():
+    """Lazily bind the compiled-kernel backend (repro.native)."""
+    global _native_mod
+    if _native_mod is None:
+        from .. import native
+
+        _native_mod = native
+    return _native_mod
+
+
+_BACKENDS = (None, "auto", "native", "numpy")
 
 
 class TransposePlan:
@@ -192,14 +206,101 @@ class TransposePlan:
             san.record(reads=reads, writes=rows * n + cols, where="full matrix")
             TransposePlan._apply_step(V, kind, payload)
 
-    def execute(self, buf: np.ndarray) -> np.ndarray:
+    def _resolve_native(self, buf: np.ndarray, backend: str | None):
+        """The compiled kernel this execute should use, or ``None`` for numpy.
+
+        ``None``/``"auto"`` engage the native backend opportunistically
+        (toolchain present, buffer large enough, shape eligible);
+        ``"native"`` asks for it unconditionally and reports every reason it
+        could not be honored (fallback metric + one-time warning) — it still
+        returns ``None`` rather than raising, per the backend's
+        never-an-error contract.
+        """
+        if backend == "numpy":
+            return None
+        native = _native()
+        if not native.enabled():
+            if backend == "native":
+                native.record_fallback("disabled by REPRO_NATIVE=0")
+            return None
+        if not buf.flags.writeable:
+            # The numpy path surfaces its own clean error; never hand a
+            # read-only buffer to C code.
+            if backend == "native":
+                native.record_fallback("read-only buffer")
+            return None
+        if backend != "native" and buf.shape[0] < native.min_elems():
+            return None
+        return native.kernel_for_plan(self, buf.dtype.itemsize)
+
+    def _execute_native(self, buf: np.ndarray, V: np.ndarray, kernel) -> None:
+        """Run the compiled kernel with span/metric parity to the numpy path.
+
+        A scratch allocation failure inside a pass is positional (nothing at
+        or after the failing pass moved), so the numpy gathers finish the
+        plan from exactly that step.
+        """
+        rt = _runtime_metrics()
+        tr = _tracer()
+        reg = rt.registry
+        addr = buf.ctypes.data
+        passes = kernel.passes
+        dec = self.dec
+        try:
+            if tr.enabled:
+                pass_bytes = 2 * buf.nbytes
+                for idx, p in enumerate(passes):
+                    with tr.span(
+                        f"pass.{p.kind}", m=dec.m, n=dec.n,
+                        algorithm=self.algorithm, bytes=pass_bytes,
+                        backend="native",
+                    ) as sp:
+                        kernel.run_pass(idx, addr, 0, p.extent)
+                    if reg.enabled:
+                        reg.observe(f"plan.pass.{p.kind}", sp.duration_s)
+                if reg.enabled:
+                    reg.inc("native.calls")
+                    reg.inc("bytes_moved", len(passes) * pass_bytes)
+                    reg.inc("elements_touched", len(passes) * buf.shape[0])
+            elif reg.enabled:
+                for idx, p in enumerate(passes):
+                    t0 = perf_counter()
+                    kernel.run_pass(idx, addr, 0, p.extent)
+                    reg.observe(f"plan.pass.{p.kind}", perf_counter() - t0)
+                reg.inc("native.calls")
+                reg.inc("bytes_moved", 2 * len(passes) * buf.nbytes)
+                reg.inc("elements_touched", len(passes) * buf.shape[0])
+            else:
+                kernel.run(addr)
+        except MemoryError as exc:
+            pass_index = getattr(exc, "pass_index", 0)
+            _native().record_fallback(
+                f"scratch allocation failed at pass {pass_index}"
+            )
+            for kind, payload in self._steps[pass_index:]:
+                self._apply_step(V, kind, payload)
+
+    def on_cache_evict(self) -> None:
+        """Plan-cache eviction hook: unlink any compiled kernel artifacts."""
+        _native().release_plan_kernels(self)
+
+    def execute(self, buf: np.ndarray, *, backend: str | None = None) -> np.ndarray:
         """Transpose ``buf`` in place using the precomputed maps.
 
         ``buf`` must be flat and contiguous with ``m * n`` elements; after the
         call it holds the ``n x m`` transpose in the plan's storage order.
         Per-pass timings land in :mod:`repro.runtime.metrics` when enabled,
         and one ``pass.*`` span per step in :mod:`repro.trace` when tracing.
+
+        ``backend`` selects the execution engine: ``None``/``"auto"`` use a
+        compiled native kernel when one is (or can be made) available and
+        the buffer is large enough, ``"native"`` insists on it (falling back
+        to numpy with a warning when impossible), ``"numpy"`` forces the
+        numpy gathers.  The sanitizer always runs on numpy — shadow-memory
+        checking needs to see every index.
         """
+        if backend not in _BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}")
         if buf.ndim != 1 or buf.shape[0] != self.m * self.n:
             raise ValueError(f"buffer must be flat with {self.m * self.n} elements")
         if not buf.flags["C_CONTIGUOUS"]:
@@ -213,9 +314,16 @@ class TransposePlan:
         san = _sanitizer()
         tr = _tracer()
         if san.enabled:
+            if backend == "native":
+                _native().record_fallback("sanitizer active")
             for kind, payload in self._steps:
                 self._apply_step_sanitized(V, kind, payload, san)
-        elif tr.enabled:
+            return buf
+        kernel = self._resolve_native(buf, backend)
+        if kernel is not None:
+            self._execute_native(buf, V, kernel)
+            return buf
+        if tr.enabled:
             # One span per decomposition pass, carrying the 2x read+write
             # byte volume so the profiler can join duration with traffic.
             pass_bytes = 2 * buf.nbytes

@@ -84,6 +84,7 @@ def transpose_inplace(
     aux: str = "blocked",
     counter: WorkCounter | None = None,
     use_plan_cache: bool | None = None,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Transpose the ``m x n`` matrix stored in ``buf``, in place.
 
@@ -110,10 +111,25 @@ def transpose_inplace(
         configuration raises (strict/scatter paths have no cached form).
         The cached and uncached paths run the same blocked gather passes and
         produce identical buffers (pinned by ``tests/runtime``).
+    backend:
+        Execution engine for the cached plan path (see
+        :meth:`~repro.core.plan.TransposePlan.execute` and
+        :mod:`repro.native`).  ``None``/``"auto"`` use a compiled per-plan C
+        kernel when a toolchain is available and the buffer is large enough,
+        falling back to the numpy gathers otherwise; ``"native"`` insists on
+        the compiled kernel (numpy fallback with a ``RuntimeWarning`` and a
+        ``native.fallback`` metric when impossible — never an error);
+        ``"numpy"`` forces the numpy gathers.  Requesting ``"native"`` on a
+        configuration with no cached-plan form (strict/scatter variants, a
+        ``WorkCounter``, or ``use_plan_cache=False``) raises ``ValueError``
+        because those paths have no compiled equivalent.  ``REPRO_NATIVE=0``
+        disables auto-selection process-wide.
 
     Returns the same ``buf``.  Wall time per call is recorded into
     :mod:`repro.runtime.metrics` under ``transpose_inplace``.
     """
+    if backend not in (None, "auto", "native", "numpy"):
+        raise ValueError(f"unknown backend {backend!r}")
     if algorithm not in _ALGORITHMS:
         raise ValueError(f"unknown algorithm {algorithm!r}; expected {_ALGORITHMS}")
     if order not in _ORDERS:
@@ -128,6 +144,12 @@ def transpose_inplace(
         raise ValueError(
             "use_plan_cache=True requires the default gather/blocked "
             "configuration with no WorkCounter"
+        )
+    if backend == "native" and not use_plan_cache:
+        raise ValueError(
+            "backend='native' requires the cached-plan path (default "
+            "gather/blocked configuration, use_plan_cache not disabled); "
+            "the strict/scatter kernels have no compiled equivalent"
         )
 
     rt = _runtime_metrics()
@@ -152,9 +174,9 @@ def transpose_inplace(
                 "op.transpose_inplace", m=m, n=n, order=order,
                 algorithm=algorithm, cached=True, dtype=str(buf.dtype),
             ):
-                plan.execute(buf)
+                plan.execute(buf, backend=backend)
         else:
-            plan.execute(buf)
+            plan.execute(buf, backend=backend)
         if rt.registry.enabled:
             rt.registry.record_call("transpose_inplace", perf_counter() - t0)
         return buf

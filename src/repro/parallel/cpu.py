@@ -38,6 +38,7 @@ _NULL_CM = nullcontext()
 _metrics = None
 _racecheck = None
 _trace = None
+_native_mod = None
 
 
 def _runtime_metrics():
@@ -68,6 +69,16 @@ def _sanitizer():
 
         _racecheck = racecheck
     return _racecheck.sanitizer
+
+
+def _native():
+    """Lazily bind the compiled-kernel backend (repro.native)."""
+    global _native_mod
+    if _native_mod is None:
+        from .. import native
+
+        _native_mod = native
+    return _native_mod
 
 
 # -- chunk kernels -------------------------------------------------------------
@@ -150,6 +161,15 @@ class ParallelTranspose:
     start_method:
         mp backend only — multiprocessing start method override (defaults
         to forkserver where available; see ``REPRO_MP_START``).
+    native:
+        ``"auto"`` (default) runs each chunk through the compiled per-plan
+        kernel of :mod:`repro.native` when one is available — the ctypes
+        calls release the GIL for their whole duration, so the thread
+        backend gets true pass-level parallelism instead of relying on
+        numpy's partial GIL releases.  ``"off"`` keeps every chunk on the
+        numpy gathers.  The mp backend and the sanitizer always use numpy
+        (worker processes rebuild plans themselves; the sanitizer must see
+        every index).
     """
 
     def __init__(
@@ -159,12 +179,16 @@ class ParallelTranspose:
         strength_reduced: bool = True,
         backend: str = "threads",
         start_method: str | None = None,
+        native: str = "auto",
     ):
         if backend not in ("threads", "mp"):
             raise ValueError(f"unknown backend {backend!r}; use 'threads' or 'mp'")
+        if native not in ("auto", "off"):
+            raise ValueError(f"unknown native mode {native!r}; use 'auto' or 'off'")
         self.n_threads = int(n_threads)
         self.backend = backend
         self.strength_reduced = strength_reduced
+        self.native = native
         if backend == "mp":
             from .mp import MpTranspose
 
@@ -188,6 +212,42 @@ class ParallelTranspose:
         except ValueError:
             return None
 
+    def _native_chunks(self, buf: np.ndarray, m: int, n: int, algorithm: str):
+        """Per-pass native chunk runners for this shape, or ``None``.
+
+        Resolves the compiled kernel through the plan cache entry of the
+        *single-matrix* plan equivalent to this parallel call (same folding:
+        ``c2r(buf, m, n)`` matches plan ``(m, n, "C", "c2r")``;
+        ``r2c(buf, m, n)`` matches plan ``(n, m, "C", "r2c")``), so the
+        artifact and its byte accounting are shared with the serial path.
+        Returns ``{parallel_pass_name: callable(lo, hi)}`` covering the same
+        chunk axes the numpy bodies use.
+        """
+        if self.native == "off" or self._mp is not None:
+            return None
+        if _sanitizer().enabled:
+            return None
+        native = _native()
+        if not native.enabled():
+            return None
+        if buf.shape[0] < native.min_elems():
+            return None
+        from ..runtime import plan_cache
+
+        if algorithm == "c2r":
+            plan = plan_cache.get_single_plan(m, n, "C", "c2r", buf.dtype)
+        else:
+            plan = plan_cache.get_single_plan(n, m, "C", "r2c", buf.dtype)
+        kernel = native.kernel_for_plan(plan, buf.dtype.itemsize)
+        if kernel is None:
+            return None
+        addr = buf.ctypes.data
+
+        def runner(idx):
+            return lambda lo, hi: kernel.run_pass(idx, addr, lo, hi)
+
+        return {p.parallel_name: runner(i) for i, p in enumerate(kernel.passes)}
+
     # -- passes ----------------------------------------------------------------
 
     def _run_pass(
@@ -205,8 +265,27 @@ class ParallelTranspose:
         else:
             self.executor.parallel_for(total, body, name=name)
 
+    @staticmethod
+    def _chunk_runner(name: str, nk, work):
+        """Compose the chunk body: native runner when available, with the
+        numpy chunk as the per-chunk fallback (a failing native chunk moved
+        nothing, so numpy redoes exactly that range)."""
+        if nk is None:
+            return work
+
+        def run(sl: slice) -> None:
+            try:
+                nk(sl.start, sl.stop)
+            except MemoryError:
+                _native().record_fallback(
+                    f"scratch allocation failed in parallel pass {name}"
+                )
+                work(sl)
+
+        return run
+
     def _rotate_pass(
-        self, name: str, V: np.ndarray, dec: Decomposition, sign: int
+        self, name: str, V: np.ndarray, dec: Decomposition, sign: int, nk=None
     ) -> None:
         """Columns rotate by ``sign * (j // b)``; parallel over the c groups
         of b columns (each group shares one rotation amount, Lemma 1)."""
@@ -231,6 +310,8 @@ class ParallelTranspose:
                 san.record(reads=flat, writes=flat, where=f"group[{g}]")
                 V[:, cols] = np.roll(V[:, cols], sign * k, axis=0)
 
+        run = self._chunk_runner(name, nk, work)
+
         def body(groups: slice) -> None:
             # One worker.chunk span per chunk, carrying the rectangle the
             # chunk owns — the Chrome-trace lane layout shows these spans
@@ -241,18 +322,18 @@ class ParallelTranspose:
                     "worker.chunk", stage=name, r0=0, r1=m, c0=c0, c1=c1,
                     bytes=2 * m * (c1 - c0) * itemsize,
                 ):
-                    work(groups)
+                    run(groups)
             else:
-                work(groups)
+                run(groups)
 
         # Zero-shift groups are skipped, so coverage is at-most-once.
         self._run_pass(name, dec, dec.c, body, full_coverage=False)
 
-    def _pre_rotate(self, V: np.ndarray, dec: Decomposition) -> None:
-        self._rotate_pass("pre_rotate", V, dec, -1)
+    def _pre_rotate(self, V: np.ndarray, dec: Decomposition, nk=None) -> None:
+        self._rotate_pass("pre_rotate", V, dec, -1, nk)
 
     def _gathered_row_pass(
-        self, name: str, V: np.ndarray, dec: Decomposition, index_map
+        self, name: str, V: np.ndarray, dec: Decomposition, index_map, nk=None
     ) -> None:
         """Rows gather along axis 1 with ``index_map(i, cols)``; parallel
         over row chunks."""
@@ -274,6 +355,8 @@ class ParallelTranspose:
             )
             V[rows] = np.take_along_axis(V[rows], idx, axis=1)
 
+        run = self._chunk_runner(name, nk, work)
+
         def body(rows: slice) -> None:
             if tr.enabled:
                 with tr.span(
@@ -281,14 +364,14 @@ class ParallelTranspose:
                     r0=rows.start, r1=rows.stop, c0=0, c1=dec.n,
                     bytes=2 * (rows.stop - rows.start) * dec.n * itemsize,
                 ):
-                    work(rows)
+                    run(rows)
             else:
-                work(rows)
+                run(rows)
 
         self._run_pass(name, dec, dec.m, body)
 
     def _gathered_column_pass(
-        self, name: str, V: np.ndarray, dec: Decomposition, index_map
+        self, name: str, V: np.ndarray, dec: Decomposition, index_map, nk=None
     ) -> None:
         """Columns gather along axis 0 with ``index_map(rows, j)``; parallel
         over column chunks."""
@@ -310,6 +393,8 @@ class ParallelTranspose:
             )
             V[:, cols] = np.take_along_axis(V[:, cols], idx, axis=0)
 
+        run = self._chunk_runner(name, nk, work)
+
         def body(cols: slice) -> None:
             if tr.enabled:
                 with tr.span(
@@ -317,50 +402,55 @@ class ParallelTranspose:
                     r0=0, r1=dec.m, c0=cols.start, c1=cols.stop,
                     bytes=2 * dec.m * (cols.stop - cols.start) * itemsize,
                 ):
-                    work(cols)
+                    run(cols)
             else:
-                work(cols)
+                run(cols)
 
         self._run_pass(name, dec, dec.n, body)
 
     def _row_shuffle(
-        self, V: np.ndarray, dec: Decomposition, red: ReducedEquations | None
+        self, V: np.ndarray, dec: Decomposition, red: ReducedEquations | None,
+        nk=None,
     ) -> None:
         """Rows gather with d'^{-1} (Eq. 31); parallel over row chunks."""
         self._gathered_row_pass(
-            "row_shuffle", V, dec, pass_index_map("row_shuffle", dec, red)
+            "row_shuffle", V, dec, pass_index_map("row_shuffle", dec, red), nk
         )
 
     def _column_shuffle(
-        self, V: np.ndarray, dec: Decomposition, red: ReducedEquations | None
+        self, V: np.ndarray, dec: Decomposition, red: ReducedEquations | None,
+        nk=None,
     ) -> None:
         """Columns gather with s' (Eq. 26); parallel over column chunks."""
         self._gathered_column_pass(
-            "column_shuffle", V, dec, pass_index_map("column_shuffle", dec, red)
+            "column_shuffle", V, dec,
+            pass_index_map("column_shuffle", dec, red), nk,
         )
 
     def _inverse_column_shuffle(
-        self, V: np.ndarray, dec: Decomposition
+        self, V: np.ndarray, dec: Decomposition, nk=None
     ) -> None:
         self._gathered_column_pass(
             "inverse_column_shuffle", V, dec,
-            pass_index_map("inverse_column_shuffle", dec, None),
+            pass_index_map("inverse_column_shuffle", dec, None), nk,
         )
 
     def _row_shuffle_r2c(
-        self, V: np.ndarray, dec: Decomposition, red: ReducedEquations | None
+        self, V: np.ndarray, dec: Decomposition, red: ReducedEquations | None,
+        nk=None,
     ) -> None:
         self._gathered_row_pass(
-            "row_shuffle_r2c", V, dec, pass_index_map("row_shuffle_r2c", dec, red)
+            "row_shuffle_r2c", V, dec,
+            pass_index_map("row_shuffle_r2c", dec, red), nk,
         )
 
-    def _post_rotate(self, V: np.ndarray, dec: Decomposition) -> None:
-        self._rotate_pass("post_rotate", V, dec, 1)
+    def _post_rotate(self, V: np.ndarray, dec: Decomposition, nk=None) -> None:
+        self._rotate_pass("post_rotate", V, dec, 1, nk)
 
     # -- entry points ------------------------------------------------------------
 
     @staticmethod
-    def _timed(name: str, fn, *args) -> None:
+    def _timed(name: str, fn, *args, backend: str | None = None) -> None:
         """Run one pass, recording it as ``parallel.pass.<name>`` when the
         metrics registry is enabled and as a ``pass.<name>`` span when the
         tracer is enabled (a bool check each otherwise)."""
@@ -368,8 +458,9 @@ class ParallelTranspose:
         tr = _tracer()
         if tr.enabled:
             V, dec = args[0], args[1]
+            extra = {} if backend is None else {"backend": backend}
             with tr.span(
-                f"pass.{name}", m=dec.m, n=dec.n, bytes=2 * V.nbytes
+                f"pass.{name}", m=dec.m, n=dec.n, bytes=2 * V.nbytes, **extra
             ) as sp:
                 fn(*args)
             if rt.registry.enabled:
@@ -395,6 +486,7 @@ class ParallelTranspose:
         dec = Decomposition.of(m, n)
         red = self._reduced(dec)
         V = buf.reshape(m, n)
+        nks = self._native_chunks(buf, m, n, "c2r") or {}
         rt = _runtime_metrics()
         tr = _tracer()
         t0 = perf_counter() if rt.registry.enabled else 0.0
@@ -403,10 +495,20 @@ class ParallelTranspose:
             "op.parallel.c2r", m=m, n=n,
             threads=self.n_threads, dtype=str(buf.dtype),
         ) if tr.enabled else _NULL_CM:
+            bk = "native" if nks else None
             if dec.c > 1:
-                self._timed("pre_rotate", self._pre_rotate, V, dec)
-            self._timed("row_shuffle", self._row_shuffle, V, dec, red)
-            self._timed("column_shuffle", self._column_shuffle, V, dec, red)
+                self._timed(
+                    "pre_rotate", self._pre_rotate, V, dec,
+                    nks.get("pre_rotate"), backend=bk,
+                )
+            self._timed(
+                "row_shuffle", self._row_shuffle, V, dec, red,
+                nks.get("row_shuffle"), backend=bk,
+            )
+            self._timed(
+                "column_shuffle", self._column_shuffle, V, dec, red,
+                nks.get("column_shuffle"), backend=bk,
+            )
         if rt.registry.enabled:
             rt.registry.record_call(
                 "parallel.c2r",
@@ -430,6 +532,7 @@ class ParallelTranspose:
         dec = Decomposition.of(m, n)
         red = self._reduced(dec)
         V = buf.reshape(m, n)
+        nks = self._native_chunks(buf, m, n, "r2c") or {}
         rt = _runtime_metrics()
         tr = _tracer()
         t0 = perf_counter() if rt.registry.enabled else 0.0
@@ -438,12 +541,20 @@ class ParallelTranspose:
             "op.parallel.r2c", m=m, n=n,
             threads=self.n_threads, dtype=str(buf.dtype),
         ) if tr.enabled else _NULL_CM:
+            bk = "native" if nks else None
             self._timed(
-                "inverse_column_shuffle", self._inverse_column_shuffle, V, dec
+                "inverse_column_shuffle", self._inverse_column_shuffle, V, dec,
+                nks.get("inverse_column_shuffle"), backend=bk,
             )
-            self._timed("row_shuffle_r2c", self._row_shuffle_r2c, V, dec, red)
+            self._timed(
+                "row_shuffle_r2c", self._row_shuffle_r2c, V, dec, red,
+                nks.get("row_shuffle_r2c"), backend=bk,
+            )
             if dec.c > 1:
-                self._timed("post_rotate", self._post_rotate, V, dec)
+                self._timed(
+                    "post_rotate", self._post_rotate, V, dec,
+                    nks.get("post_rotate"), backend=bk,
+                )
         if rt.registry.enabled:
             rt.registry.record_call(
                 "parallel.r2c",

@@ -21,6 +21,13 @@ budget is exceeded, and a single plan larger than the whole budget is
 returned to the caller but never retained.  The cache can be disabled
 entirely with :func:`configure` or ``REPRO_PLAN_CACHE=0``.
 
+Retained plans are stamped with a ``_plan_cache_binding`` back-reference so
+side artifacts acquired after insertion — the native backend's compiled
+``.so`` files — can be charged to the entry via :meth:`PlanCache.adjust_bytes`
+and count against the same budget.  Eviction (LRU, budget shrink, or
+:meth:`PlanCache.clear`) invokes the plan's ``on_cache_evict`` hook outside
+the lock, which releases those artifacts.
+
 Hit/miss/eviction counts are part of :func:`repro.runtime.metrics.snapshot`.
 """
 
@@ -162,25 +169,79 @@ class PlanCache:
             if nbytes > self.max_bytes:
                 self.oversize_rejects += 1
                 return plan
+            # The binding lets post-insertion artifacts (native kernel .so
+            # files) charge their size to this entry via adjust_bytes.
+            plan.__dict__["_plan_cache_binding"] = (self, key)
             self._plans[key] = (plan, nbytes)
             self.current_bytes += nbytes
             while self.current_bytes > self.max_bytes and len(self._plans) > 1:
-                ekey, (_, evicted_bytes) = self._plans.popitem(last=False)
+                ekey, (eplan, evicted_bytes) = self._plans.popitem(last=False)
                 self.current_bytes -= evicted_bytes
                 self.evictions += 1
-                evicted.append((ekey, evicted_bytes))
-        if tr.enabled:
-            for ekey, ebytes in evicted:
-                tr.event("cache.evict", bytes=ebytes, **_key_attrs(ekey))
+                evicted.append((ekey, eplan, evicted_bytes))
+        self._fire_evictions(evicted)
         return plan
+
+    def _fire_evictions(
+        self, evicted: list[tuple[PlanKey, object, int]]
+    ) -> None:
+        """Trace events and per-plan eviction hooks, strictly outside the
+        lock: hooks re-enter subsystems (artifact unlink, tracing) that must
+        never extend the cache's critical section."""
+        if not evicted:
+            return
+        tr = _tracer()
+        for ekey, eplan, ebytes in evicted:
+            if tr.enabled:
+                tr.event("cache.evict", bytes=ebytes, **_key_attrs(ekey))
+            hook = getattr(eplan, "on_cache_evict", None)
+            if hook is not None:
+                hook()
+
+    def adjust_bytes(self, key: PlanKey, delta: int) -> None:
+        """Re-account ``key``'s entry by ``delta`` bytes.
+
+        Used when a retained plan's resident footprint changes after
+        insertion — the native backend charges each compiled ``.so`` here so
+        artifacts live under the same budget as the gather maps.  Unknown
+        keys are ignored (the plan was evicted meanwhile, never retained,
+        or the cache is disabled).  Growth runs the normal LRU eviction
+        loop and may, at the margin, evict the adjusted entry itself.
+        """
+        evicted: list[tuple[PlanKey, object, int]] = []
+        with self._lock:
+            entry = self._plans.get(key)
+            if entry is None:
+                return
+            plan, nbytes = entry
+            new_bytes = max(0, nbytes + int(delta))
+            self._plans[key] = (plan, new_bytes)
+            self.current_bytes += new_bytes - nbytes
+            while self.current_bytes > self.max_bytes and len(self._plans) > 1:
+                ekey, (eplan, evicted_bytes) = self._plans.popitem(last=False)
+                self.current_bytes -= evicted_bytes
+                self.evictions += 1
+                evicted.append((ekey, eplan, evicted_bytes))
+        self._fire_evictions(evicted)
 
     # -- management ------------------------------------------------------------
 
     def clear(self) -> None:
-        """Drop every cached plan (statistics are retained)."""
+        """Drop every cached plan (statistics are retained).
+
+        Eviction hooks fire for each dropped plan so side artifacts are
+        released; no ``cache.evict`` trace events or eviction counts are
+        recorded — clearing is an explicit management action, not budget
+        pressure.
+        """
         with self._lock:
+            dropped = [plan for plan, _ in self._plans.values()]
             self._plans.clear()
             self.current_bytes = 0
+        for plan in dropped:
+            hook = getattr(plan, "on_cache_evict", None)
+            if hook is not None:
+                hook()
 
     def reset_stats(self) -> None:
         with self._lock:
@@ -196,21 +257,18 @@ class PlanCache:
         Shrinking the budget evicts immediately; disabling keeps existing
         entries resident (call :meth:`clear` to release them).
         """
-        evicted: list[tuple[PlanKey, int]] = []
+        evicted: list[tuple[PlanKey, object, int]] = []
         with self._lock:
             if enabled is not None:
                 self.enabled = bool(enabled)
             if max_bytes is not None:
                 self.max_bytes = int(max_bytes)
                 while self.current_bytes > self.max_bytes and self._plans:
-                    ekey, (_, evicted_bytes) = self._plans.popitem(last=False)
+                    ekey, (eplan, evicted_bytes) = self._plans.popitem(last=False)
                     self.current_bytes -= evicted_bytes
                     self.evictions += 1
-                    evicted.append((ekey, evicted_bytes))
-        tr = _tracer()
-        if tr.enabled:
-            for ekey, ebytes in evicted:
-                tr.event("cache.evict", bytes=ebytes, **_key_attrs(ekey))
+                    evicted.append((ekey, eplan, evicted_bytes))
+        self._fire_evictions(evicted)
 
     def stats(self) -> dict:
         """A JSON-able statistics snapshot."""

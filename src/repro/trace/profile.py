@@ -64,19 +64,27 @@ class PassProfile:
 
 @dataclass(frozen=True)
 class ShapeProfile:
-    """The per-pass breakdown of one traced shape."""
+    """The per-pass breakdown of one traced shape.
+
+    ``backend`` records the engine that actually executed the passes
+    (``"native"`` when any pass span was marked native, else ``"numpy"``) —
+    a bandwidth number is meaningless without knowing which implementation
+    produced it.
+    """
 
     m: int
     n: int
     threads: int
     memcpy_gbps: float
     passes: tuple[PassProfile, ...]
+    backend: str = "numpy"
 
     def as_dict(self) -> dict:
         return {
             "m": self.m,
             "n": self.n,
             "threads": self.threads,
+            "backend": self.backend,
             "memcpy_gbps": self.memcpy_gbps,
             "passes": [p.as_dict() for p in self.passes],
         }
@@ -143,6 +151,7 @@ def profile_shape(
     repeats: int = 3,
     threads: int = 1,
     algorithm: str = "auto",
+    backend: str | None = None,
 ) -> ShapeProfile:
     """Trace ``repeats`` transposes of one shape and aggregate per pass.
 
@@ -151,6 +160,11 @@ def profile_shape(
     (its ``pass.*`` spans aggregate the worker chunks beneath them).  The
     tracer's previous state (enabled flag and buffered records) is restored
     on return, so profiling composes with an ongoing ``repro trace`` run.
+
+    ``backend`` forwards to the executors (``None``/``"auto"``/``"native"``/
+    ``"numpy"``); the *reported* backend in the result reflects what
+    actually ran — native spans self-identify, so a fallback shows up as
+    ``backend="numpy"`` no matter what was requested.
     """
     import numpy as np
 
@@ -166,20 +180,32 @@ def profile_shape(
     tracer.enabled = True
     try:
         if threads > 1:
-            with ParallelTranspose(threads) as pt:
+            native = "off" if backend == "numpy" else "auto"
+            with ParallelTranspose(threads, native=native) as pt:
                 for _ in range(repeats):
                     pt.transpose_inplace(proto.copy(), m, n)
         else:
             for _ in range(repeats):
-                transpose_inplace(proto.copy(), m, n, algorithm=algorithm)
+                transpose_inplace(
+                    proto.copy(), m, n, algorithm=algorithm, backend=backend
+                )
         spans = tracer.drain()
     finally:
         tracer.enabled = was_enabled
         for rec in held:
             tracer._append(rec)
 
+    ran_native = any(
+        not s.is_event
+        and s.name.startswith("pass.")
+        and s.attrs.get("backend") == "native"
+        for s in spans
+    )
     passes = aggregate_passes(spans, memcpy_gbps=memcpy_gbps)
-    return ShapeProfile(m, n, threads, memcpy_gbps, tuple(passes))
+    return ShapeProfile(
+        m, n, threads, memcpy_gbps, tuple(passes),
+        "native" if ran_native else "numpy",
+    )
 
 
 def profile_shapes(
@@ -189,11 +215,12 @@ def profile_shapes(
     repeats: int = 3,
     threads: int = 1,
     algorithm: str = "auto",
+    backend: str | None = None,
 ) -> list[ShapeProfile]:
     """Profile a shape sweep (the ``repro profile`` CLI backend)."""
     return [
         profile_shape(m, n, dtype=dtype, repeats=repeats, threads=threads,
-                      algorithm=algorithm)
+                      algorithm=algorithm, backend=backend)
         for m, n in shapes
     ]
 
@@ -206,8 +233,9 @@ def format_profile_table(profiles: Iterable[ShapeProfile]) -> str:
     ]
     for prof in profiles:
         label = f"{prof.m}x{prof.n}"
+        ceiling = f"(memcpy ceiling, {prof.backend})"
         lines.append(
-            f"{label:>12}  {'(memcpy ceiling)':<26} {'':>5} {'':>9} "
+            f"{label:>12}  {ceiling:<26} {'':>5} {'':>9} "
             f"{prof.memcpy_gbps:8.2f} {'1.000':>9}"
         )
         for p in prof.passes:

@@ -74,7 +74,8 @@ class TestProfileCommand:
             "profile", "--shape", "32x48", "--repeats", "1",
         ]) == 0
         out = capsys.readouterr().out
-        assert "(memcpy ceiling)" in out
+        assert "(memcpy ceiling," in out
+        assert "backend=" in out
         assert "32x48" in out
 
     def test_json_output_reports_positive_bandwidth(self, capsys):
