@@ -1,6 +1,6 @@
 """AST-based custom lint pass enforcing repo invariants over ``src/repro``.
 
-Five rules, each born from a class of bug this codebase has actually hit or
+Six rules, each born from a class of bug this codebase has actually hit or
 explicitly defends against:
 
 ``raw-divmod`` (REPRO001)
@@ -32,6 +32,14 @@ explicitly defends against:
     swamp both the workload and the ring buffer.  Loop depth resets at
     nested ``def`` boundaries (a worker closure runs per chunk, not per
     iteration of the loop that spawned it).
+
+``exception-swallow`` (REPRO006)
+    In ``native/`` and ``serve/`` modules, a broad handler (bare
+    ``except``, ``except Exception``/``BaseException``) must either bind
+    the exception (``as exc`` — so fallback/resolution paths can carry the
+    failure reason into the ``native.fallback`` counter context or the
+    error reply) or re-raise.  An unbound, non-re-raising broad handler
+    silently drops the reason a kernel or worker fell over.
 
 Suppressions
 ------------
@@ -66,6 +74,7 @@ RULES = {
     "entry-guard": ("REPRO003", "public entry point lacks a contiguity guard"),
     "lock-discipline": ("REPRO004", "shared runtime state mutated outside its lock"),
     "trace-granularity": ("REPRO005", "span/metric recording inside a per-element inner loop"),
+    "exception-swallow": ("REPRO006", "broad except drops the failure reason in a fallback path"),
 }
 
 #: Modules (relative to the package root) where raw ``//``/``%`` is banned.
@@ -95,6 +104,13 @@ ENTRY_POINT_GUARDS = [
 
 #: Directory prefix where lock discipline is enforced.
 LOCK_MODULE_PREFIX = "runtime/"
+
+#: Directory prefixes where broad exception handlers must preserve the
+#: failure reason (the native fallback/resolution and serving paths).
+EXCEPTION_SWALLOW_PREFIXES = ("native/", "serve/")
+
+#: Exception names considered "broad" for the exception-swallow rule.
+_BROAD_EXCEPTIONS = {"Exception", "BaseException"}
 
 _CONTIGUITY_MARKERS = ("C_CONTIGUOUS", "F_CONTIGUOUS")
 #: Recording calls whose receivers are tracers/registries; flagged when the
@@ -170,6 +186,9 @@ class _Analyzer(ast.NodeVisitor):
         self.in_hot_module = self.rel_posix in HOT_DIVMOD_MODULES
         self.in_exec_module = self.rel_posix in PLAN_EXECUTION_MODULES
         self.in_lock_module = self.rel_posix.startswith(LOCK_MODULE_PREFIX)
+        self.in_swallow_module = self.rel_posix.startswith(
+            EXCEPTION_SWALLOW_PREFIXES
+        )
         #: qualname -> FunctionDef for entry-guard lookups
         self.functions: dict[str, ast.AST] = {}
 
@@ -306,6 +325,37 @@ class _Analyzer(ast.NodeVisitor):
                 and func.value.value.id == "self"
             ):
                 self._check_lock_mutation(func.value, node, is_call=True)
+        self.generic_visit(node)
+
+    # -- rule: exception-swallow -----------------------------------------------
+
+    @staticmethod
+    def _is_broad_handler(node: ast.ExceptHandler) -> bool:
+        t = node.type
+        if t is None:  # bare except
+            return True
+        if isinstance(t, ast.Name):
+            return t.id in _BROAD_EXCEPTIONS
+        if isinstance(t, ast.Tuple):
+            return any(
+                isinstance(el, ast.Name) and el.id in _BROAD_EXCEPTIONS
+                for el in t.elts
+            )
+        return False
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if (
+            self.in_swallow_module
+            and self._is_broad_handler(node)
+            and node.name is None
+            and not any(isinstance(sub, ast.Raise) for sub in ast.walk(node))
+        ):
+            caught = "bare except" if node.type is None else "except Exception"
+            self._emit(
+                "exception-swallow", node,
+                f"{caught} without 'as exc' or re-raise drops the failure "
+                "reason; bind it and record why the fallback happened",
+            )
         self.generic_visit(node)
 
     def _enclosing_function_checks_contiguity(self) -> bool:

@@ -16,6 +16,15 @@ over the same pass structure) and proves, per pass:
 * every chunk's reads stay inside its own rectangle, so no chunk can observe
   another chunk's in-flight writes.
 
+:func:`check_mp_schedule` extends the same proof to the multiprocess
+shared-memory backend by reconstructing the picklable task descriptors
+``MpTranspose._run_pass`` ships (segment name, view dims, sub-range) and
+checking descriptor consistency on top of the rectangle proof.
+:func:`check_banded_schedule` proves banded (sub-range) schedules safe for
+out-of-core execution: bands tile each pass's iteration range, per-band
+chunks tile the band, and all band x chunk write rectangles are globally
+disjoint and covering, so a band can be flushed before the next faults in.
+
 **Runtime layer** — :class:`Sanitizer` is a shadow memory tracking one pass
 at a time: each recorded write increments a per-element counter, each
 recorded read checks the element has not already been written *this pass*
@@ -45,9 +54,15 @@ __all__ = [
     "ChunkFootprint",
     "PassFootprints",
     "RaceReport",
+    "BandedRaceReport",
+    "MpTaskDescriptor",
     "schedule_footprints",
+    "mp_schedule_footprints",
+    "banded_footprints",
     "check_partition",
     "check_schedule",
+    "check_mp_schedule",
+    "check_banded_schedule",
     "SanitizerError",
     "Sanitizer",
     "sanitizer",
@@ -113,6 +128,19 @@ class PassFootprints:
     chunks: tuple[ChunkFootprint, ...]
 
 
+def _axis_rect(axis: str, m: int, n: int, total: int, lo: int, hi: int) -> Rect:
+    """The element rectangle touched by iterations ``[lo, hi)`` of a pass
+    parallelised over ``axis`` (the other axis is always full)."""
+    if axis == "rows":
+        return Rect(lo, hi, 0, n)
+    if axis == "cols":
+        return Rect(0, m, lo, hi)
+    if axis == "colgroups":
+        b = n // total
+        return Rect(0, m, lo * b, hi * b)
+    raise ValueError(f"unknown axis {axis!r}")
+
+
 def _chunk_rects(
     name: str, m: int, n: int, total: int, parts: int, axis: str
 ) -> PassFootprints:
@@ -124,20 +152,37 @@ def _chunk_rects(
     """
     chunks = []
     for ch in balanced_chunks(total, parts):
-        if axis == "rows":
-            rect = Rect(ch.start, ch.stop, 0, n)
-        elif axis == "cols":
-            rect = Rect(0, m, ch.start, ch.stop)
-        elif axis == "colgroups":
-            b = n // total
-            rect = Rect(0, m, ch.start * b, ch.stop * b)
-        else:
-            raise ValueError(f"unknown axis {axis!r}")
+        rect = _axis_rect(axis, m, n, total, ch.start, ch.stop)
         # Every pass is a gather confined to its own rows/columns: reads and
         # writes share the rectangle.  (The per-element gather indices stay
         # in range by the bijectivity certificates of analysis.algebra.)
         chunks.append(ChunkFootprint(f"{axis}[{ch.start}:{ch.stop}]", rect, rect))
     return PassFootprints(name=name, total=total, chunks=tuple(chunks))
+
+
+#: pass name -> (iteration axis, extent attribute on the decomposition)
+_PASS_AXES: dict[str, tuple[str, str]] = {
+    "pre_rotate": ("colgroups", "c"),
+    "row_shuffle": ("rows", "m"),
+    "column_shuffle": ("cols", "n"),
+    "inverse_column_shuffle": ("cols", "n"),
+    "row_shuffle_r2c": ("rows", "m"),
+    "post_rotate": ("colgroups", "c"),
+}
+
+
+def _pass_order(algorithm: str, c: int) -> list[str]:
+    """The barrier-ordered pass names both parallel backends execute."""
+    if algorithm == "c2r":
+        return (["pre_rotate"] if c > 1 else []) + [
+            "row_shuffle",
+            "column_shuffle",
+        ]
+    if algorithm == "r2c":
+        return ["inverse_column_shuffle", "row_shuffle_r2c"] + (
+            ["post_rotate"] if c > 1 else []
+        )
+    raise ValueError(f"unknown algorithm {algorithm!r}")
 
 
 def schedule_footprints(
@@ -152,20 +197,10 @@ def schedule_footprints(
         algorithm = choose_algorithm(m, n)
     dec = Decomposition.of(m, n)
     passes = []
-    if algorithm == "c2r":
-        if dec.c > 1:
-            passes.append(_chunk_rects("pre_rotate", m, n, dec.c, n_threads, "colgroups"))
-        passes.append(_chunk_rects("row_shuffle", m, n, dec.m, n_threads, "rows"))
-        passes.append(_chunk_rects("column_shuffle", m, n, dec.n, n_threads, "cols"))
-    elif algorithm == "r2c":
-        passes.append(
-            _chunk_rects("inverse_column_shuffle", m, n, dec.n, n_threads, "cols")
-        )
-        passes.append(_chunk_rects("row_shuffle_r2c", m, n, dec.m, n_threads, "rows"))
-        if dec.c > 1:
-            passes.append(_chunk_rects("post_rotate", m, n, dec.c, n_threads, "colgroups"))
-    else:
-        raise ValueError(f"unknown algorithm {algorithm!r}")
+    for name in _pass_order(algorithm, dec.c):
+        axis, extent_attr = _PASS_AXES[name]
+        total = getattr(dec, extent_attr)
+        passes.append(_chunk_rects(name, m, n, total, n_threads, axis))
     return passes
 
 
@@ -218,6 +253,35 @@ class RaceReport:
         }
 
 
+def _prove_rects(p: PassFootprints, m: int, n: int) -> list[str]:
+    """The rectangle side of the race proof for one pass: write rectangles
+    pairwise disjoint, covering the whole matrix, reads self-contained.
+
+    Chunks are contiguous along one axis, so sorting is unnecessary:
+    pairwise disjointness would reduce to adjacent-interval checks, but the
+    explicit rectangle test keeps the proof independent of that observation
+    (O(chunks^2) with chunks bounded by bands x threads).
+    """
+    failures: list[str] = []
+    for x in range(len(p.chunks)):
+        for y in range(x + 1, len(p.chunks)):
+            if p.chunks[x].writes.intersects(p.chunks[y].writes):
+                failures.append(
+                    f"{p.name}: write overlap between {p.chunks[x].label} "
+                    f"and {p.chunks[y].label}"
+                )
+    covered = sum(ch.writes.area for ch in p.chunks)
+    full = Rect(0, m, 0, n)
+    if covered != m * n or not all(full.contains(ch.writes) for ch in p.chunks):
+        failures.append(f"{p.name}: writes cover {covered} of {m * n} elements")
+    for ch in p.chunks:
+        if not ch.writes.contains(ch.reads):
+            failures.append(
+                f"{p.name}: {ch.label} reads outside its write rectangle"
+            )
+    return failures
+
+
 def check_schedule(
     m: int, n: int, n_threads: int, algorithm: str = "auto"
 ) -> RaceReport:
@@ -235,28 +299,185 @@ def check_schedule(
         ok, detail = check_partition(p.total, n_threads)
         if not ok:
             report.failures.append(f"{p.name}: partition: {detail}")
-        # Chunks are contiguous along one axis, so sorting is unnecessary:
-        # pairwise disjointness reduces to adjacent-interval checks, and the
-        # explicit rectangle test below keeps the proof independent of that
-        # observation (O(parts^2) with parts <= n_threads).
-        for x in range(len(p.chunks)):
-            for y in range(x + 1, len(p.chunks)):
-                if p.chunks[x].writes.intersects(p.chunks[y].writes):
-                    report.failures.append(
-                        f"{p.name}: write overlap between {p.chunks[x].label} "
-                        f"and {p.chunks[y].label}"
-                    )
-        covered = sum(ch.writes.area for ch in p.chunks)
-        full = Rect(0, m, 0, n)
-        if covered != m * n or not all(full.contains(ch.writes) for ch in p.chunks):
+        report.failures.extend(_prove_rects(p, m, n))
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Multiprocess shared-memory schedules
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MpTaskDescriptor:
+    """One worker-process task exactly as ``MpTranspose._run_pass`` ships it:
+    ``(segment, vm, vn, pass name, lo, hi)`` — the picklable fields that
+    determine which elements of the shared segment the process touches."""
+
+    segment: str
+    vm: int
+    vn: int
+    pass_name: str
+    lo: int
+    hi: int
+
+
+def mp_schedule_footprints(
+    m: int, n: int, n_workers: int, algorithm: str = "auto", *,
+    segment: str = "shm"
+) -> list[tuple[PassFootprints, tuple[MpTaskDescriptor, ...]]]:
+    """The static schedule :class:`~repro.parallel.mp.MpTranspose` would run.
+
+    Reconstructs the task descriptors ``_run_pass`` builds — one
+    ``balanced_chunks(extent, n_workers)`` sub-range per worker, all naming
+    the same shared segment and the same ``(vm, vn)`` view — alongside the
+    element footprints those descriptors induce on the segment.
+    """
+    if algorithm == "auto":
+        algorithm = choose_algorithm(m, n)
+    dec = Decomposition.of(m, n)
+    out = []
+    for name in _pass_order(algorithm, dec.c):
+        axis, extent_attr = _PASS_AXES[name]
+        total = getattr(dec, extent_attr)
+        descriptors = tuple(
+            MpTaskDescriptor(segment, m, n, name, ch.start, ch.stop)
+            for ch in balanced_chunks(total, n_workers)
+        )
+        footprints = _chunk_rects(name, m, n, total, n_workers, axis)
+        out.append((footprints, descriptors))
+    return out
+
+
+def check_mp_schedule(
+    m: int, n: int, n_workers: int, algorithm: str = "auto"
+) -> RaceReport:
+    """Prove the multiprocess shared-memory schedule is race-free.
+
+    The mp backend has no shared Python state between workers — every task
+    reopens the named segment and slices it by descriptor — so the proof
+    obligations are the thread proof *plus* descriptor consistency: every
+    task in a pass must name the same segment and the same ``(vm, vn)``
+    view (a task with a stale view would reinterpret the buffer with the
+    wrong stride), and the descriptor sub-ranges must be exactly the chunk
+    intervals the footprint proof covers.  Pass barriers are inherited from
+    ``MpExecutor.run_chunks`` blocking until every task returns.
+    """
+    if algorithm == "auto":
+        algorithm = choose_algorithm(m, n)
+    report = RaceReport(m=m, n=n, n_threads=n_workers, algorithm=algorithm)
+    expected_order = _pass_order(algorithm, Decomposition.of(m, n).c)
+    seen_order = []
+    for p, descriptors in mp_schedule_footprints(m, n, n_workers, algorithm):
+        report.passes += 1
+        seen_order.append(p.name)
+        ok, detail = check_partition(p.total, n_workers)
+        if not ok:
+            report.failures.append(f"{p.name}: partition: {detail}")
+        segments = {d.segment for d in descriptors}
+        views = {(d.vm, d.vn) for d in descriptors}
+        if len(segments) != 1:
             report.failures.append(
-                f"{p.name}: writes cover {covered} of {m * n} elements"
+                f"{p.name}: tasks target {len(segments)} distinct segments"
             )
-        for ch in p.chunks:
-            if not ch.writes.contains(ch.reads):
-                report.failures.append(
-                    f"{p.name}: {ch.label} reads outside its write rectangle"
+        if views != {(m, n)}:
+            report.failures.append(
+                f"{p.name}: task views {sorted(views)} != [({m}, {n})]"
+            )
+        if any(d.pass_name != p.name for d in descriptors):
+            report.failures.append(f"{p.name}: descriptor pass-name mismatch")
+        ranges = [(d.lo, d.hi) for d in descriptors]
+        expected = [
+            (ch.start, ch.stop) for ch in balanced_chunks(p.total, n_workers)
+        ]
+        if ranges != expected:
+            report.failures.append(
+                f"{p.name}: descriptor ranges {ranges} != chunks {expected}"
+            )
+        report.failures.extend(_prove_rects(p, m, n))
+    if seen_order != expected_order:
+        report.failures.append(
+            f"pass order {seen_order} != barrier order {expected_order}"
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Banded (sub-range) schedules for out-of-core execution
+# ---------------------------------------------------------------------------
+
+def banded_footprints(
+    m: int, n: int, n_bands: int, n_threads: int, algorithm: str = "auto"
+) -> list[PassFootprints]:
+    """Footprints for band-by-band execution with a bounded resident window.
+
+    Out-of-core execution splits each pass's iteration range into
+    ``n_bands`` sequential bands (only one band's rows/columns need be
+    resident) and runs ``n_threads`` chunks inside each band.  The chunk
+    labels carry band provenance so failures name the offending band.
+    """
+    if algorithm == "auto":
+        algorithm = choose_algorithm(m, n)
+    dec = Decomposition.of(m, n)
+    passes = []
+    for name in _pass_order(algorithm, dec.c):
+        axis, extent_attr = _PASS_AXES[name]
+        total = getattr(dec, extent_attr)
+        chunks = []
+        for bi, band in enumerate(balanced_chunks(total, n_bands)):
+            extent = band.stop - band.start
+            for ch in balanced_chunks(extent, n_threads):
+                lo = band.start + ch.start
+                hi = band.start + ch.stop
+                rect = _axis_rect(axis, m, n, total, lo, hi)
+                chunks.append(
+                    ChunkFootprint(f"band{bi}/{axis}[{lo}:{hi}]", rect, rect)
                 )
+        passes.append(PassFootprints(name=name, total=total, chunks=tuple(chunks)))
+    return passes
+
+
+@dataclass
+class BandedRaceReport(RaceReport):
+    """Race verdict for a banded schedule (adds the band count)."""
+
+    n_bands: int = 1
+
+    def as_dict(self) -> dict:
+        out = super().as_dict()
+        out["n_bands"] = self.n_bands
+        return out
+
+
+def check_banded_schedule(
+    m: int, n: int, n_bands: int, n_threads: int, algorithm: str = "auto"
+) -> BandedRaceReport:
+    """Prove a banded (sub-range) schedule safe for out-of-core execution.
+
+    Per pass: the bands tile the iteration range, each band's thread chunks
+    tile the band, and — across *all* bands together — the write rectangles
+    are pairwise disjoint, cover the whole matrix, and every chunk's reads
+    stay inside its own rectangle.  Cross-band disjointness is what lets a
+    band be flushed to backing store before the next band is faulted in:
+    no later chunk can touch a flushed band's elements within the pass.
+    """
+    if algorithm == "auto":
+        algorithm = choose_algorithm(m, n)
+    report = BandedRaceReport(
+        m=m, n=n, n_threads=n_threads, algorithm=algorithm, n_bands=n_bands
+    )
+    for p in banded_footprints(m, n, n_bands, n_threads, algorithm):
+        report.passes += 1
+        ok, detail = check_partition(p.total, n_bands)
+        if not ok:
+            report.failures.append(f"{p.name}: band partition: {detail}")
+        for band in balanced_chunks(p.total, n_bands):
+            ok, detail = check_partition(band.stop - band.start, n_threads)
+            if not ok:
+                report.failures.append(
+                    f"{p.name}: band [{band.start}:{band.stop}] "
+                    f"chunk partition: {detail}"
+                )
+        report.failures.extend(_prove_rects(p, m, n))
     return report
 
 

@@ -323,10 +323,34 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             print("error: thread counts must be positive")
             return 1
 
+    native_configs = None
+    if args.native_shapes:
+        native_configs = []
+        for token in args.native_shapes.split(","):
+            parts = token.strip().split(":")
+            try:
+                m, n = (int(v) for v in parts[0].split("x"))
+                order = parts[1].upper() if len(parts) > 1 else "C"
+                itemsize = int(parts[2]) if len(parts) > 2 else 8
+            except (ValueError, IndexError):
+                print(
+                    f"error: bad native shape {token!r}; "
+                    "expected MxN[:ORDER[:ITEMSIZE]], e.g. 256x384:F:8"
+                )
+                return 1
+            if order not in ("C", "F"):
+                print(f"error: bad order {order!r} in {token!r}")
+                return 1
+            native_configs.append((m, n, order, itemsize))
+
     progress = None
+    message = None
     if args.progress:
         def progress(done: int, total: int) -> None:
             print(f"  lattice: {done}/{total} shapes", file=sys.stderr)
+
+        def message(line: str) -> None:
+            print(f"  {line}", file=sys.stderr)
 
     report = analyze(
         args.m_max,
@@ -335,7 +359,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         run_lint=not args.no_lint,
         fastdiv=not args.no_fastdiv,
         plan_objects=args.plan_objects,
+        native=args.native or native_configs is not None,
+        native_configs=native_configs,
+        mutation=args.mutation,
         progress=progress,
+        message=message,
     )
     text = json.dumps(report, indent=args.indent, sort_keys=True)
     if args.output:
@@ -357,6 +385,32 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(f"lint: {nv} violation(s)")
         for v in report["lint"]["violations"]:
             print(f"  {v['path']}:{v['line']}: {v['rule']} {v['message']}")
+    if "kernelcheck" in report:
+        kc = report["kernelcheck"]
+        bad = [r for r in kc["reports"] if not r["ok"]]
+        print(
+            f"kernelcheck: {kc['kernels']} kernels, {kc['checks']} checks, "
+            f"{len(bad)} failed, {len(kc['skipped'])} skipped "
+            f"({kc['seconds']:.1f}s)"
+        )
+        for r in bad:
+            for c in r["failures"]:
+                print(
+                    f"  {r['m']}x{r['n']} {r['order']} {r['algorithm']}: "
+                    f"{c['name']}: {c['detail']}"
+                )
+    if "mutation" in report:
+        mu = report["mutation"]
+        print(
+            f"mutation: {mu['killed']}/{mu['applied']} mutants killed across "
+            f"{len(mu['classes_applied'])} fault classes "
+            f"(min {mu['min_classes']}) ({mu['seconds']:.1f}s)"
+        )
+        for s in mu["survivors"]:
+            print(
+                f"  SURVIVED: {s['fault']} on {s['m']}x{s['n']} "
+                f"{s['order']} {s['algorithm']}"
+            )
     if args.output:
         print(f"wrote {args.output}")
     elif not report["ok"] or args.verbose:
@@ -742,6 +796,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--plan-objects",
         action="store_true",
         help="also execute a real TransposePlan per shape (slower)",
+    )
+    p.add_argument(
+        "--native",
+        action="store_true",
+        help="abstractly interpret the generated native kernels for the CI "
+        "config sweep (source-level: no compiler needed)",
+    )
+    p.add_argument(
+        "--native-shapes",
+        default="",
+        help="comma-separated kernel configs MxN[:ORDER[:ITEMSIZE]] "
+        "(e.g. 256x384,256x384:F,12x18:C:4); implies --native",
+    )
+    p.add_argument(
+        "--mutation",
+        action="store_true",
+        help="run the codegen mutation-testing harness (the verifier must "
+        "kill every injected fault)",
     )
     p.add_argument(
         "--progress", action="store_true", help="print lattice progress to stderr"

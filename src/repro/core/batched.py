@@ -34,6 +34,7 @@ _NULL_CM = nullcontext()
 _metrics = None
 _trace = None
 _native_mod = None
+_racecheck = None
 
 
 def _runtime_metrics():
@@ -44,6 +45,16 @@ def _runtime_metrics():
 
         _metrics = metrics
     return _metrics
+
+
+def _sanitizer():
+    """Lazily bind the shadow-memory sanitizer (repro.analysis.racecheck)."""
+    global _racecheck
+    if _racecheck is None:
+        from ..analysis import racecheck
+
+        _racecheck = racecheck
+    return _racecheck.sanitizer
 
 
 def _native():
@@ -181,6 +192,35 @@ class BatchedTransposePlan:
         axis = 1 if kind == "rows3" else 2
         V[:] = np.take_along_axis(V, np.broadcast_to(idx, V.shape), axis=axis)
 
+    def _execute_sanitized(self, V: np.ndarray, san) -> None:
+        """Run the 3-D gathers under the shadow-memory sanitizer.
+
+        Every batched pass is a full-coverage gather, so each tile's flat
+        reads (resolved through the pass's index map) and writes are
+        recorded before mutating; tiles are disjoint slices of the shadow,
+        so per-tile records carry tile provenance without false clobbers.
+        """
+        k, m, n = V.shape
+        mn = m * n
+        rows = np.arange(m, dtype=np.int64)[:, None]
+        cols = np.arange(n, dtype=np.int64)[None, :]
+        tile_writes = (rows * n + cols).ravel()  # repro-lint: allow(implicit-copy) flat index array, not a matrix view
+        for kind, idx in self._steps:
+            if kind == "rows3":
+                tile_reads = idx[0].astype(np.int64) * n + cols
+            else:  # cols3
+                tile_reads = rows * n + idx[0].astype(np.int64)
+            tile_reads = tile_reads.ravel()  # repro-lint: allow(implicit-copy) flat index array, not a matrix view
+            with san.pass_scope(f"batched.{kind}", k * mn):
+                for t in range(k):
+                    base = t * mn
+                    san.record(
+                        reads=base + tile_reads,
+                        writes=base + tile_writes,
+                        where=f"tile {t}",
+                    )
+                self._apply_np(V, kind, idx)
+
     def _resolve_native(self, buf: np.ndarray, backend: str | None):
         """The compiled kernel to batch over, or ``None`` for numpy.
 
@@ -301,6 +341,15 @@ class BatchedTransposePlan:
                 f"cannot interpret shape {buf.shape} as a batch of "
                 f"{self.m}x{self.n} matrices"
             )
+        san = _sanitizer()
+        if san.enabled:
+            # Native kernels bypass the shadow hooks: a sanitized run must
+            # see every index, so force the numpy gathers (and make the
+            # refusal observable when the caller insisted on native).
+            if backend == "native":
+                _native().record_fallback("sanitizer active")
+            self._execute_sanitized(V, san)
+            return buf
         kernel = self._resolve_native(buf, backend)
         if kernel is not None:
             self._execute_native(buf, V, kernel)

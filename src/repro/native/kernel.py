@@ -118,7 +118,7 @@ def compiler_available() -> bool:
 def _cffi_available() -> bool:
     try:
         import cffi  # noqa: F401
-    except Exception:
+    except Exception:  # repro-lint: allow(exception-swallow) availability probe: any import failure just means "no cffi toolchain", there is no reason to preserve
         return False
     return True
 

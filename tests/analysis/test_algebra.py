@@ -113,6 +113,47 @@ class TestDiscrimination:
         assert not report.ok
 
 
+class TestOddAndPrimeShapes:
+    """Non-square, prime, and degenerate shapes through the full analyze
+    certificate stack — both algorithms, including the built-plan
+    cross-check and corrupted-plan detection."""
+
+    @pytest.mark.parametrize("m,n", [(7, 13), (13, 7), (1, 17), (17, 1)])
+    def test_full_certificates_prove_clean(self, m, n):
+        report = verify_shape(m, n, plan_objects=True)
+        assert report.ok, [c.as_dict() for c in report.failures]
+        names = {c.name for c in report.checks}
+        # the plan-object cross-check covers order x algorithm explicitly
+        for order in ("C", "F"):
+            for algorithm in ("c2r", "r2c"):
+                assert f"plan-object-{order}-{algorithm}" in names
+        assert "composition-c2r" in names and "composition-r2c" in names
+
+    @pytest.mark.parametrize("m,n", [(7, 13), (1, 17)])
+    def test_corrupted_plan_is_detected(self, m, n, monkeypatch):
+        from repro.core.plan import TransposePlan
+
+        real = TransposePlan._apply_step
+
+        def corrupted(V, kind, payload):
+            real(V, kind, payload)
+            # poison one cell with a value outside the permutation domain:
+            # every plan step is a permutation, so the poison survives to
+            # the final buffer no matter how later steps shuffle it
+            V.reshape(-1)[0] = -1
+
+        monkeypatch.setattr(
+            TransposePlan, "_apply_step", staticmethod(corrupted)
+        )
+        report = verify_shape(m, n, fastdiv=False, plan_objects=True)
+        assert not report.ok
+        assert all(
+            c.name.startswith("plan-object-") for c in report.failures
+        ), [c.as_dict() for c in report.failures]
+        # every order x algorithm variant runs the corrupted step
+        assert len(report.failures) == 4
+
+
 class TestVerifyLattice:
     def test_small_lattice_proves_clean(self):
         report = verify_lattice(12, 12)

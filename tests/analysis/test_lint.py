@@ -299,6 +299,125 @@ class TestTraceGranularity:
         assert vs == []
 
 
+class TestExceptionSwallow:
+    def test_unbound_broad_except_fires_in_native(self):
+        vs = lint(
+            """\
+            def resolve():
+                try:
+                    return compile()
+                except Exception:
+                    return None
+            """,
+            "native/kernel.py",
+            rule="exception-swallow",
+        )
+        assert len(vs) == 1
+        assert "REPRO006" == vs[0].code
+
+    def test_bare_except_fires_in_serve(self):
+        vs = lint(
+            """\
+            def handle():
+                try:
+                    run()
+                except:
+                    pass
+            """,
+            "serve/server.py",
+            rule="exception-swallow",
+        )
+        assert len(vs) == 1
+        assert "bare except" in vs[0].message
+
+    def test_tuple_containing_broad_type_fires(self):
+        vs = lint(
+            """\
+            def f():
+                try:
+                    run()
+                except (ValueError, Exception):
+                    return 0
+            """,
+            "native/__init__.py",
+            rule="exception-swallow",
+        )
+        assert len(vs) == 1
+
+    def test_binding_the_exception_is_clean(self):
+        vs = lint(
+            """\
+            def resolve():
+                try:
+                    return compile()
+                except Exception as exc:
+                    record_fallback(str(exc))
+                    return None
+            """,
+            "native/kernel.py",
+            rule="exception-swallow",
+        )
+        assert vs == []
+
+    def test_reraising_is_clean(self):
+        vs = lint(
+            """\
+            def f(path):
+                try:
+                    build(path)
+                except BaseException:
+                    cleanup(path)
+                    raise
+            """,
+            "native/kernel.py",
+            rule="exception-swallow",
+        )
+        assert vs == []
+
+    def test_narrow_handlers_are_clean(self):
+        vs = lint(
+            """\
+            def f():
+                try:
+                    run()
+                except OSError:
+                    return None
+            """,
+            "serve/workers.py",
+            rule="exception-swallow",
+        )
+        assert vs == []
+
+    def test_silent_outside_native_and_serve(self):
+        vs = lint(
+            """\
+            def f():
+                try:
+                    run()
+                except Exception:
+                    return None
+            """,
+            "core/equations.py",
+            rule="exception-swallow",
+        )
+        assert vs == []
+
+    def test_line_suppression(self):
+        vs = lint(
+            """\
+            def probe():
+                try:
+                    import cffi
+                except Exception:  # repro-lint: allow(exception-swallow) probe
+                    return False
+                return True
+            """,
+            "native/kernel.py",
+            rule="exception-swallow",
+        )
+        assert vs == []
+
+
 class TestRealTree:
     def test_repro_package_is_lint_clean(self):
         assert run_lint() == []

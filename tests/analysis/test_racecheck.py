@@ -13,8 +13,12 @@ from repro.analysis.racecheck import (
     Rect,
     Sanitizer,
     SanitizerError,
+    banded_footprints,
+    check_banded_schedule,
+    check_mp_schedule,
     check_partition,
     check_schedule,
+    mp_schedule_footprints,
     schedule_footprints,
 )
 from repro.core.plan import TransposePlan
@@ -69,6 +73,106 @@ class TestStaticProof:
     def test_partition_proof_accepts_balanced_chunks(self, total, parts):
         ok, detail = check_partition(total, parts)
         assert ok, detail
+
+
+class TestMpScheduleProof:
+    @pytest.mark.parametrize("workers", [1, 2, 3, 8])
+    @pytest.mark.parametrize(
+        "m,n", [(1, 1), (4, 6), (12, 18), (13, 17), (64, 48)]
+    )
+    @pytest.mark.parametrize("algorithm", ["c2r", "r2c"])
+    def test_mp_schedules_are_race_free(self, m, n, workers, algorithm):
+        report = check_mp_schedule(m, n, workers, algorithm)
+        assert report.ok, report.failures
+
+    def test_mp_footprints_match_thread_geometry(self):
+        # Same balanced_chunks over the same pass structure: the mp backend
+        # inherits the thread proof element-for-element.
+        th = schedule_footprints(12, 18, 4, "c2r")
+        mp = mp_schedule_footprints(12, 18, 4, "c2r")
+        assert [p.name for p in th] == [p.name for p, _ in mp]
+        for a, (b, _) in zip(th, mp):
+            assert a.chunks == b.chunks
+
+    def test_mp_descriptors_mirror_run_pass(self):
+        for p, descriptors in mp_schedule_footprints(12, 18, 3, "c2r"):
+            assert len({d.segment for d in descriptors}) == 1
+            assert all((d.vm, d.vn) == (12, 18) for d in descriptors)
+            assert all(d.pass_name == p.name for d in descriptors)
+            assert descriptors[0].lo == 0
+            assert descriptors[-1].hi == p.total
+
+    def test_mp_proof_rejects_inconsistent_views(self):
+        # A descriptor carrying a stale (vm, vn) would reinterpret the
+        # shared segment with the wrong stride; the checker must notice.
+        import repro.analysis.racecheck as rc
+
+        orig = rc.mp_schedule_footprints
+
+        def corrupted(m, n, workers, algorithm="auto", *, segment="shm"):
+            out = orig(m, n, workers, algorithm, segment=segment)
+            p, descs = out[0]
+            bad = rc.MpTaskDescriptor(
+                descs[0].segment, n, m, descs[0].pass_name,
+                descs[0].lo, descs[0].hi,
+            )
+            out[0] = (p, (bad,) + descs[1:])
+            return out
+
+        rc.mp_schedule_footprints = corrupted
+        try:
+            report = check_mp_schedule(12, 18, 3, "c2r")
+        finally:
+            rc.mp_schedule_footprints = orig
+        assert not report.ok
+        assert any("views" in f for f in report.failures)
+
+
+class TestBandedScheduleProof:
+    @pytest.mark.parametrize("bands", [1, 2, 3, 7])
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    @pytest.mark.parametrize(
+        "m,n", [(1, 1), (4, 6), (12, 18), (13, 17), (64, 48)]
+    )
+    @pytest.mark.parametrize("algorithm", ["c2r", "r2c"])
+    def test_banded_schedules_are_race_free(self, m, n, bands, threads, algorithm):
+        report = check_banded_schedule(m, n, bands, threads, algorithm)
+        assert report.ok, report.failures
+        assert report.as_dict()["n_bands"] == bands
+
+    def test_one_band_degenerates_to_thread_schedule(self):
+        th = schedule_footprints(12, 18, 4, "r2c")
+        banded = banded_footprints(12, 18, 1, 4, "r2c")
+        for a, b in zip(th, banded):
+            assert a.name == b.name
+            assert [c.writes for c in a.chunks] == [c.writes for c in b.chunks]
+
+    def test_band_labels_carry_provenance(self):
+        passes = banded_footprints(12, 18, 2, 2, "c2r")
+        labels = [c.label for c in passes[1].chunks]
+        assert all(label.startswith("band") for label in labels)
+        assert any(label.startswith("band1/") for label in labels)
+
+    def test_banded_proof_rejects_overlapping_bands(self):
+        # Hand-build a pass whose second band re-covers the first band's
+        # rows: the cross-band disjointness check must fail.
+        from repro.analysis.racecheck import (
+            ChunkFootprint,
+            PassFootprints,
+            _prove_rects,
+        )
+
+        m, n = 8, 6
+        overlapping = PassFootprints(
+            name="row_shuffle",
+            total=m,
+            chunks=(
+                ChunkFootprint("band0/rows[0:4]", Rect(0, 4, 0, n), Rect(0, 4, 0, n)),
+                ChunkFootprint("band1/rows[2:8]", Rect(2, 8, 0, n), Rect(2, 8, 0, n)),
+            ),
+        )
+        failures = _prove_rects(overlapping, m, n)
+        assert any("overlap" in f for f in failures)
 
 
 class TestSanitizerViolations:

@@ -287,6 +287,71 @@ class TestScratchResume:
 
 
 # ---------------------------------------------------------------------------
+# sanitizer x native: sanitized runs must force numpy
+# ---------------------------------------------------------------------------
+
+
+class TestSanitizedNative:
+    """``REPRO_SANITIZE=1`` must force the numpy fallback for native
+    requests: compiled kernels bypass the shadow-memory hooks, so a
+    sanitized run that silently used one would validate nothing.  Both the
+    single and batched executors must refuse the kernel, run the hooked
+    gathers, and leave an observable ``native.fallback`` record."""
+
+    @pytest.fixture(autouse=True)
+    def _sanitized(self, monkeypatch):
+        from repro.analysis import racecheck
+
+        was = racecheck.sanitizer.enabled
+        racecheck.enable()
+        monkeypatch.setattr(native, "_warned_once", True)  # silence
+        yield
+        racecheck.sanitizer.enabled = was
+
+    def test_single_sanitized_native_records_shadow_coverage(self):
+        from repro.analysis.racecheck import sanitizer
+
+        m, n = 256, 384
+        proto = np.arange(m * n, dtype=np.float64)
+        before = sanitizer.stats()["passes_checked"]
+        buf = proto.copy()
+        transpose_inplace(buf, m, n, backend="native")
+        np.testing.assert_array_equal(buf, _expected(proto, m, n, "C"))
+        assert sanitizer.stats()["passes_checked"] > before
+        assert _counters().get("native.fallback", 0) >= 1
+        assert _counters().get("native.compile", 0) == 0
+
+    def test_batched_sanitized_native_records_shadow_coverage(self):
+        from repro.analysis.racecheck import sanitizer
+
+        k, m, n = 3, 64, 48
+        proto = np.arange(k * m * n, dtype=np.float64)
+        before = sanitizer.stats()["passes_checked"]
+        buf = proto.copy()
+        batched_transpose_inplace(buf, m, n, backend="native")
+        tiles = proto.copy().reshape(k, m, n)
+        expected = np.ascontiguousarray(tiles.transpose(0, 2, 1)).ravel()
+        np.testing.assert_array_equal(buf, expected)
+        assert sanitizer.stats()["passes_checked"] > before
+        assert _counters().get("native.fallback", 0) >= 1
+        assert _counters().get("native.compile", 0) == 0
+
+    def test_batched_sanitizer_catches_out_of_range_gather(self):
+        from repro.analysis.racecheck import SanitizerError
+        from repro.core.batched import BatchedTransposePlan
+
+        k, m, n = 2, 12, 18
+        plan = BatchedTransposePlan(m, n)
+        kind, idx = plan._steps[0]
+        bad = idx.copy()
+        bad.flat[0] = (plan.dec.m if kind == "rows3" else plan.dec.n) + 3
+        plan._steps[0] = (kind, bad)
+        with pytest.raises(SanitizerError) as exc:
+            plan.execute(np.arange(k * m * n, dtype=np.int64))
+        assert exc.value.kind == "out-of-bounds read"
+
+
+# ---------------------------------------------------------------------------
 # fallback resolution contract
 # ---------------------------------------------------------------------------
 
