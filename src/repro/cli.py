@@ -425,11 +425,29 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from .runtime import metrics
     from .trace import spans
     from .trace.export import (
+        from_chrome_trace,
         to_chrome_trace,
         to_prometheus,
+        to_request_tree,
         to_tree,
         validate_chrome_trace,
     )
+
+    if args.input:
+        # Post-hoc inspection of an exported trace (e.g. the artifact a
+        # loadtest --trace-out wrote): reconstruct the records and print
+        # either one request's cross-process tree or the whole thing.
+        with open(args.input, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        recs = from_chrome_trace(doc)
+        if args.request:
+            print(to_request_tree(recs, args.request), end="")
+        else:
+            print(to_tree(recs), end="")
+        return 0
+    if args.request:
+        print("error: --request requires --input FILE (an exported Chrome trace)")
+        return 1
 
     try:
         shapes = _parse_shapes(args.shape)
@@ -443,18 +461,26 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     # The cached single-matrix path emits one pass.* span per decomposition
     # pass plus cache.hit/miss events; the parallel path adds worker.chunk
-    # spans on distinct thread lanes.  Run both so one trace shows the whole
-    # story.
+    # spans on distinct thread lanes (--backend mp makes those lanes whole
+    # worker *processes*, spliced back into this ring).  Run both so one
+    # trace shows the whole story.
     for m, n in shapes:
         proto = np.arange(m * n, dtype=np.float64)
         for _ in range(args.repeats):
             transpose_inplace(proto.copy(), m, n, algorithm=args.algorithm)
         if args.threads > 1:
-            from .parallel import ParallelTranspose
+            if args.backend == "mp":
+                from .parallel.mp import MpTranspose
 
-            with ParallelTranspose(args.threads) as pt:
-                for _ in range(args.repeats):
-                    pt.transpose_inplace(proto.copy(), m, n)
+                with MpTranspose(args.threads) as pt:
+                    for _ in range(args.repeats):
+                        pt.transpose_inplace(proto.copy(), m, n)
+            else:
+                from .parallel import ParallelTranspose
+
+                with ParallelTranspose(args.threads) as pt:
+                    for _ in range(args.repeats):
+                        pt.transpose_inplace(proto.copy(), m, n)
 
     recs = spans.tracer.snapshot()
     if args.format == "chrome":
@@ -524,14 +550,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         request_timeout_s=args.request_timeout,
         worker_mode=args.worker_mode,
         mp_start_method=args.mp_start_method,
+        slo_p99_ms=args.slo_p99_ms,
+        slo_error_budget=args.slo_error_budget,
     )
+    if args.trace_out:
+        from .trace import spans
+
+        spans.tracer.reset()
+        spans.enable()
     server = TransposeServer(config, verbose=args.verbose).start()
     host, port = server.address
     print(f"repro-serve listening on http://{host}:{port} "
           f"({config.workers} {config.worker_mode} workers, "
           f"queue {config.queue_size}, "
           f"max batch {config.max_batch}, max wait {config.max_wait_ms}ms)")
-    print("endpoints: POST /transpose, GET /healthz, GET /metrics")
+    print("endpoints: POST /transpose, GET /healthz, GET /metrics, "
+          "GET /statusz")
     stop = {"signal": None}
 
     def _on_signal(signum, frame):
@@ -549,6 +583,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pass
     print("shutting down (draining accepted requests)...")
     summary = server.shutdown()
+    if args.trace_out:
+        import json
+
+        from .trace import spans
+        from .trace.export import to_chrome_trace, validate_chrome_trace
+
+        doc = to_chrome_trace(spans.tracer.snapshot())
+        counts = validate_chrome_trace(doc)
+        with open(args.trace_out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+        print(f"wrote trace {args.trace_out} "
+              f"({counts.get('X', 0)} spans, {counts.get('pids', 1)} pids, "
+              f"{spans.tracer.dropped} dropped)")
     print(
         "shutdown summary: "
         f"accepted={summary['accepted']} responded={summary['responded']} "
@@ -575,6 +622,16 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}")
         return 1
+
+    if args.trace_out and not args.inproc:
+        print("error: --trace-out requires --inproc (the trace ring lives "
+              "in the server process)")
+        return 1
+    if args.trace_out:
+        from .trace import spans
+
+        spans.tracer.reset()
+        spans.enable()
 
     server = None
     url = args.url
@@ -609,9 +666,22 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             seed=args.seed,
             reference=not args.no_reference,
             verify_every=args.verify_every,
+            interim_every_s=args.interim_every,
         )
     finally:
         summary = server.shutdown() if server is not None else None
+
+    if args.trace_out:
+        from .trace import spans
+        from .trace.export import to_chrome_trace, validate_chrome_trace
+
+        doc = to_chrome_trace(spans.tracer.snapshot())
+        counts = validate_chrome_trace(doc)
+        with open(args.trace_out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+        print(f"wrote trace {args.trace_out} "
+              f"({counts.get('X', 0)} spans, {counts.get('pids', 1)} pids, "
+              f"{spans.tracer.dropped} dropped)")
 
     print(format_report(report))
     if summary is not None:
@@ -840,12 +910,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--threads", type=int, default=1,
                    help="also run the parallel transposer (worker.chunk lanes)")
+    p.add_argument("--backend", choices=["threads", "mp"], default="threads",
+                   help="parallel backend for --threads > 1; mp splices "
+                   "worker-process spans into per-process trace lanes")
     p.add_argument("--repeats", type=int, default=3)
     p.add_argument(
         "--algorithm", choices=["auto", "c2r", "r2c"], default="auto"
     )
     p.add_argument("--indent", type=int, default=None)
     p.add_argument("--out", help="write the export to a file instead of stdout")
+    p.add_argument("--input",
+                   help="read an exported Chrome trace instead of running a "
+                   "workload (for --request lookup or a tree dump)")
+    p.add_argument("--request",
+                   help="print one request's cross-process span tree by "
+                   "trace_id (requires --input)")
     p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser(
@@ -898,6 +977,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="server-side cap on one request's total time (s)")
     p.add_argument("--max-seconds", type=float, default=0.0,
                    help="exit (gracefully) after this long; 0 = run until signal")
+    p.add_argument("--slo-p99-ms", type=float, default=50.0,
+                   help="windowed p99 latency objective for /statusz + /metrics")
+    p.add_argument("--slo-error-budget", type=float, default=0.01,
+                   help="error budget the SLO burn rate is measured against")
+    p.add_argument("--trace-out", default="",
+                   help="enable tracing and write the Chrome trace (with "
+                   "worker-process lanes) to this file at shutdown")
     p.add_argument("--verbose", action="store_true",
                    help="log every HTTP request to stderr")
     p.set_defaults(fn=_cmd_serve)
@@ -942,6 +1028,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fail unless achieved/ceiling >= this fraction")
     p.add_argument("--min-batch-speedup", type=float, default=None,
                    help="fail unless coalesced/naive >= this factor")
+    p.add_argument("--interim-every", type=float, default=2.0,
+                   help="seconds between live progress lines on stderr "
+                   "during the run (0 disables)")
+    p.add_argument("--trace-out", default="",
+                   help="--inproc: enable tracing and write the combined "
+                   "Chrome trace (client+server+workers) at shutdown")
     p.add_argument("--json", action="store_true",
                    help="also print the report as JSON")
     p.set_defaults(fn=_cmd_loadtest)

@@ -134,6 +134,14 @@ def record_fallback(reason: str) -> None:
     """
     global _warned_once
     _metrics_registry().inc("native.fallback")
+    from ..trace.events import event_log
+
+    if event_log.enabled:
+        from ..trace.spans import tracer
+
+        event_log.emit(
+            "fallback", trace_id=tracer.current_trace_id(), reason=reason
+        )
     with _warn_lock:
         if _warned_once:
             return

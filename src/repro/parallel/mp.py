@@ -148,22 +148,10 @@ def _shape_setup(vm: int, vn: int, strength_reduced: bool):
     return hit
 
 
-def _pass_chunk_task(
-    shm_name: str,
-    vm: int,
-    vn: int,
-    dtype_str: str,
-    pass_name: str,
-    start: int,
-    stop: int,
-    strength_reduced: bool,
-) -> None:
-    """Run one chunk of one pass against the shared segment (child side)."""
+def _run_chunk(V, dec, red, pass_name: str, chunk: slice) -> None:
+    """Dispatch one pass chunk to the matching gather/rotate kernel."""
     from . import cpu
 
-    V = shm_mod.attach_array(shm_name, (vm, vn), dtype_str)
-    dec, red = _shape_setup(vm, vn, strength_reduced)
-    chunk = slice(int(start), int(stop))
     if pass_name in ("pre_rotate", "post_rotate"):
         cpu.rotate_chunk(V, dec, -1 if pass_name == "pre_rotate" else 1, chunk)
     elif pass_name in ("row_shuffle", "row_shuffle_r2c"):
@@ -174,6 +162,70 @@ def _pass_chunk_task(
         raise ValueError(f"unknown pass {pass_name!r}")
 
 
+def _capture_worker_spans(trace, run) -> dict:
+    """Run ``run()`` under a worker-side tracer bound to ``trace`` (a
+    ``(trace_id, parent_span_id)`` descriptor) and return the recorded
+    spans as wire dicts plus this worker's pid.
+
+    The child's ring is drained first (discarding leftovers from earlier
+    tasks, whose parent already collected or abandoned them), so the
+    returned spans belong to exactly this task.  Timestamps stay on the
+    shared CLOCK_MONOTONIC ``perf_counter`` base, directly comparable to
+    the parent's.
+    """
+    tr = _tracer()
+    was_enabled = tr.enabled
+    tr.drain()
+    tr.enabled = True
+    try:
+        with tr.activate(_trace.TraceContext(str(trace[0]), int(trace[1]))):
+            result = run()
+        return {
+            "spans": _trace.spans_to_wire(tr.drain()),
+            "pid": os.getpid(),
+            "result": result,
+        }
+    finally:
+        tr.enabled = was_enabled
+
+
+def _pass_chunk_task(
+    shm_name: str,
+    vm: int,
+    vn: int,
+    dtype_str: str,
+    pass_name: str,
+    start: int,
+    stop: int,
+    strength_reduced: bool,
+    trace: tuple | None = None,
+) -> dict | None:
+    """Run one chunk of one pass against the shared segment (child side).
+
+    With a ``trace`` descriptor, the chunk runs inside a ``worker.chunk``
+    span and the worker's span ring ships back for the parent to splice;
+    without one the task stays result-free (nothing crosses back).
+    """
+    V = shm_mod.attach_array(shm_name, (vm, vn), dtype_str)
+    dec, red = _shape_setup(vm, vn, strength_reduced)
+    chunk = slice(int(start), int(stop))
+    if trace is None:
+        _run_chunk(V, dec, red, pass_name, chunk)
+        return None
+
+    def run():
+        tr = _tracer()
+        with tr.span(
+            "worker.chunk", stage=pass_name, start=chunk.start,
+            stop=chunk.stop, backend="mp",
+        ):
+            _run_chunk(V, dec, red, pass_name, chunk)
+
+    out = _capture_worker_spans(trace, run)
+    out.pop("result", None)
+    return out
+
+
 def _serve_batch_task(
     shm_name: str,
     m: int,
@@ -182,13 +234,17 @@ def _serve_batch_task(
     dtype_str: str,
     tiles: int,
     fault_flag: str | None = None,
+    trace: tuple | None = None,
 ) -> dict:
     """Execute one batched group in place in the shared staging segment.
 
     The worker's own plan cache supplies the
     :class:`~repro.core.batched.BatchedTransposePlan` (rebuilt from its
     cache key on first use).  Returns the worker-side metrics snapshot
-    delta for the parent to merge.
+    delta for the parent to merge; with a ``trace`` descriptor the run is
+    additionally wrapped in a ``worker.group`` span and the snapshot
+    carries the worker's span ring under ``"spans"`` (plus ``"pid"``) —
+    keys the parent pops before :meth:`MetricsRegistry.merge_snapshot`.
 
     ``fault_flag`` is the crash-injection seam for the kill-a-worker
     tests: ``"always"`` dies on every call; a path dies once, consuming
@@ -208,8 +264,23 @@ def _serve_batch_task(
     reg.enabled = True
     reg.reset()
     try:
-        batched_transpose_inplace(V, m, n, order)
-        return reg.snapshot()
+        if trace is None:
+            batched_transpose_inplace(V, m, n, order)
+            return reg.snapshot()
+
+        def run():
+            tr = _tracer()
+            with tr.span(
+                "worker.group", m=m, n=n, batch=tiles, backend="mp",
+            ):
+                batched_transpose_inplace(V, m, n, order)
+            return reg.snapshot()
+
+        captured = _capture_worker_spans(trace, run)
+        snap = captured.pop("result")
+        snap["spans"] = captured["spans"]
+        snap["pid"] = captured["pid"]
+        return snap
     finally:
         reg.enabled = was_enabled
 
@@ -262,12 +333,15 @@ class MpExecutor:
                 "worker process died mid-task; pool rebuilt"
             ) from exc
 
-    def run_chunks(self, pass_name: str, fn, tasks: list[tuple[slice, tuple]]) -> None:
+    def run_chunks(self, pass_name: str, fn, tasks: list[tuple[slice, tuple]]) -> list:
         """Barrier-run ``fn(*args)`` for each ``(chunk, args)`` task.
 
-        On failure: cancel not-yet-started chunks, wait for in-flight
-        ones, raise :class:`PassExecutionError` for the first failed chunk
-        (worker death is wrapped as :class:`WorkerCrashedError` first).
+        On success, returns each task's result in submission order (the
+        traced chunk task ships its worker-side span ring back this way;
+        untraced tasks return ``None``).  On failure: cancel
+        not-yet-started chunks, wait for in-flight ones, raise
+        :class:`PassExecutionError` for the first failed chunk (worker
+        death is wrapped as :class:`WorkerCrashedError` first).
         """
         futures: list[tuple] = []
         submit_exc: BaseException | None = None
@@ -305,6 +379,7 @@ class MpExecutor:
                     "worker process died mid-pass; pool rebuilt"
                 )
             raise PassExecutionError(pass_name, chunk, exc) from exc
+        return [f.result() for f, _ in futures]
 
     def shutdown(self) -> None:
         if self._pool is not None:
@@ -341,15 +416,32 @@ class MpTranspose:
 
     # -- pass plumbing ---------------------------------------------------------
 
-    def _run_pass(self, seg: shm_mod.SharedArray, dec, name: str, total: int) -> None:
+    def _run_pass(
+        self, seg: shm_mod.SharedArray, dec, name: str, total: int,
+        parent_span_id: int = 0,
+    ) -> None:
         vm, vn = seg.shape
         dtype_str = seg.dtype.str
+        tr = _tracer()
+        # Ship a (trace_id, parent span id) descriptor with each chunk so
+        # worker-side ``worker.chunk`` spans parent under this pass's span;
+        # each worker's ring comes back in the task result and splices here.
+        trace_desc = None
+        if tr.enabled and parent_span_id:
+            trace_desc = (tr.current_trace_id(), parent_span_id)
         tasks = [
             (ch, (seg.name, vm, vn, dtype_str, name, ch.start, ch.stop,
-                  self.strength_reduced))
+                  self.strength_reduced, trace_desc))
             for ch in balanced_chunks(total, self.n_workers)
         ]
-        self.executor.run_chunks(name, _pass_chunk_task, tasks)
+        results = self.executor.run_chunks(name, _pass_chunk_task, tasks)
+        if trace_desc is not None:
+            for res in results:
+                if res and res.get("spans"):
+                    tr.splice(
+                        res["spans"], parent_id=parent_span_id,
+                        trace_id=trace_desc[0],
+                    )
 
     def _timed(self, seg: shm_mod.SharedArray, dec, name: str, total: int) -> None:
         """Barrier-run one pass, recording ``parallel.pass.<name>`` and a
@@ -361,7 +453,8 @@ class MpTranspose:
                 f"pass.{name}", m=dec.m, n=dec.n,
                 bytes=2 * seg.array.nbytes,
             ) as sp:
-                self._run_pass(seg, dec, name, total)
+                self._run_pass(seg, dec, name, total,
+                               parent_span_id=sp.span_id)
             if rt.registry.enabled:
                 rt.registry.observe(f"parallel.pass.{name}", sp.duration_s)
         elif rt.registry.enabled:
@@ -477,12 +570,17 @@ class ProcessWorkerHost:
         return self.executor.n_workers
 
     def execute(
-        self, shm_name: str, m: int, n: int, order: str, dtype_str: str, tiles: int
+        self, shm_name: str, m: int, n: int, order: str, dtype_str: str,
+        tiles: int, trace: tuple | None = None,
     ) -> dict:
-        """Run one staged group; returns the worker's metrics snapshot."""
+        """Run one staged group; returns the worker's metrics snapshot.
+
+        ``trace`` is a ``(trace_id, parent span id)`` descriptor; when
+        given, the snapshot additionally carries the worker's spans (see
+        :func:`_serve_batch_task`)."""
         return self.executor.run_one(
             _serve_batch_task, shm_name, m, n, order, dtype_str, tiles,
-            self.fault_flag,
+            self.fault_flag, trace,
         )
 
     def shutdown(self) -> None:

@@ -406,13 +406,29 @@ def reset() -> None:
 
 
 def snapshot() -> dict:
-    """Full runtime snapshot: registry metrics plus plan-cache statistics."""
+    """Full runtime snapshot: registry metrics plus plan-cache statistics,
+    tracer ring-buffer health (``trace.dropped_spans`` and friends), and
+    event-log counters."""
     snap = registry.snapshot()
     # Imported here (not at module top) to keep this module dependency-free
     # for the core modules that import it during their own initialization.
     from . import plan_cache
 
     snap["plan_cache"] = plan_cache.get_plan_cache().stats()
+
+    # Both trace modules are stdlib-only, so these imports cannot cycle.
+    from ..trace.spans import tracer
+
+    snap["trace"] = {
+        "enabled": tracer.enabled,
+        "recorded": tracer.recorded,
+        "dropped_spans": tracer.dropped,
+        "buffered": len(tracer),
+        "capacity": tracer.capacity,
+    }
+    from ..trace.events import event_log
+
+    snap["events"] = event_log.stats()
     return snap
 
 

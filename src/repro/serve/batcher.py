@@ -34,6 +34,8 @@ import numpy as np
 from ..core.batched import batched_transpose_inplace, validate_batch_member
 from ..runtime import metrics, plan_cache
 from ..trace import spans
+from ..trace.events import event_log
+from ..trace.spans import TraceContext
 from .queue import (
     CANCELLED,
     DONE,
@@ -187,6 +189,7 @@ class ShapeBatcher:
                 self._add(r)
             group = self._pop_group(flush=self.queue.closed)
             if group is not None:
+                self._emit_coalesce(group)
                 return group
             if self.queue.closed:
                 # Closed and no group: lanes are empty (a closed queue
@@ -207,6 +210,17 @@ class ShapeBatcher:
             item = self.queue.get(timeout=wait_until - now)
             if item is not None:
                 self._add(item)
+
+    @staticmethod
+    def _emit_coalesce(group: Group) -> None:
+        """Event-log the formed group under its lead request's trace."""
+        if event_log.enabled:
+            m, n, _order, dtype = group.key
+            event_log.emit(
+                "coalesce", trace_id=group.requests[0].trace_id,
+                m=m, n=n, dtype=dtype,
+                requests=len(group.requests), tiles=group.tiles,
+            )
 
     # -- execution -----------------------------------------------------------
 
@@ -240,6 +254,10 @@ class ShapeBatcher:
                     f"request {r.id} missed its deadline while queued"
                 ))
                 reg.inc("serve.expired")
+                if event_log.enabled:
+                    event_log.emit(
+                        "expired", trace_id=r.trace_id, request=r.id,
+                    )
                 continue
             if not r.claim():  # cancelled (or already terminal): skip
                 reg.inc("serve.skipped_cancelled")
@@ -251,6 +269,11 @@ class ShapeBatcher:
             except ValueError as exc:
                 r.fail(exc)
                 reg.inc("serve.rejected_invalid")
+                if event_log.enabled:
+                    event_log.emit(
+                        "reject", trace_id=r.trace_id, request=r.id,
+                        reason="invalid", error=str(exc),
+                    )
                 continue
             live.append(r)
         if not live:
@@ -259,25 +282,50 @@ class ShapeBatcher:
         k = len(live)
         tiles = sum(r.tiles for r in live)
         tr = spans.tracer
-        t0 = perf_counter()
-        if host is not None:
-            with tr.span(
-                "serve.execute.process", m=m, n=n, batch=tiles, dtype=dtype_str
-            ) if tr.enabled else _NULL_CM:
-                self._execute_process(host, live, m, n, order, dtype)
-            reg.inc("serve.batches")
-        elif tiles == 1:
-            with tr.span(
-                "serve.execute.single", m=m, n=n, dtype=dtype_str
-            ) if tr.enabled else _NULL_CM:
-                self._execute_single(live[0], m, n, order, dtype)
-            reg.inc("serve.singleton_fallbacks")
+        # The group executes under the *lead* (first-queued) request's trace
+        # context so its spans parent under that request's serve.request
+        # span; every coalesced request's id rides along in the span's
+        # trace_ids attribute for per-request lookup (filter_trace).
+        trace_id = live[0].trace_id
+        if event_log.enabled:
+            event_log.emit(
+                "dispatch", trace_id=trace_id,
+                mode=("process" if host is not None
+                      else "single" if tiles == 1 else "batch"),
+                m=m, n=n, requests=k, tiles=tiles,
+            )
+        if tr.enabled:
+            ctx_cm = tr.activate(TraceContext(trace_id, live[0].parent_span_id))
+            trace_ids = [r.trace_id for r in live]
         else:
-            with tr.span(
-                "serve.execute.batch", m=m, n=n, batch=tiles, dtype=dtype_str
-            ) if tr.enabled else _NULL_CM:
-                self._execute_batch(live, m, n, order, dtype)
-            reg.inc("serve.batches")
+            ctx_cm = _NULL_CM
+            trace_ids = ()
+        t0 = perf_counter()
+        with ctx_cm:
+            if host is not None:
+                with tr.span(
+                    "serve.execute.process", m=m, n=n, batch=tiles,
+                    dtype=dtype_str, requests=k, trace_ids=trace_ids,
+                ) if tr.enabled else _NULL_CM as sp:
+                    self._execute_process(
+                        host, live, m, n, order, dtype,
+                        span=sp, trace_id=trace_id,
+                    )
+                reg.inc("serve.batches")
+            elif tiles == 1:
+                with tr.span(
+                    "serve.execute.single", m=m, n=n, dtype=dtype_str,
+                    trace_ids=trace_ids,
+                ) if tr.enabled else _NULL_CM:
+                    self._execute_single(live[0], m, n, order, dtype)
+                reg.inc("serve.singleton_fallbacks")
+            else:
+                with tr.span(
+                    "serve.execute.batch", m=m, n=n, batch=tiles,
+                    dtype=dtype_str, requests=k, trace_ids=trace_ids,
+                ) if tr.enabled else _NULL_CM:
+                    self._execute_batch(live, m, n, order, dtype)
+                reg.inc("serve.batches")
         dt = perf_counter() - t0
         if reg.enabled:
             reg.observe("serve.execute", dt)
@@ -323,10 +371,16 @@ class ShapeBatcher:
 
     @staticmethod
     def _execute_process(
-        host, live: list[Request], m: int, n: int, order: str, dtype: np.dtype
+        host, live: list[Request], m: int, n: int, order: str, dtype: np.dtype,
+        *, span=None, trace_id: str = "",
     ) -> None:
         """Stage the group into shared memory, run it in a worker process,
         copy the results out and merge the worker's metrics.
+
+        When tracing, the worker receives a (trace_id, parent span id)
+        descriptor, records its own spans, and ships them back inside the
+        metrics snapshot; they are spliced into this process's ring here —
+        parented under ``span`` — before the snapshot merges.
 
         Retry contract preserved: request buffers are only read, the
         segment is destroyed on every path, and nothing fulfills unless
@@ -344,14 +398,26 @@ class ShapeBatcher:
             for r in live:
                 seg.array[off:off + r.tiles] = r.buf.reshape(r.tiles, mn)
                 off += r.tiles
-            worker_snap = host.execute(seg.name, m, n, order, str(dtype), tiles)
+            trace = (
+                (trace_id, span.span_id)
+                if span is not None and trace_id else None
+            )
+            worker_snap = host.execute(
+                seg.name, m, n, order, str(dtype), tiles, trace=trace
+            )
             # Copy out before destroy: fulfilled views must not point into
             # a segment whose mapping is about to be torn down.
             out = seg.array.copy()
         finally:
             seg.destroy()
         if worker_snap:
+            wire = worker_snap.pop("spans", None)
+            worker_snap.pop("pid", None)
             metrics.registry.merge_snapshot(worker_snap)
+            if wire and span is not None:
+                spans.tracer.splice(
+                    wire, parent_id=span.span_id, trace_id=trace_id
+                )
         off = 0
         for r in live:
             if r.tiles == 1:

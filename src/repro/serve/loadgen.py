@@ -173,6 +173,11 @@ class LoadtestReport:
     verify_failures: int = 0
     achieved_rps: float = 0.0
     latencies_ms: dict = field(default_factory=dict)  # p50/p90/p99/mean/max
+    #: per-shape percentiles keyed "MxN" (same p50/p90/p99/mean/max dicts)
+    per_shape_latencies_ms: dict = field(default_factory=dict)
+    #: the slowest 200 of the run: {"trace_id", "latency_ms", "shape"} —
+    #: feed the trace_id to ``repro trace --request`` for post-hoc lookup
+    worst_request: dict = field(default_factory=dict)
     ceiling_rps: float = 0.0
     coalesced_rps: float = 0.0
     naive_rps: float = 0.0
@@ -202,6 +207,10 @@ class LoadtestReport:
             "verify_failures": self.verify_failures,
             "achieved_rps": self.achieved_rps,
             "latencies_ms": dict(self.latencies_ms),
+            "per_shape_latencies_ms": {
+                k: dict(v) for k, v in self.per_shape_latencies_ms.items()
+            },
+            "worst_request": dict(self.worst_request),
             "ceiling_rps": self.ceiling_rps,
             "coalesced_rps": self.coalesced_rps,
             "naive_rps": self.naive_rps,
@@ -232,7 +241,13 @@ class _Client(threading.Thread):
                 if delay > 0:
                     sleep(delay)
                 shape_i = ctx.shape_of[i]
-                body, headers = ctx.payloads[shape_i]
+                body, base_headers = ctx.payloads[shape_i]
+                # Deterministic per-request trace id: lets the report name
+                # the worst request and a later `repro trace --request`
+                # find its span tree in the server's exported trace.
+                trace_id = f"lt-{ctx.seed:x}-{i:06x}"
+                headers = dict(base_headers)
+                headers["X-Repro-Trace-Id"] = trace_id
                 try:
                     conn.request("POST", "/transpose", body=body, headers=headers)
                     resp = conn.getresponse()
@@ -252,6 +267,11 @@ class _Client(threading.Thread):
                     if status == 200:
                         ctx.completed += 1
                         ctx.latencies.append(latency)
+                        ctx.latencies_by_shape[shape_i].append(latency)
+                        if latency > ctx.worst[0]:
+                            ctx.worst = (
+                                latency, trace_id, ctx.shape_names[shape_i]
+                            )
                         # Sample responses for verification across the whole
                         # run — corruption that only appears once coalesced
                         # batches form (i.e. after warm-up) must not slip
@@ -280,7 +300,7 @@ class _RunContext:
 
     def __init__(
         self, host, port, arrivals, shape_of, payloads, expected, dtype,
-        verify_every=1,
+        verify_every=1, shape_names=(), seed=0,
     ):
         self.host, self.port = host, port
         self.arrivals = arrivals
@@ -289,6 +309,10 @@ class _RunContext:
         self.expected = expected
         self.dtype = dtype
         self.verify_every = max(1, int(verify_every))
+        self.shape_names = list(shape_names) or [
+            str(i) for i in range(len(payloads))
+        ]
+        self.seed = int(seed)
         self.lock = threading.Lock()
         self.next_index = 0
         self.completed = 0
@@ -299,7 +323,18 @@ class _RunContext:
         #: per-shape count of 200s seen, for the every-Nth sampling
         self.verify_counts = [0] * len(payloads)
         self.latencies: list[float] = []
+        self.latencies_by_shape: list[list[float]] = [
+            [] for _ in payloads
+        ]
+        #: slowest 200 so far: (latency_s, trace_id, shape_name)
+        self.worst: tuple = (0.0, "", "")
         self.t0 = 0.0
+
+
+def _print_interim(line: str) -> None:
+    import sys
+
+    print(line, file=sys.stderr, flush=True)
 
 
 def _percentiles(latencies: list[float]) -> dict:
@@ -328,6 +363,8 @@ def run_loadtest(
     seed: int = 0,
     reference: bool = True,
     verify_every: int = 1,
+    interim_every_s: float = 0.0,
+    interim_sink=None,
 ) -> LoadtestReport:
     """Drive ``url`` with an open-loop Poisson workload; return the report.
 
@@ -345,6 +382,11 @@ def run_loadtest(
     ``reference=True`` also measures the three in-process reference rates
     (ceiling / coalesced / naive) for the *first* shape of the mix — skip
     it for pure traffic generation.
+
+    ``interim_every_s > 0`` prints a progress line (completed / achieved /
+    p50 / p99 / rejected / errors so far) every that-many seconds during
+    the run — to stderr by default, or to ``interim_sink(line)`` — so a
+    long run is observable live instead of end-of-run-only.
     """
     # Default workload: 256x384 uint8 image tiles.  Narrow dtypes are the
     # interesting serving regime — the gather kernels are bound by their
@@ -382,13 +424,43 @@ def run_loadtest(
     ctx = _RunContext(
         host, port, arrivals, shape_of, payloads, expected, dtype,
         verify_every=verify_every,
+        shape_names=[f"{s.m}x{s.n}" for s in mix],
+        seed=seed,
     )
     clients = [_Client(ctx, i) for i in range(connections)]
+    done_evt = threading.Event()
+    reporter = None
+    if interim_every_s and interim_every_s > 0:
+        sink = interim_sink or _print_interim
+
+        def _report_progress() -> None:
+            while not done_evt.wait(interim_every_s):
+                with ctx.lock:
+                    completed, rejected = ctx.completed, ctx.rejected
+                    errors = ctx.errors
+                    lat = list(ctx.latencies)
+                elapsed_now = monotonic() - ctx.t0
+                pct = _percentiles(lat)
+                sink(
+                    f"  [t={elapsed_now:5.1f}s] completed={completed} "
+                    f"achieved={completed * tiles / elapsed_now:.0f} mat/s "
+                    f"p50={pct['p50']:.2f}ms p99={pct['p99']:.2f}ms "
+                    f"rejected={rejected} errors={errors}"
+                )
+
+        reporter = threading.Thread(
+            target=_report_progress, name="repro-loadgen-interim", daemon=True
+        )
     ctx.t0 = monotonic()
     for c in clients:
         c.start()
+    if reporter is not None:
+        reporter.start()
     for c in clients:
         c.join()
+    done_evt.set()
+    if reporter is not None:
+        reporter.join(timeout=1.0)
     elapsed = monotonic() - ctx.t0
 
     report = LoadtestReport(
@@ -407,6 +479,19 @@ def run_loadtest(
         # the per-matrix ceiling.
         achieved_rps=ctx.completed * tiles / elapsed if elapsed > 0 else 0.0,
         latencies_ms=_percentiles(ctx.latencies),
+        per_shape_latencies_ms={
+            name: _percentiles(lat)
+            for name, lat in zip(ctx.shape_names, ctx.latencies_by_shape)
+            if lat
+        },
+        worst_request=(
+            {
+                "trace_id": ctx.worst[1],
+                "latency_ms": ctx.worst[0] * 1e3,
+                "shape": ctx.worst[2],
+            }
+            if ctx.worst[1] else {}
+        ),
     )
     if reference:
         s0 = mix[0]
@@ -437,6 +522,17 @@ def format_report(report: LoadtestReport) -> str:
         f"p90 {lat.get('p90', 0):7.2f} ms   p99 {lat.get('p99', 0):7.2f} ms   "
         f"max {lat.get('max', 0):7.2f} ms",
     ]
+    for shape, pct in sorted(report.per_shape_latencies_ms.items()):
+        lines.append(
+            f"  shape {shape:>11}  p50 {pct.get('p50', 0):7.2f} ms   "
+            f"p90 {pct.get('p90', 0):7.2f} ms   p99 {pct.get('p99', 0):7.2f} ms"
+        )
+    if report.worst_request:
+        w = report.worst_request
+        lines.append(
+            f"  worst     {w['latency_ms']:7.2f} ms  shape {w['shape']}  "
+            f"trace_id {w['trace_id']}"
+        )
     if report.ceiling_rps:
         lines += [
             f"  ceiling   {report.ceiling_rps:8.1f} matrices/s direct "

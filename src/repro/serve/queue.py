@@ -88,6 +88,7 @@ class Request:
     __slots__ = (
         "id", "buf", "m", "n", "order", "tiles", "deadline", "t_submit",
         "t_claim", "t_done", "result", "error", "_state", "_lock", "_event",
+        "trace_id", "parent_span_id",
     )
 
     def __init__(
@@ -99,6 +100,7 @@ class Request:
         *,
         tiles: int = 1,
         deadline: float | None = None,
+        trace_id: str = "",
     ):
         if tiles < 1:
             raise ValueError(f"tiles must be >= 1, got {tiles}")
@@ -109,6 +111,11 @@ class Request:
         self.order = order
         self.tiles = int(tiles)
         self.deadline = deadline
+        #: distributed-tracing identity: the request's trace id (minted or
+        #: propagated by the HTTP front end) and the ``serve.request`` span
+        #: it should parent under.  Empty/zero when tracing is off.
+        self.trace_id = trace_id
+        self.parent_span_id = 0
         self.t_submit = 0.0
         self.t_claim = 0.0
         self.t_done = 0.0

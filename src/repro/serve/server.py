@@ -36,7 +36,9 @@ minus responded — zero unless the drain timed out).
 from __future__ import annotations
 
 import json
+import re
 import threading
+from contextlib import nullcontext
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from time import monotonic, sleep
@@ -44,7 +46,10 @@ from time import monotonic, sleep
 import numpy as np
 
 from ..runtime import metrics
+from ..trace import spans
+from ..trace.events import event_log
 from ..trace.export import to_prometheus
+from ..trace.spans import TraceContext, new_trace_id
 from .batcher import ShapeBatcher
 from .queue import (
     DeadlineExceededError,
@@ -53,6 +58,7 @@ from .queue import (
     Request,
     RequestQueue,
 )
+from .slo import SloTracker
 from .workers import WorkerPool
 
 __all__ = ["ServeConfig", "TransposeServer"]
@@ -60,6 +66,12 @@ __all__ = ["ServeConfig", "TransposeServer"]
 #: cap on a single request body; a 512 MiB matrix through a Python HTTP
 #: stack is a misconfiguration, not a workload
 MAX_BODY_BYTES = 512 * 1024 * 1024
+
+#: accepted shape for a client-supplied X-Repro-Trace-Id; anything else is
+#: replaced with a freshly minted id (never echoed back raw)
+_TRACE_ID_RE = re.compile(r"[A-Za-z0-9_.:-]{1,128}")
+
+_NULL_CM = nullcontext()
 
 
 @dataclass
@@ -79,6 +91,11 @@ class ServeConfig:
     #: multiprocessing start method for worker_mode="process"
     #: (None = forkserver where available; REPRO_MP_START overrides)
     mp_start_method: str | None = None
+    #: SLO objectives judged by the live tracker (serve/slo.py): windowed
+    #: p99 latency target and the error budget the burn rate is measured
+    #: against
+    slo_p99_ms: float = 50.0
+    slo_error_budget: float = 0.01
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -98,10 +115,14 @@ class _Handler(BaseHTTPRequestHandler):
     def _reply(
         self, status: int, body, content_type: str, headers: dict | None = None
     ) -> None:
+        self._last_status = status
         try:
             self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            trace_id = getattr(self, "_trace_id", "")
+            if trace_id:
+                self.send_header("X-Repro-Trace-Id", trace_id)
             for key, value in (headers or {}).items():
                 self.send_header(key, value)
             self.end_headers()
@@ -142,6 +163,9 @@ class _Handler(BaseHTTPRequestHandler):
         if self.path == "/healthz":
             body = json.dumps(self.app.health(), sort_keys=True).encode()
             self._reply(200, body, "application/json")
+        elif self.path == "/statusz":
+            body = json.dumps(self.app.statusz(), sort_keys=True).encode()
+            self._reply(200, body, "application/json")
         elif self.path == "/metrics":
             text = self.app.render_metrics()
             self._reply(
@@ -153,10 +177,29 @@ class _Handler(BaseHTTPRequestHandler):
     # -- POST: the work endpoint ---------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 — http.server API
+        """Thin wrapper around :meth:`_handle_post` that feeds the SLO
+        tracker: every ``/transpose`` reply counts, with 5xx statuses
+        burning error budget (4xx admission pushback does not)."""
+        t0 = monotonic()
+        self._last_status = 0
+        self._trace_id = ""
+        try:
+            self._handle_post()
+        finally:
+            status = self._last_status
+            if self.path == "/transpose" and status:
+                self.app.slo.observe(monotonic() - t0, ok=status < 500)
+
+    def _handle_post(self) -> None:
         if self.path != "/transpose":
             self._reject_unread_body(404, f"no such path: {self.path}")
             return
         app = self.app
+        # Mint (or propagate) the request's trace identity first, so every
+        # reply — including rejections — carries X-Repro-Trace-Id.
+        raw_id = self.headers.get("X-Repro-Trace-Id", "")
+        trace_id = raw_id if _TRACE_ID_RE.fullmatch(raw_id) else new_trace_id()
+        self._trace_id = trace_id
         try:
             m = int(self.headers.get("X-Repro-Rows", ""))
             n = int(self.headers.get("X-Repro-Cols", ""))
@@ -225,6 +268,10 @@ class _Handler(BaseHTTPRequestHandler):
                 # DeadlineExceededError taxonomy instead of enqueueing and
                 # burning the +1.0 s batcher slack on a doomed request.
                 metrics.registry.inc("serve.expired_at_admission")
+                if event_log.enabled:
+                    event_log.emit(
+                        "reject", trace_id=trace_id, reason="expired",
+                    )
                 self._reject_unread_body(
                     504,
                     str(DeadlineExceededError(
@@ -248,55 +295,87 @@ class _Handler(BaseHTTPRequestHandler):
                 return
             got += read
 
-        request = Request(buf, m, n, order, tiles=tiles, deadline=deadline)
-        try:
-            app.submit(request)
-        except QueueFullError as exc:
-            metrics.registry.inc("serve.rejected_full")
-            self._reply_error(429, str(exc), {"Retry-After": "1"})
-            return
-        except QueueClosedError as exc:
-            metrics.registry.inc("serve.rejected_closed")
-            self._reply_error(503, str(exc))
-            return
-
-        try:
-            wait_s = app.config.request_timeout_s
-            if deadline is not None:
-                # the batcher fails expired requests; the extra slack covers
-                # one in-flight batch ahead of the expiry check
-                wait_s = min(wait_s, deadline - monotonic() + 1.0)
-            result = request.wait(timeout=max(wait_s, 0.001))
-        except TimeoutError:
-            request.cancel()
-            self._reply_error(
-                504, "request timed out in the serving layer",
-                kind="serving-timeout",
-            )
-            return
-        except DeadlineExceededError as exc:
-            self._reply_error(504, str(exc), kind="client-deadline")
-            return
-        except Exception as exc:  # noqa: BLE001 — report execution errors
-            self._reply_error(500, f"{type(exc).__name__}: {exc}")
-            return
-        finally:
-            app.responded_one()
-
-        # memoryview, not tobytes(): the socket writer consumes the staging
-        # row directly, skipping one body-sized copy per response
-        self._reply(
-            200,
-            memoryview(np.ascontiguousarray(result)).cast("B"),
-            "application/octet-stream",
-            {
-                "X-Repro-Rows": str(n),
-                "X-Repro-Cols": str(m),
-                "X-Repro-Dtype": str(dtype),
-                "X-Repro-Order": order,
-                "X-Repro-Batch": str(tiles),
-            },
+        request = Request(
+            buf, m, n, order, tiles=tiles, deadline=deadline, trace_id=trace_id
         )
+        # The serve.request span is the trace root: the queue/batcher/worker
+        # spans (this process or a worker process) all parent under it via
+        # the TraceContext the request carries.
+        tr = spans.tracer
+        if tr.enabled:
+            ctx_cm = tr.activate(TraceContext(trace_id))
+            span_cm = tr.span(
+                "serve.request", request=request.id, m=m, n=n,
+                tiles=tiles, dtype=str(dtype),
+            )
+        else:
+            ctx_cm = span_cm = _NULL_CM
+        with ctx_cm, span_cm as sp:
+            if sp is not None:
+                request.parent_span_id = sp.span_id
+            try:
+                app.submit(request)
+            except QueueFullError as exc:
+                metrics.registry.inc("serve.rejected_full")
+                if event_log.enabled:
+                    event_log.emit(
+                        "reject", trace_id=trace_id, reason="full",
+                        request=request.id,
+                    )
+                self._reply_error(429, str(exc), {"Retry-After": "1"})
+                return
+            except QueueClosedError as exc:
+                metrics.registry.inc("serve.rejected_closed")
+                if event_log.enabled:
+                    event_log.emit(
+                        "reject", trace_id=trace_id, reason="closed",
+                        request=request.id,
+                    )
+                self._reply_error(503, str(exc))
+                return
+            if event_log.enabled:
+                event_log.emit(
+                    "admit", trace_id=trace_id, request=request.id,
+                    m=m, n=n, tiles=tiles, depth=app.queue.depth,
+                )
+
+            try:
+                wait_s = app.config.request_timeout_s
+                if deadline is not None:
+                    # the batcher fails expired requests; the extra slack
+                    # covers one in-flight batch ahead of the expiry check
+                    wait_s = min(wait_s, deadline - monotonic() + 1.0)
+                result = request.wait(timeout=max(wait_s, 0.001))
+            except TimeoutError:
+                request.cancel()
+                self._reply_error(
+                    504, "request timed out in the serving layer",
+                    kind="serving-timeout",
+                )
+                return
+            except DeadlineExceededError as exc:
+                self._reply_error(504, str(exc), kind="client-deadline")
+                return
+            except Exception as exc:  # noqa: BLE001 — report execution errors
+                self._reply_error(500, f"{type(exc).__name__}: {exc}")
+                return
+            finally:
+                app.responded_one()
+
+            # memoryview, not tobytes(): the socket writer consumes the
+            # staging row directly, skipping one body-sized copy per response
+            self._reply(
+                200,
+                memoryview(np.ascontiguousarray(result)).cast("B"),
+                "application/octet-stream",
+                {
+                    "X-Repro-Rows": str(n),
+                    "X-Repro-Cols": str(m),
+                    "X-Repro-Dtype": str(dtype),
+                    "X-Repro-Order": order,
+                    "X-Repro-Batch": str(tiles),
+                },
+            )
 
 
 class _HTTPServer(ThreadingHTTPServer):
@@ -329,6 +408,10 @@ class TransposeServer:
             self.config.workers,
             mode=self.config.worker_mode,
             start_method=self.config.mp_start_method,
+        )
+        self.slo = SloTracker(
+            p99_objective_ms=self.config.slo_p99_ms,
+            error_budget=self.config.slo_error_budget,
         )
         self._httpd = _HTTPServer((self.config.host, self.config.port), _Handler)
         self._httpd.app = self  # type: ignore[attr-defined]
@@ -426,6 +509,45 @@ class TransposeServer:
             "rejected_full": self.queue.rejected_full,
         }
 
+    def statusz(self) -> dict:
+        """One-page JSON operational status (the ``/statusz`` endpoint):
+        queue + inflight state, worker health, live SLO judgment, plan-cache
+        occupancy, native/fallback counters, and trace/event-log health."""
+        with self._state_lock:
+            accepted, responded = self.accepted, self.responded
+        snap = metrics.snapshot()
+        counters = snap.get("counters", {})
+        tr = spans.tracer
+        return {
+            "status": "draining" if self.queue.closed else "ok",
+            "queue": self.queue.stats(),
+            "inflight": accepted - responded,
+            "accepted": accepted,
+            "responded": responded,
+            "workers": {
+                "alive": self.pool.alive,
+                "mode": self.config.worker_mode,
+                "completed": counters.get("serve.completed", 0),
+                "retries": counters.get("serve.retries", 0),
+                "group_failures": counters.get("serve.group_failures", 0),
+            },
+            "slo": self.slo.state(),
+            "plan_cache": snap.get("plan_cache", {}),
+            "native": {
+                "calls": counters.get("native.calls", 0),
+                "fallback": counters.get("native.fallback", 0),
+                "compile": counters.get("native.compile", 0),
+                "unsupported": counters.get("native.unsupported", 0),
+            },
+            "trace": {
+                "enabled": tr.enabled,
+                "recorded": tr.recorded,
+                "dropped_spans": tr.dropped,
+                "buffered": len(tr),
+            },
+            "events": event_log.stats(),
+        }
+
     def render_metrics(self) -> str:
         reg = metrics.registry
         if reg.enabled:
@@ -435,4 +557,12 @@ class TransposeServer:
             with self._state_lock:
                 inflight = self.accepted - self.responded
             reg.set_gauge("serve.inflight", inflight)
+            slo = self.slo.state()
+            reg.set_gauge("slo.p99_objective_ms", slo["p99_objective_ms"])
+            reg.set_gauge("slo.burn_rate_max", slo["burn_rate_max"])
+            reg.set_gauge("slo.alerting", int(slo["alerting"]))
+            for win in slo["windows"]:
+                suffix = f"{int(win['window_s'])}s"
+                reg.set_gauge(f"slo.burn_rate.{suffix}", win["burn_rate"])
+                reg.set_gauge(f"slo.p99_ms.{suffix}", win["p99_ms"])
         return to_prometheus(metrics.snapshot())

@@ -1,0 +1,137 @@
+"""Sliding-window SLO tracking with multi-window burn-rate alerts.
+
+The server owns one :class:`SloTracker` and feeds it every ``/transpose``
+response (latency + ok/error).  The tracker judges two objectives over
+sliding time windows:
+
+* **latency** — windowed p99 must stay under ``p99_objective_ms``;
+* **availability** — the windowed error rate, expressed as a *burn rate*
+  (error_rate / error_budget), must stay under ``alert_burn_rate``.
+
+A burn rate of 1.0 means the service is consuming its error budget
+exactly as fast as the budget allows; 2.0 means twice as fast.  Following
+the standard multiwindow pattern, :meth:`state` reports ``alerting`` only
+when the burn rate exceeds the threshold in **all** configured windows
+that have samples — the short window makes the alert reset quickly once
+the problem stops, the long window keeps one bad request from paging.
+
+Everything here is stdlib-only and O(window) per :meth:`state` call; the
+observation path is an append under a lock.  Samples live in a bounded
+deque, so a tracker on a busy server holds at most ``capacity`` points
+(oldest evicted first — with the default 65536 and the windows we use,
+eviction only matters above ~100 req/s sustained for the full long
+window, at which point the long window degrades gracefully to "the most
+recent N samples").
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+__all__ = ["SloTracker", "DEFAULT_WINDOWS"]
+
+#: (short, long) alert windows in seconds — 1 min / 10 min.
+DEFAULT_WINDOWS = (60.0, 600.0)
+
+
+def _p99(latencies_ms: list) -> float:
+    """p99 by the nearest-rank method on a sorted copy (0.0 when empty)."""
+    if not latencies_ms:
+        return 0.0
+    ordered = sorted(latencies_ms)
+    return ordered[int(0.99 * (len(ordered) - 1))]
+
+
+class SloTracker:
+    """Rolling latency/error observations judged against SLO objectives."""
+
+    def __init__(self, *, p99_objective_ms: float = 50.0,
+                 error_budget: float = 0.01,
+                 windows: tuple = DEFAULT_WINDOWS,
+                 alert_burn_rate: float = 2.0,
+                 capacity: int = 65536):
+        if not windows:
+            raise ValueError("need at least one window")
+        if error_budget <= 0.0:
+            raise ValueError("error_budget must be positive")
+        self.p99_objective_ms = float(p99_objective_ms)
+        self.error_budget = float(error_budget)
+        self.windows = tuple(sorted(float(w) for w in windows))
+        self.alert_burn_rate = float(alert_burn_rate)
+        self._lock = threading.Lock()
+        # (monotonic_ts, latency_ms, ok) triples, oldest first
+        self._samples: deque = deque(maxlen=capacity)
+        self.total_observed = 0
+        self.total_errors = 0
+
+    def observe(self, latency_s: float, ok: bool = True,
+                now: float | None = None) -> None:
+        """Record one completed request.  ``now`` overrides the clock so
+        tests can replay a schedule deterministically."""
+        ts = time.monotonic() if now is None else now
+        with self._lock:
+            self._samples.append((ts, latency_s * 1e3, ok))
+            self.total_observed += 1
+            if not ok:
+                self.total_errors += 1
+
+    def reset(self) -> None:
+        with self._lock:
+            self._samples.clear()
+            self.total_observed = 0
+            self.total_errors = 0
+
+    def state(self, now: float | None = None) -> dict:
+        """Judge every window and return the full SLO state as a dict
+        (JSON-safe; rendered verbatim into ``/statusz``)."""
+        ts = time.monotonic() if now is None else now
+        with self._lock:
+            samples = list(self._samples)
+            total_observed = self.total_observed
+            total_errors = self.total_errors
+
+        win_states = []
+        burn_rates = []
+        for window_s in self.windows:
+            cutoff = ts - window_s
+            lat = []
+            errors = 0
+            # samples are time-ordered; scan from the newest end and stop
+            # at the first point older than the window.
+            for sts, lms, ok in reversed(samples):
+                if sts < cutoff:
+                    break
+                lat.append(lms)
+                if not ok:
+                    errors += 1
+            n = len(lat)
+            error_rate = (errors / n) if n else 0.0
+            burn = error_rate / self.error_budget
+            p99 = _p99(lat)
+            if n:
+                burn_rates.append(burn)
+            win_states.append({
+                "window_s": window_s,
+                "samples": n,
+                "errors": errors,
+                "error_rate": error_rate,
+                "burn_rate": burn,
+                "p99_ms": p99,
+                "p99_ok": p99 <= self.p99_objective_ms,
+            })
+
+        alerting = bool(burn_rates) and all(
+            b > self.alert_burn_rate for b in burn_rates
+        )
+        return {
+            "p99_objective_ms": self.p99_objective_ms,
+            "error_budget": self.error_budget,
+            "alert_burn_rate": self.alert_burn_rate,
+            "total_observed": total_observed,
+            "total_errors": total_errors,
+            "windows": win_states,
+            "burn_rate_max": max(burn_rates) if burn_rates else 0.0,
+            "alerting": alerting,
+        }

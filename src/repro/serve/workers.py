@@ -27,6 +27,7 @@ from contextlib import nullcontext
 
 from ..runtime import metrics
 from ..trace import spans
+from ..trace.events import event_log
 from .batcher import Group, ShapeBatcher
 
 __all__ = ["WorkerPool"]
@@ -147,7 +148,18 @@ class WorkerPool:
     def _process(self, group: Group) -> None:
         tr = spans.tracer
         m, n, _order, dtype = group.key
-        with tr.span(
+        # Run the whole group under the lead request's trace context: the
+        # serve.group span then parents to that request's serve.request
+        # span (recorded on the HTTP handler thread), and everything the
+        # batcher/kernels open below nests under serve.group on this stack.
+        if tr.enabled and group.requests and group.requests[0].trace_id:
+            lead = group.requests[0]
+            ctx_cm = tr.activate(
+                spans.TraceContext(lead.trace_id, lead.parent_span_id)
+            )
+        else:
+            ctx_cm = _NULL_CM
+        with ctx_cm, tr.span(
             "serve.group", m=m, n=n, dtype=dtype, requests=len(group)
         ) if tr.enabled else _NULL_CM:
             for attempt in (1, 2):
@@ -164,9 +176,21 @@ class WorkerPool:
                         # unfulfilled and inputs untouched: retry is safe.
                         self.retries += 1
                         metrics.registry.inc("serve.retries")
+                        if event_log.enabled:
+                            event_log.emit(
+                                "retry",
+                                trace_id=group.requests[0].trace_id,
+                                m=m, n=n, attempt=attempt, error=repr(exc),
+                            )
                         continue
                     self.group_failures += 1
                     metrics.registry.inc("serve.group_failures")
+                    if event_log.enabled:
+                        event_log.emit(
+                            "group_failure",
+                            trace_id=group.requests[0].trace_id,
+                            m=m, n=n, error=repr(exc),
+                        )
                     group.fail_pending(exc)
                     return
                 self.groups_executed += 1

@@ -10,7 +10,14 @@ the paper's per-pass achieved-GB/s breakdown.
 ``repro.trace.spans``
     The process-wide :data:`~repro.trace.spans.tracer`: nestable spans in a
     bounded ring buffer, near-zero cost while disabled (``REPRO_TRACE=1``
-    starts it enabled, mirroring ``REPRO_SANITIZE``).
+    starts it enabled, mirroring ``REPRO_SANITIZE``).  Distributed-tracing
+    primitives live here too: :class:`~repro.trace.spans.TraceContext`
+    activation, wire serialization and cross-process :meth:`splice`.
+
+``repro.trace.events``
+    The bounded structured event log (``REPRO_EVENTS=1``): trace_id-stamped
+    admission/reject/coalesce/dispatch/retry/evict/fallback events with an
+    optional JSONL sink.
 
 ``repro.trace.export``
     Chrome ``chrome://tracing`` / Perfetto JSON, Prometheus text format
@@ -30,30 +37,45 @@ import importlib
 
 __all__ = [
     "spans",
+    "events",
     "export",
     "profile",
     "Tracer",
     "SpanRecord",
+    "TraceContext",
     "tracer",
     "traced",
+    "new_trace_id",
+    "EventLog",
+    "event_log",
     "to_chrome_trace",
+    "from_chrome_trace",
     "to_prometheus",
     "to_tree",
+    "to_request_tree",
+    "filter_trace",
     "validate_chrome_trace",
     "profile_shape",
     "profile_shapes",
 ]
 
-_SUBMODULES = ("spans", "export", "profile")
+_SUBMODULES = ("spans", "events", "export", "profile")
 
 _LAZY = {
     "Tracer": ("spans", "Tracer"),
     "SpanRecord": ("spans", "SpanRecord"),
+    "TraceContext": ("spans", "TraceContext"),
     "tracer": ("spans", "tracer"),
     "traced": ("spans", "traced"),
+    "new_trace_id": ("spans", "new_trace_id"),
+    "EventLog": ("events", "EventLog"),
+    "event_log": ("events", "event_log"),
     "to_chrome_trace": ("export", "to_chrome_trace"),
+    "from_chrome_trace": ("export", "from_chrome_trace"),
     "to_prometheus": ("export", "to_prometheus"),
     "to_tree": ("export", "to_tree"),
+    "to_request_tree": ("export", "to_request_tree"),
+    "filter_trace": ("export", "filter_trace"),
     "validate_chrome_trace": ("export", "validate_chrome_trace"),
     "profile_shape": ("profile", "profile_shape"),
     "profile_shapes": ("profile", "profile_shapes"),

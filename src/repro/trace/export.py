@@ -35,10 +35,13 @@ from .spans import SpanRecord
 
 __all__ = [
     "to_chrome_trace",
+    "from_chrome_trace",
     "validate_chrome_trace",
     "to_prometheus",
     "validate_prometheus_text",
     "to_tree",
+    "filter_trace",
+    "to_request_tree",
     "FORMATS",
 ]
 
@@ -54,25 +57,38 @@ def to_chrome_trace(spans: Iterable[SpanRecord], *, pid: int | None = None) -> d
     """Render spans as a Trace Event Format document (JSON-able dict).
 
     Timestamps are microseconds relative to the earliest record, one lane
-    per thread (``tid``), with ``thread_name`` metadata events so Perfetto
-    labels worker lanes.  Zero-width records export as instant events.
+    per (process, thread): each record carries the ``pid`` it was captured
+    in (spans spliced from worker processes keep theirs), so a distributed
+    trace shows one process group per worker with ``process_name`` /
+    ``thread_name`` metadata events labelling the lanes.  Span identity
+    (``span_id``/``parent_id``) and the owning ``trace_id`` travel in
+    ``args`` so the document round-trips through
+    :func:`from_chrome_trace`.  Zero-width records export as instant
+    events.
     """
     spans = list(spans)
     if pid is None:
         pid = os.getpid()
     t_base = min((s.t0 for s in spans), default=0.0)
     events: list[dict] = []
-    thread_names: dict[int, str] = {}
+    thread_names: dict[tuple[int, int], str] = {}
     for s in spans:
-        thread_names.setdefault(s.tid, s.thread_name)
+        s_pid = getattr(s, "pid", None) or pid
+        thread_names.setdefault((s_pid, s.tid), s.thread_name)
         ts = (s.t0 - t_base) * 1e6
+        args = dict(s.attrs)
+        args["span_id"] = s.span_id
+        args["parent_id"] = s.parent_id
+        trace_id = getattr(s, "trace_id", "")
+        if trace_id:
+            args["trace_id"] = trace_id
         ev: dict = {
             "name": s.name,
             "cat": s.name.split(".", 1)[0],
-            "pid": pid,
+            "pid": s_pid,
             "tid": s.tid,
             "ts": ts,
-            "args": dict(s.attrs),
+            "args": args,
         }
         if s.is_event:
             ev["ph"] = "i"
@@ -81,15 +97,64 @@ def to_chrome_trace(spans: Iterable[SpanRecord], *, pid: int | None = None) -> d
             ev["ph"] = "X"
             ev["dur"] = (s.t1 - s.t0) * 1e6
         events.append(ev)
-    for tid, name in sorted(thread_names.items()):
+    for p in sorted({p for p, _ in thread_names}):
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": p,
+            "tid": 0,
+            "args": {"name": "repro" if p == pid else f"repro-worker-{p}"},
+        })
+    for (p, tid), name in sorted(thread_names.items()):
         events.append({
             "name": "thread_name",
             "ph": "M",
-            "pid": pid,
+            "pid": p,
             "tid": tid,
             "args": {"name": name},
         })
     return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def from_chrome_trace(doc: dict) -> list[SpanRecord]:
+    """Reconstruct :class:`SpanRecord` objects from an exported document.
+
+    The inverse of :func:`to_chrome_trace` for ``X``/``i`` events carrying
+    ``args.span_id`` (metadata events and foreign documents' events
+    without identity are skipped).  Timestamps come back as seconds
+    relative to the document's base — fine for tree views and durations,
+    which only ever compare records from the same document.
+    """
+    records: list[SpanRecord] = []
+    for ev in doc.get("traceEvents", ()):
+        if not isinstance(ev, dict) or ev.get("ph") not in ("X", "i"):
+            continue
+        args = ev.get("args") or {}
+        if "span_id" not in args:
+            continue
+        attrs = {
+            k: v for k, v in args.items()
+            if k not in ("span_id", "parent_id", "trace_id")
+        }
+        t0 = float(ev.get("ts", 0.0)) * 1e-6
+        t1 = t0 + float(ev.get("dur", 0.0)) * 1e-6
+        records.append(SpanRecord(
+            int(args["span_id"]), int(args.get("parent_id", 0)),
+            str(ev.get("name", "")), t0, t1,
+            int(ev.get("tid", 0)), "", attrs,
+            trace_id=str(args.get("trace_id", "")),
+            pid=int(ev.get("pid", 0)),
+        ))
+    # Give reconstructed records their lane labels back from metadata.
+    names: dict[tuple[int, int], str] = {}
+    for ev in doc.get("traceEvents", ()):
+        if isinstance(ev, dict) and ev.get("ph") == "M" \
+                and ev.get("name") == "thread_name":
+            names[(int(ev.get("pid", 0)), int(ev.get("tid", 0)))] = \
+                str((ev.get("args") or {}).get("name", ""))
+    for r in records:
+        r.thread_name = names.get((r.pid, r.tid), "worker")
+    return records
 
 
 def validate_chrome_trace(doc: dict) -> dict:
@@ -105,6 +170,7 @@ def validate_chrome_trace(doc: dict) -> dict:
     if not isinstance(events, list) or not events:
         raise ValueError("'traceEvents' must be a non-empty list")
     counts: dict[str, int] = {}
+    pids: set = set()
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             raise ValueError(f"event {i} is not an object")
@@ -113,6 +179,7 @@ def validate_chrome_trace(doc: dict) -> dict:
                 raise ValueError(f"event {i} ({ev.get('name')!r}) lacks {field!r}")
         ph = ev["ph"]
         counts[ph] = counts.get(ph, 0) + 1
+        pids.add(ev["pid"])
         if ph == "X":
             if "ts" not in ev or "dur" not in ev:
                 raise ValueError(f"complete event {i} needs 'ts' and 'dur'")
@@ -128,6 +195,7 @@ def validate_chrome_trace(doc: dict) -> dict:
             raise ValueError(f"event {i} has unexpected phase {ph!r}")
     if counts.get("X", 0) == 0:
         raise ValueError("trace contains no complete ('X') span events")
+    counts["pids"] = len(pids)
     return counts
 
 
@@ -222,6 +290,34 @@ def to_prometheus(snapshot: dict, *, prefix: str = "repro") -> str:
                 continue
             metric = f"{prefix}_plan_cache_{_prom_name(key)}"
             lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {value}")
+
+    trace = snapshot.get("trace")
+    if trace:
+        for key, mtype in (("dropped_spans", "counter"), ("recorded", "counter"),
+                           ("enabled", "gauge"), ("buffered", "gauge"),
+                           ("capacity", "gauge")):
+            if key not in trace:
+                continue
+            value = int(trace[key]) if isinstance(trace[key], bool) else trace[key]
+            metric = f"{prefix}_trace_{_prom_name(key)}"
+            if mtype == "counter":
+                metric += "_total"
+            lines.append(f"# TYPE {metric} {mtype}")
+            lines.append(f"{metric} {value}")
+
+    events = snapshot.get("events")
+    if events:
+        for key, mtype in (("emitted", "counter"), ("dropped", "counter"),
+                           ("sink_errors", "counter"), ("enabled", "gauge"),
+                           ("buffered", "gauge")):
+            if key not in events:
+                continue
+            value = int(events[key]) if isinstance(events[key], bool) else events[key]
+            metric = f"{prefix}_events_{_prom_name(key)}"
+            if mtype == "counter":
+                metric += "_total"
+            lines.append(f"# TYPE {metric} {mtype}")
             lines.append(f"{metric} {value}")
 
     return "\n".join(lines) + "\n"
@@ -371,4 +467,68 @@ def to_tree(spans: Iterable[SpanRecord]) -> str:
 
         for root in roots:
             emit(root, 1)
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Per-request (distributed) span tree
+# ---------------------------------------------------------------------------
+
+def filter_trace(spans: Iterable[SpanRecord], trace_id: str) -> list[SpanRecord]:
+    """Spans belonging to one request, across every process and thread.
+
+    A span belongs if its own ``trace_id`` matches, or if it carries the
+    request in a batched group's ``trace_ids`` attribute (the batcher
+    stamps group spans with every coalesced request's id)."""
+    out = []
+    for s in spans:
+        if getattr(s, "trace_id", "") == trace_id:
+            out.append(s)
+        elif trace_id in (s.attrs.get("trace_ids") or ()):
+            out.append(s)
+    return out
+
+
+def to_request_tree(spans: Iterable[SpanRecord], trace_id: str) -> str:
+    """Render one request's span tree across process boundaries.
+
+    Unlike :func:`to_tree` (which groups by thread within one process),
+    this follows ``parent_id`` links across pid/tid lanes — a spliced
+    distributed trace reads as one tree from the HTTP ``serve.request``
+    root down into worker-process chunk spans, each line labelled with
+    the process and thread that produced it.
+    """
+    matched = filter_trace(spans, trace_id)
+    if not matched:
+        return f"(no spans recorded for trace_id={trace_id})\n"
+    matched.sort(key=lambda s: (s.t0, s.span_id))
+    ids = {s.span_id for s in matched}
+    children: dict[int, list[SpanRecord]] = {}
+    roots: list[SpanRecord] = []
+    for s in matched:
+        if s.parent_id in ids:
+            children.setdefault(s.parent_id, []).append(s)
+        else:
+            roots.append(s)
+    pids = sorted({getattr(s, "pid", 0) for s in matched})
+    lines = [
+        f"trace {trace_id}: {len(matched)} spans across "
+        f"{len(pids)} process(es) {pids}"
+    ]
+
+    def emit(s: SpanRecord, depth: int) -> None:
+        indent = "  " * depth
+        lane = f"pid={getattr(s, 'pid', 0)} tid={s.tid}"
+        if s.is_event:
+            lines.append(f"{indent}* {s.name}  ({lane}){_fmt_attrs(s.attrs)}")
+        else:
+            lines.append(
+                f"{indent}{s.name:<28} {s.duration_s * 1e3:9.3f} ms  "
+                f"({lane}){_fmt_attrs(s.attrs)}"
+            )
+        for child in children.get(s.span_id, []):
+            emit(child, depth + 1)
+
+    for root in roots:
+        emit(root, 1)
     return "\n".join(lines) + "\n"

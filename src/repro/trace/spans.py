@@ -47,6 +47,16 @@ Usage::
         ...                      # the pass
 
     tracer.event("cache.hit", m=m, n=n)   # zero-width instant event
+
+Distributed tracing (docs/TRACING.md, "Distributed tracing"): a
+:class:`TraceContext` carries a request's ``trace_id`` and the span id the
+next span should parent to.  ``tracer.activate(ctx)`` installs it on the
+current thread; spans opened underneath are stamped with the trace_id, and
+the first span (empty stack) parents to ``ctx.parent_id`` — which may be a
+span id minted in *another process*.  Worker processes serialize their
+span ring (:func:`spans_to_wire`) into the result channel and the parent
+:meth:`Tracer.splice`\\ s them in, remapping span ids so cross-process id
+collisions cannot corrupt the tree.
 """
 
 from __future__ import annotations
@@ -60,9 +70,12 @@ from time import perf_counter
 
 __all__ = [
     "SpanRecord",
+    "TraceContext",
     "Tracer",
     "tracer",
     "traced",
+    "new_trace_id",
+    "spans_to_wire",
     "enable",
     "disable",
     "is_enabled",
@@ -71,6 +84,51 @@ __all__ = [
 ]
 
 DEFAULT_CAPACITY = 65536
+
+#: this process's pid, stamped on every record.  Cached because a span is
+#: opened per pass, not per element — but refreshed after fork so records
+#: from fork/forkserver children carry the *child's* pid (spawn children
+#: re-import and get a fresh value).
+_PID = os.getpid()
+
+
+def _refresh_pid() -> None:
+    global _PID
+    _PID = os.getpid()
+
+
+if hasattr(os, "register_at_fork"):  # not on every platform
+    os.register_at_fork(after_in_child=_refresh_pid)
+
+
+def new_trace_id() -> str:
+    """Mint a fresh 16-hex-char trace id (random, collision-negligible)."""
+    return os.urandom(8).hex()
+
+
+class TraceContext:
+    """A request identity crossing thread and process boundaries.
+
+    ``trace_id`` names the request end to end; ``parent_id`` is the span id
+    the next root span should parent to (0 = none).  Wire form is a plain
+    tuple so it rides through pickled task descriptors unchanged.
+    """
+
+    __slots__ = ("trace_id", "parent_id")
+
+    def __init__(self, trace_id: str, parent_id: int = 0):
+        self.trace_id = trace_id
+        self.parent_id = int(parent_id)
+
+    def as_wire(self) -> tuple:
+        return (self.trace_id, self.parent_id)
+
+    @classmethod
+    def from_wire(cls, wire) -> "TraceContext":
+        return cls(str(wire[0]), int(wire[1]))
+
+    def __repr__(self) -> str:
+        return f"TraceContext({self.trace_id!r}, parent_id={self.parent_id})"
 
 
 class SpanRecord:
@@ -82,10 +140,11 @@ class SpanRecord:
     """
 
     __slots__ = ("span_id", "parent_id", "name", "t0", "t1", "tid",
-                 "thread_name", "attrs")
+                 "thread_name", "attrs", "trace_id", "pid")
 
     def __init__(self, span_id: int, parent_id: int, name: str, t0: float,
-                 t1: float, tid: int, thread_name: str, attrs: dict):
+                 t1: float, tid: int, thread_name: str, attrs: dict,
+                 trace_id: str = "", pid: int | None = None):
         self.span_id = span_id
         self.parent_id = parent_id
         self.name = name
@@ -94,6 +153,8 @@ class SpanRecord:
         self.tid = tid
         self.thread_name = thread_name
         self.attrs = attrs
+        self.trace_id = trace_id
+        self.pid = _PID if pid is None else pid
 
     @property
     def duration_s(self) -> float:
@@ -115,6 +176,8 @@ class SpanRecord:
             "tid": self.tid,
             "thread_name": self.thread_name,
             "attrs": dict(self.attrs),
+            "trace_id": self.trace_id,
+            "pid": self.pid,
         }
 
     def __repr__(self) -> str:
@@ -147,7 +210,8 @@ _NOOP = _NoopSpan()
 class _LiveSpan:
     """An open span: a context manager that records itself on exit."""
 
-    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id", "t0", "t1")
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id", "t0",
+                 "t1", "trace_id")
 
     def __init__(self, tr: "Tracer", name: str, attrs: dict):
         self._tracer = tr
@@ -157,6 +221,7 @@ class _LiveSpan:
         self.parent_id = 0
         self.t0 = 0.0
         self.t1 = 0.0
+        self.trace_id = ""
 
     @property
     def duration_s(self) -> float:
@@ -165,7 +230,16 @@ class _LiveSpan:
     def __enter__(self) -> "_LiveSpan":
         tr = self._tracer
         stack = tr._stack()
-        self.parent_id = stack[-1].span_id if stack else 0
+        ctx = getattr(tr._local, "ctx", None)
+        if ctx is not None:
+            self.trace_id = ctx.trace_id
+        # A root span under an active context parents to the context's
+        # parent_id — possibly a span id from another process, resolved at
+        # splice time.
+        if stack:
+            self.parent_id = stack[-1].span_id
+        elif ctx is not None:
+            self.parent_id = ctx.parent_id
         self.span_id = tr._next_id()
         stack.append(self)
         self.t0 = perf_counter()
@@ -185,7 +259,28 @@ class _LiveSpan:
         t = threading.current_thread()
         tr._append(SpanRecord(self.span_id, self.parent_id, self.name,
                               self.t0, self.t1, t.ident or 0, t.name,
-                              self.attrs))
+                              self.attrs, trace_id=self.trace_id))
+        return False
+
+
+class _CtxScope:
+    """Installs a :class:`TraceContext` on the current thread, restoring
+    whatever was active before on exit (contexts nest)."""
+
+    __slots__ = ("_local", "_ctx", "_prev")
+
+    def __init__(self, local: threading.local, ctx: "TraceContext | None"):
+        self._local = local
+        self._ctx = ctx
+        self._prev = None
+
+    def __enter__(self) -> "TraceContext | None":
+        self._prev = getattr(self._local, "ctx", None)
+        self._local.ctx = self._ctx
+        return self._ctx
+
+    def __exit__(self, *exc) -> bool:
+        self._local.ctx = self._prev
         return False
 
 
@@ -230,9 +325,69 @@ class Tracer:
         now = perf_counter()
         t = threading.current_thread()
         stack = self._stack()
-        parent = stack[-1].span_id if stack else 0
+        ctx = getattr(self._local, "ctx", None)
+        if stack:
+            parent = stack[-1].span_id
+        else:
+            parent = ctx.parent_id if ctx is not None else 0
         self._append(SpanRecord(self._next_id(), parent, name, now, now,
-                                t.ident or 0, t.name, attrs))
+                                t.ident or 0, t.name, attrs,
+                                trace_id=ctx.trace_id if ctx else ""))
+
+    # -- distributed tracing ---------------------------------------------------
+
+    def activate(self, ctx: "TraceContext | None") -> _CtxScope:
+        """``with tracer.activate(ctx):`` — spans opened on this thread are
+        stamped with ``ctx.trace_id`` and the first one parents to
+        ``ctx.parent_id``.  Safe (and free) while disabled; ``None``
+        deactivates for the scope."""
+        return _CtxScope(self._local, ctx)
+
+    def current_context(self) -> "TraceContext | None":
+        """The thread's active :class:`TraceContext`, if any."""
+        return getattr(self._local, "ctx", None)
+
+    def current_trace_id(self) -> str:
+        """The active context's trace id, or ``""`` outside any request."""
+        ctx = getattr(self._local, "ctx", None)
+        return ctx.trace_id if ctx is not None else ""
+
+    def splice(self, records: "list[dict]", *, parent_id: int = 0,
+               trace_id: str = "") -> int:
+        """Fold serialized foreign spans (:func:`spans_to_wire`) into this
+        ring as one coherent subtree.
+
+        Worker processes mint span ids from their own counters, so foreign
+        ids collide with local ones; every spliced record gets a fresh id
+        from this tracer, internal parent links are remapped, and records
+        whose parent is *not* in the batch (the worker's roots) parent to
+        ``parent_id``.  The foreign ``pid``/``tid`` are preserved — that is
+        what gives the Chrome export its per-process lanes.  Records
+        missing a trace id inherit ``trace_id``.  Returns the number of
+        records spliced; malformed input splices nothing.
+        """
+        if not records:
+            return 0
+        idmap: dict = {}
+        for r in records:
+            try:
+                idmap[r["span_id"]] = self._next_id()
+            except (TypeError, KeyError):
+                return 0  # malformed wire payload: drop the batch whole
+        for r in records:
+            self._append(SpanRecord(
+                idmap[r["span_id"]],
+                idmap.get(r.get("parent_id"), parent_id),
+                str(r.get("name", "")),
+                float(r.get("t0", 0.0)),
+                float(r.get("t1", 0.0)),
+                int(r.get("tid", 0)),
+                str(r.get("thread_name", "worker")),
+                dict(r.get("attrs") or {}),
+                trace_id=str(r.get("trace_id") or trace_id),
+                pid=r.get("pid"),
+            ))
+        return len(records)
 
     # -- internals -----------------------------------------------------------
 
@@ -285,6 +440,15 @@ tracer = Tracer(
     enabled=os.environ.get("REPRO_TRACE", "0") == "1",
     capacity=int(os.environ.get("REPRO_TRACE_CAPACITY", DEFAULT_CAPACITY)),
 )
+
+
+def spans_to_wire(records: "list[SpanRecord]") -> list[dict]:
+    """Serialize records for the cross-process result channel.
+
+    Plain dicts of scalars: picklable by every start method, no live
+    tracer state, and exactly what :meth:`Tracer.splice` consumes.
+    """
+    return [r.as_dict() for r in records]
 
 
 def traced(name: str):

@@ -418,6 +418,76 @@ class TestExceptionSwallow:
         assert vs == []
 
 
+class TestEventTraceId:
+    def test_emit_without_trace_id_fires(self):
+        vs = lint(
+            """\
+            def admit(event_log, r):
+                event_log.emit("admit", request=r.id)
+            """,
+            "serve/server.py",
+            rule="event-trace-id",
+        )
+        assert len(vs) == 1
+        assert "trace_id" in vs[0].message
+        assert vs[0].code == "REPRO007"
+
+    def test_emit_with_trace_id_passes(self):
+        vs = lint(
+            """\
+            def admit(event_log, r):
+                event_log.emit("admit", trace_id=r.trace_id, request=r.id)
+            """,
+            "serve/server.py",
+            rule="event-trace-id",
+        )
+        assert vs == []
+
+    def test_lazily_bound_alias_receivers_are_covered(self):
+        vs = lint(
+            """\
+            def evict(_event_log, key):
+                ev = _event_log()
+                ev.emit("evict", key=key)
+                _event_log().emit("evict", key=key)
+            """,
+            "runtime/plan_cache.py",
+            rule="event-trace-id",
+        )
+        assert len(vs) == 2
+
+    def test_unrelated_emit_receivers_are_ignored(self):
+        vs = lint(
+            """\
+            def log(logger, signal):
+                logger.emit("message")
+                signal.emit()
+            """,
+            "serve/server.py",
+            rule="event-trace-id",
+        )
+        assert vs == []
+
+    def test_rule_applies_everywhere_not_just_serve(self):
+        vs = lint(
+            "def f(event_log):\n    event_log.emit(\"fallback\")\n",
+            "native/__init__.py",
+            rule="event-trace-id",
+        )
+        assert len(vs) == 1
+
+    def test_line_suppression(self):
+        vs = lint(
+            """\
+            def f(event_log):
+                event_log.emit("boot")  # repro-lint: allow(event-trace-id) pre-request
+            """,
+            "serve/server.py",
+            rule="event-trace-id",
+        )
+        assert vs == []
+
+
 class TestRealTree:
     def test_repro_package_is_lint_clean(self):
         assert run_lint() == []

@@ -177,3 +177,85 @@ class TestRunLoadtest:
     def test_tiles_validation(self):
         with pytest.raises(ValueError, match="tiles"):
             run_loadtest("127.0.0.1:1", tiles=0, reference=False)
+
+
+class TestPerShapeAndWorst:
+    def test_per_shape_percentiles_and_worst_request(self):
+        srv = TransposeServer(
+            ServeConfig(port=0, workers=1, queue_size=256, max_wait_ms=0.5)
+        ).start()
+        try:
+            host, port = srv.address
+            report = run_loadtest(
+                f"{host}:{port}",
+                rate=300.0,
+                duration_s=0.4,
+                shapes=[ShapeMix(16, 12, 0.5), ShapeMix(8, 24, 0.5)],
+                dtype="float64",
+                tiles=1,
+                connections=4,
+                seed=7,
+                reference=False,
+            )
+        finally:
+            srv.shutdown(timeout=10)
+        assert report.completed > 0
+        # both shapes served -> both get their own percentile block
+        assert set(report.per_shape_latencies_ms) == {"16x12", "8x24"}
+        for pct in report.per_shape_latencies_ms.values():
+            assert pct["p99"] >= pct["p50"] > 0
+        # the worst request is named by its deterministic trace id
+        worst = report.worst_request
+        assert worst["trace_id"].startswith("lt-7-")
+        assert worst["shape"] in ("16x12", "8x24")
+        assert worst["latency_ms"] == pytest.approx(
+            report.latencies_ms["max"], rel=1e-6
+        )
+        text = format_report(report)
+        assert "shape" in text and "worst" in text
+        assert worst["trace_id"] in text
+        d = report.as_dict()
+        assert d["worst_request"] == worst
+        assert set(d["per_shape_latencies_ms"]) == {"16x12", "8x24"}
+
+    def test_interim_reporting_emits_progress_lines(self):
+        srv = TransposeServer(
+            ServeConfig(port=0, workers=1, queue_size=256, max_wait_ms=0.5)
+        ).start()
+        lines = []
+        try:
+            host, port = srv.address
+            run_loadtest(
+                f"{host}:{port}",
+                rate=150.0,
+                duration_s=0.6,
+                shapes=[ShapeMix(8, 6, 1.0)],
+                dtype="float64",
+                tiles=1,
+                connections=2,
+                seed=3,
+                reference=False,
+                interim_every_s=0.1,
+                interim_sink=lines.append,
+            )
+        finally:
+            srv.shutdown(timeout=10)
+        assert lines, "no interim progress lines were emitted"
+        assert all("completed=" in line and "p99=" in line for line in lines)
+
+    def test_interim_disabled_by_default(self):
+        srv = TransposeServer(
+            ServeConfig(port=0, workers=1, queue_size=64, max_wait_ms=0.5)
+        ).start()
+        lines = []
+        try:
+            host, port = srv.address
+            run_loadtest(
+                f"{host}:{port}", rate=100.0, duration_s=0.2,
+                shapes=[ShapeMix(8, 6, 1.0)], dtype="float64", tiles=1,
+                connections=2, seed=4, reference=False,
+                interim_sink=lines.append,
+            )
+        finally:
+            srv.shutdown(timeout=10)
+        assert lines == []  # sink unused while interim_every_s == 0

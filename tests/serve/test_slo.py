@@ -1,0 +1,121 @@
+"""Live SLO tracker: windowed p99, burn rates, multiwindow alert logic.
+
+All tests drive the clock through the explicit ``now=`` parameter so the
+window arithmetic is deterministic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.slo import DEFAULT_WINDOWS, SloTracker, _p99
+
+
+class TestP99:
+    def test_empty_is_zero(self):
+        assert _p99([]) == 0.0
+
+    def test_nearest_rank_on_100_samples(self):
+        # 1..100 ms: nearest-rank p99 over 100 points lands on the 99th
+        assert _p99(list(range(1, 101))) == 99
+
+    def test_single_sample(self):
+        assert _p99([7.5]) == 7.5
+
+
+class TestWindows:
+    def test_old_samples_age_out_of_short_window(self):
+        slo = SloTracker(windows=(60.0, 600.0))
+        slo.observe(0.010, ok=True, now=0.0)
+        slo.observe(0.020, ok=True, now=500.0)
+        state = slo.state(now=510.0)
+        short, long_ = state["windows"]
+        assert short["window_s"] == 60.0
+        assert short["samples"] == 1  # only the recent one
+        assert long_["samples"] == 2
+        assert state["total_observed"] == 2
+
+    def test_p99_judged_against_objective(self):
+        slo = SloTracker(p99_objective_ms=50.0, windows=(60.0,))
+        for _ in range(98):
+            slo.observe(0.010, now=0.0)
+        state = slo.state(now=1.0)
+        assert state["windows"][0]["p99_ok"] is True
+        for _ in range(3):  # a >1% tail of 500 ms responses moves p99
+            slo.observe(0.500, now=2.0)
+        state = slo.state(now=3.0)
+        assert state["windows"][0]["p99_ms"] == pytest.approx(500.0)
+        assert state["windows"][0]["p99_ok"] is False
+
+
+class TestBurnRate:
+    def test_burn_rate_is_error_rate_over_budget(self):
+        slo = SloTracker(error_budget=0.01, windows=(60.0,))
+        for i in range(100):
+            slo.observe(0.001, ok=(i != 0), now=0.0)  # 1% errors
+        state = slo.state(now=1.0)
+        win = state["windows"][0]
+        assert win["error_rate"] == pytest.approx(0.01)
+        assert win["burn_rate"] == pytest.approx(1.0)
+        assert state["alerting"] is False  # at budget, not over threshold
+
+    def test_alert_requires_every_window_burning(self):
+        """Recent errors trip the short window but not yet the long one:
+        no alert.  Sustained errors trip both: alert."""
+        slo = SloTracker(error_budget=0.01, windows=(60.0, 600.0),
+                         alert_burn_rate=2.0)
+        # plenty of old successes dilute the long window
+        for _ in range(2000):
+            slo.observe(0.001, ok=True, now=0.0)
+        # a recent burst of errors: short window burns hot
+        for _ in range(10):
+            slo.observe(0.001, ok=False, now=580.0)
+        state = slo.state(now=590.0)
+        short, long_ = state["windows"]
+        assert short["burn_rate"] > 2.0
+        assert long_["burn_rate"] < 2.0
+        assert state["alerting"] is False
+        # now the errors persist until the old successes age out
+        for _ in range(10):
+            slo.observe(0.001, ok=False, now=700.0)
+        state = slo.state(now=710.0)
+        assert all(w["burn_rate"] > 2.0 for w in state["windows"]
+                   if w["samples"])
+        assert state["alerting"] is True
+
+    def test_no_samples_means_no_alert(self):
+        slo = SloTracker()
+        state = slo.state(now=0.0)
+        assert state["alerting"] is False
+        assert state["burn_rate_max"] == 0.0
+
+    def test_total_counters_survive_window_expiry(self):
+        slo = SloTracker(windows=(1.0,))
+        slo.observe(0.001, ok=False, now=0.0)
+        state = slo.state(now=100.0)
+        assert state["windows"][0]["samples"] == 0
+        assert state["total_observed"] == 1
+        assert state["total_errors"] == 1
+
+
+class TestConfig:
+    def test_windows_sorted_short_first(self):
+        slo = SloTracker(windows=(600.0, 60.0))
+        assert slo.windows == (60.0, 600.0)
+
+    def test_defaults(self):
+        slo = SloTracker()
+        assert slo.windows == DEFAULT_WINDOWS
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SloTracker(windows=())
+        with pytest.raises(ValueError):
+            SloTracker(error_budget=0.0)
+
+    def test_reset(self):
+        slo = SloTracker()
+        slo.observe(0.001, ok=False, now=0.0)
+        slo.reset()
+        state = slo.state(now=0.0)
+        assert state["total_observed"] == 0
+        assert state["total_errors"] == 0

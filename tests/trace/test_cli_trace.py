@@ -90,3 +90,58 @@ class TestProfileCommand:
     def test_rejects_bad_shape(self, capsys):
         assert main(["profile", "--shape", "x"]) == 1
         assert "error" in capsys.readouterr().out
+
+
+class TestTraceInspection:
+    def test_mp_backend_export_grows_process_lanes(self, tmp_path):
+        out = tmp_path / "trace-mp.json"
+        assert main([
+            "trace", "--shape", "24x18", "--threads", "2",
+            "--backend", "mp", "--out", str(out),
+        ]) == 0
+        doc = json.loads(out.read_text())
+        counts = validate_chrome_trace(doc)
+        assert counts["pids"] >= 2
+        chunk_pids = {
+            e["pid"] for e in doc["traceEvents"]
+            if e["name"] == "worker.chunk"
+        }
+        assert chunk_pids, "mp run produced no worker.chunk spans"
+
+    def test_request_tree_from_exported_file(self, tmp_path, capsys):
+        # build a tiny exported trace with a known trace_id
+        from repro.trace.export import to_chrome_trace
+        from repro.trace.spans import TraceContext, Tracer
+
+        tr = Tracer(enabled=True)
+        with tr.activate(TraceContext("req-42")):
+            with tr.span("serve.request", request=1):
+                with tr.span("serve.execute.batch"):
+                    pass
+        path = tmp_path / "exported.json"
+        path.write_text(json.dumps(to_chrome_trace(tr.snapshot())))
+        capsys.readouterr()
+        assert main([
+            "trace", "--input", str(path), "--request", "req-42",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "trace req-42: 2 spans" in out
+        assert "serve.request" in out
+        assert "serve.execute.batch" in out
+
+    def test_input_without_request_dumps_whole_tree(self, tmp_path, capsys):
+        from repro.trace.export import to_chrome_trace
+        from repro.trace.spans import Tracer
+
+        tr = Tracer(enabled=True)
+        with tr.span("op.x"):
+            pass
+        path = tmp_path / "exported.json"
+        path.write_text(json.dumps(to_chrome_trace(tr.snapshot())))
+        capsys.readouterr()
+        assert main(["trace", "--input", str(path)]) == 0
+        assert "op.x" in capsys.readouterr().out
+
+    def test_request_without_input_errors(self, capsys):
+        assert main(["trace", "--request", "abc"]) == 1
+        assert "--input" in capsys.readouterr().out

@@ -1,0 +1,143 @@
+"""Cross-process tracing: worker span capture, splice into the parent ring,
+per-process Chrome lanes, and crash-tolerant splicing.
+
+These tests run real worker processes (the mp backend and the serving
+process host), so they assert the properties that matter end to end: one
+trace_id spanning at least two OS pids, worker spans parented under the
+dispatching span, and a worker crash leaving the spliced tree anchored."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.parallel.mp import MpTranspose, ProcessWorkerHost
+from repro.parallel.shm import owned_segments
+from repro.serve.batcher import ShapeBatcher
+from repro.serve.queue import Request, RequestQueue
+from repro.serve.workers import WorkerPool
+from repro.trace import spans
+from repro.trace.export import (
+    to_chrome_trace,
+    to_request_tree,
+    validate_chrome_trace,
+)
+from repro.trace.spans import TraceContext, tracer
+
+
+@pytest.fixture
+def traced():
+    """Enable the process-wide tracer for one test, clean before and after."""
+    tracer.reset()
+    spans.enable()
+    yield tracer
+    spans.disable()
+    tracer.reset()
+
+
+def _ids(recs):
+    return {r.span_id for r in recs}
+
+
+class TestMpBackendTracing:
+    def test_worker_chunk_spans_splice_under_pass_spans(self, traced):
+        buf = np.arange(24 * 18, dtype=np.float64)
+        with tracer.activate(TraceContext("mp-req-1")):
+            with MpTranspose(2) as mp:
+                mp.transpose_inplace(buf, 24, 18)
+        recs = tracer.snapshot()
+        chunks = [r for r in recs if r.name == "worker.chunk"]
+        passes = {r.span_id: r for r in recs if r.name.startswith("pass.")}
+        assert chunks, "no worker.chunk spans came back over the wire"
+        parent_pid = os.getpid()
+        assert all(c.pid != parent_pid for c in chunks)
+        assert all(c.parent_id in passes for c in chunks)
+        # every chunk names its pass and carries the request's trace_id
+        for c in chunks:
+            assert c.attrs["stage"] == passes[c.parent_id].name[len("pass."):]
+            assert c.trace_id == "mp-req-1"
+        # at least two distinct processes participated in the one trace
+        assert len({r.pid for r in recs if r.trace_id == "mp-req-1"}) >= 2
+
+    def test_chrome_export_grows_per_process_lanes(self, traced):
+        buf = np.arange(20 * 15, dtype=np.float64)
+        with MpTranspose(2) as mp:
+            mp.transpose_inplace(buf, 20, 15)
+        doc = to_chrome_trace(tracer.snapshot())
+        counts = validate_chrome_trace(doc)
+        assert counts["pids"] >= 2
+        names = {
+            e["args"]["name"] for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert "repro" in names
+        assert any(n.startswith("repro-worker-") for n in names)
+
+    def test_untraced_run_ships_no_span_payload(self):
+        assert not tracer.enabled
+        buf = np.arange(12 * 10, dtype=np.float64)
+        with MpTranspose(1) as mp:
+            mp.transpose_inplace(buf, 12, 10)
+        assert len(tracer) == 0
+
+
+class TestProcessServingTracing:
+    def _serve_one(self, host, trace_id, m=16, n=12):
+        q = RequestQueue(maxsize=64)
+        b = ShapeBatcher(q, max_batch=8, max_wait_s=0.001)
+        pool = WorkerPool(b, 1, poll_s=0.01, mode="process", host=host)
+        r = Request(np.arange(m * n, dtype=np.float64), m, n,
+                    trace_id=trace_id)
+        q.submit(r)
+        with pool:
+            out = r.wait(timeout=60)
+        expected = np.ascontiguousarray(
+            np.arange(m * n, dtype=np.float64).reshape(m, n).T
+        ).reshape(-1)
+        np.testing.assert_array_equal(out, expected)
+        return r
+
+    def test_one_trace_id_spans_two_processes(self, traced):
+        host = ProcessWorkerHost(1)
+        try:
+            self._serve_one(host, "dist-req-1")
+        finally:
+            host.shutdown()
+        recs = [r for r in tracer.snapshot() if r.trace_id == "dist-req-1"]
+        pids = {r.pid for r in recs}
+        assert len(pids) >= 2, f"trace stayed in one process: {pids}"
+        names = {r.name for r in recs}
+        assert "serve.group" in names
+        assert "serve.execute.process" in names
+        assert "worker.group" in names  # spliced from the worker process
+        execute = next(r for r in recs if r.name == "serve.execute.process")
+        wgroup = next(r for r in recs if r.name == "worker.group")
+        assert wgroup.parent_id == execute.span_id
+        assert wgroup.pid != execute.pid
+        # the request tree renders as one connected multi-process tree
+        tree = to_request_tree(tracer.snapshot(), "dist-req-1")
+        assert "2 process(es)" in tree or "3 process(es)" in tree
+        assert "worker.group" in tree
+
+    def test_killed_worker_leaves_splice_anchored(self, traced, tmp_path):
+        """A worker dying mid-batch must not corrupt the trace: the retry's
+        spans splice normally and no foreign span dangles."""
+        flag = tmp_path / "die-once"
+        flag.write_text("x")
+        host = ProcessWorkerHost(1, fault_flag=str(flag))
+        try:
+            self._serve_one(host, "crash-req-1")
+        finally:
+            host.shutdown()
+        recs = tracer.snapshot()
+        local_pid = os.getpid()
+        ids = _ids(recs)
+        foreign = [r for r in recs if r.pid != local_pid]
+        assert foreign, "retry produced no worker spans"
+        # every spliced span's parent resolves inside the ring (splice
+        # re-anchors worker roots onto the local dispatch span)
+        assert all(f.parent_id in ids for f in foreign)
+        assert all(f.trace_id == "crash-req-1" for f in foreign)
+        assert owned_segments() == []

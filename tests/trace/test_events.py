@@ -1,0 +1,99 @@
+"""Structured event log: ring bounds, JSONL sink, counters, disabled path."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.trace.events import DEFAULT_CAPACITY, EventLog, to_jsonl
+
+
+class TestEmit:
+    def test_disabled_emit_is_a_no_op(self):
+        log = EventLog(enabled=False)
+        log.emit("admit", trace_id="t1", depth=3)
+        assert len(log) == 0
+        assert log.stats()["emitted"] == 0
+
+    def test_records_carry_ts_kind_trace_id_and_fields(self):
+        log = EventLog(enabled=True)
+        log.emit("dispatch", trace_id="t1", mode="batch", requests=4)
+        (rec,) = log.snapshot()
+        assert rec["kind"] == "dispatch"
+        assert rec["trace_id"] == "t1"
+        assert rec["mode"] == "batch"
+        assert rec["requests"] == 4
+        assert rec["ts"] > 0
+
+    def test_trace_id_is_keyword_required(self):
+        log = EventLog(enabled=True)
+        with pytest.raises(TypeError):
+            log.emit("admit", "t1")  # positional trace_id is a lint trap
+
+    def test_ring_bounds_and_drop_counting(self):
+        log = EventLog(enabled=True, capacity=4)
+        for i in range(10):
+            log.emit("admit", trace_id=f"t{i}")
+        assert len(log) == 4
+        stats = log.stats()
+        assert stats["emitted"] == 10
+        assert stats["dropped"] == 6
+        # oldest evicted first
+        assert [r["trace_id"] for r in log.snapshot()] == \
+            ["t6", "t7", "t8", "t9"]
+
+    def test_drain_empties_reset_clears_counters(self):
+        log = EventLog(enabled=True, capacity=2)
+        for i in range(3):
+            log.emit("admit", trace_id=str(i))
+        assert len(log.drain()) == 2
+        assert len(log) == 0
+        assert log.stats()["dropped"] == 1
+        log.reset()
+        stats = log.stats()
+        assert stats["emitted"] == 0 and stats["dropped"] == 0
+        assert stats["enabled"] is True  # reset does not flip the gate
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+        assert EventLog().capacity == DEFAULT_CAPACITY
+
+
+class TestJsonlSink:
+    def test_sink_streams_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(enabled=True, path=str(path))
+        log.emit("admit", trace_id="a", depth=1)
+        log.emit("reject", trace_id="b", reason="full")
+        log.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        recs = [json.loads(line) for line in lines]
+        assert recs[0]["kind"] == "admit"
+        assert recs[1]["reason"] == "full"
+
+    def test_sink_error_counts_and_never_raises(self, tmp_path):
+        log = EventLog(enabled=True, path=str(tmp_path))  # a directory
+        log.emit("admit", trace_id="a")
+        assert log.stats()["sink_errors"] == 1
+        assert len(log) == 1  # ring still recorded the event
+
+    def test_non_serializable_fields_stringified(self, tmp_path):
+        path = tmp_path / "ev.jsonl"
+        log = EventLog(enabled=True, path=str(path))
+        log.emit("evict", trace_id="", key=object())
+        log.close()
+        json.loads(path.read_text())  # default=str keeps the line valid
+
+
+class TestToJsonl:
+    def test_round_trips(self):
+        recs = [{"kind": "admit", "trace_id": "x", "ts": 1.0}]
+        out = to_jsonl(recs)
+        assert out.endswith("\n")
+        assert json.loads(out.strip()) == recs[0]
+
+    def test_empty_is_empty(self):
+        assert to_jsonl([]) == ""

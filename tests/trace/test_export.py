@@ -40,7 +40,8 @@ class TestChromeTrace:
         counts = validate_chrome_trace(doc)
         assert counts["X"] == 3
         assert counts["i"] == 1
-        assert counts["M"] == 2  # one thread_name metadata event per lane
+        # one thread_name metadata event per lane + one process_name event
+        assert counts["M"] == 3
         json.dumps(doc)  # must not raise
 
     def test_timestamps_rebase_to_zero_in_microseconds(self):
@@ -80,7 +81,9 @@ class TestChromeTrace:
         ev = next(
             e for e in doc["traceEvents"] if e["name"] == "pass.row_shuffle"
         )
-        assert ev["args"] == {"bytes": 192}
+        # user attrs plus span identity for from_chrome_trace round-trips
+        assert ev["args"]["bytes"] == 192
+        assert {"span_id", "parent_id"} <= set(ev["args"])
 
 
 class TestChromeValidation:
