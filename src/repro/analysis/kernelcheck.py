@@ -37,6 +37,14 @@ that the C does what the algebra says:
     write set, reads only inside each chunk's own rectangle, and composes
     to the same permutation — the property that lets a compiled kernel
     inherit the PR-2 racecheck guarantee.
+``pass*-banded``
+    For the column-facing passes, re-running the pass through its
+    band-rebased entry point (``repro_pass_<k>_banded``) against buffers
+    holding *only* each band's columns — chunked within each band, exactly
+    the geometry the out-of-core ``BandedExecutor`` drives — composes to
+    the same permutation.  The band buffers are allocated at exactly the
+    band's size, so any addressing that escapes the rebased stride faults
+    as an out-of-bounds access rather than silently landing elsewhere.
 ``plan-composition`` / ``algebra-equivalence``
     ``repro_run`` equals the composition of the verified passes, and that
     composition equals the closed-form transposition map
@@ -64,7 +72,12 @@ import numpy as np
 
 from ..core.indexing import Decomposition
 from ..core.plan import TransposePlan
-from ..native.codegen import generate_source, ineligible_reason, pass_symbol
+from ..native.codegen import (
+    banded_pass_symbol,
+    generate_source,
+    ineligible_reason,
+    pass_symbol,
+)
 from ..parallel.partition import balanced_chunks
 from ..strength.magic import compute_magic
 from .algebra import Check, transposition_source_map
@@ -410,6 +423,9 @@ def verify_kernel(
         for p in spec.passes:
             needed.add(pass_symbol(p.kind))
             needed.add(pass_symbol(p.kind) + "_batch")
+            bsym = banded_pass_symbol(p.kind)
+            if bsym is not None:
+                needed.add(bsym)
         missing = sorted(needed - interp.functions.keys())
         checks.append(
             Check(
@@ -552,6 +568,56 @@ def verify_kernel(
                 checks.append(
                     Check(f"{tag}-chunks-t{t}", fail is None, fail or "")
                 )
+                if fail is not None:
+                    return report
+
+            # banded entry point: the pass applied band-by-band to buffers
+            # holding only each band's columns (the BandedExecutor geometry);
+            # buffers are sized to the band, so a rebase bug faults oob.
+            bsym = banded_pass_symbol(pinfo.kind)
+            if bsym is not None:
+                unit = dec.b if pinfo.axis == "groups" else 1
+                fail = None
+                work = state.copy().reshape(dec.m, dec.n)
+                for bnd in balanced_chunks(
+                    pinfo.extent, min(3, pinfo.extent)
+                ):
+                    width = (bnd.stop - bnd.start) * unit
+                    c0 = bnd.start * unit
+                    band_state = work[:, c0:c0 + width].ravel()  # repro-lint: allow(implicit-copy) band seed for the interpreter, not a hot path
+                    buf = _seeded_buffer(interp, band_state)
+                    for ch in balanced_chunks(bnd.stop - bnd.start, 2):
+                        try:
+                            rc = interp.call(
+                                bsym, buf,
+                                bnd.start + ch.start, bnd.start + ch.stop,
+                                width, bnd.start,
+                            )
+                        except CInterpError as exc:
+                            fail = (
+                                f"band [{bnd.start}, {bnd.stop}) chunk "
+                                f"[{ch.start}, {ch.stop}): {exc}"
+                            )
+                            break
+                        if rc != 0:
+                            fail = (
+                                f"band [{bnd.start}, {bnd.stop}) "
+                                f"returned {rc}"
+                            )
+                            break
+                    if fail is not None:
+                        break
+                    got = np.asarray(buf.values(), dtype=np.int64)
+                    work[:, c0:c0 + width] = got.reshape(dec.m, width)
+                if fail is None:
+                    bad = np.nonzero(work.ravel() != expected)[0]
+                    if bad.size:
+                        e = int(bad[0])
+                        fail = (
+                            f"banded composition diverges at element {e}: "
+                            f"{int(work.ravel()[e])} != {int(expected[e])}"
+                        )
+                checks.append(Check(f"{tag}-banded", fail is None, fail or ""))
                 if fail is not None:
                     return report
             state = expected

@@ -1,7 +1,7 @@
 """AST-based custom lint pass enforcing repo invariants over ``src/repro``.
 
-Six rules, each born from a class of bug this codebase has actually hit or
-explicitly defends against:
+Eight rules, each born from a class of bug this codebase has actually hit
+or explicitly defends against:
 
 ``raw-divmod`` (REPRO001)
     Designated hot-path modules must not use raw ``//`` or ``%`` — index
@@ -47,6 +47,14 @@ explicitly defends against:
     trace.  An emission without it produces an orphaned event that cannot
     be correlated with the spans of the request that caused it.
 
+``whole-file-memmap`` (REPRO008)
+    ``np.memmap(...)`` is banned outside ``stream/``: a raw whole-file
+    mapping has an unbounded resident set — exactly the bug class the
+    byte-budgeted :class:`repro.stream.window.ResidentWindow` exists to
+    prevent.  File-backed matrices go through :mod:`repro.stream`;
+    genuinely exempt uses (e.g. a not-yet-streamed subsystem) carry an
+    explicit suppression with rationale.
+
 Suppressions
 ------------
 Append ``# repro-lint: allow(<rule>[, <rule>...])`` to the offending line,
@@ -82,6 +90,7 @@ RULES = {
     "trace-granularity": ("REPRO005", "span/metric recording inside a per-element inner loop"),
     "exception-swallow": ("REPRO006", "broad except drops the failure reason in a fallback path"),
     "event-trace-id": ("REPRO007", "structured event emitted without a trace_id keyword"),
+    "whole-file-memmap": ("REPRO008", "unbounded np.memmap outside the streaming window"),
 }
 
 #: Modules (relative to the package root) where raw ``//``/``%`` is banned.
@@ -119,6 +128,11 @@ EXCEPTION_SWALLOW_PREFIXES = ("native/", "serve/", "trace/")
 
 #: Exception names considered "broad" for the exception-swallow rule.
 _BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+
+#: Directory prefix exempt from the whole-file-memmap rule: the streaming
+#: window is the one place allowed to hold the mapping, because it is the
+#: component that bounds its residency.
+MEMMAP_EXEMPT_PREFIX = "stream/"
 
 _CONTIGUITY_MARKERS = ("C_CONTIGUOUS", "F_CONTIGUOUS")
 #: Recording calls whose receivers are tracers/registries; flagged when the
@@ -304,6 +318,17 @@ class _Analyzer(ast.NodeVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
+        # whole-file-memmap: np.memmap (or a bare memmap import) anywhere
+        # but stream/ maps a file with no residency bound.
+        is_memmap = (
+            isinstance(func, ast.Attribute) and func.attr == "memmap"
+        ) or (isinstance(func, ast.Name) and func.id == "memmap")
+        if is_memmap and not self.rel_posix.startswith(MEMMAP_EXEMPT_PREFIX):
+            self._emit(
+                "whole-file-memmap", node,
+                "np.memmap outside stream/ has an unbounded resident set; "
+                "route file-backed matrices through repro.stream",
+            )
         if isinstance(func, ast.Attribute):
             # trace-granularity: recording from a doubly-nested loop means
             # per-element (or per-tile-element) spans/metrics — the record

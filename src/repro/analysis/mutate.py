@@ -234,10 +234,32 @@ FAULT_CLASSES: tuple[FaultClass, ...] = (
         "short-copy",
         "wide-rotate staging copies B bytes instead of B elements",
         lambda src: _sub_first(
-            r"memcpy\(tmp \+ i \* B, g0 \+ i \* N, "
+            r"memcpy\(tmp \+ i \* B, g0 \+ i \* rs, "
             r"\(size_t\)B \* sizeof\(elem_t\)\);",
-            "memcpy(tmp + i * B, g0 + i * N, (size_t)B * sizeof(char));",
+            "memcpy(tmp + i * B, g0 + i * rs, (size_t)B * sizeof(char));",
             src,
+        ),
+    ),
+    FaultClass(
+        "band-origin-ignored",
+        "banded addressing drops the band-origin rebase (the full-width "
+        "wrappers pass origin 0, so only the banded certificate sees it)",
+        lambda src: (
+            _sub_first(
+                r"elem_t \*dst = V \+ i \* rs \+ \(j0 - c0\);",
+                "elem_t *dst = V + i * rs + j0;",
+                src,
+            )
+            or _sub_first(
+                r"elem_t \*dst = V \+ i \* rs \+ \(g0 - gband\) \* B;",
+                "elem_t *dst = V + i * rs + g0 * B;",
+                src,
+            )
+            or _sub_first(
+                r"rotate_group\(V \+ \(g - gband\) \* B",
+                "rotate_group(V + g * B",
+                src,
+            )
         ),
     ),
     FaultClass(

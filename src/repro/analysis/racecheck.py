@@ -59,6 +59,8 @@ __all__ = [
     "schedule_footprints",
     "mp_schedule_footprints",
     "banded_footprints",
+    "pass_order",
+    "PASS_AXES",
     "check_partition",
     "check_schedule",
     "check_mp_schedule",
@@ -183,6 +185,13 @@ def _pass_order(algorithm: str, c: int) -> list[str]:
             ["post_rotate"] if c > 1 else []
         )
     raise ValueError(f"unknown algorithm {algorithm!r}")
+
+
+#: public aliases — the banded out-of-core executor (`repro.stream`) iterates
+#: the *same* tables the proofs above are built from, so schedule and proof
+#: cannot drift apart.
+pass_order = _pass_order
+PASS_AXES = _PASS_AXES
 
 
 def schedule_footprints(

@@ -102,15 +102,39 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 def _cmd_transpose(args: argparse.Namespace) -> int:
     t0 = time.perf_counter()
+    detail = ""
     try:
-        if getattr(args, "threads", 1) > 1:
-            # Parallel path: memmap the file and run the chunked passes
-            # over it in place (threads or the mp shared-memory backend).
-            # --algorithm applies to the out-of-core path only; here the
-            # paper's C2R/R2C heuristic picks.
+        if getattr(args, "stream", True):
+            # Streamed path (default): band-by-band through the bounded
+            # resident window, so peak RSS honors --window-bytes no matter
+            # how large the file is.  --threads > 1 parallelizes chunks
+            # *within* a band (threads or the mp shared-memory backend)
+            # under the pre-proven banded schedule — the old whole-file
+            # memmap walk is gone.
+            from .stream import parse_bytes, transpose_file_inplace
+
+            window = (
+                parse_bytes(args.window_bytes) if args.window_bytes else None
+            )
+            stats = transpose_file_inplace(
+                args.file, args.m, args.n, args.dtype, args.order,
+                algorithm=args.algorithm,
+                window_bytes=window,
+                backend=args.backend,
+                n_threads=args.threads,
+            )
+            detail = (
+                f", {stats['bands']} band(s) @ "
+                f"{stats['window_bytes'] / 1e6:.0f} MB window, "
+                f"{stats['threads']} {stats['backend']} worker(s)"
+            )
+        else:
+            # --no-stream: the strict in-RAM reference path.  Loads the
+            # whole file; useful only for debugging the streamed path
+            # against the core library on files that fit in memory.
             import os
 
-            from .parallel import parallel_transpose_inplace
+            from .core import transpose_inplace
 
             dtype = np.dtype(args.dtype)
             expected = args.m * args.n * dtype.itemsize
@@ -120,21 +144,11 @@ def _cmd_transpose(args: argparse.Namespace) -> int:
                     f"{args.file} holds {actual} bytes; "
                     f"{args.m} x {args.n} {args.dtype} needs {expected}"
                 )
-            buf = np.memmap(
-                args.file, dtype=dtype, mode="r+", shape=(args.m * args.n,)
+            buf = np.fromfile(args.file, dtype=dtype)
+            transpose_inplace(
+                buf, args.m, args.n, args.order, algorithm=args.algorithm
             )
-            parallel_transpose_inplace(
-                buf, args.m, args.n, args.order,
-                n_threads=args.threads, backend=args.backend,
-            )
-            buf.flush()
-        else:
-            from .core.outofcore import transpose_file_inplace
-
-            transpose_file_inplace(
-                args.file, args.m, args.n, args.dtype, args.order,
-                algorithm=args.algorithm,
-            )
+            buf.tofile(args.file)
     except (ValueError, OSError) as exc:
         print(f"error: {exc}")
         return 1
@@ -142,7 +156,7 @@ def _cmd_transpose(args: argparse.Namespace) -> int:
     nbytes = args.m * args.n * np.dtype(args.dtype).itemsize
     print(f"transposed {args.file} ({args.m} x {args.n} {args.dtype}, "
           f"{nbytes / 1e6:.1f} MB) in {dt:.2f}s "
-          f"({2 * nbytes / dt / 1e9:.3f} GB/s)")
+          f"({2 * nbytes / dt / 1e9:.3f} GB/s){detail}")
     return 0
 
 
@@ -159,7 +173,9 @@ def _cmd_convert(args: argparse.Namespace) -> int:
         print(f"error: {path} holds {actual} bytes; "
               f"{args.n} x {args.s} {args.dtype} needs {expected}")
         return 1
-    buf = np.memmap(path, dtype=dtype, mode="r+", shape=(args.n * args.s,))
+    buf = np.memmap(  # repro-lint: allow(whole-file-memmap) AoS convert is not yet streamed
+        path, dtype=dtype, mode="r+", shape=(args.n * args.s,)
+    )
     t0 = time.perf_counter()
     try:
         if args.to == "soa":
@@ -564,8 +580,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"({config.workers} {config.worker_mode} workers, "
           f"queue {config.queue_size}, "
           f"max batch {config.max_batch}, max wait {config.max_wait_ms}ms)")
-    print("endpoints: POST /transpose, GET /healthz, GET /metrics, "
-          "GET /statusz")
+    print("endpoints: POST /transpose (raw or zero-copy segment), "
+          "POST /transpose-file, GET /healthz, GET /metrics, GET /statusz")
     stop = {"signal": None}
 
     def _on_signal(signum, frame):
@@ -723,6 +739,34 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _add_file_transpose_args(p: argparse.ArgumentParser) -> None:
+    """Shared flags of ``transpose`` and its explicit alias ``transpose-file``."""
+    p.add_argument("file")
+    p.add_argument("m", type=int)
+    p.add_argument("n", type=int)
+    p.add_argument("--dtype", default="float64")
+    p.add_argument("--order", choices=["C", "F"], default="C")
+    p.add_argument("--algorithm", choices=["auto", "c2r", "r2c"], default="auto")
+    p.add_argument(
+        "--stream",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run band-by-band under a bounded resident window (default: "
+        "on); --no-stream loads the whole file into RAM (reference path)",
+    )
+    p.add_argument(
+        "--window-bytes",
+        default="",
+        help="resident byte budget per band for --stream, k/m/g suffixes "
+        "accepted (default: $REPRO_STREAM_WINDOW or 256m)",
+    )
+    p.add_argument("--threads", type=int, default=1,
+                   help=">1 runs the chunked passes in parallel within "
+                   "each band")
+    p.add_argument("--backend", choices=["threads", "mp"], default="threads",
+                   help="parallel execution backend for --threads > 1")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -746,16 +790,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_info)
 
     p = sub.add_parser("transpose", help="transpose a raw binary file in place")
-    p.add_argument("file")
-    p.add_argument("m", type=int)
-    p.add_argument("n", type=int)
-    p.add_argument("--dtype", default="float64")
-    p.add_argument("--order", choices=["C", "F"], default="C")
-    p.add_argument("--algorithm", choices=["auto", "c2r", "r2c"], default="auto")
-    p.add_argument("--threads", type=int, default=1,
-                   help=">1 memmaps the file and runs the parallel passes")
-    p.add_argument("--backend", choices=["threads", "mp"], default="threads",
-                   help="parallel execution backend for --threads > 1")
+    _add_file_transpose_args(p)
     p.set_defaults(fn=_cmd_transpose)
 
     p = sub.add_parser(
@@ -775,16 +810,7 @@ def build_parser() -> argparse.ArgumentParser:
         "transpose-file",
         help="out-of-core in-place transpose of a raw binary matrix file",
     )
-    p.add_argument("file")
-    p.add_argument("m", type=int)
-    p.add_argument("n", type=int)
-    p.add_argument("--dtype", default="float64")
-    p.add_argument("--order", choices=["C", "F"], default="C")
-    p.add_argument("--algorithm", choices=["auto", "c2r", "r2c"], default="auto")
-    p.add_argument("--threads", type=int, default=1,
-                   help=">1 memmaps the file and runs the parallel passes")
-    p.add_argument("--backend", choices=["threads", "mp"], default="threads",
-                   help="parallel execution backend for --threads > 1")
+    _add_file_transpose_args(p)
     p.set_defaults(fn=_cmd_transpose)
 
     p = sub.add_parser("bench", help="quick wall-clock benchmark")

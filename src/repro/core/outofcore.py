@@ -1,28 +1,26 @@
 """Out-of-core in-place transposition of file-backed matrices.
 
 The ``O(max(m, n))`` auxiliary bound is exactly what makes the
-decomposition usable when the matrix itself does not fit in RAM: the strict
-kernels permute one row or column at a time through a single scratch
-vector, so a memory-mapped buffer works unmodified.  This module packages
-that: transpose a raw binary file of ``m x n`` elements in place, touching
-only ``O(max(m, n))`` bytes of process memory beyond the page cache.
+decomposition usable when the matrix itself does not fit in RAM.  This
+module keeps the original public surface —
+``transpose_file_inplace(path, m, n, dtype, order)`` — but the execution
+now routes through :mod:`repro.stream`: the file is processed band by
+band under a byte-budgeted resident window instead of one unbounded
+memmap walk, each band is flushed (``msync`` + page drop) before the
+next loads, and the schedule is pre-proven race-free by
+:func:`repro.analysis.racecheck.check_banded_schedule`.
 
-Column passes over a row-major file are seek-heavy (one element per row) —
-that is inherent to the storage order, and the paper's cache-aware sub-row
-grouping (``repro.cache``) is the mitigation; the blocked pre-rotation used
-here already moves ``b``-column groups per operation.
+Observability parity with the in-RAM paths: the streamed run emits an
+``op.stream.*`` span, per-pass ``pass.*`` spans and band spans, and
+records ``stream.transpose`` bytes-moved metrics.  Failure semantics are
+deterministic — on a pass failure every band already stored has been
+synced, the mapping is flushed best-effort, and the error propagates
+(the old path's ``finally: del buf`` silently skipped the flush).
 """
 
 from __future__ import annotations
 
 import os
-from pathlib import Path
-
-import numpy as np
-
-from .c2r import c2r_transpose
-from .r2c import r2c_transpose
-from .transpose import choose_algorithm
 
 __all__ = ["transpose_file_inplace"]
 
@@ -35,6 +33,9 @@ def transpose_file_inplace(
     order: str = "C",
     *,
     algorithm: str = "auto",
+    window_bytes: int | None = None,
+    backend: str = "threads",
+    n_threads: int = 1,
 ) -> None:
     """Transpose the ``m x n`` matrix stored in a raw binary file, in place.
 
@@ -46,30 +47,22 @@ def transpose_file_inplace(
         transpose in the same order.
     algorithm:
         ``"auto"`` (paper heuristic), ``"c2r"`` or ``"r2c"``.
+    window_bytes:
+        Resident byte budget per band (default ``REPRO_STREAM_WINDOW`` or
+        256 MiB); files smaller than the window run as a single band.
+    backend / n_threads:
+        Chunk parallelism within a band (``"threads"`` or ``"mp"``).
 
     Raises :class:`ValueError` when the file size does not match the shape.
     """
-    path = Path(path)
-    dtype = np.dtype(dtype)
-    expected = m * n * dtype.itemsize
-    actual = path.stat().st_size
-    if actual != expected:
-        raise ValueError(
-            f"{path} holds {actual} bytes; {m}x{n} {dtype} needs {expected}"
-        )
-    if order not in ("C", "F"):
-        raise ValueError(f"unknown order {order!r}")
-    if algorithm == "auto":
-        algorithm = choose_algorithm(m, n)
+    # Late import: repro.stream depends on core/parallel/analysis; binding
+    # it at call time keeps the core package import graph acyclic.
+    from ..stream import transpose_file_inplace as _streamed
 
-    buf = np.memmap(path, dtype=dtype, mode="r+", shape=(m * n,))
-    try:
-        vm, vn = (m, n) if order == "C" else (n, m)
-        # strict mode: one row/column at a time through O(max(m, n)) scratch
-        if algorithm == "c2r":
-            c2r_transpose(buf, vm, vn, aux="strict")
-        else:
-            r2c_transpose(buf, vn, vm, aux="strict")
-        buf.flush()
-    finally:
-        del buf
+    _streamed(
+        path, m, n, dtype, order,
+        algorithm=algorithm,
+        window_bytes=window_bytes,
+        backend=backend,
+        n_threads=n_threads,
+    )

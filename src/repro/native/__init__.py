@@ -80,6 +80,7 @@ __all__ = [
     "available",
     "unavailable_reason",
     "kernel_for_plan",
+    "kernel_for_shape",
     "release_plan_kernels",
     "record_fallback",
 ]
@@ -186,6 +187,36 @@ def kernel_for_plan(plan, itemsize: int) -> NativeKernel | None:
 
 
 _MISS = object()
+
+#: (m, n, algorithm, itemsize) -> NativeKernel | None, for plan-free callers
+_shape_kernels: dict[tuple, "NativeKernel | None"] = {}
+_shape_lock = threading.Lock()
+
+
+def kernel_for_shape(dec, algorithm: str, itemsize: int) -> NativeKernel | None:
+    """The compiled kernel for a decomposition, without a TransposePlan.
+
+    The streaming executor must not build a full plan just to reach the
+    compiler: a plan materialises ``O(m * n)`` index-map bytes, which for
+    an out-of-core matrix is exactly the unbounded allocation the resident
+    window exists to prevent.  Codegen needs only the decomposition
+    constants, so this memoises directly on
+    ``(m, n, algorithm, itemsize)``.  Failed/ineligible compiles memoise
+    as ``None``; artifacts are process-lifetime (no plan-cache slot to
+    charge or evict — file-shape cardinality is low).
+    """
+    key = (dec.m, dec.n, algorithm, itemsize)
+    with _shape_lock:
+        hit = _shape_kernels.get(key, _MISS)
+        if hit is not _MISS:
+            return hit
+        from types import SimpleNamespace
+
+        kernel, _why = _build_kernel(
+            SimpleNamespace(dec=dec, algorithm=algorithm), itemsize
+        )
+        _shape_kernels[key] = kernel
+        return kernel
 
 
 def _build_kernel(plan, itemsize: int):

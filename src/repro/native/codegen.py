@@ -22,6 +22,19 @@ The generated translation unit exports, with C linkage:
     *before any element moved* (the caller falls back to numpy).
 ``int repro_pass_<k>_batch(char *buf, int64_t k)``
     The same pass applied to ``k`` consecutive ``m x n`` tiles.
+``int repro_pass_<k>_banded(char *buf, int64_t lo, int64_t hi,
+int64_t rs, int64_t origin)``
+    For the column-facing passes (rotation, column shuffle): the same
+    chunk ``[lo, hi)`` in *global* coordinates, executed against a band
+    buffer that holds only columns ``[origin, origin + width)`` of every
+    row (column groups ``[origin, ...)`` for the rotation) at a row
+    stride of ``rs`` elements.  The index arithmetic is untouched — the
+    band variants share one static body with the full-width entry points
+    (which are exactly ``rs = n, origin = 0``) — only the addressing is
+    rebased, which is what lets the out-of-core banded executor run the
+    compiled passes on its bounded-residency band copies.  The row
+    shuffle needs no variant: a row band keeps the full row stride, so
+    the executor hands ``repro_pass_gather_cols`` a shifted base pointer.
 ``int repro_run(char *buf)`` / ``int repro_run_batch(char *buf, int64_t k)``
     All passes in plan order over one tile / ``k`` tiles.
 
@@ -52,6 +65,7 @@ __all__ = [
     "KernelSpec",
     "ineligible_reason",
     "generate_source",
+    "banded_pass_symbol",
     "SUPPORTED_ITEMSIZES",
     "MAX_AB",
 ]
@@ -147,31 +161,32 @@ def _rotate_pass(dec: Decomposition, itemsize: int, *, inverse: bool) -> str:
     if dec.b * itemsize >= 64:
         # Wide groups: rotate the m row segments with min(k, m-k) segments
         # of scratch and row-level memcpys (each segment is b contiguous
-        # elements at stride n).
+        # elements at stride rs — the full row n, or a band copy's width).
         body = """
-static int rotate_group(elem_t *g0, int64_t k, elem_t *tmp) {
+static int rotate_group(elem_t *g0, int64_t k, elem_t *tmp, int64_t rs) {
   int64_t i;
   if (k <= M - k) {
     for (i = 0; i < k; ++i)
-      memcpy(tmp + i * B, g0 + i * N, (size_t)B * sizeof(elem_t));
+      memcpy(tmp + i * B, g0 + i * rs, (size_t)B * sizeof(elem_t));
     for (i = 0; i < M - k; ++i)
-      memmove(g0 + i * N, g0 + (i + k) * N, (size_t)B * sizeof(elem_t));
+      memmove(g0 + i * rs, g0 + (i + k) * rs, (size_t)B * sizeof(elem_t));
     for (i = 0; i < k; ++i)
-      memcpy(g0 + (M - k + i) * N, tmp + i * B, (size_t)B * sizeof(elem_t));
+      memcpy(g0 + (M - k + i) * rs, tmp + i * B, (size_t)B * sizeof(elem_t));
   } else {
     int64_t r = M - k;
     for (i = 0; i < r; ++i)
-      memcpy(tmp + i * B, g0 + (M - r + i) * N, (size_t)B * sizeof(elem_t));
+      memcpy(tmp + i * B, g0 + (M - r + i) * rs, (size_t)B * sizeof(elem_t));
     for (i = M - r - 1; i >= 0; --i)
-      memmove(g0 + (i + r) * N, g0 + i * N, (size_t)B * sizeof(elem_t));
+      memmove(g0 + (i + r) * rs, g0 + i * rs, (size_t)B * sizeof(elem_t));
     for (i = 0; i < r; ++i)
-      memcpy(g0 + i * N, tmp + i * B, (size_t)B * sizeof(elem_t));
+      memcpy(g0 + i * rs, tmp + i * B, (size_t)B * sizeof(elem_t));
   }
   return 0;
 }
 """
         return body + f"""
-int repro_pass_rotate(char *bufc, int64_t glo, int64_t ghi) {{
+static int repro_rotate_impl(char *bufc, int64_t glo, int64_t ghi,
+                             int64_t rs, int64_t gband) {{
   elem_t *V = (elem_t *) bufc;
   elem_t *tmp;
   int64_t g;
@@ -183,10 +198,21 @@ int repro_pass_rotate(char *bufc, int64_t glo, int64_t ghi) {{
     if (k == 0) continue;
     k = {keff};
     if (k == 0 || k == M) continue;
-    rotate_group(V + g * B, k, tmp);
+    rotate_group(V + (g - gband) * B, k, tmp, rs);
   }}
   free(tmp);
   return 0;
+}}
+
+int repro_pass_rotate(char *bufc, int64_t glo, int64_t ghi) {{
+  int rc = repro_rotate_impl(bufc, glo, ghi, N, 0);
+  return rc;
+}}
+
+int repro_pass_rotate_banded(char *bufc, int64_t glo, int64_t ghi,
+                             int64_t rs, int64_t gband) {{
+  int rc = repro_rotate_impl(bufc, glo, ghi, rs, gband);
+  return rc;
 }}
 """
     # Narrow groups (b * itemsize below a cache line): a per-group
@@ -218,7 +244,8 @@ int repro_pass_rotate(char *bufc, int64_t glo, int64_t ghi) {{
     return f"""
 #define GBLK {gblk}
 
-int repro_pass_rotate(char *bufc, int64_t glo, int64_t ghi) {{
+static int repro_rotate_impl(char *bufc, int64_t glo, int64_t ghi,
+                             int64_t rs, int64_t gband) {{
   elem_t *V = (elem_t *) bufc;
   elem_t *stage;
   int64_t g0, i;
@@ -230,10 +257,10 @@ int repro_pass_rotate(char *bufc, int64_t glo, int64_t ghi) {{
     int64_t wcols = gw * B;
     int64_t k0 = MOD_M(g0);
     for (i = 0; i < M; ++i)
-      memcpy(stage + i * wcols, V + i * N + g0 * B,
+      memcpy(stage + i * wcols, V + i * rs + (g0 - gband) * B,
              (size_t)wcols * sizeof(elem_t));
     for (i = 0; i < M; ++i) {{
-      elem_t *dst = V + i * N + g0 * B;
+      elem_t *dst = V + i * rs + (g0 - gband) * B;
       {s_init}
       {{
         int64_t g = 0;
@@ -256,6 +283,17 @@ int repro_pass_rotate(char *bufc, int64_t glo, int64_t ghi) {{
   }}
   free(stage);
   return 0;
+}}
+
+int repro_pass_rotate(char *bufc, int64_t glo, int64_t ghi) {{
+  int rc = repro_rotate_impl(bufc, glo, ghi, N, 0);
+  return rc;
+}}
+
+int repro_pass_rotate_banded(char *bufc, int64_t glo, int64_t ghi,
+                             int64_t rs, int64_t gband) {{
+  int rc = repro_rotate_impl(bufc, glo, ghi, rs, gband);
+  return rc;
 }}
 """
 
@@ -465,7 +503,8 @@ def _gather_rows_pass(dec: Decomposition, itemsize: int, *, algorithm: str) -> s
     return f"""
 #define COLBLK {colblk}
 
-int repro_pass_gather_rows(char *bufc, int64_t lo, int64_t hi) {{
+static int repro_gather_rows_impl(char *bufc, int64_t lo, int64_t hi,
+                                  int64_t rs, int64_t c0) {{
   elem_t *V = (elem_t *) bufc;
   elem_t *stage;
   int64_t j0, i;
@@ -475,14 +514,25 @@ int repro_pass_gather_rows(char *bufc, int64_t lo, int64_t hi) {{
   for (j0 = lo; j0 < hi; j0 += COLBLK) {{
     int64_t w = (j0 + COLBLK <= hi) ? COLBLK : (hi - j0);
     for (i = 0; i < M; ++i)
-      memcpy(stage + i * w, V + i * N + j0, (size_t)w * sizeof(elem_t));
+      memcpy(stage + i * w, V + i * rs + (j0 - c0), (size_t)w * sizeof(elem_t));
     for (i = 0; i < M; ++i) {{
-      elem_t *dst = V + i * N + j0;
+      elem_t *dst = V + i * rs + (j0 - c0);
 {row_loop}
     }}
   }}
   free(stage);
   return 0;
+}}
+
+int repro_pass_gather_rows(char *bufc, int64_t lo, int64_t hi) {{
+  int rc = repro_gather_rows_impl(bufc, lo, hi, N, 0);
+  return rc;
+}}
+
+int repro_pass_gather_rows_banded(char *bufc, int64_t lo, int64_t hi,
+                                  int64_t rs, int64_t c0) {{
+  int rc = repro_gather_rows_impl(bufc, lo, hi, rs, c0);
+  return rc;
 }}
 """
 
@@ -493,10 +543,24 @@ _PASS_SYMBOLS = {
     "gather_rows": "repro_pass_gather_rows",
 }
 
+#: passes with a band-rebased entry point; gather_cols (the row shuffle)
+#: has none because a row band keeps the full row stride and runs through
+#: the plain symbol with a shifted base pointer
+_BANDED_PASS_SYMBOLS = {
+    "rotate_groups": "repro_pass_rotate_banded",
+    "gather_rows": "repro_pass_gather_rows_banded",
+}
+
 
 def pass_symbol(kind: str) -> str:
     """The exported C symbol implementing a plan-step kind."""
     return _PASS_SYMBOLS[kind]
+
+
+def banded_pass_symbol(kind: str) -> str | None:
+    """The band-rebased C symbol for a plan-step kind, or ``None`` when the
+    full-width symbol already serves band buffers (row-axis passes)."""
+    return _BANDED_PASS_SYMBOLS.get(kind)
 
 
 def _pass_layout(dec: Decomposition, algorithm: str) -> tuple[PassInfo, ...]:

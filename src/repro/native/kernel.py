@@ -40,7 +40,7 @@ import tempfile
 import threading
 from hashlib import sha256
 
-from .codegen import KernelSpec, pass_symbol
+from .codegen import KernelSpec, banded_pass_symbol, pass_symbol
 
 __all__ = [
     "NativeKernel",
@@ -260,6 +260,7 @@ class NativeKernel:
         self._run_batch.restype = ctypes.c_int
         self._pass_fns = []
         self._pass_batch_fns = []
+        self._pass_banded_fns = []
         for p in spec.passes:
             fn = getattr(lib, pass_symbol(p.kind))
             fn.argtypes = [ctypes.c_void_p, ctypes.c_int64, ctypes.c_int64]
@@ -269,6 +270,17 @@ class NativeKernel:
             bfn.argtypes = [ctypes.c_void_p, ctypes.c_int64]
             bfn.restype = ctypes.c_int
             self._pass_batch_fns.append(bfn)
+            bsym = banded_pass_symbol(p.kind)
+            if bsym is None:
+                self._pass_banded_fns.append(None)
+            else:
+                nfn = getattr(lib, bsym)
+                nfn.argtypes = [
+                    ctypes.c_void_p, ctypes.c_int64, ctypes.c_int64,
+                    ctypes.c_int64, ctypes.c_int64,
+                ]
+                nfn.restype = ctypes.c_int
+                self._pass_banded_fns.append(nfn)
         self._lib = lib  # keep the CDLL (and its mapping) alive
 
     @property
@@ -301,6 +313,31 @@ class NativeKernel:
         rc = self._pass_batch_fns[idx](addr, k)
         if rc != 0:
             raise NativeScratchError(idx, rc - 1)
+
+    def has_banded(self, idx: int) -> bool:
+        """Whether pass ``idx`` exports a band-rebased entry point."""
+        return self._pass_banded_fns[idx] is not None
+
+    def run_pass_banded(
+        self, idx: int, addr: int, lo: int, hi: int,
+        row_stride: int, origin: int,
+    ) -> None:
+        """Pass ``idx`` over global ``[lo, hi)`` against a band buffer.
+
+        ``addr`` points at a copy holding only this pass's band — columns
+        (or column groups) ``[origin, ...)`` of every row, ``row_stride``
+        elements per row.  The index math runs in global coordinates;
+        only the addressing is rebased, so the result is bit-identical to
+        running the full-width pass on the whole matrix.
+        """
+        fn = self._pass_banded_fns[idx]
+        if fn is None:
+            raise ValueError(
+                f"pass {idx} ({self.spec.passes[idx].kind}) has no banded "
+                "entry point; run it on a full-stride buffer instead"
+            )
+        if fn(addr, lo, hi, row_stride, origin) != 0:
+            raise NativeScratchError(idx)
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -17,6 +17,28 @@ Endpoints
     same headers.  Errors: 400 (bad
     shape/dtype/size), 429 (queue full — admission control), 503
     (shutting down), 504 (deadline exceeded), 500 (execution failure).
+
+    **Zero-copy ingress** (same-host clients): send
+    ``Content-Type: application/json`` with body ``{"segment": name}``
+    naming a shared-memory segment (:mod:`repro.parallel.shm`) that holds
+    the matrix bytes.  The server *attaches* the segment — no body copy
+    over the socket in either direction — runs the same queued/batched
+    execution, writes the transpose back into the segment and replies
+    with a small JSON ack.  The client keeps segment ownership; the
+    server never unlinks.  Extra errors: 404 (``segment-missing`` — no
+    such segment), 409 (``segment-mismatch`` — segment smaller than the
+    declared shape).
+``POST /transpose-file``
+    JSON body ``{"path", "rows", "cols", "dtype"?, "order"?,
+    "algorithm"?, "window_bytes"?, "threads"?, "backend"?}``: transpose a
+    *server-local* raw binary file in place through the banded streaming
+    executor (:mod:`repro.stream`) under a bounded resident window.
+    Synchronous: the response is the executor's stats JSON.  Progress is
+    observable while it runs — the executor emits one ``stream`` event
+    per band into the structured event log, tagged with this request's
+    trace id, and a ``stream_file`` start/done/error envelope brackets
+    the run.  Errors: 400 (bad params), 404 (file missing), 409 (file
+    size does not match the declared shape), 500 (execution failure).
 ``GET /healthz``
     JSON liveness snapshot (queue depth, workers, counters).
 ``GET /metrics``
@@ -45,6 +67,7 @@ from time import monotonic, sleep
 
 import numpy as np
 
+from ..parallel import shm
 from ..runtime import metrics
 from ..trace import spans
 from ..trace.events import event_log
@@ -70,6 +93,9 @@ MAX_BODY_BYTES = 512 * 1024 * 1024
 #: accepted shape for a client-supplied X-Repro-Trace-Id; anything else is
 #: replaced with a freshly minted id (never echoed back raw)
 _TRACE_ID_RE = re.compile(r"[A-Za-z0-9_.:-]{1,128}")
+
+#: cap on JSON request bodies (segment descriptors, transpose-file params)
+_MAX_JSON_BYTES = 64 * 1024
 
 _NULL_CM = nullcontext()
 
@@ -191,15 +217,18 @@ class _Handler(BaseHTTPRequestHandler):
                 self.app.slo.observe(monotonic() - t0, ok=status < 500)
 
     def _handle_post(self) -> None:
-        if self.path != "/transpose":
-            self._reject_unread_body(404, f"no such path: {self.path}")
-            return
-        app = self.app
         # Mint (or propagate) the request's trace identity first, so every
         # reply — including rejections — carries X-Repro-Trace-Id.
         raw_id = self.headers.get("X-Repro-Trace-Id", "")
         trace_id = raw_id if _TRACE_ID_RE.fullmatch(raw_id) else new_trace_id()
         self._trace_id = trace_id
+        if self.path == "/transpose-file":
+            self._handle_transpose_file(trace_id)
+            return
+        if self.path != "/transpose":
+            self._reject_unread_body(404, f"no such path: {self.path}")
+            return
+        app = self.app
         try:
             m = int(self.headers.get("X-Repro-Rows", ""))
             n = int(self.headers.get("X-Repro-Cols", ""))
@@ -241,17 +270,31 @@ class _Handler(BaseHTTPRequestHandler):
         except ValueError:
             self._reject_unread_body(400, "Content-Length required")
             return
+        # application/json switches to zero-copy ingress: the body is a
+        # tiny {"segment": name} descriptor, the matrix bytes never cross
+        # the socket.
+        ctype = self.headers.get("Content-Type", "")
+        segment_mode = ctype.split(";")[0].strip().lower() == "application/json"
         expected = tiles * m * n * dtype.itemsize
-        if length != expected:
-            self._reject_unread_body(
-                400,
-                f"body holds {length} bytes; {tiles} x {m}x{n} {dtype} "
-                f"needs {expected}",
-            )
-            return
-        if length > MAX_BODY_BYTES:
-            self._reject_unread_body(400, f"body exceeds {MAX_BODY_BYTES} bytes")
-            return
+        if segment_mode:
+            if not 2 <= length <= _MAX_JSON_BYTES:
+                self._reject_unread_body(
+                    400, "segment descriptor must be a small JSON body"
+                )
+                return
+        else:
+            if length != expected:
+                self._reject_unread_body(
+                    400,
+                    f"body holds {length} bytes; {tiles} x {m}x{n} {dtype} "
+                    f"needs {expected}",
+                )
+                return
+            if length > MAX_BODY_BYTES:
+                self._reject_unread_body(
+                    400, f"body exceeds {MAX_BODY_BYTES} bytes"
+                )
+                return
 
         deadline = None
         timeout_ms = self.headers.get("X-Repro-Timeout-Ms")
@@ -281,19 +324,70 @@ class _Handler(BaseHTTPRequestHandler):
                 )
                 return
 
-        # Read the body straight into a fresh array: no intermediate bytes
-        # object, and the buffer is writeable for the singleton in-place path.
-        buf = np.empty(tiles * m * n, dtype=dtype)
-        view = memoryview(buf).cast("B")
-        got = 0
-        while got < length:
-            read = self.rfile.readinto(view[got:])
-            if not read:
-                self._reject_unread_body(
-                    400, f"truncated body: {got} of {length} bytes"
+        segment_name = ""
+        seg_view: np.ndarray | None = None
+        if segment_mode:
+            try:
+                doc = json.loads(self.rfile.read(length))
+                segment_name = doc["segment"]
+            except (ValueError, KeyError, TypeError):
+                self._reply_error(400, 'body must be JSON {"segment": name}')
+                return
+            if not isinstance(segment_name, str) or not segment_name:
+                self._reply_error(400, "segment name must be a string")
+                return
+            # Attach, never copy: the request buffer *is* the client's
+            # segment.  The execution path treats request buffers as
+            # read-only (the batcher stages results separately), so the
+            # segment stays intact until the write-back below.
+            try:
+                seg_view = shm.attach_array(
+                    segment_name, (tiles * m * n,), dtype
+                )
+            except FileNotFoundError:
+                metrics.registry.inc("serve.segment_missing")
+                if event_log.enabled:
+                    event_log.emit(
+                        "reject", trace_id=trace_id,
+                        reason="segment-missing", segment=segment_name,
+                    )
+                self._reply_error(
+                    404,
+                    f"no such shared-memory segment: {segment_name}",
+                    kind="segment-missing",
                 )
                 return
-            got += read
+            except (TypeError, ValueError):
+                # the mapped segment is smaller than the declared shape
+                metrics.registry.inc("serve.segment_mismatch")
+                if event_log.enabled:
+                    event_log.emit(
+                        "reject", trace_id=trace_id,
+                        reason="segment-mismatch", segment=segment_name,
+                    )
+                self._reply_error(
+                    409,
+                    f"segment {segment_name} is smaller than "
+                    f"{tiles} x {m}x{n} {dtype}",
+                    kind="segment-mismatch",
+                )
+                return
+            buf = seg_view
+        else:
+            # Read the body straight into a fresh array: no intermediate
+            # bytes object, and the buffer is writeable for the singleton
+            # in-place path.
+            buf = np.empty(tiles * m * n, dtype=dtype)
+            view = memoryview(buf).cast("B")
+            got = 0
+            while got < length:
+                read = self.rfile.readinto(view[got:])
+                if not read:
+                    self._reject_unread_body(
+                        400, f"truncated body: {got} of {length} bytes"
+                    )
+                    return
+                got += read
 
         request = Request(
             buf, m, n, order, tiles=tiles, deadline=deadline, trace_id=trace_id
@@ -362,20 +456,154 @@ class _Handler(BaseHTTPRequestHandler):
             finally:
                 app.responded_one()
 
+            shape_headers = {
+                "X-Repro-Rows": str(n),
+                "X-Repro-Cols": str(m),
+                "X-Repro-Dtype": str(dtype),
+                "X-Repro-Order": order,
+                "X-Repro-Batch": str(tiles),
+            }
+            if seg_view is not None:
+                # Write the transpose back into the client's segment and
+                # ack with a descriptor — the matrix bytes never touched
+                # the socket in either direction.
+                seg_view[:] = np.ascontiguousarray(result).reshape(
+                    seg_view.shape
+                )
+                body = json.dumps({
+                    "segment": segment_name, "rows": n, "cols": m,
+                    "dtype": str(dtype), "order": order, "tiles": tiles,
+                }).encode()
+                self._reply(200, body, "application/json", shape_headers)
+                return
             # memoryview, not tobytes(): the socket writer consumes the
             # staging row directly, skipping one body-sized copy per response
             self._reply(
                 200,
                 memoryview(np.ascontiguousarray(result)).cast("B"),
                 "application/octet-stream",
-                {
-                    "X-Repro-Rows": str(n),
-                    "X-Repro-Cols": str(m),
-                    "X-Repro-Dtype": str(dtype),
-                    "X-Repro-Order": order,
-                    "X-Repro-Batch": str(tiles),
-                },
+                shape_headers,
             )
+
+
+    # -- POST /transpose-file: server-local streamed transpose ---------------
+
+    def _handle_transpose_file(self, trace_id: str) -> None:
+        """Transpose a server-local file in place through the banded
+        streaming executor, synchronously in this handler thread.
+
+        Long-running by design — progress is watched through the event
+        log (one ``stream`` event per band under this trace id) rather
+        than through the response, which arrives once with the stats.
+        """
+        import os
+
+        try:
+            length = int(self.headers.get("Content-Length", ""))
+        except ValueError:
+            self._reject_unread_body(400, "Content-Length required")
+            return
+        if not 2 <= length <= _MAX_JSON_BYTES:
+            self._reject_unread_body(400, "body must be a small JSON document")
+            return
+        try:
+            doc = json.loads(self.rfile.read(length))
+            path = doc["path"]
+            rows = int(doc["rows"])
+            cols = int(doc["cols"])
+        except (ValueError, KeyError, TypeError):
+            self._reply_error(
+                400, 'body must be JSON with "path", "rows" and "cols"'
+            )
+            return
+        if not isinstance(path, str) or not path:
+            self._reply_error(400, "path must be a non-empty string")
+            return
+        if rows < 1 or cols < 1:
+            self._reply_error(400, "matrix dimensions must be positive")
+            return
+        try:
+            dtype = np.dtype(doc.get("dtype", "float64"))
+        except (TypeError, ValueError):
+            self._reply_error(400, "unknown dtype")
+            return
+        if dtype.kind not in "biufc" or dtype.itemsize == 0:
+            self._reply_error(400, f"dtype {dtype!s} is not a numeric dtype")
+            return
+        order = doc.get("order", "C")
+        if order not in ("C", "F"):
+            self._reply_error(400, "order must be C or F")
+            return
+        algorithm = doc.get("algorithm", "auto")
+        if algorithm not in ("auto", "c2r", "r2c"):
+            self._reply_error(400, "algorithm must be auto, c2r or r2c")
+            return
+        backend = doc.get("backend", "threads")
+        if backend not in ("threads", "mp"):
+            self._reply_error(400, "backend must be threads or mp")
+            return
+        from ..stream import parse_bytes, transpose_file_inplace
+
+        try:
+            threads = int(doc.get("threads", 1))
+            window = doc.get("window_bytes")
+            window = None if window is None else parse_bytes(window)
+        except (TypeError, ValueError) as exc:
+            self._reply_error(400, str(exc))
+            return
+        if threads < 1:
+            self._reply_error(400, "threads must be >= 1")
+            return
+        try:
+            actual = os.stat(path).st_size
+        except (FileNotFoundError, NotADirectoryError):
+            self._reply_error(404, f"no such file: {path}")
+            return
+        except OSError as exc:
+            self._reply_error(400, str(exc))
+            return
+        expected = rows * cols * dtype.itemsize
+        if actual != expected:
+            self._reply_error(
+                409,
+                f"{path} holds {actual} bytes; {rows}x{cols} {dtype} "
+                f"needs {expected}",
+                kind="size-mismatch",
+            )
+            return
+
+        tr = spans.tracer
+        ctx_cm = tr.activate(TraceContext(trace_id)) if tr.enabled else _NULL_CM
+        if event_log.enabled:
+            event_log.emit(
+                "stream_file", trace_id=trace_id, phase="start",
+                path=path, rows=rows, cols=cols, dtype=str(dtype),
+            )
+        try:
+            with ctx_cm:
+                stats = transpose_file_inplace(
+                    path, rows, cols, dtype, order,
+                    algorithm=algorithm, window_bytes=window,
+                    backend=backend, n_threads=threads,
+                )
+        except Exception as exc:  # noqa: BLE001 — report execution errors
+            if event_log.enabled:
+                event_log.emit(
+                    "stream_file", trace_id=trace_id, phase="error",
+                    path=path, error=f"{type(exc).__name__}: {exc}",
+                )
+            self._reply_error(500, f"{type(exc).__name__}: {exc}")
+            return
+        metrics.registry.inc("serve.stream_file")
+        if event_log.enabled:
+            event_log.emit(
+                "stream_file", trace_id=trace_id, phase="done",
+                path=path, bands=stats["bands"],
+                seconds=round(stats["seconds"], 6),
+            )
+        stats["trace_id"] = trace_id
+        body = json.dumps(stats, sort_keys=True).encode()
+        self._reply(200, body, "application/json")
 
 
 class _HTTPServer(ThreadingHTTPServer):
@@ -478,8 +706,9 @@ class TransposeServer:
             self._serve_thread.join(timeout=1.0)
         with self._state_lock:
             accepted, responded = self.accepted, self.responded
-        from ..parallel import shm
-
+        # Close cached attachments from zero-copy ingress: the client owns
+        # the segments; the server must not hold their mappings open.
+        shm.detach_all()
         return {
             "accepted": accepted,
             "responded": responded,

@@ -1,0 +1,377 @@
+"""Byte-budgeted resident window over a memory-mapped matrix file.
+
+Out-of-core execution needs one invariant the raw ``np.memmap`` path cannot
+give: a *bound* on how much of the file is resident at once.  The
+:class:`ResidentWindow` provides it.  The file is mapped once, but the
+mapping is only ever *touched* through band-granular load/store calls, and
+every call ends by handing the touched pages back to the kernel
+(``msync`` + ``madvise(MADV_DONTNEED)``), so the process's resident set
+stays at (band buffer) + (one I/O block) + interpreter baseline regardless
+of file size.
+
+Flush ordering — the contract the banded race proof
+(:func:`repro.analysis.racecheck.check_banded_schedule`) depends on:
+
+1. a band is **loaded** (copied out of the mapping into a RAM buffer, the
+   touched pages dropped immediately — they are clean);
+2. the band is permuted entirely in RAM;
+3. the band is **stored** (written through the mapping), its writeback
+   initiated (``msync(MS_ASYNC)``) and its pages dropped (``madvise``)
+   *before the next band loads*; the op-end ``flush()`` (``MS_SYNC``) is
+   the durability barrier.
+
+Because the proof guarantees all band rectangles of a pass are pairwise
+disjoint, no later band can observe — or clobber — a flushed band's
+elements within the pass, so step 3 is safe to run eagerly.  The
+*resident* set (RSS) never exceeds band buffer + one I/O block; dirty
+page-cache pages between the async initiation and the barrier are the
+kernel writeback system's to schedule (and throttle), which is what lets
+a scattered column-band store coalesce into sequential device writes
+instead of stalling on per-page random ``msync``.
+
+Two band geometries cover every decomposition pass:
+
+* **row bands** ``[r0, r1)`` — contiguous byte ranges of a row-major file;
+  one straight copy each way;
+* **column bands** ``[c0, c1)`` — strided; materialised via row-block
+  sub-copies, each sub-copy's pages dropped before the next faults in, so
+  even the gather of a column band respects the byte budget.
+
+Environment knobs (see docs/STREAMING.md):
+
+* ``REPRO_STREAM_WINDOW`` — default window byte budget (suffixes k/m/g
+  accepted); the library default is 256 MiB.
+* ``REPRO_STREAM_IO_BLOCK`` — byte budget of one strided sub-copy while
+  (de)materialising a column band; defaults to window/4.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "ResidentWindow",
+    "DEFAULT_WINDOW_BYTES",
+    "WINDOW_ENV",
+    "IO_BLOCK_ENV",
+    "default_window_bytes",
+    "parse_bytes",
+    "drop_pages",
+    "sync_pages",
+    "sync_pages_async",
+]
+
+#: library default for the resident-window byte budget
+DEFAULT_WINDOW_BYTES = 256 * 1024 * 1024
+
+#: environment override for the default window budget
+WINDOW_ENV = "REPRO_STREAM_WINDOW"
+
+#: environment override for the strided-copy I/O block budget
+IO_BLOCK_ENV = "REPRO_STREAM_IO_BLOCK"
+
+_PAGE = mmap.PAGESIZE
+
+_SUFFIXES = {"k": 1024, "m": 1024 ** 2, "g": 1024 ** 3}
+
+#: madvise(MADV_DONTNEED) availability (Linux; absent on some platforms —
+#: the window then degrades to msync-only and the RSS bound is advisory)
+_HAS_MADVISE = hasattr(mmap.mmap, "madvise") and hasattr(mmap, "MADV_DONTNEED")
+
+
+def parse_bytes(text: str | int) -> int:
+    """Parse a byte count: plain int or int with a k/m/g suffix."""
+    if isinstance(text, int):
+        value = text
+    else:
+        s = str(text).strip().lower()
+        mult = 1
+        if s and s[-1] in _SUFFIXES:
+            mult = _SUFFIXES[s[-1]]
+            s = s[:-1]
+        try:
+            value = int(s) * mult
+        except ValueError:
+            raise ValueError(f"unparseable byte count {text!r}") from None
+    if value < 1:
+        raise ValueError(f"byte count must be >= 1, got {value}")
+    return value
+
+
+def default_window_bytes() -> int:
+    """The resident-window budget: ``REPRO_STREAM_WINDOW`` or 256 MiB."""
+    env = os.environ.get(WINDOW_ENV)
+    if env:
+        return parse_bytes(env)
+    return DEFAULT_WINDOW_BYTES
+
+
+def _page_span(lo: int, hi: int, limit: int) -> tuple[int, int]:
+    """Page-align ``[lo, hi)`` outward and clamp it to ``[0, limit)``."""
+    start = (max(0, lo) // _PAGE) * _PAGE
+    stop = min(limit, ((hi + _PAGE - 1) // _PAGE) * _PAGE)
+    return start, stop
+
+
+def drop_pages(mapping: mmap.mmap, lo: int, hi: int) -> None:
+    """Hand the pages backing bytes ``[lo, hi)`` back to the kernel.
+
+    For a shared file mapping ``MADV_DONTNEED`` only drops residency —
+    dirty pages are still written back and re-faults read the file — so
+    this is always safe; it is what keeps the RSS bounded by the window.
+    """
+    if not _HAS_MADVISE:
+        return
+    start, stop = _page_span(lo, hi, len(mapping))
+    if stop > start:
+        mapping.madvise(mmap.MADV_DONTNEED, start, stop - start)
+
+
+def sync_pages(mapping: mmap.mmap, lo: int, hi: int) -> None:
+    """``msync`` the pages backing bytes ``[lo, hi)`` (then droppable)."""
+    start, stop = _page_span(lo, hi, len(mapping))
+    if stop > start:
+        mapping.flush(start, stop - start)
+
+
+# msync(2) MS_ASYNC on Linux.  Python's mmap.flush() is MS_SYNC-only; a
+# column band's dirty pages are *scattered* (one slice per row), and a
+# synchronous msync of scattered 4 KiB pages degrades a sequential-capable
+# device to random-write bandwidth.  MS_ASYNC marks them for writeback and
+# returns; the kernel's flusher coalesces across bands, and the op-end
+# ``flush()`` (MS_SYNC) remains the durability barrier.
+_MS_ASYNC = 1
+
+_libc = None
+_async_broken = False
+
+
+def _msync_fn():
+    global _libc
+    if _libc is None:
+        import ctypes
+
+        _libc = ctypes.CDLL(None, use_errno=True)
+    return _libc.msync
+
+
+def sync_pages_async(mapping: mmap.mmap, lo: int, hi: int) -> None:
+    """Initiate writeback of bytes ``[lo, hi)`` without blocking on it.
+
+    Residency is unaffected (the caller still drops the pages); only the
+    durability point moves — from per-call to the next full
+    :func:`sync_pages` / ``flush()``.  Falls back to the synchronous
+    :func:`sync_pages` on platforms without a callable ``msync``.
+    """
+    global _async_broken
+    if _async_broken or not sys.platform.startswith("linux"):
+        sync_pages(mapping, lo, hi)
+        return
+    start, stop = _page_span(lo, hi, len(mapping))
+    if stop <= start:
+        return
+    import ctypes
+
+    buf = (ctypes.c_char * 0).from_buffer(mapping)
+    try:
+        addr = ctypes.addressof(buf)
+    finally:
+        del buf
+    try:
+        rc = _msync_fn()(
+            ctypes.c_void_p(addr + start),
+            ctypes.c_size_t(stop - start),
+            ctypes.c_int(_MS_ASYNC),
+        )
+    except (OSError, AttributeError):
+        _async_broken = True
+        sync_pages(mapping, lo, hi)
+        return
+    if rc != 0:
+        _async_broken = True
+        sync_pages(mapping, lo, hi)
+
+
+class ResidentWindow:
+    """Band-granular, byte-budgeted access to an ``rows x cols`` file matrix.
+
+    Parameters
+    ----------
+    path:
+        Raw binary file of exactly ``rows * cols`` elements of ``dtype``
+        (row-major with respect to the ``(rows, cols)`` view).
+    window_bytes:
+        Resident byte budget for one band (default:
+        :func:`default_window_bytes`).  A band never exceeds it except
+        when a single row/column already does — the effective budget is
+        ``max(window_bytes, one iteration unit)``.
+    io_block_bytes:
+        Transient page budget of one strided sub-copy (default:
+        ``window_bytes // 4``, at least one page).
+    mode:
+        ``"r+"`` (default) or ``"r"`` for read-only consumers.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        rows: int,
+        cols: int,
+        dtype,
+        *,
+        window_bytes: int | None = None,
+        io_block_bytes: int | None = None,
+        mode: str = "r+",
+    ):
+        if rows < 1 or cols < 1:
+            raise ValueError(f"invalid matrix shape {rows}x{cols}")
+        self.path = Path(path)
+        self.rows = int(rows)
+        self.cols = int(cols)
+        self.dtype = np.dtype(dtype)
+        expected = self.rows * self.cols * self.dtype.itemsize
+        actual = self.path.stat().st_size
+        if actual != expected:
+            raise ValueError(
+                f"{self.path} holds {actual} bytes; "
+                f"{rows}x{cols} {self.dtype} needs {expected}"
+            )
+        self.window_bytes = (
+            default_window_bytes() if window_bytes is None
+            else parse_bytes(window_bytes)
+        )
+        if io_block_bytes is None:
+            env = os.environ.get(IO_BLOCK_ENV)
+            # Floor at 4 MiB: the block only bounds *transient* residency
+            # (pages are dropped before the next block), and sub-page
+            # blocks would turn a column-band copy into a per-row syscall
+            # storm without tightening the band budget at all.
+            io_block_bytes = (
+                parse_bytes(env) if env
+                else max(4 * 1024 * 1024, self.window_bytes // 4)
+            )
+        self.io_block_bytes = max(_PAGE, int(io_block_bytes))
+        self._mm = np.memmap(
+            self.path, dtype=self.dtype, mode=mode, shape=(self.rows * self.cols,)
+        )
+        self.view = self._mm.reshape(self.rows, self.cols)
+        self._row_bytes = self.cols * self.dtype.itemsize
+        #: lifetime accounting (exported through stream metrics)
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.loads = 0
+        self.stores = 0
+
+    # -- residency plumbing --------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        return self.rows * self.cols * self.dtype.itemsize
+
+    def _drop_rows(self, r0: int, r1: int) -> None:
+        drop_pages(self._mm._mmap, r0 * self._row_bytes, r1 * self._row_bytes)
+
+    def _sync_rows(self, r0: int, r1: int) -> None:
+        sync_pages_async(
+            self._mm._mmap, r0 * self._row_bytes, r1 * self._row_bytes
+        )
+
+    def _block_rows(self, band_cols: int) -> int:
+        """Rows per strided sub-copy so one block's touched pages (one
+        ``band_cols`` span plus page-granularity slop per row) fit the
+        I/O block budget."""
+        per_row = band_cols * self.dtype.itemsize + _PAGE
+        return max(1, self.io_block_bytes // per_row)
+
+    # -- row bands (contiguous byte ranges) ----------------------------------
+
+    def load_rows(self, r0: int, r1: int, out: np.ndarray | None = None) -> np.ndarray:
+        """Materialise rows ``[r0, r1)`` into a RAM band buffer."""
+        band = (
+            np.empty((r1 - r0, self.cols), dtype=self.dtype)
+            if out is None else out
+        )
+        np.copyto(band.reshape(r1 - r0, self.cols), self.view[r0:r1])
+        self._drop_rows(r0, r1)  # clean pages: drop costs nothing
+        self.bytes_read += (r1 - r0) * self._row_bytes
+        self.loads += 1
+        return band
+
+    def store_rows(self, r0: int, r1: int, band: np.ndarray) -> None:
+        """Write a row band back, initiate its writeback and drop its
+        pages (flush step 3 of the module contract) before the caller
+        loads the next band."""
+        self.view[r0:r1] = band.reshape(r1 - r0, self.cols)
+        self._sync_rows(r0, r1)
+        self._drop_rows(r0, r1)
+        self.bytes_written += (r1 - r0) * self._row_bytes
+        self.stores += 1
+
+    # -- column bands (strided, materialised via row blocks) -----------------
+
+    def load_cols(self, c0: int, c1: int, out: np.ndarray | None = None) -> np.ndarray:
+        """Materialise columns ``[c0, c1)`` (all rows) into a RAM band."""
+        width = c1 - c0
+        band = (
+            np.empty((self.rows, width), dtype=self.dtype)
+            if out is None else out
+        )
+        bview = band.reshape(self.rows, width)
+        step = self._block_rows(width)
+        for i0 in range(0, self.rows, step):
+            i1 = min(self.rows, i0 + step)
+            bview[i0:i1] = self.view[i0:i1, c0:c1]
+            self._drop_rows(i0, i1)
+        self.bytes_read += self.rows * width * self.dtype.itemsize
+        self.loads += 1
+        return band
+
+    def store_cols(self, c0: int, c1: int, band: np.ndarray) -> None:
+        """Write a column band back block-by-block; each block's writeback
+        is initiated and its pages dropped before the next one faults in,
+        so the *resident* set never exceeds one I/O block (the scattered
+        dirty pages drain through kernel writeback, not a blocking
+        per-block msync)."""
+        width = c1 - c0
+        bview = band.reshape(self.rows, width)
+        step = self._block_rows(width)
+        for i0 in range(0, self.rows, step):
+            i1 = min(self.rows, i0 + step)
+            self.view[i0:i1, c0:c1] = bview[i0:i1]
+            self._sync_rows(i0, i1)
+            self._drop_rows(i0, i1)
+        self.bytes_written += self.rows * width * self.dtype.itemsize
+        self.stores += 1
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def flush(self) -> None:
+        """Full ``msync`` of the mapping (the end-of-op durability point)."""
+        self._mm.flush()
+
+    def close(self) -> None:
+        """Flush and release the mapping (idempotent)."""
+        if self._mm is not None:
+            self._mm.flush()
+            drop_pages(self._mm._mmap, 0, self.nbytes)
+            self.view = None
+            self._mm = None
+
+    def __enter__(self) -> "ResidentWindow":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            # Already unwinding: close best-effort so an msync error cannot
+            # mask the pass failure (the executor records it instead).
+            try:
+                self.close()
+            except OSError:
+                pass
+            return
+        self.close()

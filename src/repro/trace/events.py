@@ -16,7 +16,16 @@ kind            emitted when
 ``group_failure`` the retry also failed; the group's requests got the error
 ``evict``       the plan cache evicted an entry under budget pressure
 ``fallback``    the native backend fell back to numpy
+``stream``      the banded out-of-core executor started one band of one
+                pass (``stage``, ``band``/``bands``, ``lo``/``hi``) —
+                the progress feed for ``POST /transpose-file``
+``stream_file`` a server-local file transpose started or finished
+                (``phase``: start/done/error)
 =============== ======================================================
+
+Zero-copy ingress reuses ``admit``/``reject`` with ``reason`` values
+``segment-missing`` and ``segment-mismatch`` (the 4xx taxonomy of
+``POST /transpose`` segment requests; docs/STREAMING.md).
 
 Every record carries ``ts`` (epoch seconds), ``kind``, and ``trace_id``
 (``""`` when the event is not attributable to one request — a cache

@@ -488,6 +488,43 @@ class TestEventTraceId:
         assert vs == []
 
 
+class TestWholeFileMemmap:
+    def test_np_memmap_outside_stream_fires(self):
+        vs = lint(
+            "import numpy as np\nbuf = np.memmap('f.bin', mode='r+')\n",
+            "core/outofcore.py",
+            rule="whole-file-memmap",
+        )
+        assert len(vs) == 1
+        assert vs[0].code == "REPRO008"
+
+    def test_bare_memmap_import_fires(self):
+        vs = lint(
+            "from numpy import memmap\nbuf = memmap('f.bin')\n",
+            "cli.py",
+            rule="whole-file-memmap",
+        )
+        assert len(vs) == 1
+
+    def test_stream_modules_are_exempt(self):
+        vs = lint(
+            "import numpy as np\nmm = np.memmap('f.bin', mode='r+')\n",
+            "stream/window.py",
+            rule="whole-file-memmap",
+        )
+        assert vs == []
+
+    def test_line_suppression(self):
+        vs = lint(
+            "import numpy as np\n"
+            "buf = np.memmap('f.bin')  "
+            "# repro-lint: allow(whole-file-memmap) not yet streamed\n",
+            "cli.py",
+            rule="whole-file-memmap",
+        )
+        assert vs == []
+
+
 class TestRealTree:
     def test_repro_package_is_lint_clean(self):
         assert run_lint() == []

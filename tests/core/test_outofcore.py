@@ -53,6 +53,31 @@ class TestTransposeFile:
         with pytest.raises(ValueError):
             transpose_file_inplace(path, 2, 3, np.float64, "Z")
 
+    def test_observability_parity_with_in_ram_path(self, tmp_path):
+        """The file path emits the same op/pass span structure and
+        bytes-moved metrics as the in-RAM transpose (satellite: the old
+        memmap walk was invisible to tracing)."""
+        from repro.runtime import metrics
+        from repro.trace import spans
+
+        A = np.arange(24 * 36, dtype=np.float64).reshape(24, 36)
+        path = _write(tmp_path, A)
+        was_enabled = spans.tracer.enabled
+        spans.tracer.reset()
+        spans.enable()
+        try:
+            transpose_file_inplace(path, 24, 36, np.float64)
+            names = [r.name for r in spans.tracer.snapshot()]
+        finally:
+            spans.tracer.reset()
+            spans.tracer.enabled = was_enabled
+        assert any(nm.startswith("op.stream.") for nm in names), names
+        assert any(nm.startswith("pass.") for nm in names), names
+        assert "stream.band" in names, names
+        snap = metrics.registry.snapshot()
+        assert "stream.transpose" in snap["timers"]
+        assert snap["counters"].get("stream.bands", 0) >= 1
+
     def test_larger_than_scratch_budget(self, tmp_path):
         """A deliberately big-ish file: the strict path only ever holds one
         row/column of scratch."""

@@ -129,6 +129,61 @@ class TestDifferential:
 
 
 @requires_toolchain
+@requires_toolchain
+class TestBandedEntryPoints:
+    """``run_pass_banded``: the column-facing passes executed against
+    band-sized buffers compose to the same permutation as the full-width
+    entry points — the contract the out-of-core ``BandedExecutor`` runs on."""
+
+    @pytest.mark.parametrize("algorithm", ["c2r", "r2c"])
+    @pytest.mark.parametrize("m,n", [(12, 18), (12, 96), (31, 47)])
+    def test_banded_composes_to_full_pass(self, m, n, algorithm):
+        from repro.core.indexing import Decomposition
+        from repro.native.codegen import generate_source
+        from repro.native.kernel import compile_spec
+        from repro.parallel.partition import balanced_chunks
+
+        dec = Decomposition.of(m, n)
+        kernel = compile_spec(generate_source(dec, algorithm, 8))
+        state = np.arange(m * n, dtype=np.uint64).reshape(m, n)
+        for i, p in enumerate(kernel.passes):
+            ref = state.copy()
+            kernel.run_pass(i, ref.ctypes.data, 0, p.extent)
+            if not kernel.has_banded(i):
+                assert p.axis == "rows"  # row passes need no rebase
+                state = ref
+                continue
+            unit = dec.b if p.axis == "groups" else 1
+            got = state.copy()
+            for bnd in balanced_chunks(p.extent, min(3, p.extent)):
+                c0, c1 = bnd.start * unit, bnd.stop * unit
+                B = np.ascontiguousarray(got[:, c0:c1])
+                for ch in balanced_chunks(bnd.stop - bnd.start, 2):
+                    kernel.run_pass_banded(
+                        i, B.ctypes.data,
+                        bnd.start + ch.start, bnd.start + ch.stop,
+                        B.shape[1], bnd.start,
+                    )
+                got[:, c0:c1] = B
+            np.testing.assert_array_equal(got, ref)
+            state = ref
+
+    def test_row_pass_has_no_banded_variant(self):
+        from repro.core.indexing import Decomposition
+        from repro.native.codegen import generate_source
+        from repro.native.kernel import compile_spec
+
+        kernel = compile_spec(
+            generate_source(Decomposition.of(12, 18), "c2r", 8)
+        )
+        idx = next(
+            i for i, p in enumerate(kernel.passes) if p.axis == "rows"
+        )
+        assert not kernel.has_banded(idx)
+        with pytest.raises(ValueError, match="no banded entry point"):
+            kernel.run_pass_banded(idx, 0, 0, 1, 18, 0)
+
+
 class TestArtifactAccounting:
     def test_so_bytes_charged_to_plan_cache_entry(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_NATIVE_DIR", str(tmp_path))

@@ -80,6 +80,47 @@ class TestTransposeFileCommand:
         assert main(["transpose-file", str(path), "3", "4"]) == 1
         assert "error" in capsys.readouterr().out
 
+    def test_streamed_by_default_reports_bands(self, tmp_path, capsys):
+        A = np.arange(64 * 48, dtype=np.float64).reshape(64, 48)
+        path = tmp_path / "a.bin"
+        A.tofile(path)
+        assert main(["transpose-file", str(path), "64", "48",
+                     "--window-bytes", "8k"]) == 0
+        out = capsys.readouterr().out
+        assert "band(s)" in out and "window" in out
+        np.testing.assert_array_equal(
+            np.fromfile(path, dtype=np.float64), A.T.ravel()
+        )
+
+    def test_no_stream_matches_streamed_result(self, tmp_path, capsys):
+        A = np.arange(20 * 30, dtype=np.float64).reshape(20, 30)
+        path = tmp_path / "a.bin"
+        A.tofile(path)
+        assert main(["transpose-file", str(path), "20", "30",
+                     "--no-stream"]) == 0
+        assert "band(s)" not in capsys.readouterr().out
+        np.testing.assert_array_equal(
+            np.fromfile(path, dtype=np.float64), A.T.ravel()
+        )
+
+    def test_threads_route_through_banded_executor(self, tmp_path, capsys):
+        A = np.arange(40 * 56, dtype=np.float64).reshape(40, 56)
+        path = tmp_path / "a.bin"
+        A.tofile(path)
+        assert main(["transpose-file", str(path), "40", "56",
+                     "--threads", "2", "--window-bytes", "16k"]) == 0
+        assert "2 threads worker(s)" in capsys.readouterr().out
+        np.testing.assert_array_equal(
+            np.fromfile(path, dtype=np.float64), A.T.ravel()
+        )
+
+    def test_bad_window_bytes_is_friendly(self, tmp_path, capsys):
+        path = tmp_path / "a.bin"
+        np.zeros(12).tofile(path)
+        assert main(["transpose-file", str(path), "3", "4",
+                     "--window-bytes", "12q"]) == 1
+        assert "error" in capsys.readouterr().out
+
 
 class TestServeAndLoadtestCommands:
     def test_serve_max_seconds_drains_clean(self, capsys):
