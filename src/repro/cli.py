@@ -550,12 +550,33 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tenant_weights(spec: str) -> dict:
+    """Parse ``"gold=4,free=1"`` into a tenant-weight mapping."""
+    weights: dict = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, value = part.partition("=")
+        if not _ or not name:
+            raise ValueError(
+                f"tenant weight {part!r} is not name=weight"
+            )
+        weights[name] = float(value)
+    return weights
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
     from .parallel import default_worker_count
     from .serve import ServeConfig, TransposeServer
 
+    try:
+        tenant_weights = _parse_tenant_weights(args.tenant_weights)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 1
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -568,6 +589,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         mp_start_method=args.mp_start_method,
         slo_p99_ms=args.slo_p99_ms,
         slo_error_budget=args.slo_error_budget,
+        shards=args.shards,
+        tenant_rate=args.tenant_rate,
+        tenant_burst_s=args.tenant_burst_s,
+        tenant_weights=tenant_weights,
     )
     if args.trace_out:
         from .trace import spans
@@ -576,10 +601,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         spans.enable()
     server = TransposeServer(config, verbose=args.verbose).start()
     host, port = server.address
+    quota = (f"{config.tenant_rate:.0f} matrices/s/tenant"
+             if config.tenant_rate else "off")
     print(f"repro-serve listening on http://{host}:{port} "
-          f"({config.workers} {config.worker_mode} workers, "
+          f"({config.shards} shard(s) x {config.workers} "
+          f"{config.worker_mode} workers, "
           f"queue {config.queue_size}, "
-          f"max batch {config.max_batch}, max wait {config.max_wait_ms}ms)")
+          f"max batch {config.max_batch}, max wait {config.max_wait_ms}ms, "
+          f"quotas {quota})")
     print("endpoints: POST /transpose (raw or zero-copy segment), "
           "POST /transpose-file, GET /healthz, GET /metrics, GET /statusz")
     stop = {"signal": None}
@@ -618,6 +647,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"dropped={summary['dropped']} rejected_full={summary['rejected_full']} "
         f"retries={summary['retries']} drained={summary['drained']} "
         f"worker_mode={summary['worker_mode']} "
+        f"shards={summary['shards']} "
+        f"shards_evicted={summary['shards_evicted']} "
         f"shm_leaked={summary['shm_leaked']}"
     )
     ok = (
@@ -626,6 +657,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         and summary["shm_leaked"] == 0
     )
     return 0 if ok else 1
+
+
+def _shard_aligned_shapes(router, base_m: int, base_n: int, dtype: str):
+    """One shape per shard: walk ``n`` outward from ``base_n`` until every
+    shard on the ring owns exactly one of the generated shapes.
+
+    The sharded loadtest measures aggregate scaling, which is only
+    meaningful when the workload spreads across all shards; deriving the
+    mix from the ring makes balance deterministic instead of hoping N
+    arbitrary shapes hash onto N distinct shards.
+    """
+    import numpy as np
+
+    from .serve.loadgen import ShapeMix
+
+    dtype_str = str(np.dtype(dtype))
+    want = set(router.shards)
+    shapes = []
+    for delta in range(0, 4096):
+        for n in ((base_n + delta,) if delta == 0
+                  else (base_n + delta, base_n - delta)):
+            if n < 2 or not want:
+                continue
+            sid = router.shard_for_key((base_m, n, "C", dtype_str))
+            if sid in want:
+                want.discard(sid)
+                shapes.append(ShapeMix(base_m, n, 1.0))
+        if not want:
+            break
+    if want:  # pragma: no cover - 4096 probes always cover a sane ring
+        raise RuntimeError(f"could not cover shards {sorted(want)}")
+    return shapes
 
 
 def _cmd_loadtest(args: argparse.Namespace) -> int:
@@ -643,6 +706,13 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         print("error: --trace-out requires --inproc (the trace ring lives "
               "in the server process)")
         return 1
+    if args.shards > 1 and not args.inproc:
+        print("error: --shards requires --inproc (it configures the "
+              "in-process server's router)")
+        return 1
+    if args.min_shard_scaling is not None and args.shards < 2:
+        print("error: --min-shard-scaling needs --shards >= 2")
+        return 1
     if args.trace_out:
         from .trace import spans
 
@@ -651,20 +721,56 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
 
     server = None
     url = args.url
+    reference_rps = None
     if args.inproc:
         from .parallel import default_worker_count
         from .serve import ServeConfig, TransposeServer
 
-        server = TransposeServer(ServeConfig(
-            port=0,
-            workers=args.workers or default_worker_count(),
-            queue_size=args.queue_size,
-            max_batch=args.max_batch,
-            max_wait_ms=args.max_wait_ms,
-            worker_mode=args.worker_mode,
-            mp_start_method=args.mp_start_method,
-        )).start()
+        workers = args.workers or default_worker_count()
+
+        def _make_server(n_shards: int) -> TransposeServer:
+            return TransposeServer(ServeConfig(
+                port=0,
+                workers=workers,
+                queue_size=args.queue_size,
+                max_batch=args.max_batch,
+                max_wait_ms=args.max_wait_ms,
+                worker_mode=args.worker_mode,
+                mp_start_method=args.mp_start_method,
+                shards=n_shards,
+            )).start()
+
+        server = _make_server(args.shards)
         url = server.url
+        if args.shards > 1 and args.shapes == "256x384":
+            # Default workload + shards: spread one shape per shard so the
+            # aggregate number measures all N stacks, not whichever shard
+            # the single default shape happens to hash to.
+            shapes = _shard_aligned_shapes(server.router, 256, 384, args.dtype)
+            mix = ",".join(f"{s.m}x{s.n}" for s in shapes)
+            print(f"sharded workload: one shape per shard ({mix})")
+        if args.min_shard_scaling is not None:
+            # Single-shard reference first: same workload, same budget.
+            ref_server = _make_server(1)
+            try:
+                ref_report = run_loadtest(
+                    ref_server.url,
+                    rate=args.rate,
+                    duration_s=args.duration,
+                    shapes=shapes,
+                    dtype=args.dtype,
+                    tiles=args.tiles,
+                    connections=args.connections,
+                    batch=args.max_batch,
+                    seed=args.seed,
+                    reference=False,
+                    verify_every=args.verify_every,
+                    interim_every_s=0.0,
+                )
+            finally:
+                ref_server.shutdown()
+            reference_rps = ref_report.achieved_rps
+            print(f"single-shard reference: {reference_rps:.1f} matrices/s")
     elif not url:
         print("error: pass --url or --inproc")
         return 1
@@ -684,6 +790,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             verify_every=args.verify_every,
             interim_every_s=args.interim_every,
         )
+        router_stats = server.router.stats() if server is not None else None
     finally:
         summary = server.shutdown() if server is not None else None
 
@@ -700,6 +807,13 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
               f"{spans.tracer.dropped} dropped)")
 
     print(format_report(report))
+    if router_stats is not None and args.shards > 1:
+        for s in router_stats["per_shard"]:
+            print(
+                f"  shard {s['sid']}  routed={s['routed']} "
+                f"shapes={s['shapes']} affinity={s['affinity_rate']:.1%} "
+                f"rejected_full={s['rejected_full']}"
+            )
     if summary is not None:
         print(
             f"  shutdown  accepted={summary['accepted']} "
@@ -707,9 +821,42 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             f"shm_leaked={summary['shm_leaked']}"
         )
     if args.json:
-        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        doc = report.as_dict()
+        if router_stats is not None:
+            doc["router"] = router_stats
+        print(json.dumps(doc, indent=2, sort_keys=True))
 
     failed = []
+    if reference_rps:
+        import os
+
+        cores = os.cpu_count() or 1
+        scaling = report.achieved_rps / reference_rps
+        target = args.min_shard_scaling * args.shards * reference_rps
+        print(
+            f"  scaling   {scaling:.2f}x over single shard "
+            f"(floor {args.min_shard_scaling:.2f} x {args.shards} shards)"
+        )
+        if cores < args.shards:
+            # A 4-shard scaling floor is unfalsifiable on fewer cores than
+            # shards; report, don't gate (same policy as the mp bench floor).
+            print(
+                f"  scaling floor skipped: {cores} core(s) < "
+                f"{args.shards} shards"
+            )
+        elif report.achieved_rps < target:
+            failed.append(
+                f"sharded throughput {report.achieved_rps:.0f} matrices/s < "
+                f"{target:.0f} ({args.min_shard_scaling:.2f} x {args.shards} "
+                f"x single-shard {reference_rps:.0f})"
+            )
+    if args.min_shard_affinity is not None and router_stats is not None:
+        for s in router_stats["per_shard"]:
+            if s["routed"] and s["affinity_rate"] < args.min_shard_affinity:
+                failed.append(
+                    f"shard {s['sid']} affinity {s['affinity_rate']:.1%} < "
+                    f"floor {args.min_shard_affinity:.1%}"
+                )
     if report.verify_failures:
         failed.append(f"{report.verify_failures} responses failed verification")
     if report.errors:
@@ -993,8 +1140,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mp-start-method", default=None,
                    help="multiprocessing start method for --worker-mode "
                    "process (default: forkserver)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="independent serve shards behind the consistent-hash "
+                   "router (workers are per shard; queue capacity is split)")
+    p.add_argument("--tenant-rate", type=float, default=None,
+                   help="per-tenant admission quota in matrices/s for a "
+                   "weight-1.0 tenant (X-Repro-Tenant header; unset = "
+                   "quotas off)")
+    p.add_argument("--tenant-burst-s", type=float, default=2.0,
+                   help="tenant token-bucket burst, in seconds of refill")
+    p.add_argument("--tenant-weights", default="",
+                   help='weighted admission shares, e.g. "gold=4,free=1" '
+                   "(unlisted tenants weigh 1.0)")
     p.add_argument("--queue-size", type=int, default=512,
-                   help="admission-control bound; full -> HTTP 429")
+                   help="admission-control bound; full -> HTTP 429 with a "
+                   "depth/drain-rate-computed Retry-After")
     p.add_argument("--max-batch", type=int, default=32,
                    help="largest same-shape group one dispatch coalesces")
     p.add_argument("--max-wait-ms", type=float, default=2.0,
@@ -1042,6 +1202,19 @@ def build_parser() -> argparse.ArgumentParser:
                    default="thread", help="--inproc: worker execution mode")
     p.add_argument("--mp-start-method", default=None,
                    help="--inproc: start method for --worker-mode process")
+    p.add_argument("--shards", type=int, default=1,
+                   help="--inproc: serve shards behind the consistent-hash "
+                   "router; the default workload is respread one shape "
+                   "per shard")
+    p.add_argument("--min-shard-scaling", type=float, default=None,
+                   help="with --shards N: run a single-shard reference "
+                   "first and fail unless aggregate throughput >= "
+                   "floor * N * reference (skipped on fewer cores than "
+                   "shards)")
+    p.add_argument("--min-shard-affinity", type=float, default=None,
+                   help="fail unless every shard's routing affinity rate "
+                   "(requests hitting an already-seen shape) >= this "
+                   "fraction")
     p.add_argument("--queue-size", type=int, default=512, help="--inproc: queue bound")
     p.add_argument("--max-batch", type=int, default=32)
     p.add_argument("--max-wait-ms", type=float, default=0.5)

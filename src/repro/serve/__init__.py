@@ -4,10 +4,11 @@ Turns the kernel library into a service: a bounded request queue with
 admission control (:mod:`~repro.serve.queue`), a shape/dtype-coalescing
 batcher that amortizes plans across same-shape requests
 (:mod:`~repro.serve.batcher`), a draining worker pool
-(:mod:`~repro.serve.workers`), a stdlib HTTP front end
-(:mod:`~repro.serve.server`) and an open-loop load generator
-(:mod:`~repro.serve.loadgen`).  ``repro serve`` / ``repro loadtest`` are
-the CLI entry points.
+(:mod:`~repro.serve.workers`), a consistent-hash shard router with
+per-tenant quotas and failover (:mod:`~repro.serve.router`), a stdlib
+HTTP front end (:mod:`~repro.serve.server`) and an open-loop load
+generator (:mod:`~repro.serve.loadgen`).  ``repro serve`` /
+``repro loadtest`` are the CLI entry points.
 """
 
 from .batcher import Group, ShapeBatcher
@@ -18,6 +19,15 @@ from .queue import (
     Request,
     RequestCancelledError,
     RequestQueue,
+    compute_retry_after,
+)
+from .router import (
+    HashRing,
+    QuotaExceededError,
+    Shard,
+    ShardRouter,
+    TenantQuotas,
+    TokenBucket,
 )
 from .server import ServeConfig, TransposeServer
 from .workers import WorkerPool
@@ -29,9 +39,16 @@ __all__ = [
     "QueueClosedError",
     "DeadlineExceededError",
     "RequestCancelledError",
+    "compute_retry_after",
     "Group",
     "ShapeBatcher",
     "WorkerPool",
+    "HashRing",
+    "TokenBucket",
+    "TenantQuotas",
+    "QuotaExceededError",
+    "Shard",
+    "ShardRouter",
     "ServeConfig",
     "TransposeServer",
 ]

@@ -123,6 +123,19 @@ class ShapeBatcher:
         with self._lock:
             self._lanes.setdefault(request.shape_key, []).append(request)
 
+    def drain_lanes(self) -> list[Request]:
+        """Pop every request currently held in lanes, arrival order per lane.
+
+        Used by shard eviction (:mod:`repro.serve.router`): a dead shard's
+        workers will never dispatch its lanes, so the router reclaims the
+        requests and resubmits them to surviving shards — the "no request
+        loss" half of failover.
+        """
+        with self._lock:
+            out = [r for lane in self._lanes.values() for r in lane]
+            self._lanes.clear()
+            return out
+
     def _pop_group(self, *, flush: bool) -> Group | None:
         """Pop a dispatchable group under the lane lock.
 

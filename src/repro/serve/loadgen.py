@@ -30,6 +30,8 @@ from urllib.parse import urlsplit
 
 import numpy as np
 
+from .slo import nearest_rank
+
 __all__ = [
     "ShapeMix",
     "parse_shape_mix",
@@ -338,15 +340,19 @@ def _print_interim(line: str) -> None:
 
 
 def _percentiles(latencies: list[float]) -> dict:
+    """p50/p90/p99 by the serving layer's shared nearest-rank definition
+    (:func:`repro.serve.slo.nearest_rank`), so this report and ``/statusz``
+    agree on the same traffic; interpolated ``np.percentile`` previously
+    made them drift apart."""
     if not latencies:
         return {"p50": 0.0, "p90": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
-    arr = np.sort(np.asarray(latencies)) * 1e3
+    arr = [lat * 1e3 for lat in latencies]
     return {
-        "p50": float(np.percentile(arr, 50)),
-        "p90": float(np.percentile(arr, 90)),
-        "p99": float(np.percentile(arr, 99)),
-        "mean": float(arr.mean()),
-        "max": float(arr.max()),
+        "p50": nearest_rank(arr, 50),
+        "p90": nearest_rank(arr, 90),
+        "p99": nearest_rank(arr, 99),
+        "mean": float(np.mean(arr)),
+        "max": float(np.max(arr)),
     }
 
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+from collections import deque
 from time import monotonic
 from typing import Any
 
@@ -37,12 +38,44 @@ __all__ = [
     "RequestCancelledError",
     "Request",
     "RequestQueue",
+    "compute_retry_after",
     "PENDING",
     "CLAIMED",
     "DONE",
     "FAILED",
     "CANCELLED",
+    "RETRY_AFTER_MIN_S",
+    "RETRY_AFTER_MAX_S",
 ]
+
+#: clamp range for the computed 429 Retry-After (seconds).  The floor keeps
+#: clients from hammering a momentarily-full queue; the ceiling keeps a
+#: stalled drain from telling clients to go away for minutes.
+RETRY_AFTER_MIN_S = 1.0
+RETRY_AFTER_MAX_S = 30.0
+
+
+def compute_retry_after(
+    depth: int,
+    maxsize: int,
+    drain_rate: float,
+    *,
+    lo: float = RETRY_AFTER_MIN_S,
+    hi: float = RETRY_AFTER_MAX_S,
+) -> float:
+    """Seconds a 429'd client should back off, from live queue state.
+
+    With a measured drain rate the estimate is literal queueing theory:
+    ``depth / drain_rate`` is how long the current backlog takes to clear.
+    With no drain observed yet (cold start, stalled workers) fall back to
+    scaling the clamp range by queue fullness — deeper still means longer.
+    Monotonic in ``depth`` either way, clamped to ``[lo, hi]``.
+    """
+    if drain_rate > 0.0:
+        estimate = depth / drain_rate
+    else:
+        estimate = lo + (hi - lo) * (depth / maxsize if maxsize else 1.0)
+    return min(max(estimate, lo), hi)
 
 
 class QueueFullError(RuntimeError):
@@ -88,7 +121,7 @@ class Request:
     __slots__ = (
         "id", "buf", "m", "n", "order", "tiles", "deadline", "t_submit",
         "t_claim", "t_done", "result", "error", "_state", "_lock", "_event",
-        "trace_id", "parent_span_id",
+        "trace_id", "parent_span_id", "admit_depth",
     )
 
     def __init__(
@@ -116,6 +149,11 @@ class Request:
         #: it should parent under.  Empty/zero when tracing is off.
         self.trace_id = trace_id
         self.parent_span_id = 0
+        #: queue depth observed at admission, *including this request*,
+        #: recorded atomically inside RequestQueue.submit.  A post-submit
+        #: re-read of ``queue.depth`` races with concurrent drains and
+        #: under-reports backpressure; event-log analysis uses this value.
+        self.admit_depth = 0
         self.t_submit = 0.0
         self.t_claim = 0.0
         self.t_done = 0.0
@@ -215,6 +253,9 @@ class RequestQueue:
     empty so workers can exit their drain loop.
     """
 
+    #: sliding window (seconds) over which the drain rate is measured
+    DRAIN_WINDOW_S = 10.0
+
     def __init__(self, maxsize: int = 1024):
         if maxsize < 1:
             raise ValueError("queue maxsize must be >= 1")
@@ -222,6 +263,9 @@ class RequestQueue:
         self._items: list[Request] = []
         self._cv = threading.Condition()
         self._closed = False
+        #: monotonic timestamps of recent pops, for drain_rate(); bounded
+        #: so a long-lived queue never grows it without limit
+        self._pops: deque[float] = deque(maxlen=4096)
         #: lifetime counters (exported through serve metrics)
         self.submitted = 0
         self.rejected_full = 0
@@ -250,6 +294,10 @@ class RequestQueue:
                 )
             request.t_submit = monotonic()
             self._items.append(request)
+            # Recorded here, under the lock, so the value is exact even
+            # when a consumer pops the request before the submitter's next
+            # statement runs (the admit-event race this field exists for).
+            request.admit_depth = len(self._items)
             self.submitted += 1
             self._cv.notify()
         return request
@@ -269,7 +317,9 @@ class RequestQueue:
                 if remaining is not None and remaining <= 0:
                     return None
                 self._cv.wait(remaining)
-            return self._items.pop(0)
+            item = self._items.pop(0)
+            self._pops.append(monotonic())
+            return item
 
     def drain_nowait(self, max_items: int | None = None) -> list[Request]:
         """Pop everything currently queued (up to ``max_items``), no wait."""
@@ -279,7 +329,29 @@ class RequestQueue:
             else:
                 out = self._items[:max_items]
                 del self._items[:max_items]
+            if out:
+                now = monotonic()
+                self._pops.extend([now] * len(out))
             return out
+
+    # -- backpressure estimation ---------------------------------------------
+
+    def drain_rate(self, now: float | None = None) -> float:
+        """Requests consumed per second over the recent sliding window.
+
+        0.0 until the first pop lands inside the window — callers treat
+        that as "no drain observed" and fall back to depth-proportional
+        backoff (:func:`compute_retry_after`).
+        """
+        ts = monotonic() if now is None else now
+        cutoff = ts - self.DRAIN_WINDOW_S
+        with self._cv:
+            recent = sum(1 for t in self._pops if t >= cutoff)
+        return recent / self.DRAIN_WINDOW_S
+
+    def retry_after_s(self, now: float | None = None) -> float:
+        """Computed 429 backoff for this queue's current state."""
+        return compute_retry_after(self.depth, self.maxsize, self.drain_rate(now))
 
     def close(self) -> None:
         """Refuse new submits; wake every waiting consumer.

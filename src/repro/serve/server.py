@@ -14,9 +14,13 @@ Endpoints
     (default float64), ``X-Repro-Order`` (C|F, default C) and
     ``X-Repro-Timeout-Ms`` (a per-request deadline).  Response: the
     ``n x m`` transpose(s), raw, with the swapped shape echoed in the
-    same headers.  Errors: 400 (bad
-    shape/dtype/size), 429 (queue full — admission control), 503
-    (shutting down), 504 (deadline exceeded), 500 (execution failure).
+    same headers.  Optional ``X-Repro-Tenant`` names the quota tenant
+    (serve/router.py).  Errors: 400 (bad shape/dtype/size), 429
+    (admission control — ``kind`` distinguishes ``queue-full`` from
+    ``quota``; ``Retry-After`` is *computed* from the rejecting shard's
+    queue depth and recent drain rate, or from the tenant bucket's
+    refill deficit), 503 (shutting down), 504 (deadline exceeded),
+    500 (execution failure).
 
     **Zero-copy ingress** (same-host clients): send
     ``Content-Type: application/json`` with body ``{"segment": name}``
@@ -58,10 +62,11 @@ minus responded — zero unless the drain timed out).
 from __future__ import annotations
 
 import json
+import math
 import re
 import threading
 from contextlib import nullcontext
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from time import monotonic, sleep
 
@@ -73,16 +78,15 @@ from ..trace import spans
 from ..trace.events import event_log
 from ..trace.export import to_prometheus
 from ..trace.spans import TraceContext, new_trace_id
-from .batcher import ShapeBatcher
 from .queue import (
+    RETRY_AFTER_MIN_S,
     DeadlineExceededError,
     QueueClosedError,
     QueueFullError,
     Request,
-    RequestQueue,
 )
+from .router import QuotaExceededError, ShardRouter
 from .slo import SloTracker
-from .workers import WorkerPool
 
 __all__ = ["ServeConfig", "TransposeServer"]
 
@@ -98,6 +102,11 @@ _TRACE_ID_RE = re.compile(r"[A-Za-z0-9_.:-]{1,128}")
 _MAX_JSON_BYTES = 64 * 1024
 
 _NULL_CM = nullcontext()
+
+
+def _retry_after_header(seconds: float) -> str:
+    """HTTP Retry-After carries integral seconds: round up, floor at 1."""
+    return str(max(1, math.ceil(seconds)))
 
 
 @dataclass
@@ -122,6 +131,18 @@ class ServeConfig:
     #: against
     slo_p99_ms: float = 50.0
     slo_error_budget: float = 0.01
+    #: independent serve shards behind the consistent-hash router
+    #: (serve/router.py).  ``workers`` is per shard; total queue capacity
+    #: stays ~``queue_size`` split across shards.
+    shards: int = 1
+    #: per-tenant admission quota in matrices/s for a weight-1.0 tenant
+    #: (X-Repro-Tenant header selects the tenant; None disables quotas)
+    tenant_rate: float | None = None
+    #: token-bucket burst capacity, in seconds of refill
+    tenant_burst_s: float = 2.0
+    #: weighted admission: a tenant's bucket refills at
+    #: ``tenant_rate x weight`` (unlisted tenants weigh 1.0)
+    tenant_weights: dict = field(default_factory=dict)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -404,11 +425,25 @@ class _Handler(BaseHTTPRequestHandler):
             )
         else:
             ctx_cm = span_cm = _NULL_CM
+        tenant = self.headers.get("X-Repro-Tenant", "")
         with ctx_cm, span_cm as sp:
             if sp is not None:
                 request.parent_span_id = sp.span_id
             try:
-                app.submit(request)
+                shard_id, admit_depth = app.submit(request, tenant=tenant)
+            except QuotaExceededError as exc:
+                metrics.registry.inc("serve.rejected_quota")
+                if event_log.enabled:
+                    event_log.emit(
+                        "reject", trace_id=trace_id, reason="quota",
+                        request=request.id, tenant=tenant,
+                    )
+                self._reply_error(
+                    429, str(exc),
+                    {"Retry-After": _retry_after_header(exc.retry_after_s)},
+                    kind="quota",
+                )
+                return
             except QueueFullError as exc:
                 metrics.registry.inc("serve.rejected_full")
                 if event_log.enabled:
@@ -416,7 +451,15 @@ class _Handler(BaseHTTPRequestHandler):
                         "reject", trace_id=trace_id, reason="full",
                         request=request.id,
                     )
-                self._reply_error(429, str(exc), {"Retry-After": "1"})
+                # Computed, not constant: the router annotated the error
+                # with depth/drain-rate-derived backoff for the shard that
+                # rejected (bounded to [RETRY_AFTER_MIN_S, RETRY_AFTER_MAX_S]).
+                retry_s = getattr(exc, "retry_after_s", RETRY_AFTER_MIN_S)
+                self._reply_error(
+                    429, str(exc),
+                    {"Retry-After": _retry_after_header(retry_s)},
+                    kind="queue-full",
+                )
                 return
             except QueueClosedError as exc:
                 metrics.registry.inc("serve.rejected_closed")
@@ -428,9 +471,13 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply_error(503, str(exc))
                 return
             if event_log.enabled:
+                # admit_depth was observed under the shard queue's lock at
+                # admission; re-reading queue.depth here would race with
+                # concurrent worker drains and under-report.
                 event_log.emit(
                     "admit", trace_id=trace_id, request=request.id,
-                    m=m, n=n, tiles=tiles, depth=app.queue.depth,
+                    m=m, n=n, tiles=tiles, depth=admit_depth,
+                    shard=shard_id,
                 )
 
             try:
@@ -612,7 +659,15 @@ class _HTTPServer(ThreadingHTTPServer):
 
 
 class TransposeServer:
-    """The assembled service: queue + batcher + worker pool + HTTP front.
+    """The assembled service: shard router + HTTP front.
+
+    With ``ServeConfig.shards == 1`` (the default) this is exactly the
+    classic single stack — queue + batcher + worker pool — and the
+    ``queue``/``batcher``/``pool`` attributes address it directly.  With
+    more shards, each request is consistent-hashed by its
+    ``(m, n, order, dtype)`` coalescing key onto one of N independent
+    stacks so per-shape plan/kernel cache state stays shard-local
+    (serve/router.py).
 
     Usage::
 
@@ -625,18 +680,25 @@ class TransposeServer:
     def __init__(self, config: ServeConfig | None = None, *, verbose: bool = False):
         self.config = config or ServeConfig()
         self.verbose = verbose
-        self.queue = RequestQueue(maxsize=self.config.queue_size)
-        self.batcher = ShapeBatcher(
-            self.queue,
+        self.router = ShardRouter(
+            self.config.shards,
+            queue_size=self.config.queue_size,
             max_batch=self.config.max_batch,
             max_wait_s=self.config.max_wait_ms / 1e3,
+            workers=self.config.workers,
+            worker_mode=self.config.worker_mode,
+            mp_start_method=self.config.mp_start_method,
+            tenant_rate=self.config.tenant_rate,
+            tenant_burst_s=self.config.tenant_burst_s,
+            tenant_weights=self.config.tenant_weights or None,
         )
-        self.pool = WorkerPool(
-            self.batcher,
-            self.config.workers,
-            mode=self.config.worker_mode,
-            start_method=self.config.mp_start_method,
-        )
+        # Shard-0 aliases: with the default shards=1 these ARE the whole
+        # serving stack, and single-shard tests/tools keep poking them
+        # directly (srv.queue.submit(...), srv.pool.alive, ...).
+        shard0 = self.router.shards[0]
+        self.queue = shard0.queue
+        self.batcher = shard0.batcher
+        self.pool = shard0.pool
         self.slo = SloTracker(
             p99_objective_ms=self.config.slo_p99_ms,
             error_budget=self.config.slo_error_budget,
@@ -650,14 +712,18 @@ class TransposeServer:
 
     # -- request accounting (called from handler threads) ---------------------
 
-    def submit(self, request: Request) -> None:
-        self.queue.submit(request)
+    def submit(self, request: Request, *, tenant: str = "") -> tuple[int, int]:
+        """Route ``request`` through the shard router; returns
+        ``(shard_id, admit_depth)`` where ``admit_depth`` is the shard
+        queue's depth captured atomically at admission."""
+        shard_id, admit_depth = self.router.submit(request, tenant=tenant)
         reg = metrics.registry
         with self._state_lock:
             self.accepted += 1
         if reg.enabled:
             reg.inc("serve.accepted")
-            reg.set_gauge("serve.queue_depth", self.queue.depth)
+            reg.set_gauge("serve.queue_depth", self.router.depth)
+        return shard_id, admit_depth
 
     def responded_one(self) -> None:
         with self._state_lock:
@@ -676,7 +742,7 @@ class TransposeServer:
         return f"http://{host}:{port}"
 
     def start(self) -> "TransposeServer":
-        self.pool.start()
+        self.router.start()
         self._serve_thread = threading.Thread(
             target=self._httpd.serve_forever,
             kwargs={"poll_interval": 0.05},
@@ -694,7 +760,9 @@ class TransposeServer:
         """
         t_end = monotonic() + timeout
         self._httpd.shutdown()  # stop the accept loop (handlers continue)
-        pool_summary = self.pool.shutdown(timeout=max(t_end - monotonic(), 0.1))
+        pool_summary = self.router.shutdown(
+            timeout=max(t_end - monotonic(), 0.1)
+        )
         # Handler threads deliver the final responses; wait for them.
         while monotonic() < t_end:
             with self._state_lock:
@@ -713,8 +781,8 @@ class TransposeServer:
             "accepted": accepted,
             "responded": responded,
             "dropped": accepted - responded,
-            "rejected_full": self.queue.rejected_full,
-            "rejected_closed": self.queue.rejected_closed,
+            "rejected_full": self.router.rejected_full,
+            "rejected_closed": self.router.rejected_closed,
             "worker_mode": self.config.worker_mode,
             # Live shared-memory segments after a full drain mean a leak;
             # the CI mp job asserts this is zero after SIGTERM.
@@ -725,36 +793,45 @@ class TransposeServer:
     # -- introspection ---------------------------------------------------------
 
     def health(self) -> dict:
+        # Health scraping drives shard eviction: a started shard whose
+        # workers all died is removed from the ring here, with its backlog
+        # failed over to the survivors.
+        self.router.check_health()
         with self._state_lock:
             accepted, responded = self.accepted, self.responded
+        qstats = self.router.queue_stats()
         return {
-            "status": "draining" if self.queue.closed else "ok",
-            "queue_depth": self.queue.depth,
-            "queue_maxsize": self.queue.maxsize,
-            "pending_batches": self.batcher.pending,
-            "workers_alive": self.pool.alive,
+            "status": "draining" if self.router.closed else "ok",
+            "queue_depth": qstats["depth"],
+            "queue_maxsize": qstats["maxsize"],
+            "pending_batches": self.router.pending,
+            "workers_alive": self.router.workers_alive,
             "accepted": accepted,
             "responded": responded,
-            "rejected_full": self.queue.rejected_full,
+            "rejected_full": self.router.rejected_full,
+            "shards": len(self.router.shards),
+            "shards_evicted": len(self.router.evicted),
         }
 
     def statusz(self) -> dict:
         """One-page JSON operational status (the ``/statusz`` endpoint):
         queue + inflight state, worker health, live SLO judgment, plan-cache
         occupancy, native/fallback counters, and trace/event-log health."""
+        self.router.check_health()
         with self._state_lock:
             accepted, responded = self.accepted, self.responded
         snap = metrics.snapshot()
         counters = snap.get("counters", {})
         tr = spans.tracer
         return {
-            "status": "draining" if self.queue.closed else "ok",
-            "queue": self.queue.stats(),
+            "status": "draining" if self.router.closed else "ok",
+            "queue": self.router.queue_stats(),
+            "router": self.router.stats(),
             "inflight": accepted - responded,
             "accepted": accepted,
             "responded": responded,
             "workers": {
-                "alive": self.pool.alive,
+                "alive": self.router.workers_alive,
                 "mode": self.config.worker_mode,
                 "completed": counters.get("serve.completed", 0),
                 "retries": counters.get("serve.retries", 0),
@@ -780,9 +857,10 @@ class TransposeServer:
     def render_metrics(self) -> str:
         reg = metrics.registry
         if reg.enabled:
-            reg.set_gauge("serve.queue_depth", self.queue.depth)
-            reg.set_gauge("serve.pending_batches", self.batcher.pending)
-            reg.set_gauge("serve.workers", self.pool.alive)
+            reg.set_gauge("serve.queue_depth", self.router.depth)
+            reg.set_gauge("serve.pending_batches", self.router.pending)
+            reg.set_gauge("serve.workers", self.router.workers_alive)
+            self.router.publish_gauges()
             with self._state_lock:
                 inflight = self.accepted - self.responded
             reg.set_gauge("serve.inflight", inflight)

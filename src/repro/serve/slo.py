@@ -30,18 +30,32 @@ import threading
 import time
 from collections import deque
 
-__all__ = ["SloTracker", "DEFAULT_WINDOWS"]
+__all__ = ["SloTracker", "nearest_rank", "DEFAULT_WINDOWS"]
 
 #: (short, long) alert windows in seconds — 1 min / 10 min.
 DEFAULT_WINDOWS = (60.0, 600.0)
 
 
-def _p99(latencies_ms: list) -> float:
-    """p99 by the nearest-rank method on a sorted copy (0.0 when empty)."""
-    if not latencies_ms:
+def nearest_rank(values: list, pct: float) -> float:
+    """Percentile by the nearest-rank method on a sorted copy (0.0 when
+    empty).
+
+    This is THE percentile definition of the serving layer: ``/statusz``
+    (this module) and the loadtest report (:mod:`repro.serve.loadgen`)
+    both use it, so the two can never disagree on the same samples —
+    interpolated percentiles (``np.percentile`` default) invent values
+    that no request actually experienced and previously made the loadgen
+    p99 drift below the SLO tracker's on identical traffic.
+    """
+    if not values:
         return 0.0
-    ordered = sorted(latencies_ms)
-    return ordered[int(0.99 * (len(ordered) - 1))]
+    ordered = sorted(values)
+    return float(ordered[int(pct / 100.0 * (len(ordered) - 1))])
+
+
+def _p99(latencies_ms: list) -> float:
+    """p99 by the shared nearest-rank definition (0.0 when empty)."""
+    return nearest_rank(latencies_ms, 99.0)
 
 
 class SloTracker:

@@ -180,3 +180,67 @@ class TestRequestQueue:
     def test_maxsize_validation(self):
         with pytest.raises(ValueError):
             RequestQueue(maxsize=0)
+
+
+class TestAdmissionDepthSnapshot:
+    def test_admit_depth_is_recorded_under_the_queue_lock(self):
+        q = RequestQueue(maxsize=8)
+        depths = [q.submit(_req()).admit_depth for _ in range(3)]
+        assert depths == [1, 2, 3]
+
+    def test_admit_depth_survives_an_immediate_drain(self):
+        """Regression: the admit event used to re-read queue.depth after
+        submit returned, racing with worker drains — a request admitted
+        into a deep queue could be logged at depth 0.  The snapshot taken
+        at admission is immune."""
+        q = RequestQueue(maxsize=8)
+        first = q.submit(_req())
+        second = q.submit(_req())
+        q.drain_nowait()  # a worker empties the queue immediately
+        assert q.depth == 0
+        assert first.admit_depth == 1
+        assert second.admit_depth == 2
+
+
+class TestDrainRateAndRetryAfter:
+    def test_drain_rate_counts_recent_pops(self):
+        q = RequestQueue(maxsize=8)
+        for _ in range(5):
+            q.submit(_req())
+        assert q.drain_rate() == 0.0  # nothing drained yet
+        q.drain_nowait()
+        assert q.drain_rate() == pytest.approx(5 / q.DRAIN_WINDOW_S)
+
+    def test_drain_rate_window_expires(self):
+        q = RequestQueue(maxsize=8)
+        q.submit(_req())
+        q.get(timeout=0.1)
+        assert q.drain_rate() > 0.0
+        assert q.drain_rate(now=1e9) == 0.0  # far future: window empty
+
+    def test_retry_after_tracks_depth_over_drain_rate(self):
+        from repro.serve.queue import (
+            RETRY_AFTER_MAX_S,
+            RETRY_AFTER_MIN_S,
+            compute_retry_after,
+        )
+
+        # depth/drain_rate inside the clamp band passes through
+        assert compute_retry_after(10, 64, 2.0) == pytest.approx(5.0)
+        # clamped at both ends
+        assert compute_retry_after(1, 64, 100.0) == RETRY_AFTER_MIN_S
+        assert compute_retry_after(10_000, 64, 0.1) == RETRY_AFTER_MAX_S
+        # no drain signal: depth-proportional between the clamps
+        empty = compute_retry_after(0, 64, 0.0)
+        half = compute_retry_after(32, 64, 0.0)
+        full = compute_retry_after(64, 64, 0.0)
+        assert empty == RETRY_AFTER_MIN_S
+        assert full == RETRY_AFTER_MAX_S
+        assert empty < half < full
+
+    def test_queue_retry_after_uses_live_state(self):
+        q = RequestQueue(maxsize=4)
+        for _ in range(4):
+            q.submit(_req())
+        # no drains observed: full queue advertises the max clamp
+        assert q.retry_after_s() == 30.0

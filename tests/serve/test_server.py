@@ -230,8 +230,11 @@ class TestErrorMapping:
 
     def test_queue_full_429_with_retry_after(self):
         # Fill the queue directly (workers not started, nothing drains),
-        # then a real HTTP submit must be admission-rejected.
-        from repro.serve.queue import Request
+        # then a real HTTP submit must be admission-rejected with a
+        # *computed* Retry-After — never the old hardcoded "1".  With no
+        # drains observed the backoff is depth-proportional, so a full
+        # queue advertises the maximum clamp.
+        from repro.serve.queue import RETRY_AFTER_MAX_S, Request
 
         srv = TransposeServer(ServeConfig(port=0, workers=1, queue_size=1))
         srv._serve_thread = None
@@ -245,14 +248,32 @@ class TestErrorMapping:
         try:
             srv.queue.submit(Request(np.zeros(12), 3, 4))
             A = np.arange(12, dtype=np.float64)
-            status, _, headers = _post(srv, A.tobytes(), _headers(3, 4))
+            status, body, headers = _post(srv, A.tobytes(), _headers(3, 4))
             assert status == 429
-            assert headers.get("Retry-After") == "1"
+            assert json.loads(body)["kind"] == "queue-full"
+            retry = int(headers.get("Retry-After"))
+            assert retry == int(RETRY_AFTER_MAX_S)
             assert srv.queue.rejected_full == 1
         finally:
             srv.queue.close()
             srv._httpd.shutdown()
             srv._httpd.server_close()
+
+    def test_retry_after_scales_with_queue_depth(self):
+        # Regression for the hardcoded Retry-After: with an observed drain
+        # rate, the advertised backoff must grow with the rejecting
+        # queue's depth (depth / drain_rate, clamped).
+        from repro.serve.queue import compute_retry_after
+
+        shallow = compute_retry_after(4, 64, drain_rate=2.0)
+        deep = compute_retry_after(40, 64, drain_rate=2.0)
+        assert deep > shallow
+        assert shallow == pytest.approx(2.0)
+        assert deep == pytest.approx(20.0)
+        # and without any drain signal, deeper queues still back off more
+        assert compute_retry_after(
+            60, 64, drain_rate=0.0
+        ) > compute_retry_after(8, 64, drain_rate=0.0)
 
 
 class TestIntrospection:

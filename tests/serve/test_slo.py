@@ -119,3 +119,32 @@ class TestConfig:
         state = slo.state(now=0.0)
         assert state["total_observed"] == 0
         assert state["total_errors"] == 0
+
+
+class TestUnifiedPercentileDefinition:
+    def test_loadgen_and_slo_agree_on_p99(self):
+        """Regression: the loadgen report used interpolated np.percentile
+        while the SLO tracker used nearest-rank, so the same latencies
+        produced two different 'p99's.  Both now share nearest_rank."""
+        from repro.serve.loadgen import _percentiles
+        from repro.serve.slo import _p99, nearest_rank
+
+        rng = [1.0, 2.0, 5.0, 8.0, 13.0, 21.0, 34.0, 55.0, 89.0, 144.0]
+        # loadgen takes seconds, reports milliseconds
+        report = _percentiles([v / 1e3 for v in rng])
+        assert report["p99"] == _p99(rng)
+        assert report["p50"] == nearest_rank(rng, 50)
+        assert report["p90"] == nearest_rank(rng, 90)
+        # nearest-rank returns an observed sample, never an interpolation
+        for key in ("p50", "p90", "p99"):
+            assert report[key] in rng
+
+    def test_nearest_rank_semantics(self):
+        from repro.serve.slo import nearest_rank
+
+        assert nearest_rank([], 99) == 0.0
+        assert nearest_rank([7.0], 99) == 7.0
+        values = list(range(1, 101))
+        assert nearest_rank(values, 99) == 99
+        assert nearest_rank(values, 50) == 50
+        assert nearest_rank([3.0, 1.0, 2.0], 100) == 3.0

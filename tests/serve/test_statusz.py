@@ -154,10 +154,14 @@ class TestThreadModePropagation:
             spans.tracer.reset()
         names = {r.name for r in recs}
         assert "serve.request" in names
+        assert "serve.route" in names  # router decision, handler thread
         assert "serve.group" in names  # worker thread, joined via ctx
         req = next(r for r in recs if r.name == "serve.request")
+        route = next(r for r in recs if r.name == "serve.route")
         grp = next(r for r in recs if r.name == "serve.group")
-        assert grp.parent_id == req.span_id
+        # request -> route -> group: the router span parents the shard work
+        assert route.parent_id == req.span_id
+        assert grp.parent_id == route.span_id
         assert grp.tid != req.tid  # crossed a thread boundary
 
 
